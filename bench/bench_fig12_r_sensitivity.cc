@@ -1,0 +1,88 @@
+// Figure 12: sensitivity of AVG-D to the balancing ratio r — (a) utility,
+// (b) execution time / CSF iteration count, (c) normalized density,
+// (d) Intra%/Inter%.
+//
+// Expected shapes (Section 6.7): small r resembles the group approach (few
+// huge subgroups, high intra, fewer iterations); large r resembles the
+// personalized approach (singleton subgroups, social utility -> 0, more
+// iterations); near-optimal utility over a wide middle band.
+
+#include "bench_util.h"
+
+#include "core/avg_d.h"
+#include "util/logging.h"
+#include "core/lp_formulation.h"
+#include "metrics/metrics.h"
+
+namespace savg {
+namespace {
+
+void PrintTables() {
+  DatasetParams params;
+  params.kind = DatasetKind::kTimik;
+  params.num_users = 40;
+  params.num_items = 500;
+  params.num_slots = 10;
+  params.seed = 13;
+  auto inst = GenerateDataset(params);
+  if (!inst.ok()) {
+    std::cerr << inst.status() << "\n";
+    return;
+  }
+  RelaxationOptions relax;
+  relax.method = RelaxationMethod::kSubgradient;
+  auto frac = SolveRelaxation(*inst, relax);
+  if (!frac.ok()) {
+    std::cerr << frac.status() << "\n";
+    return;
+  }
+  std::printf("LP bound: %.2f\n", frac->lp_objective);
+
+  Table t({"r", "utility", "social part", "time (s)", "CSF iters",
+           "Intra%", "norm.density"});
+  for (double r : {0.05, 0.1, 0.25, 0.5, 0.7, 1.0, 1.5, 2.0}) {
+    AvgDOptions opt;
+    opt.r = r;
+    Timer timer;
+    auto result = RunAvgD(*inst, *frac, opt);
+    const double seconds = timer.ElapsedSeconds();
+    if (!result.ok()) continue;
+    const ObjectiveBreakdown obj = Evaluate(*inst, result->config);
+    const SubgroupMetrics sm = ComputeSubgroupMetrics(*inst, result->config);
+    t.NewRow()
+        .Add(FormatDouble(r, 2))
+        .Add(obj.ScaledTotal(), 2)
+        .Add(obj.social_direct, 2)
+        .Add(seconds, 4)
+        .Add(result->csf_iterations)
+        .Add(FormatPercent(sm.intra_fraction))
+        .Add(sm.normalized_density, 2);
+  }
+  t.Print("Fig 12: AVG-D sensitivity to r (Timik, n=40, m=500, k=10)");
+}
+
+void BM_AvgDByR(benchmark::State& state) {
+  DatasetParams params;
+  params.kind = DatasetKind::kTimik;
+  params.num_users = 40;
+  params.num_items = 500;
+  params.num_slots = 10;
+  params.seed = 13;
+  auto inst = GenerateDataset(params);
+  RelaxationOptions relax;
+  relax.method = RelaxationMethod::kSubgradient;
+  auto frac = SolveRelaxation(*inst, relax);
+  AvgDOptions opt;
+  opt.r = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto result = RunAvgD(*inst, *frac, opt);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AvgDByR)->Arg(5)->Arg(25)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace savg
+
+SAVG_BENCH_MAIN(savg::PrintTables)

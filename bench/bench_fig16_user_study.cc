@@ -1,0 +1,80 @@
+// Figure 16: the (simulated) user study — (a) distribution of
+// questionnaire lambdas, (b) total SAVG utility vs mean Likert
+// satisfaction per method with the utility/satisfaction correlations,
+// (c, d) subgroup metrics of the study configurations.
+//
+// Expected shapes: lambdas spread over [0.15, 0.85]; AVG highest on both
+// utility and satisfaction; strongly positive Spearman/Pearson correlation
+// (paper: 0.835 / 0.814); AVG with normalized density > 1 and 0% alone.
+
+#include "bench_util.h"
+
+#include "datagen/user_study.h"
+#include "util/stats.h"
+
+namespace savg {
+namespace {
+
+void PrintTables() {
+  UserStudyParams params;
+  params.num_participants = 44;
+  params.seed = 16;
+  auto study = RunUserStudy(params);
+  if (!study.ok()) {
+    std::cerr << study.status() << "\n";
+    return;
+  }
+  // (a) lambda histogram.
+  Table hist({"lambda bin", "participants"});
+  const double edges[] = {0.15, 0.3, 0.45, 0.6, 0.75, 0.85};
+  for (int b = 0; b + 1 < 6; ++b) {
+    int count = 0;
+    for (double l : study->lambdas) {
+      if (l >= edges[b] && (l < edges[b + 1] || b == 4)) ++count;
+    }
+    hist.NewRow()
+        .Add(std::string("[")
+                 .append(FormatDouble(edges[b], 2))
+                 .append(", ")
+                 .append(FormatDouble(edges[b + 1], 2))
+                 .append(")"))
+        .Add(static_cast<int64_t>(count));
+  }
+  hist.Print("Fig 16(a): participant lambda distribution (mean " +
+             FormatDouble(Mean(study->lambdas), 2) + ")");
+
+  // (b) utility vs satisfaction.
+  Table t({"method", "total SAVG utility", "mean satisfaction (1-5)",
+           "Intra%", "norm.density", "Co-display%", "Alone%"});
+  for (const auto& rec : study->methods) {
+    t.NewRow()
+        .Add(rec.method)
+        .Add(rec.total_savg_utility, 2)
+        .Add(rec.mean_satisfaction, 2)
+        .Add(FormatPercent(rec.subgroup.intra_fraction))
+        .Add(rec.subgroup.normalized_density, 2)
+        .Add(FormatPercent(rec.subgroup.co_display_rate))
+        .Add(FormatPercent(rec.subgroup.alone_rate));
+  }
+  t.Print("Fig 16(b-d): study results, 44 participants");
+  std::printf(
+      "Utility-satisfaction correlation: Spearman %.3f, Pearson %.3f "
+      "(paper reports 0.835 / 0.814)\n",
+      study->spearman, study->pearson);
+}
+
+void BM_UserStudy(benchmark::State& state) {
+  UserStudyParams params;
+  params.num_participants = 20;
+  params.seed = 16;
+  for (auto _ : state) {
+    auto study = RunUserStudy(params);
+    benchmark::DoNotOptimize(study);
+  }
+}
+BENCHMARK(BM_UserStudy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace savg
+
+SAVG_BENCH_MAIN(savg::PrintTables)

@@ -1,0 +1,84 @@
+// Lemma 3, measured: on the indifferent-preferences / uniform-tau instance
+// the trivial independent rounding realizes only O(1/m) of the optimal
+// social utility, while dependent rounding (CSF) realizes ~all of it.
+
+#include "bench_util.h"
+
+#include "core/avg.h"
+#include "core/objective.h"
+#include "graph/generators.h"
+
+namespace savg {
+namespace {
+
+void PrintTables() {
+  const int n = 8, k = 2;
+  Table t({"m", "OPT social", "CSF (AVG)", "independent", "indep/OPT",
+           "~1/m"});
+  for (int m : {5, 10, 20, 40, 80}) {
+    SvgicInstance inst(CompleteGraph(n), m, k, 0.5);
+    for (const Edge& e : inst.graph().edges()) {
+      for (ItemId c = 0; c < m; ++c) inst.set_tau(e.id, c, 0.5);
+    }
+    inst.FinalizePairs();
+    // The lemma's symmetric LP optimum x = k/m.
+    FractionalSolution frac;
+    frac.num_users = n;
+    frac.num_items = m;
+    frac.num_slots = k;
+    frac.x.assign(static_cast<size_t>(n) * m, static_cast<double>(k) / m);
+    frac.BuildSupporters();
+    const double opt_social = k * n * (n - 1) / 2.0;  // w = 1 per pair
+
+    double csf = 0.0, ind = 0.0;
+    const int runs = 25;
+    for (int i = 0; i < runs; ++i) {
+      AvgOptions aopt;
+      aopt.seed = 300 + i;
+      auto avg = RunAvg(inst, frac, aopt);
+      if (avg.ok()) csf += Evaluate(inst, avg->config).social_direct;
+      IndependentRoundingOptions iopt;
+      iopt.seed = 300 + i;
+      auto indep = RunIndependentRounding(inst, frac, iopt);
+      if (indep.ok()) ind += Evaluate(inst, indep->config).social_direct;
+    }
+    csf /= runs;
+    ind /= runs;
+    t.NewRow()
+        .Add(static_cast<int64_t>(m))
+        .Add(opt_social, 1)
+        .Add(csf, 1)
+        .Add(ind, 1)
+        .Add(ind / opt_social, 3)
+        .Add(1.0 / m, 3);
+  }
+  t.Print("Lemma 3: independent vs dependent rounding (n=8, k=2)");
+}
+
+void BM_IndependentRounding(benchmark::State& state) {
+  const int n = 8, k = 2, m = static_cast<int>(state.range(0));
+  SvgicInstance inst(CompleteGraph(n), m, k, 0.5);
+  for (const Edge& e : inst.graph().edges()) {
+    for (ItemId c = 0; c < m; ++c) inst.set_tau(e.id, c, 0.5);
+  }
+  inst.FinalizePairs();
+  FractionalSolution frac;
+  frac.num_users = n;
+  frac.num_items = m;
+  frac.num_slots = k;
+  frac.x.assign(static_cast<size_t>(n) * m, static_cast<double>(k) / m);
+  frac.BuildSupporters();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    IndependentRoundingOptions opt;
+    opt.seed = ++seed;
+    auto result = RunIndependentRounding(inst, frac, opt);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_IndependentRounding)->Arg(10)->Arg(80);
+
+}  // namespace
+}  // namespace savg
+
+SAVG_BENCH_MAIN(savg::PrintTables)

@@ -1,0 +1,90 @@
+// Reproduces the paper's running example (Tables 6-9 and the Example 5
+// totals): all approaches on the 4-user / 5-item store of Table 1.
+//
+// Expected (paper): AVG 9.75, AVG-D 9.85, personalized 8.25, group 8.35,
+// subgroup-by-friendship 8.4, subgroup-by-preference 8.7, OPT 10.35. Our
+// AVG/AVG-D routinely land on the optimum 10.35 for this tiny instance —
+// at or above the paper's reported draws, as expected for a randomized /
+// tie-breaking-dependent method.
+
+#include "bench_util.h"
+
+#include "baselines/brute_force.h"
+#include "baselines/fmg.h"
+#include "baselines/per.h"
+#include "core/avg.h"
+#include "core/avg_d.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "../tests/paper_example.h"
+
+namespace savg {
+namespace {
+
+void PrintTables() {
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto frac = SolveRelaxation(inst);
+  if (!frac.ok()) {
+    std::cerr << frac.status() << "\n";
+    return;
+  }
+  Table t({"approach", "scaled total", "paper reports"});
+  auto add = [&](const std::string& name, double value,
+                 const std::string& paper) {
+    t.NewRow().Add(name).Add(value, 2).Add(paper);
+  };
+  AvgOptions avg_opt;
+  avg_opt.seed = 4;
+  auto avg = RunAvgBest(inst, *frac, 10, avg_opt);
+  add("AVG (best of 10)", Evaluate(inst, avg->config).ScaledTotal(), "9.75");
+  auto avg_d = RunAvgD(inst, *frac);
+  add("AVG-D", Evaluate(inst, avg_d->config).ScaledTotal(), "9.85");
+  add("personalized (Table 9)",
+      Evaluate(inst, MakePersonalizedConfig()).ScaledTotal(), "8.25");
+  add("group (Table 9)", Evaluate(inst, MakeGroupConfig()).ScaledTotal(),
+      "8.35");
+  add("subgroup-by-friendship",
+      Evaluate(inst, MakeSubgroupByFriendshipConfig()).ScaledTotal(), "8.40");
+  add("subgroup-by-preference",
+      Evaluate(inst, MakeSubgroupByPreferenceConfig()).ScaledTotal(), "8.70");
+  auto opt = SolveBruteForce(inst);
+  add("OPT (exhaustive)", opt->scaled_objective, "10.35");
+  t.NewRow().Add("LP bound").Add(frac->lp_objective, 2).Add("-");
+  t.Print("Running example (Tables 6-9)");
+}
+
+void BM_PaperExampleRelaxation(benchmark::State& state) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  for (auto _ : state) {
+    auto frac = SolveRelaxation(inst);
+    benchmark::DoNotOptimize(frac);
+  }
+}
+BENCHMARK(BM_PaperExampleRelaxation);
+
+void BM_PaperExampleAvgRounding(benchmark::State& state) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto frac = SolveRelaxation(inst);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    AvgOptions opt;
+    opt.seed = ++seed;
+    auto result = RunAvg(inst, *frac, opt);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PaperExampleAvgRounding);
+
+void BM_PaperExampleBruteForce(benchmark::State& state) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  for (auto _ : state) {
+    auto opt = SolveBruteForce(inst);
+    benchmark::DoNotOptimize(opt);
+  }
+}
+BENCHMARK(BM_PaperExampleBruteForce);
+
+}  // namespace
+}  // namespace savg
+
+SAVG_BENCH_MAIN(savg::PrintTables)

@@ -1,0 +1,100 @@
+// Theorem 1's gap constructions, measured: on instance I_G the optimum is
+// n times the group approach's; on instance I_P it is Theta(n) times the
+// personalized approach's. AVG must track the optimum on both families.
+
+#include "bench_util.h"
+
+#include "baselines/fmg.h"
+#include "baselines/per.h"
+#include "core/avg.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "graph/generators.h"
+
+namespace savg {
+namespace {
+
+SvgicInstance InstanceG(int n, int k) {
+  SvgicInstance inst(EmptyGraph(n), n * k, k, 0.5);
+  for (UserId u = 0; u < n; ++u) {
+    for (int j = 0; j < k; ++j) inst.set_p(u, j * n + u, 1.0);
+  }
+  inst.FinalizePairs();
+  return inst;
+}
+
+SvgicInstance InstanceP(int n, int k, double eps) {
+  SvgicInstance inst(CompleteGraph(n), n * k, k, 0.5);
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId c = 0; c < n * k; ++c) inst.set_p(u, c, 1.0 - eps);
+    for (int j = 0; j < k; ++j) inst.set_p(u, j * n + u, 1.0);
+  }
+  for (const Edge& e : inst.graph().edges()) {
+    for (ItemId c = 0; c < n * k; ++c) inst.set_tau(e.id, c, 1.0);
+  }
+  inst.FinalizePairs();
+  return inst;
+}
+
+void PrintTables() {
+  const int k = 2;
+  Table tg({"n", "OPT (=PER here)", "group approach", "ratio", "AVG"});
+  Table tp({"n", "personalized", "group (near-OPT)", "ratio", "AVG"});
+  for (int n : {3, 5, 8, 12}) {
+    {
+      SvgicInstance inst = InstanceG(n, k);
+      auto per = RunPersonalizedTopK(inst);
+      FmgOptions fopt;
+      fopt.fairness_weight = 0.0;
+      auto group = RunFmg(inst, fopt);
+      auto frac = SolveRelaxation(inst);
+      AvgOptions aopt;
+      aopt.seed = n;
+      auto avg = RunAvgBest(inst, *frac, 5, aopt);
+      const double vo = Evaluate(inst, *per).ScaledTotal();
+      const double vg = Evaluate(inst, *group).ScaledTotal();
+      tg.NewRow()
+          .Add(static_cast<int64_t>(n))
+          .Add(vo, 1)
+          .Add(vg, 1)
+          .Add(vo / vg, 2)
+          .Add(Evaluate(inst, avg->config).ScaledTotal(), 1);
+    }
+    {
+      SvgicInstance inst = InstanceP(n, k, 1e-3);
+      auto per = RunPersonalizedTopK(inst);
+      FmgOptions fopt;
+      fopt.fairness_weight = 0.0;
+      auto group = RunFmg(inst, fopt);
+      auto frac = SolveRelaxation(inst);
+      AvgOptions aopt;
+      aopt.seed = n;
+      auto avg = RunAvgBest(inst, *frac, 5, aopt);
+      const double vp = Evaluate(inst, *per).ScaledTotal();
+      const double vg = Evaluate(inst, *group).ScaledTotal();
+      tp.NewRow()
+          .Add(static_cast<int64_t>(n))
+          .Add(vp, 1)
+          .Add(vg, 1)
+          .Add(vg / vp, 2)
+          .Add(Evaluate(inst, avg->config).ScaledTotal(), 1);
+    }
+  }
+  tg.Print("Theorem 1, instance I_G: OPT / group = n");
+  tp.Print("Theorem 1, instance I_P: OPT / personalized = Theta(n)");
+}
+
+void BM_GapInstanceRelaxation(benchmark::State& state) {
+  SvgicInstance inst = InstanceP(static_cast<int>(state.range(0)), 2, 1e-3);
+  for (auto _ : state) {
+    auto frac = SolveRelaxation(inst);
+    benchmark::DoNotOptimize(frac);
+  }
+}
+BENCHMARK(BM_GapInstanceRelaxation)->Arg(5)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace savg
+
+SAVG_BENCH_MAIN(savg::PrintTables)

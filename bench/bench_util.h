@@ -1,0 +1,81 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every binary in bench/ does two things:
+//  1. prints the paper-style table(s)/series for its figure (the
+//     reproduction output recorded in EXPERIMENTS.md), and
+//  2. registers a couple of google-benchmark microbenchmarks of the code
+//     paths the figure exercises.
+//
+// SAVG_BENCH_MAIN(fn) wires the two together.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments/runner.h"
+#include "util/table.h"
+
+namespace savg {
+namespace benchutil {
+
+/// One x-axis point of a sweep: a label plus the dataset parameters.
+struct SweepPoint {
+  std::string label;
+  DatasetParams params;
+};
+
+/// Runs `algos` over the sweep (averaging `samples` instances per point)
+/// and prints two tables: mean scaled SAVG utility and mean seconds.
+/// Returns the utility rows (per point) for further analysis.
+inline std::vector<std::vector<AggregateRow>> PrintSweep(
+    const std::string& title, const std::string& x_name,
+    const std::vector<SweepPoint>& points, int samples,
+    const std::vector<Algo>& algos, const RunnerConfig& config) {
+  std::vector<std::string> header = {x_name};
+  for (Algo algo : algos) header.push_back(AlgoName(algo));
+  Table utility(header);
+  Table seconds(header);
+  std::vector<std::vector<AggregateRow>> all_rows;
+  for (const SweepPoint& point : points) {
+    auto rows = RunComparison(point.params, samples, algos, config);
+    if (!rows.ok()) {
+      std::cerr << "sweep point " << point.label
+                << " failed: " << rows.status() << "\n";
+      all_rows.emplace_back();
+      continue;
+    }
+    utility.NewRow().Add(point.label);
+    seconds.NewRow().Add(point.label);
+    for (const AggregateRow& row : *rows) {
+      utility.Add(row.mean_scaled_total, 2);
+      seconds.Add(row.mean_seconds, 3);
+    }
+    all_rows.push_back(std::move(rows).value());
+  }
+  utility.Print(title + " — total SAVG utility");
+  seconds.Print(title + " — execution time (s)");
+  return all_rows;
+}
+
+/// Fraction formatter for ratio columns.
+inline std::string Ratio(double value, double base) {
+  return base > 0 ? FormatDouble(value / base, 3) : std::string("-");
+}
+
+}  // namespace benchutil
+}  // namespace savg
+
+/// Prints the reproduction output, then runs registered microbenchmarks.
+#define SAVG_BENCH_MAIN(print_fn)                          \
+  int main(int argc, char** argv) {                        \
+    print_fn();                                            \
+    ::benchmark::Initialize(&argc, argv);                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                 \
+    ::benchmark::Shutdown();                               \
+    return 0;                                              \
+  }

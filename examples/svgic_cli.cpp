@@ -1,0 +1,172 @@
+// svgic_cli: run any algorithm of the library on an instance file.
+//
+//   svgic_cli gen  <kind> <n> <m> <k> <seed> <out.tsv>   generate a dataset
+//   svgic_cli run  <algo> <instance.tsv> [out_config.tsv]  solve it
+//   svgic_cli eval <instance.tsv> <config.tsv>            score a config
+//
+// <kind> in {timik, epinions, yelp}; <algo> in {avg, avg-d, per, fmg, sdp,
+// grf, ip, local}. "local" = AVG-D followed by local-search polish.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/io.h"
+#include "core/local_search.h"
+#include "core/objective.h"
+#include "datagen/datasets.h"
+#include "experiments/runner.h"
+#include "metrics/metrics.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+using namespace savg;
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  svgic_cli gen  <timik|epinions|yelp> <n> <m> <k> <seed> <out>\n"
+         "  svgic_cli run  <avg|avg-d|per|fmg|sdp|grf|ip|local> <instance> "
+         "[out_config]\n"
+         "  svgic_cli eval <instance> <config>\n";
+  return 2;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc != 8) return Usage();
+  DatasetParams params;
+  const std::string kind = argv[2];
+  if (kind == "timik") {
+    params.kind = DatasetKind::kTimik;
+  } else if (kind == "epinions") {
+    params.kind = DatasetKind::kEpinions;
+  } else if (kind == "yelp") {
+    params.kind = DatasetKind::kYelp;
+  } else {
+    return Usage();
+  }
+  params.num_users = std::atoi(argv[3]);
+  params.num_items = std::atoi(argv[4]);
+  params.num_slots = std::atoi(argv[5]);
+  params.seed = std::strtoull(argv[6], nullptr, 10);
+  auto inst = GenerateDataset(params);
+  if (!inst.ok()) {
+    std::cerr << "generation failed: " << inst.status() << "\n";
+    return 1;
+  }
+  Status st = WriteInstanceToFile(*inst, argv[7]);
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << inst->DebugString() << " to " << argv[7] << "\n";
+  return 0;
+}
+
+void PrintReport(const SvgicInstance& inst, const Configuration& config,
+                 double seconds) {
+  const ObjectiveBreakdown obj = Evaluate(inst, config);
+  const SubgroupMetrics sm = ComputeSubgroupMetrics(inst, config);
+  Table t({"metric", "value"});
+  t.NewRow().Add("total utility (Def. 3)").Add(obj.Total(), 4);
+  t.NewRow().Add("scaled total").Add(obj.ScaledTotal(), 4);
+  t.NewRow().Add("preference part").Add(obj.preference, 4);
+  t.NewRow().Add("social part").Add(obj.social_direct, 4);
+  t.NewRow().Add("Intra%").Add(FormatPercent(sm.intra_fraction));
+  t.NewRow().Add("Co-display%").Add(FormatPercent(sm.co_display_rate));
+  t.NewRow().Add("Alone%").Add(FormatPercent(sm.alone_rate));
+  t.NewRow().Add("norm. subgroup density").Add(sm.normalized_density, 3);
+  if (seconds >= 0) t.NewRow().Add("solve time (s)").Add(seconds, 3);
+  t.Print();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 4 || argc > 5) return Usage();
+  auto inst = ReadInstanceFromFile(argv[3]);
+  if (!inst.ok()) {
+    std::cerr << inst.status() << "\n";
+    return 1;
+  }
+  const std::string algo = argv[2];
+  RunnerConfig config;
+  Configuration result;
+  Timer timer;
+  if (algo == "local") {
+    auto base = RunAlgorithm(*inst, Algo::kAvgD, config);
+    if (!base.ok()) {
+      std::cerr << base.status() << "\n";
+      return 1;
+    }
+    auto polished = ImproveByLocalSearch(*inst, base->config);
+    if (!polished.ok()) {
+      std::cerr << polished.status() << "\n";
+      return 1;
+    }
+    result = std::move(polished->config);
+  } else {
+    Algo kind;
+    if (algo == "avg") {
+      kind = Algo::kAvg;
+    } else if (algo == "avg-d") {
+      kind = Algo::kAvgD;
+    } else if (algo == "per") {
+      kind = Algo::kPer;
+    } else if (algo == "fmg") {
+      kind = Algo::kFmg;
+    } else if (algo == "sdp") {
+      kind = Algo::kSdp;
+    } else if (algo == "grf") {
+      kind = Algo::kGrf;
+    } else if (algo == "ip") {
+      kind = Algo::kIp;
+      config.ip.mip.time_limit_seconds = 60.0;
+    } else {
+      return Usage();
+    }
+    auto run = RunAlgorithm(*inst, kind, config);
+    if (!run.ok()) {
+      std::cerr << run.status() << "\n";
+      return 1;
+    }
+    result = std::move(run->config);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  PrintReport(*inst, result, seconds);
+  if (argc == 5) {
+    Status st = WriteConfigurationToFile(result, argv[4]);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "configuration written to " << argv[4] << "\n";
+  }
+  return 0;
+}
+
+int Eval(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  auto inst = ReadInstanceFromFile(argv[2]);
+  if (!inst.ok()) {
+    std::cerr << inst.status() << "\n";
+    return 1;
+  }
+  auto config = ReadConfigurationFromFile(argv[3]);
+  if (!config.ok()) {
+    std::cerr << config.status() << "\n";
+    return 1;
+  }
+  PrintReport(*inst, *config, -1.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "gen") == 0) return Generate(argc, argv);
+  if (std::strcmp(argv[1], "run") == 0) return Run(argc, argv);
+  if (std::strcmp(argv[1], "eval") == 0) return Eval(argc, argv);
+  return Usage();
+}

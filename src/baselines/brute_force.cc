@@ -1,0 +1,106 @@
+#include "baselines/brute_force.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/objective.h"
+#include "util/logging.h"
+
+namespace savg {
+
+namespace {
+
+class BruteForceSearch {
+ public:
+  BruteForceSearch(const SvgicInstance& instance,
+                   const BruteForceOptions& options)
+      : instance_(instance),
+        opt_(options),
+        config_(instance.num_users(), instance.num_slots(),
+                instance.num_items()),
+        best_(config_) {}
+
+  Result<BruteForceResult> Run() {
+    exhausted_ = false;
+    RecurseUser(0, 0.0);
+    if (exhausted_) {
+      return Status::ResourceExhausted("brute force limits reached");
+    }
+    BruteForceResult result;
+    result.config = std::move(best_);
+    result.scaled_objective = best_value_;
+    result.configurations_examined = examined_;
+    return result;
+  }
+
+ private:
+  /// Scaled utility gained by assigning (u, s) = c given all users < u are
+  /// fully assigned and u's earlier slots are assigned.
+  double GainOf(UserId u, SlotId s, ItemId c) const {
+    double gain = instance_.lambda() > 0.0 ? instance_.ScaledP(u, c)
+                                           : instance_.p(u, c);
+    if (instance_.lambda() > 0.0) {
+      for (int pi : instance_.PairsOfUser(u)) {
+        const FriendPair& pair = instance_.pairs()[pi];
+        const UserId v = pair.u == u ? pair.v : pair.u;
+        if (v < u && config_.At(v, s) == c) gain += pair.WeightOf(c);
+      }
+    }
+    return gain;
+  }
+
+  void RecurseUser(UserId u, double value) {
+    if (exhausted_) return;
+    if (u == instance_.num_users()) {
+      ++examined_;
+      if ((examined_ & 0xFFFF) == 0 &&
+          (examined_ > opt_.max_configurations ||
+           timer_.ElapsedSeconds() > opt_.time_limit_seconds)) {
+        exhausted_ = true;
+      }
+      if (value > best_value_) {
+        best_value_ = value;
+        best_ = config_;
+      }
+      return;
+    }
+    RecurseSlot(u, 0, value);
+  }
+
+  void RecurseSlot(UserId u, SlotId s, double value) {
+    if (exhausted_) return;
+    if (s == instance_.num_slots()) {
+      RecurseUser(u + 1, value);
+      return;
+    }
+    for (ItemId c = 0; c < instance_.num_items(); ++c) {
+      if (config_.Displays(u, c)) continue;
+      const double gain = GainOf(u, s, c);
+      Status st = config_.Set(u, s, c);
+      (void)st;
+      RecurseSlot(u, s + 1, value + gain);
+      config_.Unset(u, s);
+      if (exhausted_) return;
+    }
+  }
+
+  const SvgicInstance& instance_;
+  const BruteForceOptions opt_;
+  Configuration config_;
+  Configuration best_;
+  double best_value_ = -1.0;
+  uint64_t examined_ = 0;
+  bool exhausted_ = false;
+  Timer timer_;
+};
+
+}  // namespace
+
+Result<BruteForceResult> SolveBruteForce(const SvgicInstance& instance,
+                                         const BruteForceOptions& options) {
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  BruteForceSearch search(instance, options);
+  return search.Run();
+}
+
+}  // namespace savg

@@ -1,0 +1,74 @@
+#include "baselines/fmg.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace savg {
+
+Result<Configuration> RunFmg(const SvgicInstance& instance,
+                             const FmgOptions& options) {
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  const int n = instance.num_users();
+  const int m = instance.num_items();
+  const int k = instance.num_slots();
+  const bool social = instance.lambda() > 0.0;
+
+  // Aggregate group utility of co-displaying item c to everyone.
+  std::vector<double> group_utility(m, 0.0);
+  std::vector<std::vector<double>> user_pref(n, std::vector<double>(m, 0.0));
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId c = 0; c < m; ++c) {
+      const double p = social ? instance.ScaledP(u, c) : instance.p(u, c);
+      user_pref[u][c] = p;
+      group_utility[c] += p;
+    }
+  }
+  if (social) {
+    for (const FriendPair& pair : instance.pairs()) {
+      for (const ItemValue& iv : pair.weights) {
+        group_utility[iv.item] += iv.value;
+      }
+    }
+  }
+
+  // Greedy selection with least-misery fairness: the score of adding c is
+  // the aggregate utility plus fairness_weight times the resulting lift of
+  // the worst-off user's cumulative preference.
+  std::vector<double> cumulative(n, 0.0);
+  std::vector<bool> chosen(m, false);
+  std::vector<ItemId> bundle;
+  bundle.reserve(k);
+  for (int pick = 0; pick < k; ++pick) {
+    const double current_min =
+        *std::min_element(cumulative.begin(), cumulative.end());
+    ItemId best = -1;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (ItemId c = 0; c < m; ++c) {
+      if (chosen[c]) continue;
+      double new_min = std::numeric_limits<double>::infinity();
+      for (UserId u = 0; u < n; ++u) {
+        new_min = std::min(new_min, cumulative[u] + user_pref[u][c]);
+      }
+      const double score =
+          group_utility[c] + options.fairness_weight * (new_min - current_min);
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    chosen[best] = true;
+    bundle.push_back(best);
+    for (UserId u = 0; u < n; ++u) cumulative[u] += user_pref[u][best];
+  }
+
+  Configuration config(n, k, m);
+  for (UserId u = 0; u < n; ++u) {
+    for (SlotId s = 0; s < k; ++s) {
+      SAVG_RETURN_NOT_OK(config.Set(u, s, bundle[s]));
+    }
+  }
+  return config;
+}
+
+}  // namespace savg

@@ -1,0 +1,28 @@
+// FMG: Fairness-aware group recommendation (modeled after Serbos et al.
+// [64], the paper's "group approach" baseline).
+//
+// Selects ONE bundled k-itemset displayed identically to every user (same
+// items, same slots). Items are chosen greedily by aggregate group utility
+// (sum of scaled preferences plus all pairwise social weights, since the
+// whole group co-displays every selected item), plus a least-misery
+// fairness term that favours items lifting the currently worst-off user —
+// the fairness dimension of package-to-group recommendation.
+
+#pragma once
+
+#include "core/configuration.h"
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace savg {
+
+struct FmgOptions {
+  /// Weight of the least-misery fairness term in the greedy item score.
+  double fairness_weight = 0.3;
+};
+
+/// Runs the whole-group bundled-itemset baseline.
+Result<Configuration> RunFmg(const SvgicInstance& instance,
+                             const FmgOptions& options = {});
+
+}  // namespace savg

@@ -1,0 +1,138 @@
+#include "baselines/ip_exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/avg_d.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "util/logging.h"
+
+namespace savg {
+
+namespace {
+
+/// Translates a complete configuration into a feasible assignment of every
+/// MIP variable (x binary; y/z at their implied maxima, which is optimal
+/// since their objective coefficients are non-negative).
+std::vector<double> ConfigToMipVector(const SvgicInstance& instance,
+                                      const ExpandedLpMap& map, int num_vars,
+                                      const Configuration& config) {
+  std::vector<double> v(num_vars, 0.0);
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (SlotId s = 0; s < instance.num_slots(); ++s) {
+      const ItemId c = config.At(u, s);
+      if (c != kNoItem) v[map.XVar(u, s, c)] = 1.0;
+    }
+  }
+  for (size_t pi = 0; pi < instance.pairs().size(); ++pi) {
+    const FriendPair& pair = instance.pairs()[pi];
+    for (size_t wi = 0; wi < pair.weights.size(); ++wi) {
+      const ItemId c = pair.weights[wi].item;
+      for (SlotId s = 0; s < instance.num_slots(); ++s) {
+        if (config.CoDisplayedAt(pair.u, pair.v, c, s)) {
+          v[map.y[pi][wi][s]] = 1.0;
+        }
+      }
+      if (!map.z.empty()) {
+        if (config.Displays(pair.u, c) && config.Displays(pair.v, c)) {
+          v[map.z[pi][wi]] = 1.0;
+        }
+      }
+    }
+  }
+  return v;
+}
+
+/// Rounds a fractional node solution: per (u, s) pick the eligible item
+/// with the largest x value.
+Configuration RoundNodeSolution(const SvgicInstance& instance,
+                                const ExpandedLpMap& map,
+                                const std::vector<double>& x) {
+  const int m = instance.num_items();
+  Configuration config(instance.num_users(), instance.num_slots(), m);
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (SlotId s = 0; s < instance.num_slots(); ++s) {
+      ItemId best = kNoItem;
+      double best_v = -1.0;
+      for (ItemId c = 0; c < m; ++c) {
+        if (config.Displays(u, c)) continue;
+        const double v = x[map.XVar(u, s, c)];
+        if (v > best_v) {
+          best_v = v;
+          best = c;
+        }
+      }
+      Status st = config.Set(u, s, best);
+      (void)st;
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
+Result<IpExactResult> SolveIpExact(const SvgicInstance& instance,
+                                   const IpExactOptions& options) {
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  Timer timer;
+  ExpandedLpMap map;
+  auto lp = BuildExpandedLp(instance, &map);
+  if (!lp.ok()) return lp.status();
+  const int num_vars = lp->num_vars();
+
+  std::vector<int> integer_vars;
+  integer_vars.reserve(map.x.size());
+  for (int var : map.x) integer_vars.push_back(var);
+
+  MipOptions mip = options.mip;
+  std::vector<double> seed_vector;
+  if (options.seed_with_avg_d && instance.lambda() > 0.0) {
+    RelaxationOptions relax;
+    auto frac = SolveRelaxation(instance, relax);
+    if (frac.ok()) {
+      auto avg_d = RunAvgD(instance, *frac);
+      if (avg_d.ok()) {
+        seed_vector =
+            ConfigToMipVector(instance, map, num_vars, avg_d->config);
+      }
+    }
+  }
+  bool seed_used = false;
+  mip.heuristic = [&](const std::vector<double>& node_x)
+      -> std::optional<std::vector<double>> {
+    if (!seed_used && !seed_vector.empty()) {
+      seed_used = true;
+      return seed_vector;
+    }
+    Configuration rounded = RoundNodeSolution(instance, map, node_x);
+    return ConfigToMipVector(instance, map, num_vars, rounded);
+  };
+
+  auto sol = SolveMip(*lp, integer_vars, mip);
+  if (!sol.ok()) return sol.status();
+
+  IpExactResult result;
+  result.config = Configuration(instance.num_users(), instance.num_slots(),
+                                instance.num_items());
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (SlotId s = 0; s < instance.num_slots(); ++s) {
+      for (ItemId c = 0; c < instance.num_items(); ++c) {
+        if (sol->x[map.XVar(u, s, c)] > 0.5) {
+          SAVG_RETURN_NOT_OK(result.config.Set(u, s, c));
+          break;
+        }
+      }
+    }
+  }
+  SAVG_RETURN_NOT_OK(result.config.CheckValid());
+  result.scaled_objective = Evaluate(instance, result.config).ScaledTotal();
+  result.best_bound = sol->best_bound;
+  result.proven_optimal = sol->proven_optimal;
+  result.nodes_explored = sol->nodes_explored;
+  result.solve_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace savg

@@ -1,0 +1,31 @@
+#include "baselines/per.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace savg {
+
+Result<Configuration> RunPersonalizedTopK(const SvgicInstance& instance) {
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  const int m = instance.num_items();
+  const int k = instance.num_slots();
+  Configuration config(instance.num_users(), k, m);
+  std::vector<std::pair<double, ItemId>> scored(m);
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (ItemId c = 0; c < m; ++c) {
+      // Tie-break on item id for determinism.
+      scored[c] = {instance.p(u, c), c};
+    }
+    std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    for (SlotId s = 0; s < k; ++s) {
+      SAVG_RETURN_NOT_OK(config.Set(u, s, scored[s].second));
+    }
+  }
+  return config;
+}
+
+}  // namespace savg

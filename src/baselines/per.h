@@ -1,0 +1,18 @@
+// PER: Personalized Top-k (the "personalized approach" of Section 1, the
+// lambda = 1... i.e. pure-preference special case baseline of Section 6.1).
+//
+// Each user independently receives her k most preferred items; slot 1
+// carries the favourite. No social coordination of any kind.
+
+#pragma once
+
+#include "core/configuration.h"
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace savg {
+
+/// Runs the personalized top-k baseline.
+Result<Configuration> RunPersonalizedTopK(const SvgicInstance& instance);
+
+}  // namespace savg

@@ -1,0 +1,66 @@
+#include "baselines/st_prepartition.h"
+
+#include "graph/community.h"
+#include "util/random.h"
+
+namespace savg {
+
+Result<SvgicInstance> ExtractSubInstance(const SvgicInstance& instance,
+                                         const std::vector<UserId>& users) {
+  std::vector<UserId> old_to_new;
+  SocialGraph sub_graph = instance.graph().InducedSubgraph(users, &old_to_new);
+  SvgicInstance sub(sub_graph, instance.num_items(), instance.num_slots(),
+                    instance.lambda());
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserId old_u = users[i];
+    for (ItemId c = 0; c < instance.num_items(); ++c) {
+      const double p = instance.p(old_u, c);
+      if (p > 0.0) sub.set_p(static_cast<UserId>(i), c, p);
+    }
+  }
+  // Copy tau for surviving directed edges.
+  for (const Edge& e : instance.graph().edges()) {
+    const UserId nu = old_to_new[e.u];
+    const UserId nv = old_to_new[e.v];
+    if (nu < 0 || nv < 0) continue;
+    const EdgeId sub_e = sub_graph.FindEdge(nu, nv);
+    if (sub_e < 0) continue;
+    for (const ItemValue& iv : instance.TauEntries(e.id)) {
+      if (iv.value > 0.0f) sub.set_tau(sub_e, iv.item, iv.value);
+    }
+  }
+  sub.set_commodity_values(
+      std::vector<float>(instance.commodity_values()));
+  sub.set_slot_weights(std::vector<float>(instance.slot_weights()));
+  sub.FinalizePairs();
+  SAVG_RETURN_NOT_OK(sub.Validate());
+  return sub;
+}
+
+Result<Configuration> RunWithPrepartition(const SvgicInstance& instance,
+                                          int size_cap, uint64_t seed,
+                                          const BaselineRunner& runner) {
+  if (size_cap < 1) return Status::InvalidArgument("size cap must be >= 1");
+  Rng rng(seed);
+  Partition partition = BalancedPartition(instance.graph(), size_cap, &rng);
+  Configuration merged(instance.num_users(), instance.num_slots(),
+                       instance.num_items());
+  for (const auto& members : partition.Groups()) {
+    if (members.empty()) continue;
+    auto sub = ExtractSubInstance(instance, members);
+    if (!sub.ok()) return sub.status();
+    auto sub_config = runner(*sub);
+    if (!sub_config.ok()) return sub_config.status();
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (SlotId s = 0; s < instance.num_slots(); ++s) {
+        const ItemId c = sub_config->At(static_cast<UserId>(i), s);
+        if (c != kNoItem) {
+          SAVG_RETURN_NOT_OK(merged.Set(members[i], s, c));
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace savg

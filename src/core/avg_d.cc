@@ -1,0 +1,265 @@
+#include "core/avg_d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace savg {
+
+namespace {
+
+constexpr double kNegInf = -1e300;
+
+struct CandidateScore {
+  double score = kNegInf;  ///< ALG(S_tar) - r * Delta_fut(S_tar)
+  double alpha = 0.0;      ///< threshold realizing the score
+  int members = 0;         ///< |S_tar| at the best threshold
+};
+
+/// Heap entry ordered by (score desc, candidate id asc).
+struct HeapEntry {
+  double score;
+  int cand;
+  int64_t version;
+};
+struct HeapOrder {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.score != b.score) return a.score < b.score;
+    return a.cand > b.cand;
+  }
+};
+
+class AvgDWorker {
+ public:
+  AvgDWorker(const SvgicInstance& instance, const FractionalSolution& frac,
+             const AvgDOptions& options)
+      : instance_(instance),
+        frac_(frac),
+        opt_(options),
+        state_(instance, frac),
+        k_(instance.num_slots()) {}
+
+  Result<AvgDResult> Run() {
+    Timer timer;
+    Precompute();
+    AvgDResult result;
+    const auto& active = frac_.active_items();
+    const int num_candidates = static_cast<int>(active.size()) * k_;
+    versions_.assign(num_candidates, 0);
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder> heap;
+    auto push_candidate = [&](int cand) {
+      const CandidateScore cs =
+          ScoreCandidate(active[cand / k_], cand % k_);
+      if (cs.members > 0) {
+        heap.push({cs.score, cand, versions_[cand]});
+      }
+    };
+    for (int cand = 0; cand < num_candidates; ++cand) push_candidate(cand);
+
+    int64_t iterations = 0;
+    std::vector<UserId> assigned;
+    while (!state_.Complete() && iterations++ < opt_.max_iterations) {
+      int cand = -1;
+      if (opt_.incremental) {
+        while (!heap.empty()) {
+          const HeapEntry top = heap.top();
+          if (top.version != versions_[top.cand]) {
+            heap.pop();
+            continue;
+          }
+          cand = top.cand;
+          heap.pop();
+          break;
+        }
+      } else {
+        // Full rescan (reference implementation for equivalence tests).
+        double best = kNegInf;
+        for (int i = 0; i < num_candidates; ++i) {
+          const CandidateScore cs = ScoreCandidate(active[i / k_], i % k_);
+          if (cs.members > 0 && cs.score > best) {
+            best = cs.score;
+            cand = i;
+          }
+        }
+      }
+      if (cand < 0) break;  // nothing assignable; completion pass
+
+      const ItemId c = active[cand / k_];
+      const SlotId s = cand % k_;
+      const CandidateScore cs = ScoreCandidate(c, s);
+      if (cs.members == 0) {
+        ++versions_[cand];
+        continue;
+      }
+      assigned.clear();
+      const int count = state_.ApplyCsf(c, s, cs.alpha, &assigned);
+      if (count == 0) {
+        ++versions_[cand];
+        continue;
+      }
+      ++result.csf_iterations;
+
+      if (opt_.incremental) {
+        InvalidateAfterAssignment(c, s, assigned, &heap, push_candidate);
+      }
+    }
+    state_.GreedyComplete();
+    result.config = state_.TakeConfig();
+    result.rounding_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+ private:
+  void Precompute() {
+    const int n = instance_.num_users();
+    const double social_scale = instance_.lambda() > 0.0 ? 1.0 : 0.0;
+    p_mass_.assign(n, 0.0);
+    for (UserId u = 0; u < n; ++u) {
+      for (ItemId c : frac_.ItemsOfUser(u)) {
+        p_mass_[u] += EffectiveP(u, c) * frac_.XCompact(u, c);
+      }
+    }
+    w_mass_.assign(instance_.pairs().size(), 0.0);
+    for (size_t pi = 0; pi < instance_.pairs().size(); ++pi) {
+      const FriendPair& pair = instance_.pairs()[pi];
+      double acc = 0.0;
+      for (const ItemValue& iv : pair.weights) {
+        acc += iv.value * std::min(frac_.XCompact(pair.u, iv.item),
+                                   frac_.XCompact(pair.v, iv.item));
+      }
+      w_mass_[pi] = social_scale * acc;
+    }
+    in_star_stamp_.assign(n, 0);
+    stamp_ = 0;
+  }
+
+  double EffectiveP(UserId u, ItemId c) const {
+    return instance_.lambda() > 0.0 ? instance_.ScaledP(u, c)
+                                    : instance_.p(u, c);
+  }
+
+  /// Walks the supporter prefix of (c, s) and returns the best threshold.
+  /// Tie groups (equal factors) are treated atomically: a threshold can
+  /// only sit at a tie-group boundary.
+  CandidateScore ScoreCandidate(ItemId c, SlotId s) {
+    CandidateScore best;
+    const auto& sups = frac_.SupportersOf(c);
+    const double social_scale = instance_.lambda() > 0.0 ? 1.0 : 0.0;
+    ++stamp_;
+    double alg = 0.0;
+    double delta = 0.0;
+    int members = 0;
+    size_t i = 0;
+    while (i < sups.size()) {
+      // Tie group [i, j).
+      size_t j = i;
+      const double x = sups[i].x;
+      while (j < sups.size() && sups[j].x == x) ++j;
+      for (size_t t = i; t < j; ++t) {
+        const UserId u = sups[t].user;
+        if (!state_.Eligible(u, c, s)) continue;
+        // ALG gain: preference plus social weight to current members.
+        alg += EffectiveP(u, c);
+        double pair_gain = 0.0;
+        double fut_loss = p_mass_[u] / k_;
+        for (int pi : instance_.PairsOfUser(u)) {
+          const FriendPair& pair = instance_.pairs()[pi];
+          const UserId v = pair.u == u ? pair.v : pair.u;
+          if (in_star_stamp_[v] == stamp_) {
+            pair_gain += pair.WeightOf(c);
+          } else if (state_.config().At(v, s) == c) {
+            // v already co-displays the focal item at this slot from an
+            // earlier iteration: joining realizes that edge too.
+            pair_gain += pair.WeightOf(c);
+          } else if (state_.config().At(v, s) == kNoItem) {
+            fut_loss += w_mass_[pi] / k_;
+          }
+        }
+        alg += social_scale * pair_gain;
+        delta += fut_loss;
+        in_star_stamp_[u] = stamp_;
+        ++members;
+      }
+      const double score = alg - opt_.r * delta;
+      if (members > 0 && score > best.score) {
+        best.score = score;
+        best.alpha = x / k_;
+        best.members = members;
+      }
+      i = j;
+    }
+    return best;
+  }
+
+  template <typename PushFn>
+  void InvalidateAfterAssignment(
+      ItemId c, SlotId s, const std::vector<UserId>& users,
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder>* heap,
+      PushFn&& push_candidate) {
+    (void)heap;
+    const auto& active = frac_.active_items();
+    const int num_active = static_cast<int>(active.size());
+    // Dense active index per item (reuse the fractional ordering).
+    if (active_index_.empty()) {
+      active_index_.assign(instance_.num_items(), -1);
+      for (int i = 0; i < num_active; ++i) active_index_[active[i]] = i;
+    }
+    std::unordered_set<int> dirty;
+    // (c, every slot): no-duplication eligibility changed for `users`.
+    const int ci = active_index_[c];
+    for (SlotId t = 0; t < k_; ++t) dirty.insert(ci * k_ + t);
+    // (every item supported by users or their partners, slot s): slot
+    // occupancy and pair-emptiness changed.
+    auto mark_user_items = [&](UserId u) {
+      for (ItemId item : frac_.ItemsOfUser(u)) {
+        dirty.insert(active_index_[item] * k_ + s);
+      }
+    };
+    for (UserId u : users) {
+      mark_user_items(u);
+      for (int pi : instance_.PairsOfUser(u)) {
+        const FriendPair& pair = instance_.pairs()[pi];
+        mark_user_items(pair.u == u ? pair.v : pair.u);
+      }
+    }
+    for (int cand : dirty) {
+      ++versions_[cand];
+      push_candidate(cand);
+    }
+  }
+
+  const SvgicInstance& instance_;
+  const FractionalSolution& frac_;
+  const AvgDOptions opt_;
+  CsfState state_;
+  const int k_;
+
+  std::vector<double> p_mass_;  ///< P_u = sum_c p'(u,c) x_u^c
+  std::vector<double> w_mass_;  ///< W_e = sum_c w_e^c min(x_u^c, x_v^c)
+  std::vector<int64_t> versions_;
+  std::vector<int> active_index_;
+  std::vector<int64_t> in_star_stamp_;
+  int64_t stamp_ = 0;
+};
+
+}  // namespace
+
+Result<AvgDResult> RunAvgD(const SvgicInstance& instance,
+                           const FractionalSolution& frac,
+                           const AvgDOptions& options) {
+  if (!frac.HasSupporters()) {
+    return Status::InvalidArgument(
+        "fractional solution lacks supporter lists");
+  }
+  if (options.r < 0.0) {
+    return Status::InvalidArgument("balancing ratio r must be >= 0");
+  }
+  AvgDWorker worker(instance, frac, options);
+  return worker.Run();
+}
+
+}  // namespace savg

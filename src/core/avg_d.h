@@ -1,0 +1,53 @@
+// AVG-D: Deterministic Alignment-aware VR Subgroup Formation (Section 4.3,
+// Algorithm 3) — the derandomized worst-case 4-approximation.
+//
+// Each iteration selects the focal parameters (c, s, alpha = x*_{u,s}^c)
+// maximizing
+//     f(c, s, alpha) = ALG(S_tar) + r * OPT_LP(S_fut),
+// the sum of the immediately realized SAVG utility and r times the expected
+// LP utility of the remaining display units (r = 1/4 gives the proof's
+// bound; Section 6.7 studies other r).
+//
+// Implementation notes (this is the performance-critical engineering):
+//  * OPT_LP(S_cur) decomposes into per-user masses P_u = sum_c p' x_u^c and
+//    per-pair masses W_e = sum_c w_e^c min(x_u^c, x_v^c), each divided by k
+//    per display unit, because the compact solution is slot-uniform. Hence
+//    f differs from ALG - r * Delta(S_tar) by a candidate-independent
+//    constant, and AVG-D only compares ALG - r * Delta.
+//  * Candidates are (active item, slot) pairs; the best threshold for a
+//    candidate is found by walking its supporter list once.
+//  * A lazy max-heap with version counters re-scores only candidates whose
+//    dependencies changed after each CSF application; the `incremental`
+//    flag can be disabled to cross-check against full re-scoring.
+
+#pragma once
+
+#include "core/configuration.h"
+#include "core/csf.h"
+#include "core/fractional_solution.h"
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace savg {
+
+struct AvgDOptions {
+  /// Balancing ratio between current gain and future LP mass.
+  double r = 0.25;
+  /// Use the lazy-invalidation heap (false = full rescan per iteration,
+  /// used in equivalence tests).
+  bool incremental = true;
+  int64_t max_iterations = 10'000'000;
+};
+
+struct AvgDResult {
+  Configuration config;
+  int64_t csf_iterations = 0;
+  double rounding_seconds = 0.0;
+};
+
+/// One deterministic rounding run over a solved relaxation.
+Result<AvgDResult> RunAvgD(const SvgicInstance& instance,
+                           const FractionalSolution& frac,
+                           const AvgDOptions& options = {});
+
+}  // namespace savg

@@ -1,0 +1,51 @@
+#include "core/avg_st.h"
+
+#include "lp/simplex.h"
+
+namespace savg {
+
+Result<FractionalSolution> SolveStRelaxation(const SvgicInstance& instance,
+                                             const StOptions& options) {
+  if (options.size_cap < 1) {
+    return Status::InvalidArgument("size cap must be >= 1");
+  }
+  if (!options.use_st_lp) {
+    return SolveRelaxation(instance, options.relaxation);
+  }
+  ExpandedLpMap map;
+  auto lp = BuildStLp(instance, options.d_tel, options.size_cap, &map);
+  if (!lp.ok()) return lp.status();
+  auto sol = SolveLp(*lp, options.relaxation.simplex);
+  if (!sol.ok()) return sol.status();
+  FractionalSolution frac;
+  frac.num_users = instance.num_users();
+  frac.num_items = instance.num_items();
+  frac.num_slots = instance.num_slots();
+  frac.x.assign(
+      static_cast<size_t>(frac.num_users) * frac.num_items, 0.0);
+  for (UserId u = 0; u < frac.num_users; ++u) {
+    for (ItemId c = 0; c < frac.num_items; ++c) {
+      double acc = 0.0;
+      for (SlotId s = 0; s < frac.num_slots; ++s) {
+        acc += sol->x[map.XVar(u, s, c)];
+      }
+      frac.x[static_cast<size_t>(u) * frac.num_items + c] = acc;
+    }
+  }
+  frac.lp_objective = sol->objective;
+  frac.exact = true;
+  frac.solve_seconds = sol->solve_seconds;
+  frac.BuildSupporters(options.relaxation.prune_tolerance);
+  return frac;
+}
+
+Result<AvgResult> RunAvgSt(const SvgicInstance& instance,
+                           const StOptions& options) {
+  auto frac = SolveStRelaxation(instance, options);
+  if (!frac.ok()) return frac.status();
+  AvgOptions avg = options.avg;
+  avg.size_cap = options.size_cap;
+  return RunAvgBest(instance, *frac, std::max(1, options.avg_repeats), avg);
+}
+
+}  // namespace savg

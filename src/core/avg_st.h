@@ -1,0 +1,46 @@
+// End-to-end AVG for SVGIC-ST (Section 4.4 "Extending AVG for SVGIC-ST").
+//
+// The ST variant differs from plain AVG in two ways:
+//  * the relaxation can be the exact ST LP (teleportation split + size
+//    rows) for small instances, or the compact SVGIC relaxation as a proxy
+//    for large ones (SVGIC-ST admits no constant-factor approximation
+//    anyway, Theorem 3 — the LP is a guide, feasibility is what AVG
+//    guarantees);
+//  * CSF admits users in descending utility-factor order and locks a
+//    (c, s) pair once its subgroup reaches the size cap M, so the returned
+//    configuration never violates the constraint.
+
+#pragma once
+
+#include "core/avg.h"
+#include "core/lp_formulation.h"
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace savg {
+
+struct StOptions {
+  /// Teleportation discount d_tel in [0, 1) for indirect co-display.
+  double d_tel = 0.5;
+  /// Subgroup size cap M (>= 1).
+  int size_cap = 16;
+  /// Solve the exact slot-indexed ST LP (small instances only); otherwise
+  /// the compact SVGIC relaxation guides the rounding.
+  bool use_st_lp = false;
+  /// Independent rounding repeats; the best (by scaled total) is returned
+  /// (Corollary 4.1).
+  int avg_repeats = 5;
+  AvgOptions avg;
+  RelaxationOptions relaxation;
+};
+
+/// Runs the full AVG-ST pipeline: relaxation + size-capped CSF rounding.
+Result<AvgResult> RunAvgSt(const SvgicInstance& instance,
+                           const StOptions& options = {});
+
+/// Solves the relaxation used by AVG-ST (exposed for reuse across repeated
+/// roundings of one instance).
+Result<FractionalSolution> SolveStRelaxation(const SvgicInstance& instance,
+                                             const StOptions& options);
+
+}  // namespace savg

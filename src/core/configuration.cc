@@ -1,0 +1,107 @@
+#include "core/configuration.h"
+
+#include <map>
+#include <sstream>
+
+namespace savg {
+
+Configuration::Configuration(int num_users, int num_slots, int num_items)
+    : num_users_(num_users),
+      num_slots_(num_slots),
+      num_items_(num_items),
+      num_unassigned_(num_users * num_slots),
+      assign_(static_cast<size_t>(num_users) * num_slots, kNoItem),
+      slot_of_(static_cast<size_t>(num_users) * num_items, kNoSlot) {}
+
+Status Configuration::Set(UserId u, SlotId s, ItemId c) {
+  if (u < 0 || u >= num_users_ || s < 0 || s >= num_slots_ || c < 0 ||
+      c >= num_items_) {
+    return Status::OutOfRange("Set(u, s, c) argument out of range");
+  }
+  if (At(u, s) != kNoItem) {
+    return Status::AlreadyExists("display unit already assigned");
+  }
+  if (SlotOf(u, c) != kNoSlot) {
+    return Status::InvalidArgument(
+        "no-duplication violation: item already displayed to user");
+  }
+  assign_[static_cast<size_t>(u) * num_slots_ + s] = c;
+  slot_of_[static_cast<size_t>(u) * num_items_ + c] = s;
+  --num_unassigned_;
+  return Status::OK();
+}
+
+void Configuration::Unset(UserId u, SlotId s) {
+  ItemId& cell = assign_[static_cast<size_t>(u) * num_slots_ + s];
+  if (cell == kNoItem) return;
+  slot_of_[static_cast<size_t>(u) * num_items_ + cell] = kNoSlot;
+  cell = kNoItem;
+  ++num_unassigned_;
+}
+
+std::vector<ItemId> Configuration::ItemsOf(UserId u) const {
+  std::vector<ItemId> items(num_slots_);
+  for (SlotId s = 0; s < num_slots_; ++s) items[s] = At(u, s);
+  return items;
+}
+
+std::vector<Configuration::SlotGroup> Configuration::GroupsAtSlot(
+    SlotId s) const {
+  std::map<ItemId, std::vector<UserId>> by_item;
+  for (UserId u = 0; u < num_users_; ++u) {
+    const ItemId c = At(u, s);
+    if (c != kNoItem) by_item[c].push_back(u);
+  }
+  std::vector<SlotGroup> groups;
+  groups.reserve(by_item.size());
+  for (auto& [item, members] : by_item) {
+    groups.push_back({item, std::move(members)});
+  }
+  return groups;
+}
+
+Status Configuration::CheckValid() const {
+  if (!IsComplete()) {
+    return Status::InvalidArgument(
+        "configuration incomplete: " + std::to_string(num_unassigned_) +
+        " units unassigned");
+  }
+  for (UserId u = 0; u < num_users_; ++u) {
+    std::vector<bool> seen(num_items_, false);
+    for (SlotId s = 0; s < num_slots_; ++s) {
+      const ItemId c = At(u, s);
+      if (c < 0 || c >= num_items_) {
+        return Status::OutOfRange("invalid item id in configuration");
+      }
+      if (seen[c]) {
+        return Status::InvalidArgument("duplicate item for user " +
+                                       std::to_string(u));
+      }
+      seen[c] = true;
+      if (SlotOf(u, c) != s) {
+        return Status::Unknown("slot_of index out of sync");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Configuration::DebugString() const {
+  std::ostringstream os;
+  for (UserId u = 0; u < num_users_; ++u) {
+    os << "u" << u << ": <";
+    for (SlotId s = 0; s < num_slots_; ++s) {
+      os << (s ? ", " : "");
+      const ItemId c = At(u, s);
+      if (c == kNoItem) {
+        os << "-";
+      } else {
+        os << "c" << c;
+      }
+    }
+    os << ">\n";
+  }
+  return os.str();
+}
+
+}  // namespace savg

@@ -1,0 +1,96 @@
+// SAVG k-Configuration (Definition 1): the assignment A(u, s) = c of one
+// item per (user, slot), under the no-duplication constraint that the k
+// items displayed to a user are distinct.
+//
+// The class maintains a reverse index slot_of(u, c) so duplicate checks and
+// co-display queries are O(1).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace savg {
+
+constexpr ItemId kNoItem = -1;
+constexpr SlotId kNoSlot = -1;
+
+/// A (partial) SAVG k-Configuration.
+class Configuration {
+ public:
+  Configuration() = default;
+  Configuration(int num_users, int num_slots, int num_items);
+
+  int num_users() const { return num_users_; }
+  int num_slots() const { return num_slots_; }
+  int num_items() const { return num_items_; }
+
+  /// A(u, s), or kNoItem if the unit is unassigned.
+  ItemId At(UserId u, SlotId s) const {
+    return assign_[static_cast<size_t>(u) * num_slots_ + s];
+  }
+
+  /// Slot where item c is displayed to u, or kNoSlot.
+  SlotId SlotOf(UserId u, ItemId c) const {
+    return slot_of_[static_cast<size_t>(u) * num_items_ + c];
+  }
+
+  /// True iff u sees item c at some slot.
+  bool Displays(UserId u, ItemId c) const { return SlotOf(u, c) != kNoSlot; }
+
+  /// Assigns A(u, s) = c. Fails if the unit is already assigned or c is
+  /// already displayed to u at another slot (no-duplication).
+  Status Set(UserId u, SlotId s, ItemId c);
+
+  /// Clears the unit (for local search).
+  void Unset(UserId u, SlotId s);
+
+  /// Number of unassigned (user, slot) units.
+  int NumUnassigned() const { return num_unassigned_; }
+  bool IsComplete() const { return num_unassigned_ == 0; }
+
+  /// Direct co-display u <-c/s-> v (Definition 2).
+  bool CoDisplayedAt(UserId u, UserId v, ItemId c, SlotId s) const {
+    return At(u, s) == c && At(v, s) == c;
+  }
+  /// u <-c-> v at some common slot.
+  bool CoDisplayed(UserId u, UserId v, ItemId c) const {
+    const SlotId su = SlotOf(u, c);
+    return su != kNoSlot && At(v, su) == c;
+  }
+  /// Indirect co-display (Definition 4): both see c but at different slots.
+  bool IndirectlyCoDisplayed(UserId u, UserId v, ItemId c) const {
+    const SlotId su = SlotOf(u, c);
+    const SlotId sv = SlotOf(v, c);
+    return su != kNoSlot && sv != kNoSlot && su != sv;
+  }
+
+  /// The k items displayed to u (kNoItem entries if incomplete).
+  std::vector<ItemId> ItemsOf(UserId u) const;
+
+  /// Subgroup partition at slot s: users grouped by displayed item.
+  /// Unassigned users are omitted. Returns {item, members} groups.
+  struct SlotGroup {
+    ItemId item = kNoItem;
+    std::vector<UserId> members;
+  };
+  std::vector<SlotGroup> GroupsAtSlot(SlotId s) const;
+
+  /// Full validity check (complete + no duplicates), for tests.
+  Status CheckValid() const;
+
+  std::string DebugString() const;
+
+ private:
+  int num_users_ = 0;
+  int num_slots_ = 0;
+  int num_items_ = 0;
+  int num_unassigned_ = 0;
+  std::vector<ItemId> assign_;   // n x k
+  std::vector<SlotId> slot_of_;  // n x m
+};
+
+}  // namespace savg

@@ -1,0 +1,181 @@
+#include "core/csf.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace savg {
+
+SampleTree::SampleTree(int size)
+    : size_(size), tree_(size + 1, 0.0), weights_(size, 0.0) {}
+
+void SampleTree::Set(int index, double weight) {
+  weight = std::max(0.0, weight);
+  const double delta = weight - weights_[index];
+  if (delta == 0.0) return;
+  weights_[index] = weight;
+  total_ += delta;
+  for (int i = index + 1; i <= size_; i += i & (-i)) tree_[i] += delta;
+}
+
+int SampleTree::Sample(Rng* rng) const {
+  if (total_ <= 0.0) return -1;
+  double target = rng->Uniform() * total_;
+  int pos = 0;
+  int step = 1;
+  while (2 * step <= size_) step *= 2;
+  for (; step > 0; step /= 2) {
+    const int next = pos + step;
+    if (next <= size_ && tree_[next] < target) {
+      target -= tree_[next];
+      pos = next;
+    }
+  }
+  // pos is now the count of prefix bins whose cumulative weight < target.
+  int idx = std::min(pos, size_ - 1);
+  // Guard against zero-weight bins at the boundary (floating point resid).
+  while (idx > 0 && weights_[idx] <= 0.0) --idx;
+  if (weights_[idx] <= 0.0) {
+    for (idx = 0; idx < size_ && weights_[idx] <= 0.0; ++idx) {
+    }
+    if (idx >= size_) return -1;
+  }
+  return idx;
+}
+
+CsfState::CsfState(const SvgicInstance& instance,
+                   const FractionalSolution& frac, int size_cap)
+    : instance_(&instance),
+      frac_(&frac),
+      config_(instance.num_users(), instance.num_slots(),
+              instance.num_items()),
+      size_cap_(size_cap) {
+  assert(frac.HasSupporters() && "call BuildSupporters() first");
+  active_index_of_item_.assign(instance.num_items(), -1);
+  const auto& active = frac.active_items();
+  for (size_t i = 0; i < active.size(); ++i) {
+    active_index_of_item_[active[i]] = static_cast<int>(i);
+  }
+  group_size_.assign(active.size() * instance.num_slots(), 0);
+}
+
+int CsfState::GroupIndex(ItemId c, SlotId s) const {
+  const int ai = active_index_of_item_[c];
+  if (ai < 0) return -1;
+  return ai * instance_->num_slots() + s;
+}
+
+int CsfState::GroupSize(ItemId c, SlotId s) const {
+  const int gi = GroupIndex(c, s);
+  if (gi < 0) {
+    const auto it = inactive_group_size_.find(
+        static_cast<int64_t>(c) * instance_->num_slots() + s);
+    return it == inactive_group_size_.end() ? 0 : it->second;
+  }
+  return group_size_[gi];
+}
+
+void CsfState::BumpGroup(ItemId c, SlotId s) {
+  const int gi = GroupIndex(c, s);
+  if (gi >= 0) {
+    ++group_size_[gi];
+  } else {
+    ++inactive_group_size_[static_cast<int64_t>(c) * instance_->num_slots() +
+                           s];
+  }
+}
+
+int CsfState::ApplyCsf(ItemId c, SlotId s, double alpha,
+                       std::vector<UserId>* assigned_users) {
+  const int gi = GroupIndex(c, s);
+  if (gi < 0) return 0;
+  const int cap = CapOf(c);
+  int room = cap == kNoSizeCap ? std::numeric_limits<int>::max()
+                               : cap - group_size_[gi];
+  if (room <= 0) return 0;
+  int assigned = 0;
+  // Supporters are sorted descending by factor, so under a size cap the
+  // highest-factor eligible users are admitted first (ST extension).
+  for (const Supporter& sup : frac_->SupportersOf(c)) {
+    const double factor = sup.x / frac_->num_slots;
+    if (factor < alpha) break;  // sorted: no further supporter qualifies
+    if (!Eligible(sup.user, c, s)) continue;
+    Status st = config_.Set(sup.user, s, c);
+    assert(st.ok());
+    (void)st;
+    ++group_size_[gi];
+    ++assigned;
+    if (assigned_users != nullptr) assigned_users->push_back(sup.user);
+    if (--room <= 0) break;
+  }
+  return assigned;
+}
+
+Status CsfState::AssignUnit(UserId u, SlotId s, ItemId c) {
+  if (!Eligible(u, c, s)) {
+    return Status::InvalidArgument("user not eligible for (c, s)");
+  }
+  if (CapOf(c) != kNoSizeCap && GroupSize(c, s) >= CapOf(c)) {
+    return Status::ResourceExhausted("subgroup size cap reached");
+  }
+  SAVG_RETURN_NOT_OK(config_.Set(u, s, c));
+  BumpGroup(c, s);
+  return Status::OK();
+}
+
+double CsfState::FreshMaxFactor(ItemId c, SlotId s) const {
+  const int gi = GroupIndex(c, s);
+  if (gi < 0) return 0.0;
+  if (CapOf(c) != kNoSizeCap && group_size_[gi] >= CapOf(c)) return 0.0;
+  for (const Supporter& sup : frac_->SupportersOf(c)) {
+    if (Eligible(sup.user, c, s)) return sup.x / frac_->num_slots;
+  }
+  return 0.0;
+}
+
+void CsfState::GreedyComplete() {
+  const int m = instance_->num_items();
+  const int k = instance_->num_slots();
+  for (UserId u = 0; u < config_.num_users(); ++u) {
+    for (SlotId s = 0; s < k; ++s) {
+      if (config_.At(u, s) != kNoItem) continue;
+      // Best undisplayed item with group room: prefer joining an existing
+      // nonempty group (ties the residual user into some co-display),
+      // break ties by scaled preference.
+      ItemId best = kNoItem;
+      double best_score = -1.0;
+      for (ItemId c = 0; c < m; ++c) {
+        if (config_.Displays(u, c)) continue;
+        const int size = GroupSize(c, s);
+        if (CapOf(c) != kNoSizeCap && size >= CapOf(c)) continue;
+        const double pref =
+            instance_->lambda() > 0.0 ? instance_->ScaledP(u, c)
+                                      : instance_->p(u, c);
+        const double score = pref + (size > 0 ? 1e-6 : 0.0);
+        if (score > best_score) {
+          best_score = score;
+          best = c;
+        }
+      }
+      if (best == kNoItem) {
+        // Every item either displayed or capped; fall back to any
+        // undisplayed item ignoring the 1e-6 bonus (must exist: m >= k and
+        // caps cannot block all m - k + 1 candidates unless n >> m * cap,
+        // in which case the instance itself is infeasible).
+        for (ItemId c = 0; c < m; ++c) {
+          if (!config_.Displays(u, c)) {
+            best = c;
+            break;
+          }
+        }
+      }
+      if (best != kNoItem) {
+        Status st = config_.Set(u, s, best);
+        assert(st.ok());
+        (void)st;
+        BumpGroup(best, s);
+      }
+    }
+  }
+}
+
+}  // namespace savg

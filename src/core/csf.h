@@ -1,0 +1,130 @@
+// Co-display Subgroup Formation (CSF) machinery shared by AVG, AVG-D and
+// the SVGIC-ST extension (Sections 4.2-4.4).
+//
+// CsfState wraps the partial configuration plus the bookkeeping both
+// rounding algorithms need:
+//   * supporter lists (users with nonzero utility factor per item),
+//   * eligibility checks (unit free + no-duplication),
+//   * group-size counters and per-(item, slot) locking for the ST size cap,
+//   * the greedy completion pass that fills residual units.
+//
+// SampleTree is a Fenwick tree over candidate weights enabling the advanced
+// focal-parameter sampling scheme (Section 4.4, Observation 3): sample
+// (c, s) proportional to the *stale* maximum eligible utility factor, then
+// alpha uniform in [0, stale]; reject and refresh when alpha exceeds the
+// fresh maximum. Accepted triples are uniform over the "good" parameter
+// set, exactly as the paper's scheme requires.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/fractional_solution.h"
+#include "core/problem.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace savg {
+
+/// Fenwick tree over non-negative weights with O(log n) update and
+/// proportional sampling.
+class SampleTree {
+ public:
+  explicit SampleTree(int size);
+  void Set(int index, double weight);
+  double Get(int index) const { return weights_[index]; }
+  double total() const { return total_; }
+  /// Index sampled proportional to weight; -1 if total() == 0.
+  int Sample(Rng* rng) const;
+
+ private:
+  int size_ = 0;
+  std::vector<double> tree_;
+  std::vector<double> weights_;
+  double total_ = 0.0;
+};
+
+/// Mutable rounding state over one fractional solution.
+class CsfState {
+ public:
+  static constexpr int kNoSizeCap = std::numeric_limits<int>::max();
+
+  CsfState(const SvgicInstance& instance, const FractionalSolution& frac,
+           int size_cap = kNoSizeCap);
+
+  /// Optional per-item caps (SEO event capacities); the effective cap of
+  /// item c is min(size_cap, caps[c]). Must be set before any assignment.
+  void SetItemCaps(std::vector<int> caps) { item_caps_ = std::move(caps); }
+
+  /// Effective subgroup cap for item c.
+  int CapOf(ItemId c) const {
+    if (item_caps_.empty()) return size_cap_;
+    return std::min(size_cap_, item_caps_[c]);
+  }
+
+  const Configuration& config() const { return config_; }
+  Configuration TakeConfig() { return std::move(config_); }
+  const SvgicInstance& instance() const { return *instance_; }
+  const FractionalSolution& frac() const { return *frac_; }
+  int size_cap() const { return size_cap_; }
+
+  bool Complete() const { return config_.IsComplete(); }
+
+  /// User u is eligible for (c, s): the unit (u, s) is free and c is not
+  /// displayed to u anywhere (paper's eligibility, Section 4.2).
+  bool Eligible(UserId u, ItemId c, SlotId s) const {
+    return config_.At(u, s) == kNoItem && !config_.Displays(u, c);
+  }
+
+  /// CSF with focal parameters (c, s, alpha): co-displays c at s to every
+  /// eligible user whose slot-expanded utility factor is >= alpha. Under a
+  /// size cap, users are admitted in descending factor order until the
+  /// group (including previously assigned members) reaches the cap, and the
+  /// (c, s) pair is locked afterwards (Section 4.4, ST extension).
+  /// Returns the number of users assigned; if `assigned` is non-null the
+  /// member ids are appended to it.
+  int ApplyCsf(ItemId c, SlotId s, double alpha,
+               std::vector<UserId>* assigned = nullptr);
+
+  /// Single assignment (used by completion and extensions); updates group
+  /// counters. Fails on eligibility violation.
+  Status AssignUnit(UserId u, SlotId s, ItemId c);
+
+  /// Fresh maximum eligible slot-expanded factor for (c, s); 0 if no
+  /// eligible supporter or the pair is locked by the size cap.
+  double FreshMaxFactor(ItemId c, SlotId s) const;
+
+  /// Current number of users displayed c at s.
+  int GroupSize(ItemId c, SlotId s) const;
+
+  /// Fills every remaining unit greedily: for each free (u, s) pick the
+  /// undisplayed item with the largest scaled preference, preferring items
+  /// whose (c, s) group has room and is nonempty (to pick up residual
+  /// social utility). Ensures the final configuration is complete and
+  /// size-feasible.
+  void GreedyComplete();
+
+ private:
+  int GroupIndex(ItemId c, SlotId s) const;
+  void BumpGroup(ItemId c, SlotId s);
+
+  const SvgicInstance* instance_;
+  const FractionalSolution* frac_;
+  Configuration config_;
+  int size_cap_;
+  /// Group sizes for active items only: active_index(c) * k + s.
+  std::vector<int> group_size_;
+  std::vector<int> active_index_of_item_;  // item -> dense active index or -1
+  /// Group sizes of inactive items (only touched by completion/extensions),
+  /// keyed by c * num_slots + s.
+  std::unordered_map<int64_t, int> inactive_group_size_;
+  /// Optional per-item caps (empty = uniform size_cap_).
+  std::vector<int> item_caps_;
+};
+
+}  // namespace savg

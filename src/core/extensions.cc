@@ -1,0 +1,443 @@
+#include "core/extensions.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "lp/lp_model.h"
+#include "lp/simplex.h"
+
+namespace savg {
+
+namespace {
+
+double ScaledPref(const SvgicInstance& instance, UserId u, ItemId c) {
+  return instance.lambda() > 0.0 ? instance.ScaledP(u, c) : instance.p(u, c);
+}
+
+}  // namespace
+
+Result<SvgicInstance> FoldCommodityValues(const SvgicInstance& instance) {
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  if (instance.commodity_values().empty()) {
+    return Status::InvalidArgument("instance has no commodity values");
+  }
+  SvgicInstance folded(instance.graph(), instance.num_items(),
+                       instance.num_slots(), instance.lambda());
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (ItemId c = 0; c < instance.num_items(); ++c) {
+      const double p = instance.p(u, c);
+      if (p > 0.0) folded.set_p(u, c, p * instance.CommodityOf(c));
+    }
+  }
+  for (const Edge& e : instance.graph().edges()) {
+    for (const ItemValue& iv : instance.TauEntries(e.id)) {
+      if (iv.value > 0.0f) {
+        folded.set_tau(e.id, iv.item,
+                       iv.value * instance.CommodityOf(iv.item));
+      }
+    }
+  }
+  folded.set_slot_weights(std::vector<float>(instance.slot_weights()));
+  folded.FinalizePairs();
+  return folded;
+}
+
+Configuration OptimizeSlotOrder(const SvgicInstance& instance,
+                                const Configuration& config) {
+  const int k = instance.num_slots();
+  // Realized scaled utility per slot, commodity-weighted so that the
+  // ranking matches the extension-weighted objective being optimized.
+  std::vector<double> value(k, 0.0);
+  for (SlotId s = 0; s < k; ++s) {
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      const ItemId c = config.At(u, s);
+      if (c != kNoItem) {
+        value[s] += instance.CommodityOf(c) * ScaledPref(instance, u, c);
+      }
+    }
+    for (const FriendPair& pair : instance.pairs()) {
+      const ItemId cu = config.At(pair.u, s);
+      if (cu != kNoItem && cu == config.At(pair.v, s)) {
+        value[s] += instance.CommodityOf(cu) * pair.WeightOf(cu);
+      }
+    }
+  }
+  // Match slot ranked i-th by value to slot ranked i-th by gamma.
+  std::vector<int> by_value(k), by_gamma(k);
+  std::iota(by_value.begin(), by_value.end(), 0);
+  std::iota(by_gamma.begin(), by_gamma.end(), 0);
+  std::sort(by_value.begin(), by_value.end(),
+            [&](int a, int b) { return value[a] > value[b]; });
+  std::sort(by_gamma.begin(), by_gamma.end(), [&](int a, int b) {
+    return instance.SlotWeightOf(a) > instance.SlotWeightOf(b);
+  });
+  std::vector<int> target(k);  // old slot -> new slot
+  for (int i = 0; i < k; ++i) target[by_value[i]] = by_gamma[i];
+
+  Configuration out(config.num_users(), k, config.num_items());
+  for (UserId u = 0; u < config.num_users(); ++u) {
+    for (SlotId s = 0; s < k; ++s) {
+      const ItemId c = config.At(u, s);
+      if (c != kNoItem) {
+        Status st = out.Set(u, target[s], c);
+        (void)st;
+      }
+    }
+  }
+  return out;
+}
+
+MultiViewConfig ExtendToMultiView(const SvgicInstance& instance,
+                                  const Configuration& config, int beta) {
+  const int k = instance.num_slots();
+  const int n = instance.num_users();
+  MultiViewConfig mv;
+  mv.beta = std::max(1, beta);
+  mv.views.assign(n, std::vector<std::vector<ItemId>>(k));
+
+  // Track all items a user views anywhere (primary or group view).
+  std::vector<std::set<ItemId>> viewed(n);
+  for (UserId u = 0; u < n; ++u) {
+    for (SlotId s = 0; s < k; ++s) {
+      const ItemId c = config.At(u, s);
+      if (c != kNoItem) {
+        mv.views[u][s].push_back(c);
+        viewed[u].insert(c);
+      }
+    }
+  }
+  if (mv.beta == 1) return mv;
+
+  for (UserId u = 0; u < n; ++u) {
+    for (SlotId s = 0; s < k; ++s) {
+      // Candidates: friends' primary items at this slot.
+      std::vector<std::pair<double, ItemId>> candidates;
+      for (int pi : instance.PairsOfUser(u)) {
+        const FriendPair& pair = instance.pairs()[pi];
+        const UserId v = pair.u == u ? pair.v : pair.u;
+        const ItemId c = config.At(v, s);
+        if (c == kNoItem || viewed[u].count(c)) continue;
+        double gain = ScaledPref(instance, u, c);
+        // All friends whose primary view at s is c become co-viewers.
+        for (int pj : instance.PairsOfUser(u)) {
+          const FriendPair& pr = instance.pairs()[pj];
+          const UserId w = pr.u == u ? pr.v : pr.u;
+          if (config.At(w, s) == c) gain += pr.WeightOf(c);
+        }
+        candidates.emplace_back(gain, c);
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      for (const auto& [gain, c] : candidates) {
+        if (static_cast<int>(mv.views[u][s].size()) >= mv.beta) break;
+        if (gain <= 0.0 || viewed[u].count(c)) continue;
+        mv.views[u][s].push_back(c);
+        viewed[u].insert(c);
+      }
+    }
+  }
+  return mv;
+}
+
+double EvaluateMultiView(const SvgicInstance& instance,
+                         const MultiViewConfig& mv) {
+  double total = 0.0;
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (const auto& slot_views : mv.views[u]) {
+      for (ItemId c : slot_views) total += ScaledPref(instance, u, c);
+    }
+  }
+  // Social: a pair sharing item c in their view sets at a common slot
+  // realizes w once per item.
+  for (const FriendPair& pair : instance.pairs()) {
+    for (const ItemValue& iv : pair.weights) {
+      bool shared = false;
+      for (SlotId s = 0; s < instance.num_slots() && !shared; ++s) {
+        const auto& vu = mv.views[pair.u][s];
+        const auto& vv = mv.views[pair.v][s];
+        shared = std::find(vu.begin(), vu.end(), iv.item) != vu.end() &&
+                 std::find(vv.begin(), vv.end(), iv.item) != vv.end();
+      }
+      if (shared) total += iv.value;
+    }
+  }
+  return total;
+}
+
+Result<double> SolveMvdLpBound(const SvgicInstance& instance, int beta) {
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  if (beta < 1) return Status::InvalidArgument("beta must be >= 1");
+  if (instance.lambda() <= 0.0) {
+    return Status::InvalidArgument("MVD LP requires lambda > 0");
+  }
+  const int n = instance.num_users();
+  const int m = instance.num_items();
+  const int k = instance.num_slots();
+  LpModel lp;
+  lp.SetMaximize(true);
+  // w_{u,s,c}: u can see c in some view at slot s (carries preference).
+  std::vector<int> w(static_cast<size_t>(n) * k * m);
+  auto W = [&](UserId u, SlotId s, ItemId c) -> int& {
+    return w[(static_cast<size_t>(u) * k + s) * m + c];
+  };
+  // x_{u,s,c}: c is u's primary view at slot s (no duplicate primaries).
+  std::vector<int> x(static_cast<size_t>(n) * k * m);
+  auto X = [&](UserId u, SlotId s, ItemId c) -> int& {
+    return x[(static_cast<size_t>(u) * k + s) * m + c];
+  };
+  for (UserId u = 0; u < n; ++u) {
+    for (SlotId s = 0; s < k; ++s) {
+      for (ItemId c = 0; c < m; ++c) {
+        W(u, s, c) = lp.AddVariable(0.0, 1.0, instance.ScaledP(u, c));
+        X(u, s, c) = lp.AddVariable(0.0, 1.0, 0.0);
+      }
+    }
+  }
+  for (UserId u = 0; u < n; ++u) {
+    for (SlotId s = 0; s < k; ++s) {
+      // (11): exactly one primary view; (12): at most beta views.
+      std::vector<LpTerm> primary, views;
+      for (ItemId c = 0; c < m; ++c) {
+        primary.push_back({X(u, s, c), 1.0});
+        views.push_back({W(u, s, c), 1.0});
+        // (13): the primary is viewable.
+        lp.AddRow(RowType::kLessEqual, 0.0,
+                  {{X(u, s, c), 1.0}, {W(u, s, c), -1.0}});
+      }
+      lp.AddRow(RowType::kEqual, 1.0, std::move(primary));
+      lp.AddRow(RowType::kLessEqual, static_cast<double>(beta),
+                std::move(views));
+    }
+    // (14): primaries not replicated across slots; we also keep total
+    // views of an item <= 1 (our MVD keeps views duplicate-free).
+    for (ItemId c = 0; c < m; ++c) {
+      std::vector<LpTerm> row;
+      for (SlotId s = 0; s < k; ++s) row.push_back({W(u, s, c), 1.0});
+      lp.AddRow(RowType::kLessEqual, 1.0, std::move(row));
+    }
+  }
+  // Pairwise co-view variables per (pair, weight entry, slot).
+  for (const FriendPair& pair : instance.pairs()) {
+    for (const ItemValue& iv : pair.weights) {
+      for (SlotId s = 0; s < k; ++s) {
+        const int y = lp.AddVariable(0.0, 1.0, iv.value);
+        lp.AddRow(RowType::kLessEqual, 0.0,
+                  {{y, 1.0}, {W(pair.u, s, iv.item), -1.0}});
+        lp.AddRow(RowType::kLessEqual, 0.0,
+                  {{y, 1.0}, {W(pair.v, s, iv.item), -1.0}});
+      }
+    }
+  }
+  auto sol = SolveLp(lp);
+  if (!sol.ok()) return sol.status();
+  return sol->objective;
+}
+
+double EvaluateGroupwise(const SvgicInstance& instance,
+                         const Configuration& config, double saturation) {
+  double total = 0.0;
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (SlotId s = 0; s < instance.num_slots(); ++s) {
+      const ItemId c = config.At(u, s);
+      if (c != kNoItem) total += ScaledPref(instance, u, c);
+    }
+  }
+  auto saturate = [&](double g) {
+    return (1.0 + saturation) * g / (g + saturation);
+  };
+  for (SlotId s = 0; s < instance.num_slots(); ++s) {
+    for (const auto& group : config.GroupsAtSlot(s)) {
+      const int g = static_cast<int>(group.members.size());
+      if (g < 2) continue;
+      const double factor = saturate(static_cast<double>(g - 1)) / (g - 1);
+      for (UserId u : group.members) {
+        for (UserId v : group.members) {
+          if (u == v) continue;
+          total += factor * instance.Tau(u, v, group.item);
+        }
+      }
+    }
+  }
+  return total;
+}
+
+Configuration MinimizeSubgroupChange(const SvgicInstance& instance,
+                                     const Configuration& config) {
+  const int k = instance.num_slots();
+  // Co-display pair sets per slot.
+  std::vector<std::vector<bool>> together(
+      k, std::vector<bool>(instance.pairs().size(), false));
+  for (SlotId s = 0; s < k; ++s) {
+    for (size_t pi = 0; pi < instance.pairs().size(); ++pi) {
+      const FriendPair& pair = instance.pairs()[pi];
+      const ItemId cu = config.At(pair.u, s);
+      together[s][pi] = cu != kNoItem && cu == config.At(pair.v, s);
+    }
+  }
+  auto distance = [&](int a, int b) {
+    int d = 0;
+    for (size_t pi = 0; pi < instance.pairs().size(); ++pi) {
+      if (together[a][pi] != together[b][pi]) ++d;
+    }
+    return d;
+  };
+  // Greedy nearest-neighbor chaining.
+  std::vector<int> order;
+  std::vector<bool> used(k, false);
+  order.push_back(0);
+  used[0] = true;
+  while (static_cast<int>(order.size()) < k) {
+    const int last = order.back();
+    int best = -1, best_d = 1 << 30;
+    for (int s = 0; s < k; ++s) {
+      if (used[s]) continue;
+      const int d = distance(last, s);
+      if (d < best_d) {
+        best_d = d;
+        best = s;
+      }
+    }
+    order.push_back(best);
+    used[best] = true;
+  }
+  Configuration out(config.num_users(), k, config.num_items());
+  for (int pos = 0; pos < k; ++pos) {
+    const int src = order[pos];
+    for (UserId u = 0; u < config.num_users(); ++u) {
+      const ItemId c = config.At(u, src);
+      if (c != kNoItem) {
+        Status st = out.Set(u, pos, c);
+        (void)st;
+      }
+    }
+  }
+  return out;
+}
+
+DynamicSession::DynamicSession(SvgicInstance instance, Configuration config)
+    : instance_(std::move(instance)),
+      config_(std::move(config)),
+      active_(instance_.num_users(), true) {}
+
+Result<UserId> DynamicSession::UserJoin(
+    const std::vector<float>& preference,
+    const std::vector<NewUserTie>& ties) {
+  const int old_n = instance_.num_users();
+  const int m = instance_.num_items();
+  const int k = instance_.num_slots();
+  if (static_cast<int>(preference.size()) != m) {
+    return Status::InvalidArgument("preference row has wrong size");
+  }
+  const UserId nu = old_n;
+  for (const NewUserTie& tie : ties) {
+    if (tie.other < 0 || tie.other >= old_n || !active_[tie.other]) {
+      return Status::InvalidArgument("tie to unknown/inactive user");
+    }
+  }
+  // Rebuild the graph with one extra vertex; old edge ids are preserved by
+  // identical insertion order, so old tau entries copy over by id.
+  SocialGraph graph2(old_n + 1);
+  for (const Edge& e : instance_.graph().edges()) {
+    auto r = graph2.AddEdge(e.u, e.v);
+    if (!r.ok()) return r.status();
+  }
+  std::vector<std::pair<EdgeId, const std::vector<ItemValue>*>> new_taus;
+  for (const NewUserTie& tie : ties) {
+    auto r = graph2.AddEdge(nu, tie.other);
+    if (r.ok()) new_taus.emplace_back(*r, &tie.tau_out);
+    auto r2 = graph2.AddEdge(tie.other, nu);
+    if (r2.ok()) new_taus.emplace_back(*r2, &tie.tau_in);
+  }
+  SvgicInstance rebuilt(graph2, m, k, instance_.lambda());
+  for (UserId u = 0; u < old_n; ++u) {
+    for (ItemId c = 0; c < m; ++c) {
+      const double p = instance_.p(u, c);
+      if (p > 0.0) rebuilt.set_p(u, c, p);
+    }
+  }
+  for (ItemId c = 0; c < m; ++c) {
+    if (preference[c] > 0.0f) rebuilt.set_p(nu, c, preference[c]);
+  }
+  for (const Edge& e : instance_.graph().edges()) {
+    for (const ItemValue& iv : instance_.TauEntries(e.id)) {
+      if (iv.value > 0.0f) rebuilt.set_tau(e.id, iv.item, iv.value);
+    }
+  }
+  for (const auto& [eid, taus] : new_taus) {
+    for (const ItemValue& iv : *taus) {
+      if (iv.value > 0.0f) rebuilt.set_tau(eid, iv.item, iv.value);
+    }
+  }
+  rebuilt.FinalizePairs();
+  SAVG_RETURN_NOT_OK(rebuilt.Validate());
+
+  // Grow the configuration.
+  Configuration grown(old_n + 1, k, m);
+  for (UserId u = 0; u < old_n; ++u) {
+    for (SlotId s = 0; s < k; ++s) {
+      const ItemId c = config_.At(u, s);
+      if (c != kNoItem) SAVG_RETURN_NOT_OK(grown.Set(u, s, c));
+    }
+  }
+  instance_ = std::move(rebuilt);
+  config_ = std::move(grown);
+  active_.push_back(true);
+
+  // Greedy slot-by-slot assignment for the newcomer: best undisplayed item
+  // by scaled preference + realized pair weight with same-slot viewers.
+  for (SlotId s = 0; s < k; ++s) {
+    ItemId best = kNoItem;
+    double best_gain = -1.0;
+    for (ItemId c = 0; c < m; ++c) {
+      if (config_.Displays(nu, c)) continue;
+      double gain = ScaledPref(instance_, nu, c);
+      for (int pi : instance_.PairsOfUser(nu)) {
+        const FriendPair& pair = instance_.pairs()[pi];
+        const UserId v = pair.u == nu ? pair.v : pair.u;
+        if (active_[v] && config_.At(v, s) == c) gain += pair.WeightOf(c);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    SAVG_RETURN_NOT_OK(config_.Set(nu, s, best));
+  }
+  return nu;
+}
+
+Status DynamicSession::UserLeave(UserId u) {
+  if (u < 0 || u >= instance_.num_users() || !active_[u]) {
+    return Status::InvalidArgument("unknown or inactive user");
+  }
+  for (SlotId s = 0; s < instance_.num_slots(); ++s) config_.Unset(u, s);
+  active_[u] = false;
+  return Status::OK();
+}
+
+double DynamicSession::CurrentScaledTotal() const {
+  double total = 0.0;
+  for (UserId u = 0; u < instance_.num_users(); ++u) {
+    if (!active_[u]) continue;
+    for (SlotId s = 0; s < instance_.num_slots(); ++s) {
+      const ItemId c = config_.At(u, s);
+      if (c != kNoItem) total += ScaledPref(instance_, u, c);
+    }
+  }
+  for (const FriendPair& pair : instance_.pairs()) {
+    if (!active_[pair.u] || !active_[pair.v]) continue;
+    for (const ItemValue& iv : pair.weights) {
+      const SlotId su = config_.SlotOf(pair.u, iv.item);
+      if (su != kNoSlot && config_.At(pair.v, su) == iv.item) {
+        total += iv.value;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace savg

@@ -1,0 +1,123 @@
+// Practical-scenario extensions of Section 5.
+//
+//  A. Commodity values: maximize profit-weighted utility. Implemented by
+//     folding omega_c into p and tau (an exact transform: every occurrence
+//     of item c in the objective is scaled by omega_c), so AVG/AVG-D run
+//     unchanged on the weighted instance and keep their guarantees.
+//  B. Layout slot significance: gamma_s weights per slot. Since the core
+//     objective is slot-symmetric, any configuration can be post-processed
+//     by a *global* slot permutation (which preserves all co-displays) that
+//     assigns high-value slots the highest realized utility.
+//  C. Multi-View Display: up to beta items per (user, slot); a primary view
+//     (the base configuration) plus group views added greedily by marginal
+//     utility from joining friends' primary items.
+//  D. Generalized (group-wise) social benefits: an evaluator where u's
+//     social utility from a maximal co-display group V saturates with the
+//     group size, tau(u, V, c) = sum_{v in V cap N(u)} tau(u,v,c) *
+//     s(|V|), with a concave saturation s.
+//  E. Subgroup change: the edit-distance metric lives in metrics.h; here a
+//     local search reorders slots globally to minimize total change (slot
+//     permutations leave the SVGIC objective untouched).
+//  F. Dynamic scenario: incremental join/leave maintaining a valid
+//     configuration without re-running the full pipeline.
+
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/fractional_solution.h"
+#include "core/objective.h"
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace savg {
+
+/// Extension A: returns a copy of the instance with p(u,c) *= omega_c and
+/// tau(u,v,c) *= omega_c, so optimizing the plain objective on the result
+/// optimizes the commodity-weighted objective on the original.
+Result<SvgicInstance> FoldCommodityValues(const SvgicInstance& instance);
+
+/// Extension B: globally permutes slots so that slots with larger gamma_s
+/// carry the larger realized (scaled) utility. Returns the permuted
+/// configuration; the plain objective value is unchanged, the
+/// slot-weighted objective is maximized over global slot permutations.
+Configuration OptimizeSlotOrder(const SvgicInstance& instance,
+                                const Configuration& config);
+
+/// Extension C: multi-view display. views[u][s] holds 1..beta items, the
+/// first being the primary view A(u, s).
+struct MultiViewConfig {
+  int beta = 1;
+  std::vector<std::vector<std::vector<ItemId>>> views;  // [u][s][view]
+};
+
+/// Greedily adds up to beta-1 group views per (u, s): candidate items are
+/// friends' primary items at s (not displayed to u anywhere), ranked by the
+/// scaled marginal utility. No item repeats across a user's views.
+MultiViewConfig ExtendToMultiView(const SvgicInstance& instance,
+                                  const Configuration& config, int beta);
+
+/// Scaled total of a multi-view configuration: every viewable item yields
+/// preference utility; a friend pair sharing an item in their view sets of
+/// the same slot yields social utility.
+double EvaluateMultiView(const SvgicInstance& instance,
+                         const MultiViewConfig& mv);
+
+/// LP relaxation of the Section 5 MVD integer program (constraints 11-19),
+/// restricted to pairwise social benefit (the paper's group-wise y_V
+/// variables are exponential in |V|): variables x (primary view), w (any
+/// view, <= beta per slot), y (pair co-view). Its optimum upper-bounds any
+/// multi-view configuration with beta views, so it certifies the greedy
+/// ExtendToMultiView. Returns the scaled objective bound.
+Result<double> SolveMvdLpBound(const SvgicInstance& instance, int beta);
+
+/// Extension D: group-wise social utility with concave saturation
+/// s(g) = (1 + saturation) * g / (g + saturation) applied to the per-group
+/// member count g (s(1) ~ 1, monotone, bounded): u's social utility from
+/// its maximal co-display group V at slot s is
+/// s(|V|-1)/(|V|-1) * sum_{v in V cap N(u)} tau(u,v,c).
+double EvaluateGroupwise(const SvgicInstance& instance,
+                         const Configuration& config, double saturation);
+
+/// Extension E: reorders slots globally (greedy chaining) to minimize the
+/// subgroup-change edit distance between consecutive slots.
+Configuration MinimizeSubgroupChange(const SvgicInstance& instance,
+                                     const Configuration& config);
+
+/// Extension F: an incremental session over a changing shopping group.
+class DynamicSession {
+ public:
+  /// Starts from a solved instance/configuration.
+  DynamicSession(SvgicInstance instance, Configuration config);
+
+  const SvgicInstance& instance() const { return instance_; }
+  const Configuration& config() const { return config_; }
+
+  /// Adds a user with the given preference row and directed social ties
+  /// (tau entries to/from existing users), then greedily assigns her k
+  /// items by marginal scaled utility (joining existing groups when
+  /// profitable). Returns the new user id.
+  struct NewUserTie {
+    UserId other;
+    std::vector<ItemValue> tau_out;  ///< tau(new, other, .)
+    std::vector<ItemValue> tau_in;   ///< tau(other, new, .)
+  };
+  Result<UserId> UserJoin(const std::vector<float>& preference,
+                          const std::vector<NewUserTie>& ties);
+
+  /// Removes a user (her units become unassigned; social utility with her
+  /// disappears). The user id remains allocated but inert.
+  Status UserLeave(UserId u);
+
+  bool IsActive(UserId u) const { return active_[u]; }
+  /// Scaled total over active users only.
+  double CurrentScaledTotal() const;
+
+ private:
+  SvgicInstance instance_;
+  Configuration config_;
+  std::vector<bool> active_;
+};
+
+}  // namespace savg

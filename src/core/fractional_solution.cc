@@ -1,0 +1,32 @@
+#include "core/fractional_solution.h"
+
+#include <algorithm>
+
+namespace savg {
+
+void FractionalSolution::BuildSupporters(double tol) {
+  supporters_.assign(num_items, {});
+  items_of_user_.assign(num_users, {});
+  active_items_.clear();
+  for (UserId u = 0; u < num_users; ++u) {
+    const size_t base = static_cast<size_t>(u) * num_items;
+    for (ItemId c = 0; c < num_items; ++c) {
+      const double v = x[base + c];
+      if (v > tol) {
+        supporters_[c].push_back({u, v});
+        items_of_user_[u].push_back(c);
+      }
+    }
+  }
+  for (ItemId c = 0; c < num_items; ++c) {
+    if (supporters_[c].empty()) continue;
+    std::sort(supporters_[c].begin(), supporters_[c].end(),
+              [](const Supporter& a, const Supporter& b) {
+                if (a.x != b.x) return a.x > b.x;
+                return a.user < b.user;
+              });
+    active_items_.push_back(c);
+  }
+}
+
+}  // namespace savg

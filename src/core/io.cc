@@ -1,0 +1,305 @@
+#include "core/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace savg {
+
+namespace {
+
+constexpr int kInstanceVersion = 1;
+constexpr int kConfigVersion = 1;
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  try {
+    size_t pos = 0;
+    const long v = std::stol(s, &pos);
+    if (pos != s.size()) return false;
+    *out = static_cast<int>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+Status WriteInstance(const SvgicInstance& instance, std::ostream* out) {
+  std::ostream& os = *out;
+  os << "svgic " << kInstanceVersion << "\n";
+  os << "dims " << instance.num_users() << " " << instance.num_items() << " "
+     << instance.num_slots() << " " << instance.lambda() << "\n";
+  for (const Edge& e : instance.graph().edges()) {
+    os << "edge " << e.u << " " << e.v << "\n";
+  }
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (ItemId c = 0; c < instance.num_items(); ++c) {
+      const double p = instance.p(u, c);
+      if (p != 0.0) os << "p " << u << " " << c << " " << p << "\n";
+    }
+  }
+  for (EdgeId e = 0; e < instance.graph().num_edges(); ++e) {
+    for (const ItemValue& iv : instance.TauEntries(e)) {
+      if (iv.value != 0.0f) {
+        os << "tau " << e << " " << iv.item << " " << iv.value << "\n";
+      }
+    }
+  }
+  for (size_t c = 0; c < instance.commodity_values().size(); ++c) {
+    os << "commodity " << c << " " << instance.commodity_values()[c] << "\n";
+  }
+  for (size_t s = 0; s < instance.slot_weights().size(); ++s) {
+    os << "slotweight " << s << " " << instance.slot_weights()[s] << "\n";
+  }
+  os << "end\n";
+  if (!os) return Status::Unknown("write failed");
+  return Status::OK();
+}
+
+Status WriteInstanceToFile(const SvgicInstance& instance,
+                           const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path + " for writing");
+  return WriteInstance(instance, &file);
+}
+
+Result<SvgicInstance> ReadInstance(std::istream* in) {
+  std::string line;
+  // Header.
+  int version = 0;
+  bool have_header = false;
+  int n = 0, m = 0, k = 0;
+  double lambda = 0.5;
+  bool have_dims = false;
+
+  std::vector<std::pair<UserId, UserId>> edges;
+  struct PEntry {
+    int u, c;
+    double v;
+  };
+  struct TauEntry {
+    int e, c;
+    double v;
+  };
+  std::vector<PEntry> prefs;
+  std::vector<TauEntry> taus;
+  std::vector<std::pair<int, double>> commodities, slot_weights;
+  bool saw_end = false;
+
+  int line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    const auto tokens = Tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    const std::string& kind = tokens[0];
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + why);
+    };
+    if (kind == "svgic") {
+      if (tokens.size() != 2 || !ParseInt(tokens[1], &version)) {
+        return fail("bad header");
+      }
+      if (version != kInstanceVersion) {
+        return Status::NotImplemented("unsupported instance version");
+      }
+      have_header = true;
+    } else if (kind == "dims") {
+      if (tokens.size() != 5 || !ParseInt(tokens[1], &n) ||
+          !ParseInt(tokens[2], &m) || !ParseInt(tokens[3], &k) ||
+          !ParseDouble(tokens[4], &lambda)) {
+        return fail("bad dims");
+      }
+      have_dims = true;
+    } else if (kind == "edge") {
+      int u, v;
+      if (tokens.size() != 3 || !ParseInt(tokens[1], &u) ||
+          !ParseInt(tokens[2], &v)) {
+        return fail("bad edge");
+      }
+      edges.emplace_back(u, v);
+    } else if (kind == "p") {
+      PEntry e{};
+      if (tokens.size() != 4 || !ParseInt(tokens[1], &e.u) ||
+          !ParseInt(tokens[2], &e.c) || !ParseDouble(tokens[3], &e.v)) {
+        return fail("bad p entry");
+      }
+      prefs.push_back(e);
+    } else if (kind == "tau") {
+      TauEntry t{};
+      if (tokens.size() != 4 || !ParseInt(tokens[1], &t.e) ||
+          !ParseInt(tokens[2], &t.c) || !ParseDouble(tokens[3], &t.v)) {
+        return fail("bad tau entry");
+      }
+      taus.push_back(t);
+    } else if (kind == "commodity" || kind == "slotweight") {
+      int idx;
+      double v;
+      if (tokens.size() != 3 || !ParseInt(tokens[1], &idx) ||
+          !ParseDouble(tokens[2], &v)) {
+        return fail("bad " + kind + " entry");
+      }
+      (kind == "commodity" ? commodities : slot_weights).emplace_back(idx, v);
+    } else if (kind == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return fail("unknown record '" + kind + "'");
+    }
+  }
+  if (!have_header || !have_dims || !saw_end) {
+    return Status::InvalidArgument("truncated or malformed instance file");
+  }
+  if (n < 0 || m <= 0 || k <= 0) {
+    return Status::InvalidArgument("bad dimensions");
+  }
+
+  SocialGraph graph(n);
+  for (const auto& [u, v] : edges) {
+    auto r = graph.AddEdge(u, v);
+    if (!r.ok()) return r.status();
+  }
+  SvgicInstance instance(graph, m, k, lambda);
+  for (const PEntry& e : prefs) {
+    if (e.u < 0 || e.u >= n || e.c < 0 || e.c >= m) {
+      return Status::OutOfRange("p entry out of range");
+    }
+    instance.set_p(e.u, e.c, e.v);
+  }
+  for (const TauEntry& t : taus) {
+    if (t.e < 0 || t.e >= graph.num_edges() || t.c < 0 || t.c >= m) {
+      return Status::OutOfRange("tau entry out of range");
+    }
+    instance.set_tau(t.e, t.c, t.v);
+  }
+  if (!commodities.empty()) {
+    std::vector<float> values(m, 1.0f);
+    for (const auto& [idx, v] : commodities) {
+      if (idx < 0 || idx >= m) return Status::OutOfRange("commodity index");
+      values[idx] = static_cast<float>(v);
+    }
+    instance.set_commodity_values(std::move(values));
+  }
+  if (!slot_weights.empty()) {
+    std::vector<float> values(k, 1.0f);
+    for (const auto& [idx, v] : slot_weights) {
+      if (idx < 0 || idx >= k) return Status::OutOfRange("slotweight index");
+      values[idx] = static_cast<float>(v);
+    }
+    instance.set_slot_weights(std::move(values));
+  }
+  instance.FinalizePairs();
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  return instance;
+}
+
+Result<SvgicInstance> ReadInstanceFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path);
+  return ReadInstance(&file);
+}
+
+Status WriteConfiguration(const Configuration& config, std::ostream* out) {
+  std::ostream& os = *out;
+  os << "savgconfig " << kConfigVersion << "\n";
+  os << "dims " << config.num_users() << " " << config.num_slots() << " "
+     << config.num_items() << "\n";
+  for (UserId u = 0; u < config.num_users(); ++u) {
+    for (SlotId s = 0; s < config.num_slots(); ++s) {
+      const ItemId c = config.At(u, s);
+      if (c != kNoItem) os << "a " << u << " " << s << " " << c << "\n";
+    }
+  }
+  os << "end\n";
+  if (!os) return Status::Unknown("write failed");
+  return Status::OK();
+}
+
+Status WriteConfigurationToFile(const Configuration& config,
+                                const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path + " for writing");
+  return WriteConfiguration(config, &file);
+}
+
+Result<Configuration> ReadConfiguration(std::istream* in) {
+  std::string line;
+  int version = 0, n = 0, k = 0, m = 0;
+  bool have_header = false, have_dims = false, saw_end = false;
+  struct Assign {
+    int u, s, c;
+  };
+  std::vector<Assign> assigns;
+  int line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    const auto tokens = Tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + why);
+    };
+    if (tokens[0] == "savgconfig") {
+      if (tokens.size() != 2 || !ParseInt(tokens[1], &version) ||
+          version != kConfigVersion) {
+        return fail("bad config header");
+      }
+      have_header = true;
+    } else if (tokens[0] == "dims") {
+      if (tokens.size() != 4 || !ParseInt(tokens[1], &n) ||
+          !ParseInt(tokens[2], &k) || !ParseInt(tokens[3], &m)) {
+        return fail("bad dims");
+      }
+      have_dims = true;
+    } else if (tokens[0] == "a") {
+      Assign a{};
+      if (tokens.size() != 4 || !ParseInt(tokens[1], &a.u) ||
+          !ParseInt(tokens[2], &a.s) || !ParseInt(tokens[3], &a.c)) {
+        return fail("bad assignment");
+      }
+      assigns.push_back(a);
+    } else if (tokens[0] == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return fail("unknown record");
+    }
+  }
+  if (!have_header || !have_dims || !saw_end) {
+    return Status::InvalidArgument("truncated or malformed config file");
+  }
+  Configuration config(n, k, m);
+  for (const Assign& a : assigns) {
+    SAVG_RETURN_NOT_OK(config.Set(a.u, a.s, a.c));
+  }
+  return config;
+}
+
+Result<Configuration> ReadConfigurationFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path);
+  return ReadConfiguration(&file);
+}
+
+}  // namespace savg

@@ -1,0 +1,52 @@
+// Plain-text (TSV) persistence for SVGIC instances and configurations.
+//
+// Format (one record per line, sections in fixed order, '#' comments):
+//
+//   svgic <version>
+//   dims <n> <m> <k> <lambda>
+//   edge <u> <v>                      (directed; repeated)
+//   p <u> <c> <value>                 (nonzero preferences; repeated)
+//   tau <edge_index> <c> <value>      (edge_index = insertion order)
+//   commodity <c> <value>             (optional)
+//   slotweight <s> <value>            (optional)
+//   end
+//
+// Configurations:
+//
+//   savgconfig <version>
+//   dims <n> <k> <m>
+//   a <u> <s> <c>                     (assigned units; repeated)
+//   end
+//
+// Rationale: the paper's inputs are (graph, p, tau, lambda, k) — a stable,
+// diffable text format makes experiments reproducible and lets the CLI
+// tool round external instances.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/configuration.h"
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace savg {
+
+/// Serializes an instance (pairs need not be finalized; tau entries are
+/// written in edge-id order).
+Status WriteInstance(const SvgicInstance& instance, std::ostream* out);
+Status WriteInstanceToFile(const SvgicInstance& instance,
+                           const std::string& path);
+
+/// Parses an instance; FinalizePairs() is called before returning.
+Result<SvgicInstance> ReadInstance(std::istream* in);
+Result<SvgicInstance> ReadInstanceFromFile(const std::string& path);
+
+Status WriteConfiguration(const Configuration& config, std::ostream* out);
+Status WriteConfigurationToFile(const Configuration& config,
+                                const std::string& path);
+Result<Configuration> ReadConfiguration(std::istream* in);
+Result<Configuration> ReadConfigurationFromFile(const std::string& path);
+
+}  // namespace savg

@@ -1,0 +1,344 @@
+#include "core/lp_formulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace savg {
+
+namespace {
+
+/// Marks items that matter for user u: nonzero preference or appearing in
+/// an incident pair's social weights. Everything else can be folded into a
+/// single zero-objective "filler" variable without changing the LP optimum.
+std::vector<bool> UsefulItems(const SvgicInstance& instance, UserId u) {
+  std::vector<bool> useful(instance.num_items(), false);
+  for (ItemId c = 0; c < instance.num_items(); ++c) {
+    if (instance.p(u, c) > 0.0) useful[c] = true;
+  }
+  for (int pi : instance.PairsOfUser(u)) {
+    for (const ItemValue& iv : instance.pairs()[pi].weights) {
+      useful[iv.item] = true;
+    }
+  }
+  return useful;
+}
+
+}  // namespace
+
+int CompactLpRowCount(const SvgicInstance& instance) {
+  int rows = instance.num_users();
+  for (const FriendPair& pair : instance.pairs()) {
+    rows += 2 * static_cast<int>(pair.weights.size());
+  }
+  return rows;
+}
+
+Result<LpModel> BuildCompactLp(const SvgicInstance& instance,
+                               CompactLpMap* map) {
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  if (instance.lambda() <= 0.0) {
+    return Status::InvalidArgument(
+        "compact LP requires lambda > 0 (lambda = 0 reduces to top-k)");
+  }
+  const int n = instance.num_users();
+  const int m = instance.num_items();
+  const double k = instance.num_slots();
+
+  LpModel lp;
+  lp.SetMaximize(true);
+  map->x.assign(static_cast<size_t>(n) * m, -1);
+  map->filler.assign(n, -1);
+  map->y.assign(instance.pairs().size(), {});
+
+  for (UserId u = 0; u < n; ++u) {
+    const std::vector<bool> useful = UsefulItems(instance, u);
+    std::vector<LpTerm> mass_row;
+    int useless = 0;
+    for (ItemId c = 0; c < m; ++c) {
+      if (!useful[c]) {
+        ++useless;
+        continue;
+      }
+      const int var = lp.AddVariable(0.0, 1.0, instance.ScaledP(u, c));
+      map->x[static_cast<size_t>(u) * m + c] = var;
+      mass_row.push_back({var, 1.0});
+    }
+    if (useless > 0) {
+      const int var = lp.AddVariable(0.0, static_cast<double>(useless), 0.0);
+      map->filler[u] = var;
+      mass_row.push_back({var, 1.0});
+    }
+    lp.AddRow(RowType::kEqual, k, std::move(mass_row));
+  }
+
+  for (size_t pi = 0; pi < instance.pairs().size(); ++pi) {
+    const FriendPair& pair = instance.pairs()[pi];
+    map->y[pi].reserve(pair.weights.size());
+    for (const ItemValue& iv : pair.weights) {
+      const int y = lp.AddVariable(0.0, 1.0, iv.value);
+      map->y[pi].push_back(y);
+      const int xu = map->XVar(pair.u, iv.item, m);
+      const int xv = map->XVar(pair.v, iv.item, m);
+      lp.AddRow(RowType::kLessEqual, 0.0, {{y, 1.0}, {xu, -1.0}});
+      lp.AddRow(RowType::kLessEqual, 0.0, {{y, 1.0}, {xv, -1.0}});
+    }
+  }
+  return lp;
+}
+
+Result<LpModel> BuildExpandedLp(const SvgicInstance& instance,
+                                ExpandedLpMap* map) {
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  if (instance.lambda() <= 0.0) {
+    return Status::InvalidArgument("expanded LP requires lambda > 0");
+  }
+  const int n = instance.num_users();
+  const int m = instance.num_items();
+  const int k = instance.num_slots();
+
+  LpModel lp;
+  lp.SetMaximize(true);
+  map->num_items = m;
+  map->num_slots = k;
+  map->x.assign(static_cast<size_t>(n) * k * m, -1);
+  map->y.assign(instance.pairs().size(), {});
+  map->z.clear();
+
+  for (UserId u = 0; u < n; ++u) {
+    for (SlotId s = 0; s < k; ++s) {
+      for (ItemId c = 0; c < m; ++c) {
+        map->x[(static_cast<size_t>(u) * k + s) * m + c] =
+            lp.AddVariable(0.0, 1.0, instance.ScaledP(u, c));
+      }
+    }
+  }
+  // Constraint (2): each (u, s) displays exactly one item.
+  for (UserId u = 0; u < n; ++u) {
+    for (SlotId s = 0; s < k; ++s) {
+      std::vector<LpTerm> row;
+      row.reserve(m);
+      for (ItemId c = 0; c < m; ++c) row.push_back({map->XVar(u, s, c), 1.0});
+      lp.AddRow(RowType::kEqual, 1.0, std::move(row));
+    }
+  }
+  // Constraint (1): no-duplication, sum_s x_{u,s}^c <= 1.
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId c = 0; c < m; ++c) {
+      std::vector<LpTerm> row;
+      row.reserve(k);
+      for (SlotId s = 0; s < k; ++s) row.push_back({map->XVar(u, s, c), 1.0});
+      lp.AddRow(RowType::kLessEqual, 1.0, std::move(row));
+    }
+  }
+  // Co-display variables y_{e,s}^c with constraints (5), (6).
+  for (size_t pi = 0; pi < instance.pairs().size(); ++pi) {
+    const FriendPair& pair = instance.pairs()[pi];
+    map->y[pi].assign(pair.weights.size(), {});
+    for (size_t wi = 0; wi < pair.weights.size(); ++wi) {
+      const ItemValue& iv = pair.weights[wi];
+      map->y[pi][wi].resize(k);
+      for (SlotId s = 0; s < k; ++s) {
+        const int y = lp.AddVariable(0.0, 1.0, iv.value);
+        map->y[pi][wi][s] = y;
+        lp.AddRow(RowType::kLessEqual, 0.0,
+                  {{y, 1.0}, {map->XVar(pair.u, s, iv.item), -1.0}});
+        lp.AddRow(RowType::kLessEqual, 0.0,
+                  {{y, 1.0}, {map->XVar(pair.v, s, iv.item), -1.0}});
+      }
+    }
+  }
+  return lp;
+}
+
+Result<LpModel> BuildStLp(const SvgicInstance& instance, double d_tel,
+                          int size_cap, ExpandedLpMap* map) {
+  if (d_tel < 0.0 || d_tel >= 1.0) {
+    return Status::InvalidArgument("d_tel must be in [0, 1)");
+  }
+  if (size_cap < 1) return Status::InvalidArgument("size cap must be >= 1");
+  auto lp_result = BuildExpandedLp(instance, map);
+  if (!lp_result.ok()) return lp_result.status();
+  LpModel lp = std::move(lp_result).value();
+  const int n = instance.num_users();
+  const int m = instance.num_items();
+  const int k = instance.num_slots();
+
+  // Rescale y objectives by (1 - d_tel) and add z variables with d_tel
+  // weight and constraints (8), (9): z_e^c <= sum_s x_{u,s}^c.
+  map->z.assign(instance.pairs().size(), {});
+  for (size_t pi = 0; pi < instance.pairs().size(); ++pi) {
+    const FriendPair& pair = instance.pairs()[pi];
+    map->z[pi].resize(pair.weights.size());
+    for (size_t wi = 0; wi < pair.weights.size(); ++wi) {
+      const ItemValue& iv = pair.weights[wi];
+      for (SlotId s = 0; s < k; ++s) {
+        lp.SetObjectiveCoefficient(map->y[pi][wi][s],
+                                   (1.0 - d_tel) * iv.value);
+      }
+      const int z = lp.AddVariable(0.0, 1.0, d_tel * iv.value);
+      map->z[pi][wi] = z;
+      for (UserId endpoint : {pair.u, pair.v}) {
+        std::vector<LpTerm> row = {{z, 1.0}};
+        for (SlotId s = 0; s < k; ++s) {
+          row.push_back({map->XVar(endpoint, s, iv.item), -1.0});
+        }
+        lp.AddRow(RowType::kLessEqual, 0.0, std::move(row));
+      }
+    }
+  }
+  // Subgroup size rows: sum_u x_{u,s}^c <= M for every (item, slot).
+  for (ItemId c = 0; c < m; ++c) {
+    for (SlotId s = 0; s < k; ++s) {
+      std::vector<LpTerm> row;
+      row.reserve(n);
+      for (UserId u = 0; u < n; ++u) row.push_back({map->XVar(u, s, c), 1.0});
+      lp.AddRow(RowType::kLessEqual, static_cast<double>(size_cap),
+                std::move(row));
+    }
+  }
+  return lp;
+}
+
+PairwiseConcaveProblem BuildConcaveProblem(const SvgicInstance& instance) {
+  PairwiseConcaveProblem problem;
+  const int n = instance.num_users();
+  const int m = instance.num_items();
+  problem.num_agents = n;
+  problem.num_items = m;
+  problem.k = instance.num_slots();
+  problem.linear.resize(static_cast<size_t>(n) * m);
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId c = 0; c < m; ++c) {
+      problem.linear[static_cast<size_t>(u) * m + c] = instance.ScaledP(u, c);
+    }
+  }
+  for (const FriendPair& pair : instance.pairs()) {
+    ConcavePair cp;
+    cp.a = pair.u;
+    cp.b = pair.v;
+    cp.weights.reserve(pair.weights.size());
+    for (const ItemValue& iv : pair.weights) {
+      cp.weights.emplace_back(iv.item, static_cast<double>(iv.value));
+    }
+    if (!cp.weights.empty()) problem.pairs.push_back(std::move(cp));
+  }
+  return problem;
+}
+
+namespace {
+
+/// Exact solution of the lambda = 0 special case: each user independently
+/// gets her top-k items (integral, hence also LP-optimal).
+FractionalSolution TopKSolution(const SvgicInstance& instance) {
+  const int n = instance.num_users();
+  const int m = instance.num_items();
+  const int k = instance.num_slots();
+  FractionalSolution frac;
+  frac.num_users = n;
+  frac.num_items = m;
+  frac.num_slots = k;
+  frac.x.assign(static_cast<size_t>(n) * m, 0.0);
+  frac.exact = true;
+  double total = 0.0;
+  std::vector<std::pair<double, ItemId>> scored(m);
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId c = 0; c < m; ++c) scored[c] = {instance.p(u, c), c};
+    std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (int i = 0; i < k; ++i) {
+      frac.x[static_cast<size_t>(u) * m + scored[i].second] = 1.0;
+      total += scored[i].first;
+    }
+  }
+  frac.lp_objective = total;
+  return frac;
+}
+
+}  // namespace
+
+Result<FractionalSolution> SolveRelaxation(const SvgicInstance& instance,
+                                           const RelaxationOptions& options) {
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  Timer timer;
+  const int n = instance.num_users();
+  const int m = instance.num_items();
+  const int k = instance.num_slots();
+
+  if (instance.lambda() <= 0.0) {
+    FractionalSolution frac = TopKSolution(instance);
+    frac.solve_seconds = timer.ElapsedSeconds();
+    frac.BuildSupporters(options.prune_tolerance);
+    return frac;
+  }
+
+  RelaxationMethod method = options.method;
+  if (method == RelaxationMethod::kAuto) {
+    method = CompactLpRowCount(instance) <= options.auto_simplex_row_limit
+                 ? RelaxationMethod::kSimplex
+                 : RelaxationMethod::kSubgradient;
+  }
+
+  FractionalSolution frac;
+  frac.num_users = n;
+  frac.num_items = m;
+  frac.num_slots = k;
+  frac.x.assign(static_cast<size_t>(n) * m, 0.0);
+
+  switch (method) {
+    case RelaxationMethod::kSimplex: {
+      CompactLpMap map;
+      auto lp = BuildCompactLp(instance, &map);
+      if (!lp.ok()) return lp.status();
+      auto sol = SolveLp(*lp, options.simplex);
+      if (!sol.ok()) return sol.status();
+      for (UserId u = 0; u < n; ++u) {
+        for (ItemId c = 0; c < m; ++c) {
+          const int var = map.XVar(u, c, m);
+          if (var >= 0) {
+            frac.x[static_cast<size_t>(u) * m + c] = sol->x[var];
+          }
+        }
+      }
+      frac.lp_objective = sol->objective;
+      frac.exact = true;
+      break;
+    }
+    case RelaxationMethod::kSimplexExpanded: {
+      ExpandedLpMap map;
+      auto lp = BuildExpandedLp(instance, &map);
+      if (!lp.ok()) return lp.status();
+      auto sol = SolveLp(*lp, options.simplex);
+      if (!sol.ok()) return sol.status();
+      for (UserId u = 0; u < n; ++u) {
+        for (ItemId c = 0; c < m; ++c) {
+          double acc = 0.0;
+          for (SlotId s = 0; s < k; ++s) acc += sol->x[map.XVar(u, s, c)];
+          frac.x[static_cast<size_t>(u) * m + c] = acc;
+        }
+      }
+      frac.lp_objective = sol->objective;
+      frac.exact = true;
+      break;
+    }
+    case RelaxationMethod::kSubgradient: {
+      PairwiseConcaveProblem problem = BuildConcaveProblem(instance);
+      auto sol = MaximizePairwiseConcave(problem, options.subgradient);
+      if (!sol.ok()) return sol.status();
+      frac.x = std::move(sol->x);
+      frac.lp_objective = sol->objective;
+      frac.exact = false;
+      break;
+    }
+    case RelaxationMethod::kAuto:
+      return Status::Unknown("unresolved auto method");
+  }
+  frac.solve_seconds = timer.ElapsedSeconds();
+  frac.BuildSupporters(options.prune_tolerance);
+  return frac;
+}
+
+}  // namespace savg

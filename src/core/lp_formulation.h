@@ -1,0 +1,116 @@
+// LP / IP formulations of SVGIC and SVGIC-ST (Sections 3.3 and 4.4), and
+// the relaxation front-end used by AVG.
+//
+// Three formulations are provided:
+//
+//  * Compact LP (LP_SIMP, Section 4.4): variables x_u^c and y_e^c, with
+//    sum_c x_u^c = k per user. O((n + |E|) m) variables. The advanced LP
+//    transformation; exact for the relaxation by Observation 2.
+//  * Expanded LP (LP_SVGIC, Section 3.3): slot-indexed x_{u,s}^c, y_{e,s}^c.
+//    O((n + |E|) m k) variables. Used by the exact IP baseline (integrality
+//    is slot-sensitive: alignment matters for co-display) and by the "-ALP"
+//    ablation of Figure 9(b).
+//  * ST LP: expanded plus z_e^c indirect-co-display variables, the
+//    (1 - d_tel) y + d_tel z objective split, and subgroup size rows
+//    sum_u x_{u,s}^c <= M.
+//
+// All formulations use the scaled preference p'(u,c) = (1-lambda)/lambda
+// p(u,c), so their objective is the paper's scaled total
+// (ObjectiveBreakdown::ScaledTotal()).
+//
+// SolveRelaxation() picks the exact simplex for small models and the
+// projected-subgradient solver for large ones (Corollary 4.2 justifies the
+// approximate path).
+
+#pragma once
+
+#include <vector>
+
+#include "core/fractional_solution.h"
+#include "core/problem.h"
+#include "lp/lp_model.h"
+#include "lp/simplex.h"
+#include "lp/subgradient.h"
+#include "util/status.h"
+
+namespace savg {
+
+/// Variable layout of the compact LP.
+struct CompactLpMap {
+  /// x_u^c variable index, -1 if the item is useless for u (zero preference
+  /// and no incident social weight) and was folded into the filler.
+  std::vector<int> x;  // n x m
+  /// Filler variable per user aggregating all useless items (or -1).
+  std::vector<int> filler;
+  /// y variable per (pair index, weight entry index), parallel to
+  /// instance.pairs()[p].weights.
+  std::vector<std::vector<int>> y;
+
+  int XVar(UserId u, ItemId c, int num_items) const {
+    return x[static_cast<size_t>(u) * num_items + c];
+  }
+};
+
+/// Variable layout of the expanded (slot-indexed) LP/IP.
+struct ExpandedLpMap {
+  int num_items = 0;
+  int num_slots = 0;
+  /// x_{u,s}^c, dense (n x k x m).
+  std::vector<int> x;
+  /// y_{e,s}^c per (pair, weight entry, slot).
+  std::vector<std::vector<std::vector<int>>> y;
+  /// z_e^c per (pair, weight entry); empty unless the ST variant.
+  std::vector<std::vector<int>> z;
+
+  int XVar(UserId u, SlotId s, ItemId c) const {
+    return x[(static_cast<size_t>(u) * num_slots + s) * num_items + c];
+  }
+};
+
+/// Builds LP_SIMP. Requires lambda > 0 (lambda = 0 is the trivial top-k
+/// special case handled upstream).
+Result<LpModel> BuildCompactLp(const SvgicInstance& instance,
+                               CompactLpMap* map);
+
+/// Builds LP_SVGIC (slot-indexed). With `for_integer_program` the x bounds
+/// stay [0,1] (integrality is requested at the MIP call site).
+Result<LpModel> BuildExpandedLp(const SvgicInstance& instance,
+                                ExpandedLpMap* map);
+
+/// Builds the SVGIC-ST formulation: expanded + z variables with the
+/// (1-d_tel) y + d_tel z objective and size rows sum_u x_{u,s}^c <= M.
+Result<LpModel> BuildStLp(const SvgicInstance& instance, double d_tel,
+                          int size_cap, ExpandedLpMap* map);
+
+/// Builds the reduced concave problem consumed by the subgradient solver.
+PairwiseConcaveProblem BuildConcaveProblem(const SvgicInstance& instance);
+
+enum class RelaxationMethod {
+  kAuto,        ///< simplex when small enough, else subgradient
+  kSimplex,     ///< exact, compact formulation
+  kSimplexExpanded,  ///< exact, slot-expanded formulation (-ALP ablation)
+  kSubgradient,  ///< approximate, any size
+};
+
+struct RelaxationOptions {
+  RelaxationMethod method = RelaxationMethod::kAuto;
+  SimplexOptions simplex;
+  SubgradientOptions subgradient;
+  /// kAuto switches to the subgradient solver above this many LP rows
+  /// (dense-basis simplex cost grows cubically; Corollary 4.2 covers the
+  /// approximate path).
+  int auto_simplex_row_limit = 600;
+  /// Supporter pruning threshold.
+  double prune_tolerance = 1e-9;
+};
+
+/// Solves the SVGIC relaxation and returns the compact fractional solution
+/// with supporter lists built.
+Result<FractionalSolution> SolveRelaxation(
+    const SvgicInstance& instance, const RelaxationOptions& options = {});
+
+/// Number of rows the compact LP would have (for the kAuto decision and
+/// for tests).
+int CompactLpRowCount(const SvgicInstance& instance);
+
+}  // namespace savg

@@ -1,0 +1,104 @@
+#include "core/objective.h"
+
+#include <algorithm>
+
+namespace savg {
+
+namespace {
+
+/// Iterates the sparse weights of a pair and applies f(item, weight) to
+/// items displayed by both endpoints.
+template <typename Fn>
+void ForEachSharedItem(const Configuration& config, const FriendPair& pair,
+                       Fn&& fn) {
+  for (const ItemValue& iv : pair.weights) {
+    const SlotId su = config.SlotOf(pair.u, iv.item);
+    if (su == kNoSlot) continue;
+    const SlotId sv = config.SlotOf(pair.v, iv.item);
+    if (sv == kNoSlot) continue;
+    fn(iv.item, static_cast<double>(iv.value), su, sv);
+  }
+}
+
+}  // namespace
+
+ObjectiveBreakdown Evaluate(const SvgicInstance& instance,
+                            const Configuration& config,
+                            const EvaluateOptions& options) {
+  ObjectiveBreakdown out;
+  out.lambda = instance.lambda();
+  out.d_tel = options.d_tel;
+  const bool weighted = options.use_extension_weights;
+
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (SlotId s = 0; s < instance.num_slots(); ++s) {
+      const ItemId c = config.At(u, s);
+      if (c == kNoItem) continue;
+      double contrib = instance.p(u, c);
+      if (weighted) {
+        contrib *= instance.CommodityOf(c) * instance.SlotWeightOf(s);
+      }
+      out.preference += contrib;
+    }
+  }
+  for (const FriendPair& pair : instance.pairs()) {
+    ForEachSharedItem(config, pair,
+                      [&](ItemId c, double w, SlotId su, SlotId sv) {
+                        double weight = 1.0;
+                        if (weighted) {
+                          weight = instance.CommodityOf(c) *
+                                   instance.SlotWeightOf(su);
+                        }
+                        if (su == sv) {
+                          out.social_direct += w * weight;
+                        } else {
+                          out.social_indirect += w * weight;
+                        }
+                      });
+  }
+  return out;
+}
+
+std::vector<double> EvaluatePerUser(const SvgicInstance& instance,
+                                    const Configuration& config,
+                                    const EvaluateOptions& options) {
+  const double lambda = instance.lambda();
+  std::vector<double> utility(instance.num_users(), 0.0);
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (SlotId s = 0; s < instance.num_slots(); ++s) {
+      const ItemId c = config.At(u, s);
+      if (c == kNoItem) continue;
+      utility[u] += (1.0 - lambda) * instance.p(u, c);
+    }
+  }
+  // Directed social utility: u gains tau(u, v, c) when co-displayed with v.
+  for (const FriendPair& pair : instance.pairs()) {
+    ForEachSharedItem(
+        config, pair, [&](ItemId c, double /*w*/, SlotId su, SlotId sv) {
+          const double discount = su == sv ? 1.0 : options.d_tel;
+          if (discount == 0.0) return;
+          if (pair.uv >= 0) {
+            utility[pair.u] +=
+                lambda * discount * instance.TauOf(pair.uv, c);
+          }
+          if (pair.vu >= 0) {
+            utility[pair.v] +=
+                lambda * discount * instance.TauOf(pair.vu, c);
+          }
+        });
+  }
+  return utility;
+}
+
+int SizeConstraintViolation(const Configuration& config, int size_cap) {
+  int violation = 0;
+  for (SlotId s = 0; s < config.num_slots(); ++s) {
+    for (const auto& group : config.GroupsAtSlot(s)) {
+      violation += std::max(
+          0, static_cast<int>(group.members.size()) - size_cap);
+    }
+  }
+  return violation;
+}
+
+}  // namespace savg

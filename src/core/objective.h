@@ -1,0 +1,75 @@
+// Objective evaluation for SVGIC and SVGIC-ST.
+//
+// Definitions (paper Sections 3.1-3.2):
+//   total SVGIC utility     = (1-lambda) * R_pref + lambda * R_soc
+//   total SVGIC-ST utility  = (1-lambda) * R_pref
+//                           + lambda * (R_soc + d_tel * R_indirect)
+// where
+//   R_pref      = sum_u sum_{c in A(u,:)} p(u, c)
+//   R_soc       = sum over friend pairs (u,v) and items c directly
+//                 co-displayed: tau(u,v,c) + tau(v,u,c)
+//   R_indirect  = same with indirect co-display (same item, different slots)
+//
+// ScaledTotal() is the lambda = 1/2 "scaled up by 2" metric used throughout
+// the paper's running example and the AVG analysis:
+//   scaled = total / lambda = (1-lambda)/lambda * R_pref + R_soc (+ d_tel*ind)
+//
+// Extension weights (commodity omega_c, slot significance gamma_s) stored on
+// the instance are honoured when `use_extension_weights` is set.
+
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/problem.h"
+
+namespace savg {
+
+/// Decomposed objective value.
+struct ObjectiveBreakdown {
+  double preference = 0.0;       ///< R_pref (raw, lambda-free)
+  double social_direct = 0.0;    ///< R_soc (raw)
+  double social_indirect = 0.0;  ///< R_indirect (raw; 0 for plain SVGIC)
+  double lambda = 0.5;
+  double d_tel = 0.0;
+
+  /// (1-lambda) R_pref + lambda (R_soc + d_tel R_ind).
+  double Total() const {
+    return (1.0 - lambda) * preference +
+           lambda * (social_direct + d_tel * social_indirect);
+  }
+  /// Total / lambda; the paper's scaled metric (Example 5). For lambda = 0
+  /// falls back to plain preference to stay finite.
+  double ScaledTotal() const {
+    if (lambda <= 0.0) return preference;
+    return Total() / lambda;
+  }
+};
+
+struct EvaluateOptions {
+  /// Include indirect co-display with this discount (SVGIC-ST). 0 disables.
+  double d_tel = 0.0;
+  /// Honour instance commodity values / slot weights (extensions A, B).
+  bool use_extension_weights = false;
+};
+
+/// Evaluates a (possibly partial) configuration; unassigned units simply
+/// contribute nothing.
+ObjectiveBreakdown Evaluate(const SvgicInstance& instance,
+                            const Configuration& config,
+                            const EvaluateOptions& options = {});
+
+/// Per-user achieved SAVG utility sum_{c in A(u,:)} w_A(u, c) using the
+/// *directed* tau of that user (Definition 3; used by the regret metric and
+/// the user study).
+std::vector<double> EvaluatePerUser(const SvgicInstance& instance,
+                                    const Configuration& config,
+                                    const EvaluateOptions& options = {});
+
+/// Number of users exceeding the subgroup size bound M summed over all
+/// (slot, item) groups: sum over groups of max(0, |group| - M).
+/// 0 means the configuration is feasible for SVGIC-ST.
+int SizeConstraintViolation(const Configuration& config, int size_cap);
+
+}  // namespace savg

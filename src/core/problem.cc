@@ -1,0 +1,169 @@
+#include "core/problem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace savg {
+
+namespace {
+
+/// Binary search in a sorted ItemValue vector.
+double LookupItem(const std::vector<ItemValue>& values, ItemId c) {
+  auto it = std::lower_bound(
+      values.begin(), values.end(), c,
+      [](const ItemValue& iv, ItemId item) { return iv.item < item; });
+  if (it != values.end() && it->item == c) return it->value;
+  return 0.0;
+}
+
+/// Sorts by item and merges duplicates by summation.
+void SortAndMerge(std::vector<ItemValue>* values) {
+  std::sort(values->begin(), values->end(),
+            [](const ItemValue& a, const ItemValue& b) {
+              return a.item < b.item;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < values->size();) {
+    size_t j = i;
+    float acc = 0.0f;
+    while (j < values->size() && (*values)[j].item == (*values)[i].item) {
+      acc += (*values)[j].value;
+      ++j;
+    }
+    (*values)[out++] = {(*values)[i].item, acc};
+    i = j;
+  }
+  values->resize(out);
+}
+
+}  // namespace
+
+double FriendPair::WeightOf(ItemId c) const { return LookupItem(weights, c); }
+
+SvgicInstance::SvgicInstance(SocialGraph graph, int num_items, int num_slots,
+                             double lambda)
+    : graph_(std::move(graph)),
+      num_items_(num_items),
+      num_slots_(num_slots),
+      lambda_(lambda),
+      preference_(static_cast<size_t>(graph_.num_vertices()) * num_items,
+                  0.0f),
+      tau_(graph_.num_edges()) {}
+
+double SvgicInstance::TauOf(EdgeId e, ItemId c) const {
+  return LookupItem(tau_[e], c);
+}
+
+void SvgicInstance::set_tau(EdgeId e, ItemId c, double value) {
+  tau_[e].push_back({c, static_cast<float>(value)});
+  finalized_ = false;
+}
+
+double SvgicInstance::Tau(UserId u, UserId v, ItemId c) const {
+  const EdgeId e = graph_.FindEdge(u, v);
+  return e >= 0 ? TauOf(e, c) : 0.0;
+}
+
+void SvgicInstance::ScaleAllTau(double scale) {
+  scale = std::max(0.0, scale);
+  for (auto& entries : tau_) {
+    for (ItemValue& iv : entries) {
+      iv.value = static_cast<float>(iv.value * scale);
+    }
+  }
+  finalized_ = false;
+}
+
+void SvgicInstance::FinalizePairs() {
+  for (auto& entries : tau_) SortAndMerge(&entries);
+  pairs_.clear();
+  pairs_of_user_.assign(num_users(), {});
+  for (const Edge& e : graph_.edges()) {
+    // Process each unordered pair once, from its canonical direction: the
+    // direction with u < v, or the only direction present.
+    const EdgeId reverse = graph_.FindEdge(e.v, e.u);
+    if (reverse >= 0 && e.u > e.v) continue;
+    FriendPair pair;
+    pair.u = std::min(e.u, e.v);
+    pair.v = std::max(e.u, e.v);
+    const EdgeId forward = e.id;
+    pair.uv = e.u == pair.u ? forward : reverse;
+    pair.vu = e.u == pair.u ? reverse : forward;
+    // Merge sparse weights of both directions.
+    if (pair.uv >= 0) {
+      pair.weights.insert(pair.weights.end(), tau_[pair.uv].begin(),
+                          tau_[pair.uv].end());
+    }
+    if (pair.vu >= 0) {
+      pair.weights.insert(pair.weights.end(), tau_[pair.vu].begin(),
+                          tau_[pair.vu].end());
+    }
+    SortAndMerge(&pair.weights);
+    // Drop zero weights to keep iteration tight.
+    pair.weights.erase(
+        std::remove_if(pair.weights.begin(), pair.weights.end(),
+                       [](const ItemValue& iv) { return iv.value == 0.0f; }),
+        pair.weights.end());
+    const int idx = static_cast<int>(pairs_.size());
+    pairs_.push_back(std::move(pair));
+    pairs_of_user_[pairs_.back().u].push_back(idx);
+    pairs_of_user_[pairs_.back().v].push_back(idx);
+  }
+  finalized_ = true;
+}
+
+Status SvgicInstance::Validate() const {
+  if (num_items_ <= 0) return Status::InvalidArgument("num_items must be > 0");
+  if (num_slots_ <= 0) return Status::InvalidArgument("num_slots must be > 0");
+  if (num_slots_ > num_items_) {
+    return Status::InvalidArgument(
+        "num_slots > num_items: the no-duplication constraint is "
+        "unsatisfiable");
+  }
+  if (lambda_ < 0.0 || lambda_ > 1.0) {
+    return Status::InvalidArgument("lambda must be in [0, 1]");
+  }
+  if (preference_.size() !=
+      static_cast<size_t>(num_users()) * num_items_) {
+    return Status::InvalidArgument("preference matrix has wrong size");
+  }
+  for (float v : preference_) {
+    if (v < 0.0f || std::isnan(v)) {
+      return Status::InvalidArgument("preference utilities must be >= 0");
+    }
+  }
+  for (const auto& entries : tau_) {
+    for (const ItemValue& iv : entries) {
+      if (iv.item < 0 || iv.item >= num_items_) {
+        return Status::OutOfRange("tau entry references unknown item");
+      }
+      if (iv.value < 0.0f || std::isnan(iv.value)) {
+        return Status::InvalidArgument("social utilities must be >= 0");
+      }
+    }
+  }
+  if (!commodity_values_.empty() &&
+      static_cast<int>(commodity_values_.size()) != num_items_) {
+    return Status::InvalidArgument("commodity_values size mismatch");
+  }
+  if (!slot_weights_.empty() &&
+      static_cast<int>(slot_weights_.size()) != num_slots_) {
+    return Status::InvalidArgument("slot_weights size mismatch");
+  }
+  if (!finalized_) {
+    return Status::InvalidArgument(
+        "FinalizePairs() must be called before use");
+  }
+  return Status::OK();
+}
+
+std::string SvgicInstance::DebugString() const {
+  std::ostringstream os;
+  os << "SvgicInstance(n=" << num_users() << ", m=" << num_items_
+     << ", k=" << num_slots_ << ", lambda=" << lambda_
+     << ", pairs=" << pairs_.size() << ")";
+  return os.str();
+}
+
+}  // namespace savg

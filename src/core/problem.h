@@ -1,0 +1,146 @@
+// The SVGIC problem instance (Section 3.1).
+//
+// An instance bundles the social network G = (V, E), the universal item set
+// C (|C| = m), the number of display slots k, the preference/social weight
+// lambda, the preference utilities p(u, c), and the social utilities
+// tau(u, v, c) attached to directed edges.
+//
+// Storage notes:
+//  * p is dense row-major (n x m) in float: large instances have
+//    m = 10000 items and the paper's learned models emit dense scores.
+//  * tau is sparse per directed edge: real utility models concentrate
+//    social utility on a limited pool of mutually relevant items.
+//  * FinalizePairs() merges the two directions of each friendship into
+//    an undirected FriendPair with weights w_e^c = tau(u,v,c) + tau(v,u,c),
+//    the quantity every algorithm and the LP relaxation consume (a pair's
+//    co-display yields both directed utilities at once).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace savg {
+
+using ItemId = int32_t;
+using SlotId = int32_t;
+
+/// Sparse (item, value) entry; vectors of these are kept sorted by item.
+struct ItemValue {
+  ItemId item = 0;
+  float value = 0.0f;
+};
+
+/// An unordered pair of friends with merged social weights.
+struct FriendPair {
+  UserId u = -1;
+  UserId v = -1;
+  EdgeId uv = -1;  ///< edge id of u -> v (-1 if absent)
+  EdgeId vu = -1;  ///< edge id of v -> u (-1 if absent)
+  /// w_e^c = tau(u,v,c) + tau(v,u,c), sparse, sorted by item.
+  std::vector<ItemValue> weights;
+
+  /// Weight for one item (binary search), 0 if absent.
+  double WeightOf(ItemId c) const;
+};
+
+/// A full SVGIC instance.
+class SvgicInstance {
+ public:
+  SvgicInstance() = default;
+  SvgicInstance(SocialGraph graph, int num_items, int num_slots,
+                double lambda);
+
+  int num_users() const { return graph_.num_vertices(); }
+  int num_items() const { return num_items_; }
+  int num_slots() const { return num_slots_; }
+  double lambda() const { return lambda_; }
+  void set_lambda(double lambda) { lambda_ = lambda; }
+  void set_num_slots(int k) { num_slots_ = k; }
+  const SocialGraph& graph() const { return graph_; }
+
+  /// Preference utility p(u, c).
+  double p(UserId u, ItemId c) const {
+    return preference_[static_cast<size_t>(u) * num_items_ + c];
+  }
+  void set_p(UserId u, ItemId c, double value) {
+    preference_[static_cast<size_t>(u) * num_items_ + c] =
+        static_cast<float>(value);
+  }
+
+  /// Scaled preference p'(u, c) = (1 - lambda)/lambda * p(u, c)
+  /// (Section 4.4; requires lambda > 0). With this scaling every algorithm
+  /// can run the lambda = 1/2 analysis unchanged.
+  double ScaledP(UserId u, ItemId c) const {
+    return (1.0 - lambda_) / lambda_ * p(u, c);
+  }
+
+  /// Social utility tau(u, v, c) for the directed edge id `e`.
+  double TauOf(EdgeId e, ItemId c) const;
+  /// Sets tau for a directed edge. Entries must be added before
+  /// FinalizePairs(); unsorted inserts are permitted (sorted on finalize).
+  void set_tau(EdgeId e, ItemId c, double value);
+  /// Convenience: tau(u, v, c) via edge lookup; 0 when (u,v) not in E.
+  double Tau(UserId u, UserId v, ItemId c) const;
+  /// Raw sparse tau entries of a directed edge (sorted after finalize).
+  const std::vector<ItemValue>& TauEntries(EdgeId e) const { return tau_[e]; }
+  /// Multiplies every tau entry by `scale` (clamped to >= 0). Callers must
+  /// re-run FinalizePairs() afterwards.
+  void ScaleAllTau(double scale);
+
+  /// Optional commodity values omega_c (extension A); empty = all 1.
+  const std::vector<float>& commodity_values() const {
+    return commodity_values_;
+  }
+  void set_commodity_values(std::vector<float> values) {
+    commodity_values_ = std::move(values);
+  }
+  double CommodityOf(ItemId c) const {
+    return commodity_values_.empty() ? 1.0 : commodity_values_[c];
+  }
+
+  /// Optional slot significances gamma_s (extension B); empty = all 1.
+  const std::vector<float>& slot_weights() const { return slot_weights_; }
+  void set_slot_weights(std::vector<float> weights) {
+    slot_weights_ = std::move(weights);
+  }
+  double SlotWeightOf(SlotId s) const {
+    return slot_weights_.empty() ? 1.0 : slot_weights_[s];
+  }
+
+  /// Merges directed tau entries into undirected FriendPairs. Must be
+  /// called after all set_tau edits and before running algorithms.
+  void FinalizePairs();
+
+  const std::vector<FriendPair>& pairs() const { return pairs_; }
+  /// Pair indices incident to user u.
+  const std::vector<int>& PairsOfUser(UserId u) const {
+    return pairs_of_user_[u];
+  }
+
+  /// Structural sanity checks (sizes, ranges, non-negative utilities,
+  /// lambda in [0,1], k <= m, pairs finalized).
+  Status Validate() const;
+
+  std::string DebugString() const;
+
+ private:
+  SocialGraph graph_;
+  int num_items_ = 0;
+  int num_slots_ = 0;
+  double lambda_ = 0.5;
+  std::vector<float> preference_;            // n x m
+  std::vector<std::vector<ItemValue>> tau_;  // per directed edge, sparse
+  std::vector<float> commodity_values_;      // optional, per item
+  std::vector<float> slot_weights_;          // optional, per slot
+  std::vector<FriendPair> pairs_;
+  std::vector<std::vector<int>> pairs_of_user_;
+  bool finalized_ = false;
+};
+
+}  // namespace savg

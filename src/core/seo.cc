@@ -1,0 +1,125 @@
+#include "core/seo.h"
+
+#include <algorithm>
+
+#include "core/avg.h"
+#include "core/csf.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+
+namespace savg {
+
+Result<SvgicInstance> SeoToSvgic(const SeoProblem& problem) {
+  if (problem.num_events < problem.num_time_slots) {
+    return Status::InvalidArgument(
+        "need at least one distinct event per time slot");
+  }
+  if (static_cast<int>(problem.interest.size()) !=
+      problem.network.num_vertices() * problem.num_events) {
+    return Status::InvalidArgument("interest matrix has wrong size");
+  }
+  SvgicInstance instance(problem.network, problem.num_events,
+                         problem.num_time_slots, problem.lambda);
+  for (UserId u = 0; u < problem.network.num_vertices(); ++u) {
+    for (int e = 0; e < problem.num_events; ++e) {
+      const float v = problem.interest[u * problem.num_events + e];
+      if (v > 0.0f) instance.set_p(u, e, v);
+    }
+  }
+  for (EdgeId e = 0; e < problem.network.num_edges(); ++e) {
+    if (e < static_cast<EdgeId>(problem.joint_benefit.size())) {
+      for (const ItemValue& iv : problem.joint_benefit[e]) {
+        if (iv.value > 0.0f) instance.set_tau(e, iv.item, iv.value);
+      }
+    }
+  }
+  instance.FinalizePairs();
+  SAVG_RETURN_NOT_OK(instance.Validate());
+  return instance;
+}
+
+Result<SeoAssignment> SolveSeo(const SeoProblem& problem,
+                               const SeoOptions& options) {
+  SAVG_ASSIGN_OR_RETURN(SvgicInstance instance, SeoToSvgic(problem));
+  SAVG_ASSIGN_OR_RETURN(FractionalSolution frac, SolveRelaxation(instance));
+
+  // Per-event capacity caps (kNoSizeCap where unlimited).
+  std::vector<int> caps(problem.num_events, CsfState::kNoSizeCap);
+  bool any_cap = false;
+  for (int e = 0;
+       e < std::min<int>(problem.num_events,
+                         static_cast<int>(problem.capacity.size()));
+       ++e) {
+    if (problem.capacity[e] > 0) {
+      caps[e] = problem.capacity[e];
+      any_cap = true;
+    }
+  }
+
+  Rng seeder(options.seed);
+  SeoAssignment best;
+  double best_value = -1.0;
+  for (int rep = 0; rep < std::max(1, options.avg_repeats); ++rep) {
+    CsfState state(instance, frac,
+                   any_cap ? CsfState::kNoSizeCap : CsfState::kNoSizeCap);
+    if (any_cap) state.SetItemCaps(caps);
+    // Randomized CSF with advanced sampling (inline loop, since the state
+    // carries SEO-specific caps).
+    Rng rng(seeder.Next());
+    const auto& active = frac.active_items();
+    const int k = instance.num_slots();
+    SampleTree tree(static_cast<int>(active.size()) * k);
+    for (size_t ai = 0; ai < active.size(); ++ai) {
+      const auto& sups = frac.SupportersOf(active[ai]);
+      const double top = sups.empty() ? 0.0 : sups.front().x / k;
+      for (SlotId s = 0; s < k; ++s) {
+        tree.Set(static_cast<int>(ai) * k + s, top);
+      }
+    }
+    int64_t guard = 0;
+    while (!state.Complete() && tree.total() > 1e-15 && guard++ < 5000000) {
+      const int cand = tree.Sample(&rng);
+      if (cand < 0) break;
+      const ItemId c = active[cand / k];
+      const SlotId s = cand % k;
+      const double stale = tree.Get(cand);
+      const double alpha = rng.Uniform() * stale;
+      const double fresh = state.FreshMaxFactor(c, s);
+      if (alpha > fresh) {
+        tree.Set(cand, fresh);
+        continue;
+      }
+      state.ApplyCsf(c, s, alpha);
+      tree.Set(cand, state.FreshMaxFactor(c, s));
+    }
+    state.GreedyComplete();
+    Configuration config = state.TakeConfig();
+    const double value = Evaluate(instance, config).ScaledTotal();
+    if (value > best_value) {
+      best_value = value;
+      best.schedule.assign(instance.num_users(),
+                           std::vector<int>(k, -1));
+      for (UserId u = 0; u < instance.num_users(); ++u) {
+        for (SlotId s = 0; s < k; ++s) best.schedule[u][s] = config.At(u, s);
+      }
+      best.scaled_objective = value;
+      best.capacity_feasible =
+          !any_cap || [&]() {
+            for (SlotId s = 0; s < k; ++s) {
+              for (const auto& group : config.GroupsAtSlot(s)) {
+                if (caps[group.item] != CsfState::kNoSizeCap &&
+                    static_cast<int>(group.members.size()) >
+                        caps[group.item]) {
+                  return false;
+                }
+              }
+            }
+            return true;
+          }();
+    }
+  }
+  if (best_value < 0.0) return Status::Unknown("SEO solve produced nothing");
+  return best;
+}
+
+}  // namespace savg

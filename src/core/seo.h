@@ -1,0 +1,60 @@
+// Social Event Organization (SEO) as an application of SVGIC-ST
+// (Section 4.4, "Supporting Social Event Organization").
+//
+// SEO assigns each attendee of an event-based social network to a series of
+// events (one per time slot) maximizing attendance preference plus the
+// social benefit of attending together with friends, under per-event
+// capacity constraints. The mapping to SVGIC-ST:
+//   events        -> items,
+//   time slots    -> display slots,
+//   capacities    -> per-item subgroup size caps,
+//   "attend with" -> co-display.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace savg {
+
+/// An SEO problem: a social network of attendees, events with capacities,
+/// per-(user, event) interest and per-(user, friend, event) joint benefit.
+struct SeoProblem {
+  SocialGraph network;
+  int num_events = 0;
+  int num_time_slots = 1;
+  double lambda = 0.5;
+  std::vector<int> capacity;  ///< per event; <= 0 means unlimited
+  /// interest[u * num_events + e].
+  std::vector<float> interest;
+  /// Joint benefit entries per directed edge (who enjoys whose company).
+  std::vector<std::vector<ItemValue>> joint_benefit;  // by EdgeId
+  std::vector<std::string> event_names;               ///< optional
+};
+
+struct SeoAssignment {
+  /// schedule[u][t] = event attended by u at time slot t.
+  std::vector<std::vector<int>> schedule;
+  double scaled_objective = 0.0;
+  bool capacity_feasible = true;
+};
+
+struct SeoOptions {
+  uint64_t seed = 1;
+  int avg_repeats = 3;
+};
+
+/// Converts an SEO problem into an SVGIC instance (for callers that want
+/// direct access to the full toolchain).
+Result<SvgicInstance> SeoToSvgic(const SeoProblem& problem);
+
+/// Solves SEO with the AVG-ST pipeline (capacity-capped CSF).
+Result<SeoAssignment> SolveSeo(const SeoProblem& problem,
+                               const SeoOptions& options = {});
+
+}  // namespace savg

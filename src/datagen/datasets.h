@@ -1,0 +1,52 @@
+// Dataset emulators for Timik, Epinions and Yelp (Section 6.1).
+//
+// The real dumps are unavailable offline; these generators reproduce the
+// structural properties the paper's analysis leans on (DESIGN.md, "1.2
+// Substrates"):
+//
+//  * Timik  — a VR social world: dense preferential-attachment graph with
+//    weak local community structure (VR users befriend strangers), strongly
+//    popular "hub" POIs.
+//  * Epinions — a product-review trust network: sparse, tree-ish, with a
+//    small set of widely liked items (hence PER's nonzero Intra% there).
+//  * Yelp — an LBSN with strong geographic communities and highly
+//    diversified POI preferences (hence PER's ~100% Inter% there).
+//
+// Instances are sampled from a larger synthetic "universe" graph via random
+// walk, following the paper's sampling of small datasets from Timik [55].
+
+#pragma once
+
+#include "core/problem.h"
+#include "datagen/utility_model.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace savg {
+
+enum class DatasetKind { kTimik, kEpinions, kYelp };
+
+const char* DatasetKindName(DatasetKind kind);
+
+struct DatasetParams {
+  DatasetKind kind = DatasetKind::kTimik;
+  int num_users = 25;
+  int num_items = 100;
+  int num_slots = 5;
+  double lambda = 0.5;
+  uint64_t seed = 1;
+  /// Universe size for random-walk sampling; 0 = max(200, 4 * num_users).
+  int universe_users = 0;
+  /// Utility model; kind-specific structural knobs are applied on top
+  /// unless `override_utility` is set.
+  UtilityModelParams utility;
+  bool override_utility = false;
+};
+
+/// Kind-specific default utility parameters.
+UtilityModelParams DefaultUtilityParams(DatasetKind kind);
+
+/// Generates a full SVGIC instance (graph + utilities, pairs finalized).
+Result<SvgicInstance> GenerateDataset(const DatasetParams& params);
+
+}  // namespace savg

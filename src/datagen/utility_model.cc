@@ -1,0 +1,238 @@
+#include "datagen/utility_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace savg {
+
+const char* UtilityModelKindName(UtilityModelKind kind) {
+  switch (kind) {
+    case UtilityModelKind::kPiert:
+      return "PIERT";
+    case UtilityModelKind::kAgree:
+      return "AGREE";
+    case UtilityModelKind::kGree:
+      return "GREE";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Normalized topic mixture: community base peaked at (community mod T),
+/// blended with an individual random profile.
+std::vector<double> UserTopics(int community, int num_topics, double mixing,
+                               Rng* rng) {
+  std::vector<double> topics(num_topics, 0.0);
+  for (double& t : topics) t = rng->Uniform(0.05, 1.0);
+  if (community >= 0) {
+    const int base = community % num_topics;
+    const int second = (community / num_topics + base + 1) % num_topics;
+    topics[base] += mixing * 3.0;
+    topics[second] += mixing * 1.0;
+  }
+  const double sum = std::accumulate(topics.begin(), topics.end(), 0.0);
+  for (double& t : topics) t /= sum;
+  return topics;
+}
+
+std::vector<double> ItemTopics(int num_topics, Rng* rng) {
+  std::vector<double> topics(num_topics, 0.0);
+  for (double& t : topics) t = rng->Uniform(0.0, 0.25);
+  topics[rng->UniformInt(static_cast<uint64_t>(num_topics))] +=
+      rng->Uniform(0.6, 1.0);
+  const double sum = std::accumulate(topics.begin(), topics.end(), 0.0);
+  for (double& t : topics) t /= sum;
+  return topics;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  const double dot = Dot(a, b);
+  const double na = std::sqrt(Dot(a, a));
+  const double nb = std::sqrt(Dot(b, b));
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (na * nb);
+}
+
+/// Deterministic per-(edge, item) noise for the GREE per-triple weights.
+double TripleNoise(EdgeId e, ItemId c, uint64_t salt) {
+  uint64_t h = (static_cast<uint64_t>(e) << 32) ^
+               static_cast<uint64_t>(static_cast<uint32_t>(c)) ^ salt;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return 0.2 + 0.8 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+}
+
+}  // namespace
+
+void PopulateUtilities(SvgicInstance* instance,
+                       const std::vector<int>& community_of,
+                       const UtilityModelParams& params, Rng* rng) {
+  const int n = instance->num_users();
+  const int m = instance->num_items();
+  const int T = params.num_topics;
+
+  std::vector<std::vector<double>> user_topics(n);
+  for (UserId u = 0; u < n; ++u) {
+    const int community =
+        community_of.empty() ? -1 : community_of[u];
+    user_topics[u] = UserTopics(community, T, params.community_mixing, rng);
+  }
+  std::vector<std::vector<double>> item_topics(m);
+  for (ItemId c = 0; c < m; ++c) item_topics[c] = ItemTopics(T, rng);
+
+  // Zipf popularity over a random item permutation.
+  std::vector<int> rank(m);
+  std::iota(rank.begin(), rank.end(), 0);
+  rng->Shuffle(&rank);
+  std::vector<double> popularity(m, 0.0);
+  for (ItemId c = 0; c < m; ++c) {
+    popularity[c] =
+        1.0 / std::pow(1.0 + rank[c], std::max(0.0, params.popularity_zipf));
+  }
+  const double pop_max =
+      *std::max_element(popularity.begin(), popularity.end());
+  for (double& p : popularity) p /= pop_max;
+
+  // Preferences: topic affinity (scaled to ~[0,1]) + popularity + noise,
+  // then keep only the top pref_pool per user.
+  std::vector<std::pair<double, ItemId>> scored(m);
+  const double affinity_scale = static_cast<double>(T);  // E[dot] ~ 1/T
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId c = 0; c < m; ++c) {
+      const double affinity = std::min(
+          1.0, affinity_scale * Dot(user_topics[u], item_topics[c]) * 0.6);
+      double p = (1.0 - params.popularity_boost) * affinity +
+                 params.popularity_boost * popularity[c];
+      p = std::clamp(p + params.noise * rng->Uniform(-0.5, 0.5), 0.0, 1.0);
+      scored[c] = {p, c};
+    }
+    if (params.pref_pool > 0 && params.pref_pool < m) {
+      std::nth_element(scored.begin(), scored.begin() + params.pref_pool - 1,
+                       scored.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+      for (int i = 0; i < params.pref_pool; ++i) {
+        instance->set_p(u, scored[i].second, scored[i].first);
+      }
+    } else {
+      for (const auto& [p, c] : scored) instance->set_p(u, c, p);
+    }
+  }
+
+  // Social utilities. A pair's discussion potential on an item requires
+  // *mutual* interest: tau lives on the intersection of the two users'
+  // preference pools (PIERT-style models learn it from co-engagement), with
+  // magnitude sqrt(p_u * p_v) modulated by the pairwise influence model.
+  std::vector<std::vector<ItemId>> pool(n);
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId c = 0; c < m; ++c) {
+      if (instance->p(u, c) > 0.0) pool[u].push_back(c);
+    }
+  }
+  const uint64_t salt = rng->Next();
+  std::vector<std::pair<double, ItemId>> tau_scored;
+  for (const Edge& e : instance->graph().edges()) {
+    double influence = 1.0;
+    switch (params.kind) {
+      case UtilityModelKind::kPiert:
+        influence = std::max(0.0, Cosine(user_topics[e.u], user_topics[e.v]));
+        break;
+      case UtilityModelKind::kAgree:
+        influence = 0.6;
+        break;
+      case UtilityModelKind::kGree:
+        influence = 1.0;  // folded into the per-triple factor below
+        break;
+    }
+    // Directional susceptibility: tau(u,v,.) differs from tau(v,u,.).
+    const double susceptibility = rng->Uniform(0.5, 1.0);
+    tau_scored.clear();
+    // Sorted-pool intersection of the endpoints.
+    const auto& pu = pool[e.u];
+    const auto& pv = pool[e.v];
+    size_t i = 0, j = 0;
+    while (i < pu.size() && j < pv.size()) {
+      if (pu[i] < pv[j]) {
+        ++i;
+      } else if (pu[i] > pv[j]) {
+        ++j;
+      } else {
+        const ItemId c = pu[i];
+        double t = params.tau_scale * susceptibility * influence *
+                   std::sqrt(instance->p(e.u, c) * instance->p(e.v, c));
+        if (params.kind == UtilityModelKind::kGree) {
+          t *= TripleNoise(e.id, c, salt);
+        }
+        if (t > 1e-4) tau_scored.emplace_back(t, c);
+        ++i;
+        ++j;
+      }
+    }
+    if (params.tau_pool > 0 &&
+        static_cast<int>(tau_scored.size()) > params.tau_pool) {
+      std::nth_element(tau_scored.begin(),
+                       tau_scored.begin() + params.tau_pool - 1,
+                       tau_scored.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+      tau_scored.resize(params.tau_pool);
+    }
+    for (const auto& [t, c] : tau_scored) {
+      instance->set_tau(e.id, c, t);
+    }
+  }
+  instance->FinalizePairs();
+
+  if (params.social_balance > 0.0 && !instance->pairs().empty()) {
+    // Rescale taus so aggregate social potential tracks preference
+    // potential (see header). Potentials use the top-k mass each side
+    // could realize.
+    const int k = std::max(1, std::min(params.balance_slots, m));
+    std::vector<double> top(m);
+    double pref_potential = 0.0;
+    for (UserId u = 0; u < n; ++u) {
+      for (ItemId c = 0; c < m; ++c) top[c] = instance->p(u, c);
+      std::nth_element(top.begin(), top.begin() + k - 1, top.end(),
+                       std::greater<double>());
+      for (int i = 0; i < k; ++i) pref_potential += top[i];
+    }
+    double social_potential = 0.0;
+    int64_t counted_entries = 0;
+    for (const FriendPair& pair : instance->pairs()) {
+      std::vector<double> ws;
+      ws.reserve(pair.weights.size());
+      for (const ItemValue& iv : pair.weights) ws.push_back(iv.value);
+      std::sort(ws.begin(), ws.end(), std::greater<double>());
+      for (int i = 0; i < k && i < static_cast<int>(ws.size()); ++i) {
+        social_potential += ws[i];
+        ++counted_entries;
+      }
+    }
+    if (social_potential > 1e-12 && counted_entries > 0) {
+      // Target: the mean realizable pair weight tracks social_balance times
+      // the mean top-k preference value of a user, so co-displaying a
+      // mutually liked item is genuinely competitive with one personal
+      // pick — the trade-off regime the paper's learned utilities exhibit.
+      const double mean_pref = pref_potential / (static_cast<double>(n) * k);
+      const double target = params.social_balance * mean_pref *
+                            static_cast<double>(counted_entries);
+      instance->ScaleAllTau(target / social_potential);
+      instance->FinalizePairs();
+    }
+  }
+}
+
+}  // namespace savg

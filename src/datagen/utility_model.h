@@ -1,0 +1,69 @@
+// Synthetic preference / social utility models.
+//
+// The paper obtains p(u,c) and tau(u,v,c) from learned models: PIERT [45]
+// (joint social influence + latent item topics), and the AGREE / GREE
+// attention models [9]. Those models and their training data are not
+// available offline, so we generate utilities from a latent-topic model
+// with the same structural signals (DESIGN.md documents the substitution):
+//
+//  * users have topic mixtures correlated with their community,
+//  * items have peaked topic profiles plus Zipf popularity,
+//  * preference p(u,c) blends topic affinity, popularity and noise, with
+//    only each user's top `pref_pool` items retained (recommender
+//    shortlists; also what keeps large-m LPs sparse),
+//  * social utility tau(u,v,c) requires mutual topical interest and is
+//    modulated by the pairwise influence model:
+//      - kPiert: influence = topic similarity of the two users,
+//      - kAgree: influence identical across all pairs,
+//      - kGree:  influence re-drawn per (u, v, item) triple.
+
+#pragma once
+
+#include <vector>
+
+#include "core/problem.h"
+#include "util/random.h"
+
+namespace savg {
+
+enum class UtilityModelKind { kPiert, kAgree, kGree };
+
+const char* UtilityModelKindName(UtilityModelKind kind);
+
+struct UtilityModelParams {
+  UtilityModelKind kind = UtilityModelKind::kPiert;
+  int num_topics = 8;
+  /// Zipf exponent of item popularity (0 = uniform).
+  double popularity_zipf = 0.9;
+  /// Weight of popularity (vs topic affinity) in preference.
+  double popularity_boost = 0.35;
+  /// How strongly a user's topics follow her community profile.
+  double community_mixing = 0.6;
+  /// Keep only each user's top-`pref_pool` preferences (0 = keep all).
+  int pref_pool = 100;
+  /// Keep only each edge's top-`tau_pool` social utilities (0 = keep all).
+  int tau_pool = 50;
+  /// Raw magnitude of social utility before normalization.
+  double tau_scale = 0.9;
+  /// After generation, taus are rescaled so the aggregate social potential
+  /// (sum over edges of their top-k tau mass) equals `social_balance` times
+  /// the aggregate preference potential (sum over users of their top-k
+  /// preferences). This keeps the personal/social trade-off meaningful at
+  /// any graph density — the regime the paper's learned utilities live in
+  /// (Figure 4 shows near-even splits at lambda = 1/2). 0 disables.
+  double social_balance = 1.0;
+  /// k used for the potential computation (display slots).
+  int balance_slots = 5;
+  /// Uniform noise magnitude mixed into preferences.
+  double noise = 0.15;
+};
+
+/// Fills the preference matrix and the per-edge tau entries of `instance`
+/// (whose graph must already be built) and finalizes pairs.
+/// `community_of[u]` groups users with correlated tastes; pass an empty
+/// vector for independent users.
+void PopulateUtilities(SvgicInstance* instance,
+                       const std::vector<int>& community_of,
+                       const UtilityModelParams& params, Rng* rng);
+
+}  // namespace savg

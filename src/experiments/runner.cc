@@ -1,0 +1,188 @@
+#include "experiments/runner.h"
+
+#include "baselines/per.h"
+#include "util/logging.h"
+
+namespace savg {
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kAvg:
+      return "AVG";
+    case Algo::kAvgD:
+      return "AVG-D";
+    case Algo::kAvgLs:
+      return "AVG+LS";
+    case Algo::kPer:
+      return "PER";
+    case Algo::kFmg:
+      return "FMG";
+    case Algo::kSdp:
+      return "SDP";
+    case Algo::kGrf:
+      return "GRF";
+    case Algo::kIp:
+      return "IP";
+  }
+  return "?";
+}
+
+std::vector<Algo> AllAlgos(bool include_ip) {
+  std::vector<Algo> algos = {Algo::kAvg, Algo::kAvgD, Algo::kPer,
+                             Algo::kFmg, Algo::kSdp,  Algo::kGrf};
+  if (include_ip) algos.push_back(Algo::kIp);
+  return algos;
+}
+
+Result<AlgoRun> RunAlgorithm(const SvgicInstance& instance, Algo algo,
+                             const RunnerConfig& config,
+                             const FractionalSolution* shared_frac) {
+  AlgoRun run;
+  run.algo = algo;
+  Timer timer;
+  switch (algo) {
+    case Algo::kAvg:
+    case Algo::kAvgD:
+    case Algo::kAvgLs: {
+      FractionalSolution local;
+      const FractionalSolution* frac = shared_frac;
+      if (frac == nullptr) {
+        auto solved = SolveRelaxation(instance, config.relaxation);
+        if (!solved.ok()) return solved.status();
+        local = std::move(solved).value();
+        frac = &local;
+      }
+      if (algo == Algo::kAvg || algo == Algo::kAvgLs) {
+        auto avg = RunAvgBest(instance, *frac, config.avg_repeats,
+                              config.avg);
+        if (!avg.ok()) return avg.status();
+        if (algo == Algo::kAvgLs) {
+          LocalSearchOptions ls;
+          ls.size_cap = config.avg.size_cap;
+          auto polished = ImproveByLocalSearch(instance, avg->config, ls);
+          if (!polished.ok()) return polished.status();
+          run.config = std::move(polished->config);
+        } else {
+          run.config = std::move(avg->config);
+        }
+      } else {
+        auto avg_d = RunAvgD(instance, *frac, config.avg_d);
+        if (!avg_d.ok()) return avg_d.status();
+        run.config = std::move(avg_d->config);
+      }
+      break;
+    }
+    case Algo::kPer: {
+      auto per = RunPersonalizedTopK(instance);
+      if (!per.ok()) return per.status();
+      run.config = std::move(per).value();
+      break;
+    }
+    case Algo::kFmg: {
+      auto fmg = RunFmg(instance, config.fmg);
+      if (!fmg.ok()) return fmg.status();
+      run.config = std::move(fmg).value();
+      break;
+    }
+    case Algo::kSdp: {
+      auto sdp = RunSdp(instance, config.sdp);
+      if (!sdp.ok()) return sdp.status();
+      run.config = std::move(sdp).value();
+      break;
+    }
+    case Algo::kGrf: {
+      auto grf = RunGrf(instance, config.grf);
+      if (!grf.ok()) return grf.status();
+      run.config = std::move(grf).value();
+      break;
+    }
+    case Algo::kIp: {
+      auto ip = SolveIpExact(instance, config.ip);
+      if (!ip.ok()) return ip.status();
+      run.config = std::move(ip->config);
+      run.ip_proven_optimal = ip->proven_optimal;
+      break;
+    }
+  }
+  run.seconds = timer.ElapsedSeconds();
+  run.breakdown = Evaluate(instance, run.config);
+  run.scaled_total = run.breakdown.ScaledTotal();
+  return run;
+}
+
+Result<std::vector<AggregateRow>> RunComparison(
+    const DatasetParams& base_params, int samples,
+    const std::vector<Algo>& algos, const RunnerConfig& config) {
+  std::vector<AggregateRow> rows(algos.size());
+  for (size_t a = 0; a < algos.size(); ++a) rows[a].algo = algos[a];
+
+  const bool need_frac =
+      std::find(algos.begin(), algos.end(), Algo::kAvg) != algos.end() ||
+      std::find(algos.begin(), algos.end(), Algo::kAvgD) != algos.end() ||
+      std::find(algos.begin(), algos.end(), Algo::kAvgLs) != algos.end();
+
+  for (int sample = 0; sample < samples; ++sample) {
+    DatasetParams params = base_params;
+    params.seed = base_params.seed + 7919 * sample;
+    auto instance = GenerateDataset(params);
+    if (!instance.ok()) return instance.status();
+
+    FractionalSolution frac;
+    double frac_seconds = 0.0;
+    if (need_frac) {
+      auto solved = SolveRelaxation(*instance, config.relaxation);
+      if (!solved.ok()) return solved.status();
+      frac = std::move(solved).value();
+      frac_seconds = frac.solve_seconds;
+    }
+
+    for (size_t a = 0; a < algos.size(); ++a) {
+      auto run = RunAlgorithm(*instance, algos[a], config,
+                              need_frac ? &frac : nullptr);
+      if (!run.ok()) return run.status();
+      AggregateRow& row = rows[a];
+      row.mean_scaled_total += run->scaled_total;
+      // AVG/AVG-D time must include their share of the relaxation.
+      const bool uses_frac = algos[a] == Algo::kAvg ||
+                             algos[a] == Algo::kAvgD ||
+                             algos[a] == Algo::kAvgLs;
+      row.mean_seconds += run->seconds + (uses_frac ? frac_seconds : 0.0);
+      const double lambda = instance->lambda();
+      const double scaled_pref =
+          lambda > 0.0 ? (1.0 - lambda) / lambda * run->breakdown.preference
+                       : run->breakdown.preference;
+      row.mean_preference += scaled_pref;
+      row.mean_social += run->breakdown.social_direct;
+      const SubgroupMetrics sm =
+          ComputeSubgroupMetrics(*instance, run->config);
+      row.mean_subgroup.intra_fraction += sm.intra_fraction;
+      row.mean_subgroup.inter_fraction += sm.inter_fraction;
+      row.mean_subgroup.normalized_density += sm.normalized_density;
+      row.mean_subgroup.co_display_rate += sm.co_display_rate;
+      row.mean_subgroup.alone_rate += sm.alone_rate;
+      const auto regrets = RegretRatios(*instance, run->config);
+      double regret_sum = 0.0;
+      for (double r : regrets) {
+        regret_sum += r;
+        row.regret_samples.push_back(r);
+      }
+      row.mean_regret += regret_sum / std::max<size_t>(1, regrets.size());
+    }
+  }
+  const double inv = 1.0 / std::max(1, samples);
+  for (AggregateRow& row : rows) {
+    row.mean_scaled_total *= inv;
+    row.mean_seconds *= inv;
+    row.mean_preference *= inv;
+    row.mean_social *= inv;
+    row.mean_subgroup.intra_fraction *= inv;
+    row.mean_subgroup.inter_fraction *= inv;
+    row.mean_subgroup.normalized_density *= inv;
+    row.mean_subgroup.co_display_rate *= inv;
+    row.mean_subgroup.alone_rate *= inv;
+    row.mean_regret *= inv;
+  }
+  return rows;
+}
+
+}  // namespace savg

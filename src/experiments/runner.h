@@ -1,0 +1,86 @@
+// Shared experiment harness used by every bench binary.
+//
+// Wraps the algorithm zoo behind one enum, measures wall time per run, and
+// aggregates means over sampled instances — the machinery behind each
+// figure/table reproduction in bench/.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/fmg.h"
+#include "baselines/grf.h"
+#include "baselines/ip_exact.h"
+#include "baselines/sdp.h"
+#include "core/avg.h"
+#include "core/avg_d.h"
+#include "core/local_search.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "datagen/datasets.h"
+#include "metrics/metrics.h"
+#include "util/status.h"
+
+namespace savg {
+
+enum class Algo {
+  kAvg,
+  kAvgD,
+  kAvgLs,  ///< AVG followed by local-search polish
+  kPer,
+  kFmg,
+  kSdp,
+  kGrf,
+  kIp,
+};
+
+const char* AlgoName(Algo algo);
+
+/// All algorithms in the paper's default comparison order.
+std::vector<Algo> AllAlgos(bool include_ip);
+
+struct RunnerConfig {
+  RelaxationOptions relaxation;
+  AvgOptions avg;
+  int avg_repeats = 3;
+  AvgDOptions avg_d;
+  FmgOptions fmg;
+  SdpOptions sdp;
+  GrfOptions grf;
+  IpExactOptions ip;
+};
+
+/// One algorithm run on one instance.
+struct AlgoRun {
+  Algo algo = Algo::kAvg;
+  Configuration config;
+  ObjectiveBreakdown breakdown;
+  double scaled_total = 0.0;
+  double seconds = 0.0;
+  bool ip_proven_optimal = false;
+};
+
+/// Runs one algorithm end-to-end (relaxation included for AVG/AVG-D).
+/// `shared_frac` (optional) reuses a relaxation solved once per instance.
+Result<AlgoRun> RunAlgorithm(const SvgicInstance& instance, Algo algo,
+                             const RunnerConfig& config,
+                             const FractionalSolution* shared_frac = nullptr);
+
+/// Aggregated comparison over `samples` generated instances (seed varies).
+struct AggregateRow {
+  Algo algo = Algo::kAvg;
+  double mean_scaled_total = 0.0;
+  double mean_seconds = 0.0;
+  double mean_preference = 0.0;  ///< scaled preference part
+  double mean_social = 0.0;      ///< social part
+  SubgroupMetrics mean_subgroup;
+  double mean_regret = 0.0;
+  std::vector<double> regret_samples;  ///< pooled per-user regrets
+};
+
+Result<std::vector<AggregateRow>> RunComparison(
+    const DatasetParams& base_params, int samples,
+    const std::vector<Algo>& algos, const RunnerConfig& config);
+
+}  // namespace savg

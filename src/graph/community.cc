@@ -1,0 +1,227 @@
+#include "graph/community.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+namespace savg {
+
+std::vector<std::vector<UserId>> Partition::Groups() const {
+  std::vector<std::vector<UserId>> groups(num_communities);
+  for (size_t u = 0; u < community.size(); ++u) {
+    groups[community[u]].push_back(static_cast<UserId>(u));
+  }
+  return groups;
+}
+
+void Normalize(Partition* p) {
+  std::unordered_map<int, int> remap;
+  for (int& c : p->community) {
+    auto [it, inserted] = remap.emplace(c, static_cast<int>(remap.size()));
+    c = it->second;
+  }
+  p->num_communities = static_cast<int>(remap.size());
+}
+
+Partition LabelPropagation(const SocialGraph& g, int max_rounds, Rng* rng) {
+  const int n = g.num_vertices();
+  Partition p;
+  p.community.resize(n);
+  std::iota(p.community.begin(), p.community.end(), 0);
+  std::vector<UserId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int round = 0; round < max_rounds; ++round) {
+    rng->Shuffle(&order);
+    bool changed = false;
+    for (UserId u : order) {
+      std::unordered_map<int, int> votes;
+      for (UserId w : g.OutNeighbors(u)) ++votes[p.community[w]];
+      for (UserId w : g.InNeighbors(u)) ++votes[p.community[w]];
+      if (votes.empty()) continue;
+      int best_count = 0;
+      for (const auto& [label, cnt] : votes) {
+        best_count = std::max(best_count, cnt);
+      }
+      // Keep the current label if it is among the top; otherwise pick
+      // uniformly among the top labels (avoids deterministic label floods
+      // across bridge edges).
+      auto cur_it = votes.find(p.community[u]);
+      if (cur_it != votes.end() && cur_it->second == best_count) continue;
+      std::vector<int> top;
+      for (const auto& [label, cnt] : votes) {
+        if (cnt == best_count) top.push_back(label);
+      }
+      std::sort(top.begin(), top.end());
+      const int best_label =
+          top[rng->UniformInt(static_cast<uint64_t>(top.size()))];
+      if (best_label != p.community[u]) {
+        p.community[u] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  Normalize(&p);
+  return p;
+}
+
+namespace {
+
+/// Undirected pair list (u < v) of the graph's support.
+std::vector<std::pair<UserId, UserId>> UndirectedPairs(const SocialGraph& g) {
+  std::vector<std::pair<UserId, UserId>> pairs;
+  for (const Edge& e : g.edges()) {
+    if (e.u < e.v || !g.HasEdge(e.v, e.u)) {
+      pairs.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+double Modularity(const SocialGraph& g, const Partition& p) {
+  const auto pairs = UndirectedPairs(g);
+  const double m = static_cast<double>(pairs.size());
+  if (m == 0) return 0.0;
+  std::vector<double> degree(g.num_vertices(), 0.0);
+  for (const auto& [u, v] : pairs) {
+    degree[u] += 1.0;
+    degree[v] += 1.0;
+  }
+  double q = 0.0;
+  for (const auto& [u, v] : pairs) {
+    if (p.community[u] == p.community[v]) q += 1.0 / m;
+  }
+  std::vector<double> comm_degree(p.num_communities, 0.0);
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    comm_degree[p.community[u]] += degree[u];
+  }
+  for (double d : comm_degree) q -= (d / (2.0 * m)) * (d / (2.0 * m));
+  return q;
+}
+
+Partition GreedyModularity(const SocialGraph& g, int min_communities) {
+  const int n = g.num_vertices();
+  Partition p;
+  p.community.resize(n);
+  std::iota(p.community.begin(), p.community.end(), 0);
+  p.num_communities = n;
+  const auto pairs = UndirectedPairs(g);
+  const double m = static_cast<double>(pairs.size());
+  if (m == 0) return p;
+
+  std::vector<double> degree(n, 0.0);
+  for (const auto& [u, v] : pairs) {
+    degree[u] += 1.0;
+    degree[v] += 1.0;
+  }
+  // Community state: edge counts between communities, total degree per
+  // community. O(n^2) dense bookkeeping; fine for shopping-group sizes.
+  std::vector<int> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  std::map<std::pair<int, int>, double> e_between;  // (a<b) -> #edges
+  for (const auto& [u, v] : pairs) {
+    auto key = std::minmax(label[u], label[v]);
+    e_between[{key.first, key.second}] += 1.0;
+  }
+  std::vector<double> a_deg(n);  // sum of degrees per community
+  for (int u = 0; u < n; ++u) a_deg[u] = degree[u];
+  std::vector<bool> alive(n, true);
+  int num_alive = n;
+
+  while (num_alive > min_communities) {
+    // Find the merge with the best modularity gain:
+    // dQ = e_ab/m - a_a*a_b/(2m^2).
+    double best_gain = -1e18;
+    std::pair<int, int> best_pair{-1, -1};
+    for (const auto& [key, e_ab] : e_between) {
+      const auto& [a, b] = key;
+      if (!alive[a] || !alive[b]) continue;
+      const double gain =
+          e_ab / m - a_deg[a] * a_deg[b] / (2.0 * m * m);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_pair = key;
+      }
+    }
+    if (best_pair.first < 0) break;
+    if (best_gain <= 0 && num_alive <= std::max(min_communities, 1)) break;
+    if (best_gain <= 0 && min_communities <= 1) break;
+    const auto [a, b] = best_pair;
+    // Merge b into a.
+    for (int u = 0; u < n; ++u) {
+      if (label[u] == b) label[u] = a;
+    }
+    a_deg[a] += a_deg[b];
+    alive[b] = false;
+    --num_alive;
+    // Fold b's inter-community edges into a's.
+    std::map<std::pair<int, int>, double> folded;
+    for (const auto& [key, cnt] : e_between) {
+      int x = key.first == b ? a : key.first;
+      int y = key.second == b ? a : key.second;
+      if (x == y) continue;  // now internal
+      auto nk = std::minmax(x, y);
+      folded[{nk.first, nk.second}] += cnt;
+    }
+    e_between = std::move(folded);
+  }
+  p.community = label;
+  Normalize(&p);
+  return p;
+}
+
+Partition BalancedPartition(const SocialGraph& g, int max_size, Rng* rng) {
+  const int n = g.num_vertices();
+  Partition p;
+  p.community.assign(n, -1);
+  if (max_size <= 0) max_size = n;
+  const int num_groups = (n + max_size - 1) / max_size;
+  // BFS chunking from random roots: fill one group at a time with a BFS
+  // frontier so members tend to be socially connected.
+  std::vector<UserId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  int group = 0;
+  int filled_in_group = 0;
+  std::deque<UserId> frontier;
+  size_t cursor = 0;
+  auto next_unassigned = [&]() -> UserId {
+    while (cursor < order.size() && p.community[order[cursor]] >= 0) ++cursor;
+    return cursor < order.size() ? order[cursor] : -1;
+  };
+  while (true) {
+    UserId u;
+    if (!frontier.empty()) {
+      u = frontier.front();
+      frontier.pop_front();
+      if (p.community[u] >= 0) continue;
+    } else {
+      u = next_unassigned();
+      if (u < 0) break;
+    }
+    if (p.community[u] >= 0) continue;
+    p.community[u] = group;
+    if (++filled_in_group >= max_size) {
+      ++group;
+      filled_in_group = 0;
+      frontier.clear();
+      if (group >= num_groups) group = num_groups - 1;
+    } else {
+      for (UserId w : g.OutNeighbors(u)) {
+        if (p.community[w] < 0) frontier.push_back(w);
+      }
+      for (UserId w : g.InNeighbors(u)) {
+        if (p.community[w] < 0) frontier.push_back(w);
+      }
+    }
+  }
+  p.num_communities = num_groups;
+  Normalize(&p);
+  return p;
+}
+
+}  // namespace savg

@@ -1,0 +1,48 @@
+// Community detection used by the subgroup-style baselines.
+//
+// SDP-style baselines pre-partition the shopping group into socially tight
+// subgroups; we provide label propagation (fast, nondeterministic) and a
+// greedy modularity merge (deterministic agglomerative, Clauset-Newman-Moore
+// flavor) plus balanced partitioning helpers used by the ST pre-partition
+// wrapper.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace savg {
+
+/// A partition of the vertex set: community[u] = community index in
+/// [0, num_communities).
+struct Partition {
+  std::vector<int> community;
+  int num_communities = 0;
+
+  /// Members of each community.
+  std::vector<std::vector<UserId>> Groups() const;
+};
+
+/// Asynchronous label propagation; `max_rounds` sweeps over vertices in a
+/// random order. Treats edges as undirected.
+Partition LabelPropagation(const SocialGraph& g, int max_rounds, Rng* rng);
+
+/// Greedy modularity maximization: start from singletons and repeatedly
+/// merge the pair of communities with the largest modularity gain until no
+/// positive gain remains (or `min_communities` is reached).
+Partition GreedyModularity(const SocialGraph& g, int min_communities = 1);
+
+/// Splits vertices into ceil(n / max_size) communities of (near-)equal size,
+/// keeping socially connected vertices together where possible (BFS
+/// chunking). Used by the "-P" pre-partition variants in Section 6.8.
+Partition BalancedPartition(const SocialGraph& g, int max_size, Rng* rng);
+
+/// Modularity of a partition (undirected support, unweighted).
+double Modularity(const SocialGraph& g, const Partition& p);
+
+/// Renumbers community ids to be dense in [0, num_communities).
+void Normalize(Partition* p);
+
+}  // namespace savg

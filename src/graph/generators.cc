@@ -1,0 +1,122 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace savg {
+
+SocialGraph ErdosRenyi(int n, double p, Rng* rng) {
+  SocialGraph g(n);
+  for (UserId u = 0; u < n; ++u) {
+    for (UserId v = u + 1; v < n; ++v) {
+      if (rng->Bernoulli(p)) {
+        Status st = g.AddUndirectedEdge(u, v);
+        assert(st.ok());
+        (void)st;
+      }
+    }
+  }
+  return g;
+}
+
+SocialGraph WattsStrogatz(int n, int k_half, double beta, Rng* rng) {
+  assert(k_half > 0 && 2 * k_half < n);
+  SocialGraph g(n);
+  // Ring lattice, then rewire the "forward" endpoint with probability beta.
+  for (UserId u = 0; u < n; ++u) {
+    for (int j = 1; j <= k_half; ++j) {
+      UserId v = static_cast<UserId>((u + j) % n);
+      if (rng->Bernoulli(beta)) {
+        // Rewire to a uniform random non-neighbor.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          UserId w = static_cast<UserId>(rng->UniformInt(
+              static_cast<uint64_t>(n)));
+          if (w != u && !g.HasEdge(u, w)) {
+            v = w;
+            break;
+          }
+        }
+      }
+      if (v != u && !g.HasEdge(u, v)) {
+        Status st = g.AddUndirectedEdge(u, v);
+        assert(st.ok());
+        (void)st;
+      }
+    }
+  }
+  return g;
+}
+
+SocialGraph BarabasiAlbert(int n, int m_attach, Rng* rng) {
+  assert(m_attach >= 1 && n > m_attach);
+  SocialGraph g(n);
+  // Repeated-endpoint list: picking a uniform element is degree-proportional.
+  std::vector<UserId> endpoint_pool;
+  // Seed clique on m_attach + 1 vertices.
+  for (UserId u = 0; u <= m_attach; ++u) {
+    for (UserId v = u + 1; v <= m_attach; ++v) {
+      Status st = g.AddUndirectedEdge(u, v);
+      assert(st.ok());
+      (void)st;
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (UserId u = static_cast<UserId>(m_attach + 1); u < n; ++u) {
+    std::vector<UserId> targets;
+    int guard = 0;
+    while (static_cast<int>(targets.size()) < m_attach && guard++ < 1000) {
+      UserId cand = endpoint_pool[rng->UniformInt(
+          static_cast<uint64_t>(endpoint_pool.size()))];
+      if (cand != u &&
+          std::find(targets.begin(), targets.end(), cand) == targets.end()) {
+        targets.push_back(cand);
+      }
+    }
+    for (UserId v : targets) {
+      Status st = g.AddUndirectedEdge(u, v);
+      assert(st.ok());
+      (void)st;
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  return g;
+}
+
+SocialGraph PlantedPartition(int n, int num_blocks, double p_in, double p_out,
+                             Rng* rng, std::vector<int>* block_of) {
+  assert(num_blocks >= 1);
+  std::vector<int> blocks(n);
+  for (int i = 0; i < n; ++i) blocks[i] = i % num_blocks;
+  rng->Shuffle(&blocks);
+  SocialGraph g(n);
+  for (UserId u = 0; u < n; ++u) {
+    for (UserId v = u + 1; v < n; ++v) {
+      const double p = blocks[u] == blocks[v] ? p_in : p_out;
+      if (rng->Bernoulli(p)) {
+        Status st = g.AddUndirectedEdge(u, v);
+        assert(st.ok());
+        (void)st;
+      }
+    }
+  }
+  if (block_of != nullptr) *block_of = std::move(blocks);
+  return g;
+}
+
+SocialGraph CompleteGraph(int n) {
+  SocialGraph g(n);
+  for (UserId u = 0; u < n; ++u) {
+    for (UserId v = u + 1; v < n; ++v) {
+      Status st = g.AddUndirectedEdge(u, v);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return g;
+}
+
+SocialGraph EmptyGraph(int n) { return SocialGraph(n); }
+
+}  // namespace savg

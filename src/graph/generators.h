@@ -1,0 +1,46 @@
+// Random social-network generators.
+//
+// The paper evaluates on Timik, Epinions and Yelp, which are not available
+// offline; DESIGN.md documents the substitution. These generators produce
+// synthetic graphs whose structural properties (density, degree skew,
+// community strength) can be tuned to emulate each dataset.
+//
+// All generators produce symmetric (undirected-support) graphs: both
+// directions of each friendship are added as directed edges.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace savg {
+
+/// G(n, p): each unordered pair is a friendship independently with
+/// probability p.
+SocialGraph ErdosRenyi(int n, double p, Rng* rng);
+
+/// Watts-Strogatz small world: ring lattice with k nearest neighbors per
+/// side rewired with probability beta. Requires 0 < 2*k_half < n.
+SocialGraph WattsStrogatz(int n, int k_half, double beta, Rng* rng);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches to
+/// `m_attach` existing vertices with probability proportional to degree.
+SocialGraph BarabasiAlbert(int n, int m_attach, Rng* rng);
+
+/// Planted-partition (stochastic block model with equal-size blocks):
+/// `num_blocks` communities, within-community edge probability p_in and
+/// across-community probability p_out.
+SocialGraph PlantedPartition(int n, int num_blocks, double p_in, double p_out,
+                             Rng* rng,
+                             std::vector<int>* block_of = nullptr);
+
+/// A complete graph on n vertices (used by hardness-construction tests).
+SocialGraph CompleteGraph(int n);
+
+/// An empty (edgeless) graph on n vertices.
+SocialGraph EmptyGraph(int n);
+
+}  // namespace savg

@@ -1,0 +1,134 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+namespace savg {
+
+SocialGraph::SocialGraph(int num_vertices)
+    : num_vertices_(num_vertices),
+      out_adj_(num_vertices),
+      out_edge_ids_(num_vertices),
+      in_adj_(num_vertices) {}
+
+Result<EdgeId> SocialGraph::AddEdge(UserId u, UserId v) {
+  if (u < 0 || u >= num_vertices_ || v < 0 || v >= num_vertices_) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loops are not allowed");
+  if (HasEdge(u, v)) return Status::AlreadyExists("duplicate edge");
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({u, v, id});
+  out_adj_[u].push_back(v);
+  out_edge_ids_[u].push_back(id);
+  in_adj_[v].push_back(u);
+  return id;
+}
+
+Status SocialGraph::AddUndirectedEdge(UserId u, UserId v) {
+  if (u < 0 || u >= num_vertices_ || v < 0 || v >= num_vertices_) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loops are not allowed");
+  if (!HasEdge(u, v)) {
+    auto r = AddEdge(u, v);
+    if (!r.ok()) return r.status();
+  }
+  if (!HasEdge(v, u)) {
+    auto r = AddEdge(v, u);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+bool SocialGraph::HasEdge(UserId u, UserId v) const {
+  return FindEdge(u, v) >= 0;
+}
+
+EdgeId SocialGraph::FindEdge(UserId u, UserId v) const {
+  if (u < 0 || u >= num_vertices_) return -1;
+  const auto& adj = out_adj_[u];
+  for (size_t i = 0; i < adj.size(); ++i) {
+    if (adj[i] == v) return out_edge_ids_[u][i];
+  }
+  return -1;
+}
+
+int SocialGraph::NumUndirectedPairs() const {
+  int pairs = 0;
+  for (const Edge& e : edges_) {
+    if (e.u < e.v || !HasEdge(e.v, e.u)) ++pairs;
+  }
+  return pairs;
+}
+
+double SocialGraph::UndirectedDensity() const {
+  if (num_vertices_ < 2) return 0.0;
+  const double possible =
+      static_cast<double>(num_vertices_) * (num_vertices_ - 1) / 2.0;
+  return static_cast<double>(NumUndirectedPairs()) / possible;
+}
+
+SocialGraph SocialGraph::InducedSubgraph(
+    const std::vector<UserId>& vertices,
+    std::vector<UserId>* old_to_new) const {
+  std::vector<UserId> mapping(num_vertices_, -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    mapping[vertices[i]] = static_cast<UserId>(i);
+  }
+  SocialGraph sub(static_cast<int>(vertices.size()));
+  for (const Edge& e : edges_) {
+    const UserId nu = mapping[e.u], nv = mapping[e.v];
+    if (nu >= 0 && nv >= 0) {
+      auto r = sub.AddEdge(nu, nv);
+      (void)r;  // Duplicates cannot occur; endpoints are valid.
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return sub;
+}
+
+std::vector<UserId> SocialGraph::EgoNetwork(UserId center, int hops) const {
+  std::vector<int> dist(num_vertices_, -1);
+  std::deque<UserId> queue;
+  dist[center] = 0;
+  queue.push_back(center);
+  std::vector<UserId> result;
+  while (!queue.empty()) {
+    UserId u = queue.front();
+    queue.pop_front();
+    result.push_back(u);
+    if (dist[u] >= hops) continue;
+    auto visit = [&](UserId w) {
+      if (dist[w] < 0) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    };
+    for (UserId w : out_adj_[u]) visit(w);
+    for (UserId w : in_adj_[u]) visit(w);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+int SocialGraph::CountInducedPairs(const std::vector<UserId>& vertices) const {
+  std::unordered_set<UserId> in_set(vertices.begin(), vertices.end());
+  int pairs = 0;
+  for (const Edge& e : edges_) {
+    if (!in_set.count(e.u) || !in_set.count(e.v)) continue;
+    if (e.u < e.v || !HasEdge(e.v, e.u)) ++pairs;
+  }
+  return pairs;
+}
+
+std::string SocialGraph::DebugString() const {
+  std::ostringstream os;
+  os << "SocialGraph(n=" << num_vertices_ << ", directed_edges=" << num_edges()
+     << ", pairs=" << NumUndirectedPairs() << ")";
+  return os.str();
+}
+
+}  // namespace savg

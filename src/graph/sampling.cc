@@ -1,0 +1,60 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace savg {
+
+std::vector<UserId> RandomWalkSample(const SocialGraph& g, int count,
+                                     double restart_p, Rng* rng) {
+  const int n = g.num_vertices();
+  count = std::min(count, n);
+  std::unordered_set<UserId> visited;
+  if (n == 0 || count == 0) return {};
+  UserId start =
+      static_cast<UserId>(rng->UniformInt(static_cast<uint64_t>(n)));
+  UserId cur = start;
+  visited.insert(cur);
+  int stall = 0;
+  const int max_stall = 50 * count + 100;
+  while (static_cast<int>(visited.size()) < count) {
+    if (rng->Bernoulli(restart_p)) cur = start;
+    // Undirected step over the union of in/out neighborhoods.
+    const auto& out = g.OutNeighbors(cur);
+    const auto& in = g.InNeighbors(cur);
+    const size_t deg = out.size() + in.size();
+    if (deg == 0) {
+      // Dead end: restart somewhere else entirely.
+      cur = static_cast<UserId>(rng->UniformInt(static_cast<uint64_t>(n)));
+      start = cur;
+    } else {
+      size_t pick = rng->UniformInt(static_cast<uint64_t>(deg));
+      cur = pick < out.size() ? out[pick] : in[pick - out.size()];
+    }
+    if (visited.insert(cur).second) {
+      stall = 0;
+    } else if (++stall > max_stall) {
+      // The reachable component is exhausted; top up uniformly.
+      for (UserId u = 0; static_cast<int>(visited.size()) < count && u < n;
+           ++u) {
+        visited.insert(u);
+      }
+    }
+  }
+  std::vector<UserId> result(visited.begin(), visited.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<UserId> UniformVertexSample(const SocialGraph& g, int count,
+                                        Rng* rng) {
+  const int n = g.num_vertices();
+  count = std::min(count, n);
+  auto idx = rng->SampleWithoutReplacement(static_cast<size_t>(n),
+                                           static_cast<size_t>(count));
+  std::vector<UserId> result(idx.begin(), idx.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace savg

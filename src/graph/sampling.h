@@ -1,0 +1,28 @@
+// Graph sampling utilities.
+//
+// The paper builds its "small dataset" instances by random-walk sampling of
+// the user set from the full Timik network (following [55]) and uniform
+// sampling of items. RandomWalkSample reproduces that: a simple random walk
+// with restarts collects `count` distinct vertices.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace savg {
+
+/// Collects `count` distinct vertices by an undirected random walk with
+/// restart probability `restart_p`, starting from a uniform vertex.
+/// Falls back to uniform sampling for isolated regions so it always
+/// returns exactly min(count, n) vertices, sorted ascending.
+std::vector<UserId> RandomWalkSample(const SocialGraph& g, int count,
+                                     double restart_p, Rng* rng);
+
+/// Uniformly samples min(count, n) distinct vertices, sorted ascending.
+std::vector<UserId> UniformVertexSample(const SocialGraph& g, int count,
+                                        Rng* rng);
+
+}  // namespace savg

@@ -1,0 +1,125 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+namespace savg {
+
+namespace {
+
+/// Undirected neighbor sets (union of in/out), deduplicated and sorted.
+std::vector<std::vector<UserId>> UndirectedAdjacency(const SocialGraph& g) {
+  std::vector<std::vector<UserId>> adj(g.num_vertices());
+  for (UserId u = 0; u < g.num_vertices(); ++u) {
+    adj[u] = g.OutNeighbors(u);
+    adj[u].insert(adj[u].end(), g.InNeighbors(u).begin(),
+                  g.InNeighbors(u).end());
+    std::sort(adj[u].begin(), adj[u].end());
+    adj[u].erase(std::unique(adj[u].begin(), adj[u].end()), adj[u].end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+DegreeStats ComputeDegreeStats(const SocialGraph& g) {
+  DegreeStats stats;
+  const auto adj = UndirectedAdjacency(g);
+  if (adj.empty()) return stats;
+  double sum = 0.0, sumsq = 0.0;
+  for (const auto& nbrs : adj) {
+    const double d = static_cast<double>(nbrs.size());
+    sum += d;
+    sumsq += d * d;
+    stats.max = std::max(stats.max, d);
+  }
+  const double n = static_cast<double>(adj.size());
+  stats.mean = sum / n;
+  const double var = std::max(0.0, sumsq / n - stats.mean * stats.mean);
+  stats.stddev = std::sqrt(var);
+  stats.cv = stats.mean > 0.0 ? stats.stddev / stats.mean : 0.0;
+  return stats;
+}
+
+double GlobalClusteringCoefficient(const SocialGraph& g) {
+  const auto adj = UndirectedAdjacency(g);
+  int64_t wedges = 0;
+  int64_t closed = 0;  // ordered closed wedges; each triangle counted 6x
+  for (UserId u = 0; u < g.num_vertices(); ++u) {
+    const int64_t d = static_cast<int64_t>(adj[u].size());
+    wedges += d * (d - 1) / 2;
+    for (size_t i = 0; i < adj[u].size(); ++i) {
+      for (size_t j = i + 1; j < adj[u].size(); ++j) {
+        const UserId a = adj[u][i], b = adj[u][j];
+        if (std::binary_search(adj[a].begin(), adj[a].end(), b)) ++closed;
+      }
+    }
+  }
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(closed) / static_cast<double>(wedges);
+}
+
+double ApproxAveragePathLength(const SocialGraph& g, int samples, Rng* rng) {
+  const int n = g.num_vertices();
+  if (n < 2) return 0.0;
+  const auto adj = UndirectedAdjacency(g);
+  double total = 0.0;
+  int counted = 0;
+  std::vector<int> dist(n);
+  for (int s = 0; s < samples; ++s) {
+    const UserId src =
+        static_cast<UserId>(rng->UniformInt(static_cast<uint64_t>(n)));
+    UserId dst;
+    do {
+      dst = static_cast<UserId>(rng->UniformInt(static_cast<uint64_t>(n)));
+    } while (dst == src);
+    std::fill(dist.begin(), dist.end(), -1);
+    std::deque<UserId> queue{src};
+    dist[src] = 0;
+    while (!queue.empty() && dist[dst] < 0) {
+      const UserId u = queue.front();
+      queue.pop_front();
+      for (UserId w : adj[u]) {
+        if (dist[w] < 0) {
+          dist[w] = dist[u] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (dist[dst] > 0) {
+      total += dist[dst];
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+int LargestComponentSize(const SocialGraph& g) {
+  const int n = g.num_vertices();
+  const auto adj = UndirectedAdjacency(g);
+  std::vector<bool> seen(n, false);
+  int best = 0;
+  for (UserId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    int size = 0;
+    std::deque<UserId> queue{s};
+    seen[s] = true;
+    while (!queue.empty()) {
+      const UserId u = queue.front();
+      queue.pop_front();
+      ++size;
+      for (UserId w : adj[u]) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+    best = std::max(best, size);
+  }
+  return best;
+}
+
+}  // namespace savg

@@ -1,0 +1,39 @@
+// Structural statistics of social graphs.
+//
+// Used to validate that the dataset emulators reproduce the properties the
+// paper's analysis leans on (Timik dense and weakly clustered, Epinions
+// sparse and tree-ish, Yelp strongly clustered), and generally handy when
+// characterizing inputs.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace savg {
+
+struct DegreeStats {
+  double mean = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  /// Coefficient of variation (stddev/mean); > 1 indicates a heavy tail.
+  double cv = 0.0;
+};
+
+/// Undirected-support degree statistics.
+DegreeStats ComputeDegreeStats(const SocialGraph& g);
+
+/// Global clustering coefficient: 3 * #triangles / #wedges over the
+/// undirected support. 0 for graphs without wedges.
+double GlobalClusteringCoefficient(const SocialGraph& g);
+
+/// Mean shortest-path length over `samples` random reachable pairs
+/// (undirected BFS). Returns 0 if no reachable pair is sampled.
+double ApproxAveragePathLength(const SocialGraph& g, int samples, Rng* rng);
+
+/// Size of the largest connected component of the undirected support.
+int LargestComponentSize(const SocialGraph& g);
+
+}  // namespace savg

@@ -1,0 +1,88 @@
+#include "lp/capped_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace savg {
+
+void ProjectCappedSimplex(std::vector<double>* v, double k, double tol) {
+  const size_t m = v->size();
+  if (m == 0) return;
+  if (k <= 0.0) {
+    std::fill(v->begin(), v->end(), 0.0);
+    return;
+  }
+  if (k >= static_cast<double>(m)) {
+    std::fill(v->begin(), v->end(), 1.0);
+    return;
+  }
+  // mass(t) = sum_j clamp(v_j - t, 0, 1) is continuous, non-increasing in t.
+  auto mass = [&](double t) {
+    double acc = 0.0;
+    for (double x : *v) acc += std::clamp(x - t, 0.0, 1.0);
+    return acc;
+  };
+  double lo = -1.0, hi = 1.0;
+  {
+    const auto [mn, mx] = std::minmax_element(v->begin(), v->end());
+    lo = *mn - 1.0;  // mass(lo) = m >= k
+    hi = *mx;        // mass(hi) = 0 <= k
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mass(mid) > k) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < tol) break;
+  }
+  const double t = 0.5 * (lo + hi);
+  double total = 0.0;
+  for (double& x : *v) {
+    x = std::clamp(x - t, 0.0, 1.0);
+    total += x;
+  }
+  // Tiny mass correction distributed over interior coordinates.
+  double deficit = k - total;
+  if (std::abs(deficit) > tol) {
+    for (double& x : *v) {
+      if (deficit > 0 && x < 1.0) {
+        const double add = std::min(1.0 - x, deficit);
+        x += add;
+        deficit -= add;
+      } else if (deficit < 0 && x > 0.0) {
+        const double sub = std::min(x, -deficit);
+        x -= sub;
+        deficit += sub;
+      }
+      if (std::abs(deficit) <= tol) break;
+    }
+  }
+}
+
+std::vector<double> CappedSimplexLmo(const std::vector<double>& gradient,
+                                     double k) {
+  const size_t m = gradient.size();
+  std::vector<double> x(m, 0.0);
+  if (k <= 0.0) return x;
+  if (k >= static_cast<double>(m)) {
+    std::fill(x.begin(), x.end(), 1.0);
+    return x;
+  }
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  const size_t whole = static_cast<size_t>(k);
+  std::partial_sort(order.begin(),
+                    order.begin() + std::min(m, whole + 1), order.end(),
+                    [&](size_t a, size_t b) {
+                      return gradient[a] > gradient[b];
+                    });
+  for (size_t i = 0; i < whole && i < m; ++i) x[order[i]] = 1.0;
+  const double frac = k - static_cast<double>(whole);
+  if (frac > 0.0 && whole < m) x[order[whole]] = frac;
+  return x;
+}
+
+}  // namespace savg

@@ -1,0 +1,28 @@
+// Euclidean projection onto the "capped simplex"
+//
+//   D(k) = { x in R^m : sum_j x_j = k,  0 <= x_j <= 1 }.
+//
+// In the compact SVGIC relaxation LP_SIMP (Section 4.4) each user's
+// fractional item vector x_u lives in exactly this polytope, so the
+// projected-subgradient LP solver projects onto a product of capped
+// simplices. The projection is computed by bisection on the shift `t` in
+// x_j = clamp(v_j - t, 0, 1), whose total mass is monotone in t.
+
+#pragma once
+
+#include <vector>
+
+namespace savg {
+
+/// Projects `v` onto D(k) in Euclidean norm (in place). Requires
+/// 0 <= k <= v.size(). Accurate to `tol` in the mass constraint.
+void ProjectCappedSimplex(std::vector<double>* v, double k,
+                          double tol = 1e-10);
+
+/// Linear maximization oracle over D(k): returns the vertex that puts mass 1
+/// on the k largest entries of `gradient` (fractional mass on the boundary
+/// entry if k is not integral).
+std::vector<double> CappedSimplexLmo(const std::vector<double>& gradient,
+                                     double k);
+
+}  // namespace savg

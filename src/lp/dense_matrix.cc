@@ -1,0 +1,129 @@
+#include "lp/dense_matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace savg {
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::Identity(size_t n) {
+  DenseMatrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> DenseMatrix::MultiplyVector(
+    const std::vector<double>& x) const {
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::TransposeMultiplyVector(
+    const std::vector<double>& x) const {
+  std::vector<double> y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Result<DenseMatrix> DenseMatrix::Multiply(const DenseMatrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("matrix dimension mismatch");
+  }
+  DenseMatrix out(rows_, other.cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = At(r, k);
+      if (a == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(r);
+      for (size_t c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
+    }
+  }
+  return out;
+}
+
+Result<DenseMatrix> DenseMatrix::Inverse(double pivot_tol) const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("inverse of non-square matrix");
+  }
+  const size_t n = rows_;
+  DenseMatrix work = *this;
+  DenseMatrix inv = Identity(n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::abs(work.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(work.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < pivot_tol) {
+      return Status::NumericalError("singular matrix in inversion");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(work.At(pivot, c), work.At(col, c));
+        std::swap(inv.At(pivot, c), inv.At(col, c));
+      }
+    }
+    const double d = work.At(col, col);
+    const double dinv = 1.0 / d;
+    for (size_t c = 0; c < n; ++c) {
+      work.At(col, c) *= dinv;
+      inv.At(col, c) *= dinv;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = work.At(r, col);
+      if (f == 0.0) continue;
+      for (size_t c = 0; c < n; ++c) {
+        work.At(r, c) -= f * work.At(col, c);
+        inv.At(r, c) -= f * inv.At(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+double DenseMatrix::InverseResidual(const DenseMatrix& claimed_inverse) const {
+  auto prod = Multiply(claimed_inverse);
+  if (!prod.ok()) return 1e300;
+  double worst = 0.0;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      const double expect = r == c ? 1.0 : 0.0;
+      worst = std::max(worst, std::abs(prod->At(r, c) - expect));
+    }
+  }
+  return worst;
+}
+
+std::string DenseMatrix::DebugString() const {
+  std::ostringstream os;
+  os << "DenseMatrix " << rows_ << "x" << cols_ << "\n";
+  for (size_t r = 0; r < rows_ && r < 12; ++r) {
+    for (size_t c = 0; c < cols_ && c < 12; ++c) {
+      os << At(r, c) << (c + 1 < cols_ ? " " : "");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace savg

@@ -1,0 +1,59 @@
+// Small dense matrix used by the simplex solver's basis management.
+//
+// Row-major storage with Gauss-Jordan inversion (partial pivoting). Sizes in
+// this library are at most a few thousand rows, so dense O(n^3) inversion in
+// periodic refactorizations is acceptable.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace savg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0);
+
+  /// Identity matrix of size n.
+  static DenseMatrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  /// y = this * x. Requires x.size() == cols().
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+
+  /// y = this^T * x. Requires x.size() == rows().
+  std::vector<double> TransposeMultiplyVector(
+      const std::vector<double>& x) const;
+
+  /// C = this * other.
+  Result<DenseMatrix> Multiply(const DenseMatrix& other) const;
+
+  /// In-place Gauss-Jordan inverse with partial pivoting. Fails with
+  /// kNumericalError if (near-)singular.
+  Result<DenseMatrix> Inverse(double pivot_tol = 1e-11) const;
+
+  /// Max-abs entry of (this * other - I); diagnostic for inverse quality.
+  double InverseResidual(const DenseMatrix& claimed_inverse) const;
+
+  std::string DebugString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace savg

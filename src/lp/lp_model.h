@@ -1,0 +1,93 @@
+// General linear-program model:
+//
+//   maximize (or minimize)  c' x
+//   subject to              row_i: a_i' x  {<=, =, >=}  b_i
+//                           lower_j <= x_j <= upper_j
+//
+// Rows are stored sparsely. This is the interface consumed by the simplex
+// solver and the branch-and-bound MIP solver; SVGIC-specific formulations
+// are built on top of it in core/lp_formulation.h.
+
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace savg {
+
+constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
+
+enum class RowType { kLessEqual, kGreaterEqual, kEqual };
+
+/// One sparse coefficient a_ij.
+struct LpTerm {
+  int var = 0;
+  double coef = 0.0;
+};
+
+/// One sparse constraint row.
+struct LpRow {
+  RowType type = RowType::kLessEqual;
+  double rhs = 0.0;
+  std::vector<LpTerm> terms;
+};
+
+/// Sparse LP model builder.
+class LpModel {
+ public:
+  /// Adds a variable with bounds [lower, upper] and objective coefficient
+  /// `obj`; returns its index.
+  int AddVariable(double lower, double upper, double obj,
+                  std::string name = "");
+
+  /// Adds a constraint row; returns its index. Terms with duplicate `var`
+  /// are allowed and summed by the solver.
+  int AddRow(RowType type, double rhs, std::vector<LpTerm> terms);
+
+  void SetMaximize(bool maximize) { maximize_ = maximize; }
+  bool maximize() const { return maximize_; }
+
+  void SetObjectiveCoefficient(int var, double obj) { obj_[var] = obj; }
+  void SetBounds(int var, double lower, double upper) {
+    lower_[var] = lower;
+    upper_[var] = upper;
+  }
+
+  int num_vars() const { return static_cast<int>(obj_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  double objective(int var) const { return obj_[var]; }
+  double lower(int var) const { return lower_[var]; }
+  double upper(int var) const { return upper_[var]; }
+  const std::string& name(int var) const { return names_[var]; }
+  const LpRow& row(int i) const { return rows_[i]; }
+  const std::vector<LpRow>& rows() const { return rows_; }
+
+  /// Objective value of a given point (no feasibility check).
+  double ObjectiveValue(const std::vector<double>& x) const;
+
+  /// Max constraint/bound violation of a given point.
+  double MaxViolation(const std::vector<double>& x) const;
+
+  std::string DebugString() const;
+
+ private:
+  bool maximize_ = true;
+  std::vector<double> obj_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<std::string> names_;
+  std::vector<LpRow> rows_;
+};
+
+/// Outcome of an LP solve.
+struct LpSolution {
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+  double solve_seconds = 0.0;
+};
+
+}  // namespace savg

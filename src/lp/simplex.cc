@@ -1,0 +1,471 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace savg {
+
+namespace {
+
+enum class VarStatus { kBasic, kAtLower, kAtUpper };
+
+/// Internal working form:
+///   maximize c'x  s.t.  A x = b,  l <= x <= u
+/// Columns 0..n_struct-1 are structural, then slacks, then artificials.
+class SimplexWorker {
+ public:
+  SimplexWorker(const LpModel& model, const SimplexOptions& options)
+      : model_(model), opt_(options) {}
+
+  Result<LpSolution> Run() {
+    Status st = Build();
+    if (!st.ok()) return st;
+    Timer timer;
+    // Phase 1: drive artificials to zero.
+    if (num_artificials_ > 0) {
+      SetPhase1Objective();
+      Status p1 = Iterate(&timer);
+      if (!p1.ok()) return p1;
+      double infeas = 0.0;
+      for (int j = first_artificial_; j < num_cols_; ++j) {
+        infeas += Value(j);
+      }
+      if (infeas > 1e-6) {
+        return Status::Infeasible("phase-1 infeasibility " +
+                                  std::to_string(infeas));
+      }
+      // Freeze artificials at zero for phase 2.
+      for (int j = first_artificial_; j < num_cols_; ++j) {
+        upper_[j] = 0.0;
+      }
+    }
+    SetPhase2Objective();
+    Status p2 = Iterate(&timer);
+    if (!p2.ok()) return p2;
+
+    LpSolution sol;
+    sol.x.resize(model_.num_vars());
+    for (int j = 0; j < model_.num_vars(); ++j) sol.x[j] = Value(j);
+    sol.objective = model_.ObjectiveValue(sol.x);
+    sol.iterations = total_iterations_;
+    sol.solve_seconds = timer.ElapsedSeconds();
+    return sol;
+  }
+
+ private:
+  // ---- setup -------------------------------------------------------------
+
+  Status Build() {
+    const int n_struct = model_.num_vars();
+    const int n_rows = model_.num_rows();
+    num_rows_ = n_rows;
+
+    lower_.assign(n_struct, 0.0);
+    upper_.assign(n_struct, 0.0);
+    for (int j = 0; j < n_struct; ++j) {
+      lower_[j] = model_.lower(j);
+      upper_[j] = model_.upper(j);
+      if (!std::isfinite(lower_[j])) {
+        return Status::NotImplemented(
+            "simplex requires finite lower bounds");
+      }
+      if (upper_[j] < lower_[j] - opt_.tolerance) {
+        return Status::Infeasible("variable with empty bound interval");
+      }
+    }
+
+    // Normalize rows: >= becomes <= by negation; then <= gets a slack.
+    cols_.assign(n_struct, {});
+    num_cols_ = n_struct;
+    rhs_.assign(n_rows, 0.0);
+    std::vector<bool> is_eq(n_rows, false);
+    for (int i = 0; i < n_rows; ++i) {
+      const LpRow& row = model_.row(i);
+      const double sign = row.type == RowType::kGreaterEqual ? -1.0 : 1.0;
+      rhs_[i] = sign * row.rhs;
+      is_eq[i] = row.type == RowType::kEqual;
+      for (const LpTerm& t : row.terms) {
+        if (t.var < 0 || t.var >= n_struct) {
+          return Status::InvalidArgument("row references unknown variable");
+        }
+        AddCoef(t.var, i, sign * t.coef);
+      }
+    }
+    // Slacks.
+    first_slack_ = n_struct;
+    slack_of_row_.assign(n_rows, -1);
+    for (int i = 0; i < n_rows; ++i) {
+      if (is_eq[i]) continue;
+      int j = NewColumn(0.0, kLpInfinity);
+      AddCoef(j, i, 1.0);
+      slack_of_row_[i] = j;
+    }
+
+    // Crash basis: structural vars at lower bound, slacks basic where the
+    // residual allows, artificials elsewhere.
+    status_.assign(num_cols_, VarStatus::kAtLower);
+    basic_value_.assign(n_rows, 0.0);
+    basis_.assign(n_rows, -1);
+    row_of_basic_.assign(num_cols_, -1);
+
+    std::vector<double> residual = rhs_;
+    for (int j = 0; j < n_struct; ++j) {
+      const double xj = lower_[j];
+      if (xj != 0.0) {
+        for (const auto& [r, a] : cols_[j]) residual[r] -= a * xj;
+      }
+    }
+    first_artificial_ = num_cols_;
+    num_artificials_ = 0;
+    for (int i = 0; i < n_rows; ++i) {
+      const int sj = slack_of_row_[i];
+      if (sj >= 0 && residual[i] >= 0.0) {
+        MakeBasic(sj, i, residual[i]);
+      } else {
+        // Artificial with coefficient matching the residual sign.
+        int j = NewColumn(0.0, kLpInfinity);
+        if (num_artificials_ == 0) first_artificial_ = j;
+        ++num_artificials_;
+        AddCoef(j, i, residual[i] >= 0.0 ? 1.0 : -1.0);
+        MakeBasic(j, i, std::abs(residual[i]));
+      }
+    }
+    // B = identity-sign columns, so B_inv starts as signed identity.
+    binv_.assign(static_cast<size_t>(n_rows) * n_rows, 0.0);
+    for (int i = 0; i < n_rows; ++i) {
+      const int bj = basis_[i];
+      const double a = cols_[bj].front().second;  // single-entry column
+      // For slack/artificial columns the only row is i with coef +-1.
+      Binv(i, i) = 1.0 / a;
+    }
+    obj_.assign(num_cols_, 0.0);
+    return Status::OK();
+  }
+
+  int NewColumn(double lo, double hi) {
+    cols_.emplace_back();
+    lower_.push_back(lo);
+    upper_.push_back(hi);
+    if (static_cast<int>(status_.size()) == num_cols_) {
+      status_.push_back(VarStatus::kAtLower);
+    }
+    row_of_basic_.push_back(-1);
+    return num_cols_++;
+  }
+
+  void AddCoef(int col, int row, double coef) {
+    if (coef == 0.0) return;
+    auto& c = cols_[col];
+    for (auto& [r, a] : c) {
+      if (r == row) {
+        a += coef;
+        return;
+      }
+    }
+    c.emplace_back(row, coef);
+  }
+
+  void MakeBasic(int col, int row, double value) {
+    basis_[row] = col;
+    row_of_basic_[col] = row;
+    status_[col] = VarStatus::kBasic;
+    basic_value_[row] = value;
+  }
+
+  void SetPhase1Objective() {
+    // maximize -(sum of artificials).
+    std::fill(obj_.begin(), obj_.end(), 0.0);
+    for (int j = first_artificial_; j < num_cols_; ++j) obj_[j] = -1.0;
+  }
+
+  void SetPhase2Objective() {
+    std::fill(obj_.begin(), obj_.end(), 0.0);
+    const double sign = model_.maximize() ? 1.0 : -1.0;
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      obj_[j] = sign * model_.objective(j);
+    }
+  }
+
+  // ---- accessors ----------------------------------------------------------
+
+  double& Binv(int r, int c) {
+    return binv_[static_cast<size_t>(r) * num_rows_ + c];
+  }
+  double BinvAt(int r, int c) const {
+    return binv_[static_cast<size_t>(r) * num_rows_ + c];
+  }
+
+  double Value(int j) const {
+    switch (status_[j]) {
+      case VarStatus::kBasic:
+        return basic_value_[row_of_basic_[j]];
+      case VarStatus::kAtLower:
+        return lower_[j];
+      case VarStatus::kAtUpper:
+        return upper_[j];
+    }
+    return 0.0;
+  }
+
+  // ---- core iteration ------------------------------------------------------
+
+  Status Iterate(Timer* timer) {
+    int stall = 0;
+    double last_obj = CurrentObjective();
+    int since_refactor = 0;
+    for (;;) {
+      if (total_iterations_++ > opt_.max_iterations) {
+        return Status::ResourceExhausted("simplex iteration limit");
+      }
+      if ((total_iterations_ & 63) == 0 &&
+          timer->ElapsedSeconds() > opt_.time_limit_seconds) {
+        return Status::ResourceExhausted("simplex time limit");
+      }
+      const bool bland = stall > opt_.stall_threshold;
+      // Pricing: y = B^-T c_B, reduced costs d_j = c_j - y' A_j.
+      std::vector<double> y(num_rows_, 0.0);
+      for (int i = 0; i < num_rows_; ++i) {
+        const double cb = obj_[basis_[i]];
+        if (cb == 0.0) continue;
+        const double* row = &binv_[static_cast<size_t>(i) * num_rows_];
+        for (int c = 0; c < num_rows_; ++c) y[c] += cb * row[c];
+      }
+      int entering = -1;
+      double best_score = opt_.tolerance;
+      int direction = 0;
+      for (int j = 0; j < num_cols_; ++j) {
+        if (status_[j] == VarStatus::kBasic) continue;
+        if (upper_[j] - lower_[j] < opt_.tolerance) continue;  // fixed
+        double d = obj_[j];
+        for (const auto& [r, a] : cols_[j]) d -= y[r] * a;
+        int dir = 0;
+        double score = 0.0;
+        if (status_[j] == VarStatus::kAtLower && d > opt_.tolerance) {
+          dir = +1;
+          score = d;
+        } else if (status_[j] == VarStatus::kAtUpper && d < -opt_.tolerance) {
+          dir = -1;
+          score = -d;
+        } else {
+          continue;
+        }
+        if (bland) {  // first eligible index
+          entering = j;
+          direction = dir;
+          break;
+        }
+        if (score > best_score) {
+          best_score = score;
+          entering = j;
+          direction = dir;
+        }
+      }
+      if (entering < 0) return Status::OK();  // optimal for this phase
+
+      // Direction in basic space: w = B^-1 A_e.
+      std::vector<double> w(num_rows_, 0.0);
+      for (const auto& [r, a] : cols_[entering]) {
+        for (int i = 0; i < num_rows_; ++i) {
+          w[i] += a * BinvAt(i, r);
+        }
+      }
+      // Ratio test: entering moves by t >= 0 in `direction`.
+      double t_limit = upper_[entering] - lower_[entering];  // bound flip
+      int leaving_row = -1;
+      int leaving_to_upper = 0;
+      for (int i = 0; i < num_rows_; ++i) {
+        const double delta = direction * w[i];
+        const int bj = basis_[i];
+        if (delta > opt_.tolerance) {
+          // Basic value decreases toward its lower bound.
+          const double room = basic_value_[i] - lower_[bj];
+          const double t = std::max(0.0, room) / delta;
+          if (t < t_limit) {
+            t_limit = t;
+            leaving_row = i;
+            leaving_to_upper = 0;
+          }
+        } else if (delta < -opt_.tolerance) {
+          if (!std::isfinite(upper_[bj])) continue;
+          const double room = upper_[bj] - basic_value_[i];
+          const double t = std::max(0.0, room) / (-delta);
+          if (t < t_limit) {
+            t_limit = t;
+            leaving_row = i;
+            leaving_to_upper = 1;
+          }
+        }
+      }
+      if (!std::isfinite(t_limit)) {
+        return Status::Unbounded("LP is unbounded");
+      }
+      const double t = std::max(0.0, t_limit);
+
+      // Apply the step to basic values.
+      if (t > 0.0) {
+        for (int i = 0; i < num_rows_; ++i) {
+          basic_value_[i] -= direction * t * w[i];
+        }
+      }
+      if (leaving_row < 0) {
+        // Bound flip: entering jumps to its other bound.
+        status_[entering] = direction > 0 ? VarStatus::kAtUpper
+                                          : VarStatus::kAtLower;
+      } else {
+        // Pivot: entering becomes basic in leaving_row.
+        const int leaving = basis_[leaving_row];
+        status_[leaving] =
+            leaving_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        row_of_basic_[leaving] = -1;
+        const double entering_value =
+            (direction > 0 ? lower_[entering] + t : upper_[entering] - t);
+        MakeBasic(entering, leaving_row, entering_value);
+        // Eta update of B_inv: row ops making column `entering` the unit
+        // vector e_{leaving_row}.
+        const double pivot = w[leaving_row];
+        if (std::abs(pivot) < 1e-12) {
+          return Status::NumericalError("tiny pivot in simplex");
+        }
+        double* prow = &binv_[static_cast<size_t>(leaving_row) * num_rows_];
+        const double pinv = 1.0 / pivot;
+        for (int c = 0; c < num_rows_; ++c) prow[c] *= pinv;
+        for (int i = 0; i < num_rows_; ++i) {
+          if (i == leaving_row) continue;
+          const double f = w[i];
+          if (f == 0.0) continue;
+          double* irow = &binv_[static_cast<size_t>(i) * num_rows_];
+          for (int c = 0; c < num_rows_; ++c) irow[c] -= f * prow[c];
+        }
+        if (++since_refactor >= opt_.refactor_interval) {
+          Status st = Refactorize();
+          if (!st.ok()) return st;
+          since_refactor = 0;
+        }
+      }
+
+      const double cur = CurrentObjective();
+      if (cur > last_obj + 1e-12) {
+        stall = 0;
+        last_obj = cur;
+      } else {
+        ++stall;
+      }
+    }
+  }
+
+  double CurrentObjective() const {
+    double acc = 0.0;
+    for (int j = 0; j < num_cols_; ++j) {
+      const double v = Value(j);
+      if (v != 0.0) acc += obj_[j] * v;
+    }
+    return acc;
+  }
+
+  /// Rebuilds B_inv from scratch (numerical hygiene) and recomputes the
+  /// basic values from the nonbasic point.
+  Status Refactorize() {
+    InvertBasis();
+    // Recompute basic values: x_B = B^-1 (b - A_N x_N).
+    std::vector<double> rhs = rhs_;
+    for (int j = 0; j < num_cols_; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      const double v = Value(j);
+      if (v == 0.0) continue;
+      for (const auto& [r, a] : cols_[j]) rhs[r] -= a * v;
+    }
+    for (int i = 0; i < num_rows_; ++i) {
+      double acc = 0.0;
+      const double* row = &binv_[static_cast<size_t>(i) * num_rows_];
+      for (int c = 0; c < num_rows_; ++c) acc += row[c] * rhs[c];
+      basic_value_[i] = acc;
+    }
+    return refactor_status_;
+  }
+
+  void InvertBasis() {
+    // Gauss-Jordan inversion of the basis matrix, in place over binv_.
+    const int n = num_rows_;
+    std::vector<double> work(static_cast<size_t>(n) * n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (const auto& [r, a] : cols_[basis_[i]]) {
+        work[static_cast<size_t>(r) * n + i] = a;
+      }
+    }
+    std::fill(binv_.begin(), binv_.end(), 0.0);
+    for (int i = 0; i < n; ++i) Binv(i, i) = 1.0;
+    refactor_status_ = Status::OK();
+    for (int col = 0; col < n; ++col) {
+      int pivot = col;
+      double best = std::abs(work[static_cast<size_t>(col) * n + col]);
+      for (int r = col + 1; r < n; ++r) {
+        const double v = std::abs(work[static_cast<size_t>(r) * n + col]);
+        if (v > best) {
+          best = v;
+          pivot = r;
+        }
+      }
+      if (best < 1e-12) {
+        refactor_status_ = Status::NumericalError("singular basis");
+        return;
+      }
+      if (pivot != col) {
+        for (int c = 0; c < n; ++c) {
+          std::swap(work[static_cast<size_t>(pivot) * n + c],
+                    work[static_cast<size_t>(col) * n + c]);
+          std::swap(Binv(pivot, c), Binv(col, c));
+        }
+      }
+      const double dinv = 1.0 / work[static_cast<size_t>(col) * n + col];
+      for (int c = 0; c < n; ++c) {
+        work[static_cast<size_t>(col) * n + c] *= dinv;
+        Binv(col, c) *= dinv;
+      }
+      for (int r = 0; r < n; ++r) {
+        if (r == col) continue;
+        const double f = work[static_cast<size_t>(r) * n + col];
+        if (f == 0.0) continue;
+        for (int c = 0; c < n; ++c) {
+          work[static_cast<size_t>(r) * n + c] -=
+              f * work[static_cast<size_t>(col) * n + c];
+          Binv(r, c) -= f * Binv(col, c);
+        }
+      }
+    }
+  }
+
+  const LpModel& model_;
+  const SimplexOptions opt_;
+
+  int num_rows_ = 0;
+  int num_cols_ = 0;
+  int first_slack_ = 0;
+  int first_artificial_ = 0;
+  int num_artificials_ = 0;
+
+  /// Sparse columns: (row, coef) pairs.
+  std::vector<std::vector<std::pair<int, double>>> cols_;
+  std::vector<double> lower_, upper_, obj_, rhs_;
+  std::vector<int> slack_of_row_;
+
+  std::vector<VarStatus> status_;
+  std::vector<int> basis_;          // row -> basic column
+  std::vector<int> row_of_basic_;   // column -> row (or -1)
+  std::vector<double> basic_value_;  // row -> value of its basic var
+  std::vector<double> binv_;         // dense num_rows x num_rows
+
+  int total_iterations_ = 0;
+  Status refactor_status_ = Status::OK();
+};
+
+}  // namespace
+
+Result<LpSolution> SolveLp(const LpModel& model, const SimplexOptions& options) {
+  SimplexWorker worker(model, options);
+  return worker.Run();
+}
+
+}  // namespace savg

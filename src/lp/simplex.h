@@ -1,0 +1,41 @@
+// Primal simplex for bounded-variable linear programs.
+//
+// This is the in-repo replacement for the commercial LP solvers (Gurobi /
+// CPLEX) the paper uses to obtain the optimal fractional solution X* of the
+// SVGIC relaxation (Section 4.1). It implements:
+//
+//  * two-phase bounded-variable primal simplex,
+//  * explicit basis inverse with periodic refactorization,
+//  * Dantzig pricing with a Bland's-rule fallback for anti-cycling,
+//  * slack-first crash basis (artificials only where needed).
+//
+// Intended scale: up to a few thousand rows/columns (the sizes at which the
+// paper itself still runs the exact IP/LP). Larger SVGIC instances use the
+// projected-subgradient solver in lp/subgradient.h, justified by the
+// paper's Corollary 4.2 (a beta-approximate LP yields a 4*beta-approximate
+// rounding).
+
+#pragma once
+
+#include "lp/lp_model.h"
+#include "util/status.h"
+
+namespace savg {
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  double time_limit_seconds = 1e18;
+  /// Feasibility / reduced-cost tolerance.
+  double tolerance = 1e-9;
+  /// Refactorize the basis inverse every this many pivots.
+  int refactor_interval = 256;
+  /// Switch to Bland's rule after this many non-improving iterations.
+  int stall_threshold = 400;
+};
+
+/// Solves `model` to optimality. Returns kInfeasible / kUnbounded /
+/// kResourceExhausted (limits) / kNumericalError as appropriate.
+Result<LpSolution> SolveLp(const LpModel& model,
+                           const SimplexOptions& options = {});
+
+}  // namespace savg

@@ -1,0 +1,129 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace savg {
+
+SubgroupMetrics ComputeSubgroupMetrics(const SvgicInstance& instance,
+                                       const Configuration& config) {
+  SubgroupMetrics out;
+  const int k = instance.num_slots();
+  const int n = instance.num_users();
+
+  int64_t intra = 0, inter = 0;
+  for (SlotId s = 0; s < k; ++s) {
+    for (const FriendPair& pair : instance.pairs()) {
+      const ItemId cu = config.At(pair.u, s);
+      const ItemId cv = config.At(pair.v, s);
+      if (cu == kNoItem || cv == kNoItem) continue;
+      (cu == cv ? intra : inter)++;
+    }
+  }
+  const int64_t total_pair_slots = intra + inter;
+  if (total_pair_slots > 0) {
+    out.intra_fraction = static_cast<double>(intra) / total_pair_slots;
+    out.inter_fraction = static_cast<double>(inter) / total_pair_slots;
+  }
+
+  // Normalized subgroup density.
+  const double base_density = instance.graph().UndirectedDensity();
+  double density_sum = 0.0;
+  for (SlotId s = 0; s < k; ++s) {
+    double slot_density = 0.0;
+    int groups_counted = 0;
+    for (const auto& group : config.GroupsAtSlot(s)) {
+      const int sz = static_cast<int>(group.members.size());
+      if (sz < 2) continue;
+      const int pairs = instance.graph().CountInducedPairs(group.members);
+      const double possible = static_cast<double>(sz) * (sz - 1) / 2.0;
+      slot_density += pairs / possible;
+      ++groups_counted;
+    }
+    if (groups_counted > 0) density_sum += slot_density / groups_counted;
+  }
+  if (base_density > 0.0 && k > 0) {
+    out.normalized_density = density_sum / k / base_density;
+  }
+
+  // Co-display% over friend pairs, Alone% over users.
+  std::vector<bool> has_codisplay(n, false);
+  int co_pairs = 0;
+  for (const FriendPair& pair : instance.pairs()) {
+    bool shared = false;
+    for (SlotId s = 0; s < k && !shared; ++s) {
+      const ItemId cu = config.At(pair.u, s);
+      shared = cu != kNoItem && cu == config.At(pair.v, s);
+    }
+    if (shared) {
+      ++co_pairs;
+      has_codisplay[pair.u] = true;
+      has_codisplay[pair.v] = true;
+    }
+  }
+  if (!instance.pairs().empty()) {
+    out.co_display_rate =
+        static_cast<double>(co_pairs) / instance.pairs().size();
+  }
+  int alone = 0;
+  for (UserId u = 0; u < n; ++u) {
+    if (!has_codisplay[u]) ++alone;
+  }
+  out.alone_rate = n > 0 ? static_cast<double>(alone) / n : 0.0;
+  return out;
+}
+
+double UpperBoundUtility(const SvgicInstance& instance, UserId u) {
+  const double lambda = instance.lambda();
+  const int m = instance.num_items();
+  std::vector<double> w_bar(m, 0.0);
+  for (ItemId c = 0; c < m; ++c) {
+    w_bar[c] = (1.0 - lambda) * instance.p(u, c);
+  }
+  for (const EdgeId e : instance.graph().OutEdgeIds(u)) {
+    for (const ItemValue& iv : instance.TauEntries(e)) {
+      w_bar[iv.item] += lambda * iv.value;
+    }
+  }
+  std::nth_element(w_bar.begin(), w_bar.begin() + instance.num_slots() - 1,
+                   w_bar.end(), std::greater<double>());
+  double bound = 0.0;
+  for (SlotId s = 0; s < instance.num_slots(); ++s) bound += w_bar[s];
+  return bound;
+}
+
+std::vector<double> RegretRatios(const SvgicInstance& instance,
+                                 const Configuration& config,
+                                 const EvaluateOptions& options) {
+  const std::vector<double> achieved =
+      EvaluatePerUser(instance, config, options);
+  std::vector<double> regret(instance.num_users(), 0.0);
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    const double bound = UpperBoundUtility(instance, u);
+    if (bound <= 0.0) {
+      regret[u] = 0.0;
+      continue;
+    }
+    regret[u] = std::clamp(1.0 - achieved[u] / bound, 0.0, 1.0);
+  }
+  return regret;
+}
+
+int SubgroupChangeEditDistance(const SvgicInstance& instance,
+                               const Configuration& config) {
+  int distance = 0;
+  for (SlotId s = 0; s + 1 < instance.num_slots(); ++s) {
+    for (const FriendPair& pair : instance.pairs()) {
+      const bool together_now =
+          config.At(pair.u, s) != kNoItem &&
+          config.At(pair.u, s) == config.At(pair.v, s);
+      const bool together_next =
+          config.At(pair.u, s + 1) != kNoItem &&
+          config.At(pair.u, s + 1) == config.At(pair.v, s + 1);
+      if (together_now != together_next) ++distance;
+    }
+  }
+  return distance;
+}
+
+}  // namespace savg

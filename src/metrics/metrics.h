@@ -1,0 +1,56 @@
+// Evaluation metrics of Section 6.1 (items 3-10 of the paper's list; items
+// 1-2 — total utility and time — come from objective.h and timers).
+//
+// Definitions used (documented here because the paper leaves some freedom):
+//  * Intra%/Inter%: over all slots, every friend pair with both endpoints
+//    assigned is intra (same item at that slot) or inter; fractions of the
+//    total count.
+//  * Normalized density: per slot, the mean induced-edge density of the
+//    partitioned subgroups with >= 2 members (slots whose groups are all
+//    singletons contribute 0), averaged over slots, divided by the density
+//    of the input social graph.
+//  * Co-display%: fraction of friend pairs directly co-displayed at least
+//    one item.
+//  * Alone%: fraction of users never directly co-displayed any item with
+//    any friend.
+//  * Regret ratio (Section 6.5): reg(u) = 1 - hap(u), with
+//    hap(u) = achieved w_A(u,.) / upper bound, the upper bound being u's
+//    best k-itemset assuming every friend co-views every item with u.
+
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/objective.h"
+#include "core/problem.h"
+
+namespace savg {
+
+struct SubgroupMetrics {
+  double intra_fraction = 0.0;
+  double inter_fraction = 0.0;
+  double normalized_density = 0.0;
+  double co_display_rate = 0.0;
+  double alone_rate = 0.0;
+};
+
+SubgroupMetrics ComputeSubgroupMetrics(const SvgicInstance& instance,
+                                       const Configuration& config);
+
+/// Optimistic per-user utility bound: the best k items by
+/// (1-lambda) p(u,c) + lambda sum_{(u,v) in E} tau(u,v,c).
+double UpperBoundUtility(const SvgicInstance& instance, UserId u);
+
+/// Per-user regret ratios in [0, 1].
+std::vector<double> RegretRatios(const SvgicInstance& instance,
+                                 const Configuration& config,
+                                 const EvaluateOptions& options = {});
+
+/// Total subgroup-change edit distance (extension E): pairs co-displayed at
+/// slot s but not at slot s+1 (or vice versa), summed over consecutive
+/// slots.
+int SubgroupChangeEditDistance(const SvgicInstance& instance,
+                               const Configuration& config);
+
+}  // namespace savg

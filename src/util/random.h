@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components in the library take an explicit seed so that
+// experiments are reproducible. Rng wraps a xoshiro256** engine seeded via
+// splitmix64, with convenience samplers (uniform, normal, Zipf, discrete,
+// shuffles, weighted picks).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace savg {
+
+/// Fast, reproducible PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+  /// Exponential with rate lambda.
+  double Exponential(double lambda);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (>= 0). Rank 0 is the
+  /// most probable. Uses an O(n) precomputed table-free rejection-less
+  /// inverse-CDF on harmonic weights; suitable for n up to a few million.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Samples an index with probability proportional to weights[i].
+  /// Returns weights.size() if all weights are <= 0.
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformInt(static_cast<uint64_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) (reservoir-free; uses
+  /// partial Fisher-Yates on an index vector). Requires count <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t count);
+
+  /// Derives an independent child generator (for parallel streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace savg

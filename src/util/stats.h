@@ -1,0 +1,69 @@
+// Small statistics helpers used by the experiment harness:
+// summary statistics, correlation coefficients, and empirical CDFs.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace savg {
+
+/// Mean of a sample (0 for empty input).
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator; 0 for n < 2).
+double StdDev(const std::vector<double>& xs);
+
+/// Minimum / maximum (0 for empty input).
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0, 100]) with linear interpolation.
+double Percentile(std::vector<double> xs, double p);
+
+/// Pearson linear correlation coefficient; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Spearman rank correlation; average ranks for ties.
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Ranks with ties averaged (1-based ranks).
+std::vector<double> AverageRanks(const std::vector<double>& xs);
+
+/// A point on an empirical CDF.
+struct CdfPoint {
+  double value;     ///< x
+  double fraction;  ///< P(X <= x)
+};
+
+/// Empirical CDF of a sample, optionally downsampled to at most
+/// `max_points` evenly spaced points (0 = keep all).
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> xs,
+                                   size_t max_points = 0);
+
+/// Fraction of the sample that is <= threshold.
+double CdfAt(const std::vector<double>& xs, double threshold);
+
+/// Welford-style online accumulator for streaming mean/variance.
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace savg

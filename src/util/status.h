@@ -1,0 +1,153 @@
+// Status / Result error-handling primitives (Arrow/RocksDB idiom).
+//
+// Library code returns savg::Status (or savg::Result<T>) instead of throwing
+// exceptions across public API boundaries. A Status is cheap to copy in the
+// OK case (empty message, code OK).
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace savg {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,  ///< node/iteration/time limits hit
+  kInfeasible,         ///< LP/IP model has no feasible solution
+  kUnbounded,          ///< LP objective is unbounded
+  kNumericalError,     ///< solver lost numerical stability
+  kNotImplemented,
+  kUnknown,
+};
+
+/// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: a code plus an optional message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// A value-or-error holder: either an OK Status with a value of type T, or a
+/// non-OK Status and no value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (OK).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from non-OK status.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; callers must check ok() first.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define SAVG_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::savg::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+/// Assigns a Result's value to `lhs`, or propagates its error Status.
+#define SAVG_ASSIGN_OR_RETURN(lhs, rexpr)      \
+  auto SAVG_CONCAT_(_res_, __LINE__) = (rexpr);    \
+  if (!SAVG_CONCAT_(_res_, __LINE__).ok())         \
+    return SAVG_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(SAVG_CONCAT_(_res_, __LINE__)).value()
+
+#define SAVG_CONCAT_IMPL_(a, b) a##b
+#define SAVG_CONCAT_(a, b) SAVG_CONCAT_IMPL_(a, b)
+
+}  // namespace savg

@@ -1,0 +1,48 @@
+// Paper-style table output for the benchmark harness: fixed-width console
+// tables and CSV export.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace savg {
+
+/// A simple column-oriented table: a header row plus string cells.
+/// Numeric helpers format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent Add* calls fill it left to right.
+  Table& NewRow();
+  Table& Add(const std::string& cell);
+  Table& Add(double value, int precision = 3);
+  Table& Add(int64_t value);
+  Table& Add(size_t value);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders as an aligned console table with a separator under the header.
+  std::string ToString() const;
+
+  /// Renders as CSV (no quoting of embedded commas; callers avoid commas).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout with an optional title line.
+  void Print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string FormatDouble(double value, int precision = 3);
+
+/// Formats a fraction as a percentage string, e.g. 0.312 -> "31.2%".
+std::string FormatPercent(double fraction, int precision = 1);
+
+}  // namespace savg

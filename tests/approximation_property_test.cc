@@ -1,0 +1,240 @@
+// Parameterized property sweeps over (dataset kind, n, m, k, lambda):
+//  * no-duplication and completeness invariants of every algorithm,
+//  * LP >= OPT >= AVG-D >= LP/4 sandwich (Theorems 4/5 + Observation 2),
+//  * scaled/unscaled objective consistency,
+//  * lambda-scaling invariance of AVG-D (Section 4.4): the algorithm's
+//    decisions depend on lambda only through p'(u, c).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/brute_force.h"
+#include "core/avg.h"
+#include "core/avg_d.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "datagen/datasets.h"
+#include "metrics/metrics.h"
+
+namespace savg {
+namespace {
+
+struct SweepCase {
+  DatasetKind kind;
+  int n;
+  int m;
+  int k;
+  double lambda;
+  uint64_t seed;
+};
+
+std::string CaseName(const testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string name = DatasetKindName(c.kind);
+  name += "_n" + std::to_string(c.n) + "_m" + std::to_string(c.m) + "_k" +
+          std::to_string(c.k) + "_l" +
+          std::to_string(static_cast<int>(c.lambda * 100)) + "_s" +
+          std::to_string(c.seed);
+  return name;
+}
+
+class ApproximationSweep : public testing::TestWithParam<SweepCase> {
+ protected:
+  SvgicInstance MakeInstance() const {
+    const SweepCase& c = GetParam();
+    DatasetParams params;
+    params.kind = c.kind;
+    params.num_users = c.n;
+    params.num_items = c.m;
+    params.num_slots = c.k;
+    params.lambda = c.lambda;
+    params.seed = c.seed;
+    auto inst = GenerateDataset(params);
+    EXPECT_TRUE(inst.ok()) << inst.status();
+    return std::move(inst).value();
+  }
+};
+
+TEST_P(ApproximationSweep, AvgDSandwich) {
+  SvgicInstance inst = MakeInstance();
+  auto frac = SolveRelaxation(inst);
+  ASSERT_TRUE(frac.ok()) << frac.status();
+  auto avg_d = RunAvgD(inst, *frac);
+  ASSERT_TRUE(avg_d.ok()) << avg_d.status();
+  ASSERT_TRUE(avg_d->config.CheckValid().ok());
+  const double value = Evaluate(inst, avg_d->config).ScaledTotal();
+  // Lower side of the sandwich: the 4-approximation bound (vs the LP value,
+  // which upper-bounds OPT when solved exactly; the approximate LP value is
+  // itself a lower bound on the true LP optimum, making the test valid in
+  // both cases).
+  EXPECT_GE(value, frac->lp_objective / 4.0 - 1e-9);
+  // Upper side: no algorithm may beat the exact LP bound.
+  if (frac->exact) {
+    EXPECT_LE(value, frac->lp_objective + 1e-6 * (1 + frac->lp_objective));
+  }
+}
+
+TEST_P(ApproximationSweep, AvgExpectationAboveQuarterBound) {
+  SvgicInstance inst = MakeInstance();
+  auto frac = SolveRelaxation(inst);
+  ASSERT_TRUE(frac.ok());
+  double mean = 0.0;
+  const int runs = 12;
+  for (int i = 0; i < runs; ++i) {
+    AvgOptions opt;
+    opt.seed = GetParam().seed * 977 + i;
+    auto avg = RunAvg(inst, *frac, opt);
+    ASSERT_TRUE(avg.ok());
+    ASSERT_TRUE(avg->config.CheckValid().ok());
+    mean += Evaluate(inst, avg->config).ScaledTotal();
+  }
+  mean /= runs;
+  EXPECT_GE(mean, frac->lp_objective / 4.0 - 1e-9);
+}
+
+TEST_P(ApproximationSweep, ObjectiveScalingConsistency) {
+  SvgicInstance inst = MakeInstance();
+  auto frac = SolveRelaxation(inst);
+  ASSERT_TRUE(frac.ok());
+  auto avg_d = RunAvgD(inst, *frac);
+  ASSERT_TRUE(avg_d.ok());
+  const ObjectiveBreakdown obj = Evaluate(inst, avg_d->config);
+  EXPECT_NEAR(obj.Total(), obj.lambda * obj.ScaledTotal(), 1e-9);
+  EXPECT_GE(obj.preference, 0.0);
+  EXPECT_GE(obj.social_direct, 0.0);
+}
+
+TEST_P(ApproximationSweep, RegretsAreWellFormed) {
+  SvgicInstance inst = MakeInstance();
+  auto frac = SolveRelaxation(inst);
+  ASSERT_TRUE(frac.ok());
+  auto avg_d = RunAvgD(inst, *frac);
+  ASSERT_TRUE(avg_d.ok());
+  for (double r : RegretRatios(inst, avg_d->config)) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+  const SubgroupMetrics m = ComputeSubgroupMetrics(inst, avg_d->config);
+  EXPECT_GE(m.intra_fraction, 0.0);
+  EXPECT_LE(m.intra_fraction + m.inter_fraction, 1.0 + 1e-9);
+  EXPECT_GE(m.co_display_rate, 0.0);
+  EXPECT_LE(m.co_display_rate, 1.0);
+  EXPECT_GE(m.alone_rate, 0.0);
+  EXPECT_LE(m.alone_rate, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindAndShape, ApproximationSweep,
+    testing::Values(
+        SweepCase{DatasetKind::kTimik, 6, 10, 2, 0.5, 1},
+        SweepCase{DatasetKind::kTimik, 10, 16, 4, 0.5, 2},
+        SweepCase{DatasetKind::kEpinions, 8, 12, 3, 0.5, 3},
+        SweepCase{DatasetKind::kEpinions, 12, 20, 4, 0.5, 4},
+        SweepCase{DatasetKind::kYelp, 8, 12, 3, 0.5, 5},
+        SweepCase{DatasetKind::kYelp, 12, 24, 5, 0.5, 6}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    LambdaSweep, ApproximationSweep,
+    testing::Values(SweepCase{DatasetKind::kTimik, 8, 12, 3, 0.2, 7},
+                    SweepCase{DatasetKind::kTimik, 8, 12, 3, 0.33, 8},
+                    SweepCase{DatasetKind::kTimik, 8, 12, 3, 0.67, 9},
+                    SweepCase{DatasetKind::kTimik, 8, 12, 3, 0.9, 10}),
+    CaseName);
+
+// Corollary 4.3: for k = 1 AVG is a 2-approximation in expectation. Check
+// the empirical mean against LP/2 on several k = 1 instances.
+class SingleSlotTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SingleSlotTest, TwoApproximationAtKOne) {
+  DatasetParams params;
+  params.kind = DatasetKind::kYelp;
+  params.num_users = 8;
+  params.num_items = 10;
+  params.num_slots = 1;
+  params.seed = GetParam();
+  auto inst = GenerateDataset(params);
+  ASSERT_TRUE(inst.ok());
+  auto frac = SolveRelaxation(*inst);
+  ASSERT_TRUE(frac.ok());
+  double mean = 0.0;
+  const int runs = 25;
+  for (int i = 0; i < runs; ++i) {
+    AvgOptions opt;
+    opt.seed = GetParam() * 131 + i;
+    auto avg = RunAvg(*inst, *frac, opt);
+    ASSERT_TRUE(avg.ok());
+    mean += Evaluate(*inst, avg->config).ScaledTotal();
+  }
+  mean /= runs;
+  EXPECT_GE(mean, frac->lp_objective / 2.0 - 1e-9)
+      << "k=1 two-approximation violated";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SingleSlotTest,
+                         testing::Values(31u, 32u, 33u, 34u),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           std::string name = "s";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
+
+// Lambda-scaling property: the rounding decisions depend on lambda only via
+// p'; two instances identical up to (p, lambda) -> (p * (1-l)/l scaling)
+// produce the same AVG-D configuration.
+class LambdaScalingTest : public testing::TestWithParam<double> {};
+
+TEST_P(LambdaScalingTest, AvgDInvariantUnderEquivalentScaling) {
+  const double lambda = GetParam();
+  DatasetParams params;
+  params.kind = DatasetKind::kYelp;
+  params.num_users = 8;
+  params.num_items = 12;
+  params.num_slots = 3;
+  params.lambda = lambda;
+  params.seed = 42;
+  auto inst = GenerateDataset(params);
+  ASSERT_TRUE(inst.ok());
+
+  // Equivalent lambda = 1/2 instance: p_half = p * (1-lambda)/lambda.
+  SvgicInstance half(inst->graph(), 12, 3, 0.5);
+  for (UserId u = 0; u < 8; ++u) {
+    for (ItemId c = 0; c < 12; ++c) {
+      half.set_p(u, c, inst->ScaledP(u, c));
+    }
+  }
+  for (const Edge& e : inst->graph().edges()) {
+    for (const ItemValue& iv : inst->TauEntries(e.id)) {
+      half.set_tau(e.id, iv.item, iv.value);
+    }
+  }
+  half.FinalizePairs();
+  ASSERT_TRUE(half.Validate().ok());
+
+  auto frac_a = SolveRelaxation(*inst);
+  auto frac_b = SolveRelaxation(half);
+  ASSERT_TRUE(frac_a.ok() && frac_b.ok());
+  // Same relaxation objective (the LPs are identical).
+  EXPECT_NEAR(frac_a->lp_objective, frac_b->lp_objective,
+              1e-4 * (1 + frac_a->lp_objective));
+  auto d_a = RunAvgD(*inst, *frac_a);
+  auto d_b = RunAvgD(half, *frac_b);
+  ASSERT_TRUE(d_a.ok() && d_b.ok());
+  // Scaled totals coincide under the transformation.
+  const double va = Evaluate(*inst, d_a->config).ScaledTotal();
+  const double vb = Evaluate(half, d_b->config).ScaledTotal();
+  EXPECT_NEAR(va, vb, 1e-3 * (1 + va));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaScalingTest,
+                         testing::Values(0.25, 0.4, 0.6, 0.75),
+                         [](const testing::TestParamInfo<double>& info) {
+                           std::string name = "l";
+                           name += std::to_string(
+                               static_cast<int>(info.param * 100));
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace savg

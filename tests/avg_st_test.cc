@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "baselines/fmg.h"
+#include "baselines/per.h"
+#include "baselines/st_prepartition.h"
+#include "core/avg_st.h"
+#include "core/objective.h"
+#include "datagen/datasets.h"
+#include "paper_example.h"
+
+namespace savg {
+namespace {
+
+SvgicInstance RandomInstance(int n, int m, int k, uint64_t seed) {
+  DatasetParams params;
+  params.kind = DatasetKind::kTimik;
+  params.num_users = n;
+  params.num_items = m;
+  params.num_slots = k;
+  params.seed = seed;
+  auto inst = GenerateDataset(params);
+  EXPECT_TRUE(inst.ok()) << inst.status();
+  return std::move(inst).value();
+}
+
+TEST(AvgStTest, AlwaysFeasibleUnderTightCaps) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SvgicInstance inst = RandomInstance(15, 20, 4, seed);
+    // One relaxation per instance, shared across caps.
+    StOptions base;
+    auto frac = SolveStRelaxation(inst, base);
+    ASSERT_TRUE(frac.ok()) << frac.status();
+    for (int cap : {2, 3, 5}) {
+      AvgOptions avg;
+      avg.seed = seed;
+      avg.size_cap = cap;
+      auto result = RunAvg(inst, *frac, avg);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_TRUE(result->config.CheckValid().ok());
+      EXPECT_EQ(SizeConstraintViolation(result->config, cap), 0)
+          << "cap " << cap << " seed " << seed;
+    }
+  }
+}
+
+TEST(AvgStTest, ExactStLpPathWorksOnSmallInstance) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  StOptions opt;
+  opt.size_cap = 2;
+  opt.d_tel = 0.5;
+  opt.use_st_lp = true;
+  auto result = RunAvgSt(inst, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->config.CheckValid().ok());
+  EXPECT_EQ(SizeConstraintViolation(result->config, 2), 0);
+}
+
+TEST(AvgStTest, LooseCapsMatchPlainAvgQuality) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  StOptions loose;
+  loose.size_cap = 4;  // n = 4, never binding
+  loose.avg.seed = 3;
+  auto st = RunAvgSt(inst, loose);
+  ASSERT_TRUE(st.ok());
+  const double v = Evaluate(inst, st->config).ScaledTotal();
+  EXPECT_GE(v, 8.0);  // comfortably above the worst baseline range
+}
+
+TEST(AvgStTest, TeleportationAddsUtilityUnderStObjective) {
+  // With d_tel > 0 the ST objective can only gain from indirect pairs.
+  SvgicInstance inst = MakePaperExample(0.5);
+  StOptions opt;
+  opt.size_cap = 2;
+  opt.avg.seed = 5;
+  auto result = RunAvgSt(inst, opt);
+  ASSERT_TRUE(result.ok());
+  EvaluateOptions with_tel;
+  with_tel.d_tel = 0.5;
+  const double st_total = Evaluate(inst, result->config, with_tel).Total();
+  const double plain_total = Evaluate(inst, result->config).Total();
+  EXPECT_GE(st_total, plain_total - 1e-9);
+}
+
+TEST(AvgStTest, RejectsBadCap) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  StOptions opt;
+  opt.size_cap = 0;
+  EXPECT_FALSE(RunAvgSt(inst, opt).ok());
+}
+
+TEST(StPrepartitionTest, SubInstancePreservesUtilities) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto sub = ExtractSubInstance(inst, {kAlice, kDave});
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  EXPECT_EQ(sub->num_users(), 2);
+  // Alice is 0, Dave is 1 in the sub-instance.
+  EXPECT_NEAR(sub->p(0, 4), 1.0, 1e-5);
+  EXPECT_NEAR(sub->p(1, 3), 1.0, 1e-5);
+  ASSERT_EQ(sub->pairs().size(), 1u);
+  EXPECT_NEAR(sub->pairs()[0].WeightOf(4), 0.45, 1e-5);  // tau(A,D)+tau(D,A)
+}
+
+TEST(StPrepartitionTest, MergedConfigurationIsComplete) {
+  SvgicInstance inst = RandomInstance(12, 15, 3, 9);
+  auto merged = RunWithPrepartition(
+      inst, /*size_cap=*/4, /*seed=*/1,
+      [](const SvgicInstance& sub) { return RunPersonalizedTopK(sub); });
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_TRUE(merged->CheckValid().ok());
+}
+
+TEST(StPrepartitionTest, PrepartitionReducesFmgViolations) {
+  // FMG displays the same bundle to everyone: without pre-partition every
+  // slot is one group of n users; with pre-partition groups are <= cap
+  // unless two parts collide on the same item (the Figure 13 effect).
+  SvgicInstance inst = RandomInstance(16, 20, 3, 4);
+  const int cap = 4;
+  auto np = RunFmg(inst);
+  ASSERT_TRUE(np.ok());
+  const int violations_np = SizeConstraintViolation(*np, cap);
+  auto p = RunWithPrepartition(
+      inst, cap, 1,
+      [](const SvgicInstance& sub) { return RunFmg(sub); });
+  ASSERT_TRUE(p.ok());
+  const int violations_p = SizeConstraintViolation(*p, cap);
+  EXPECT_GT(violations_np, 0);
+  EXPECT_LT(violations_p, violations_np);
+}
+
+}  // namespace
+}  // namespace savg

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "core/avg.h"
+#include "core/csf.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "datagen/datasets.h"
+#include "graph/generators.h"
+#include "paper_example.h"
+
+namespace savg {
+namespace {
+
+FractionalSolution Solve(const SvgicInstance& inst) {
+  auto frac = SolveRelaxation(inst);
+  EXPECT_TRUE(frac.ok()) << frac.status();
+  return std::move(frac).value();
+}
+
+TEST(SampleTreeTest, SamplesProportionally) {
+  SampleTree tree(4);
+  tree.Set(0, 0.0);
+  tree.Set(1, 1.0);
+  tree.Set(2, 3.0);
+  tree.Set(3, 0.0);
+  Rng rng(3);
+  int c1 = 0, c2 = 0;
+  for (int i = 0; i < 12000; ++i) {
+    const int s = tree.Sample(&rng);
+    ASSERT_TRUE(s == 1 || s == 2);
+    (s == 1 ? c1 : c2)++;
+  }
+  EXPECT_NEAR(static_cast<double>(c2) / c1, 3.0, 0.4);
+}
+
+TEST(SampleTreeTest, UpdatesChangeDistribution) {
+  SampleTree tree(3);
+  tree.Set(0, 5.0);
+  tree.Set(1, 5.0);
+  tree.Set(0, 0.0);  // remove bin 0
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(tree.Sample(&rng), 1);
+  EXPECT_NEAR(tree.total(), 5.0, 1e-12);
+}
+
+TEST(SampleTreeTest, EmptyTreeReturnsMinusOne) {
+  SampleTree tree(3);
+  Rng rng(1);
+  EXPECT_EQ(tree.Sample(&rng), -1);
+}
+
+TEST(CsfStateTest, EligibilityRules) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  FractionalSolution frac = Solve(inst);
+  CsfState state(inst, frac);
+  EXPECT_TRUE(state.Eligible(kAlice, 0, 0));
+  ASSERT_TRUE(state.AssignUnit(kAlice, 0, 0).ok());
+  EXPECT_FALSE(state.Eligible(kAlice, 0, 0));  // unit occupied
+  EXPECT_FALSE(state.Eligible(kAlice, 0, 1));  // item displayed elsewhere
+  EXPECT_TRUE(state.Eligible(kAlice, 1, 1));
+}
+
+TEST(CsfStateTest, ApplyCsfAssignsAllAboveThreshold) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  FractionalSolution frac = Solve(inst);
+  CsfState state(inst, frac);
+  // alpha = 0 assigns every eligible supporter of the item at that slot.
+  ItemId c = frac.active_items().front();
+  std::vector<UserId> assigned;
+  const int count = state.ApplyCsf(c, 0, 0.0, &assigned);
+  EXPECT_EQ(count, static_cast<int>(assigned.size()));
+  EXPECT_EQ(count, static_cast<int>(frac.SupportersOf(c).size()));
+  for (UserId u : assigned) EXPECT_EQ(state.config().At(u, 0), c);
+}
+
+TEST(CsfStateTest, SizeCapLimitsGroup) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  FractionalSolution frac = Solve(inst);
+  // Find an item with >= 3 supporters.
+  ItemId crowded = kNoItem;
+  for (ItemId c : frac.active_items()) {
+    if (frac.SupportersOf(c).size() >= 3) {
+      crowded = c;
+      break;
+    }
+  }
+  ASSERT_NE(crowded, kNoItem);
+  CsfState state(inst, frac, /*size_cap=*/2);
+  EXPECT_EQ(state.ApplyCsf(crowded, 0, 0.0), 2);
+  EXPECT_EQ(state.GroupSize(crowded, 0), 2);
+  // Locked now.
+  EXPECT_EQ(state.FreshMaxFactor(crowded, 0), 0.0);
+  EXPECT_EQ(state.ApplyCsf(crowded, 0, 0.0), 0);
+}
+
+TEST(CsfStateTest, GreedyCompleteProducesValidConfig) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  FractionalSolution frac = Solve(inst);
+  CsfState state(inst, frac);
+  state.GreedyComplete();
+  EXPECT_TRUE(state.config().CheckValid().ok());
+}
+
+TEST(AvgTest, ProducesValidConfigurations) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  FractionalSolution frac = Solve(inst);
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    AvgOptions opt;
+    opt.seed = seed;
+    auto result = RunAvg(inst, frac, opt);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->config.CheckValid().ok());
+  }
+}
+
+TEST(AvgTest, DeterministicGivenSeed) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  FractionalSolution frac = Solve(inst);
+  AvgOptions opt;
+  opt.seed = 99;
+  auto a = RunAvg(inst, frac, opt);
+  auto b = RunAvg(inst, frac, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (UserId u = 0; u < 4; ++u) {
+    for (SlotId s = 0; s < 3; ++s) {
+      EXPECT_EQ(a->config.At(u, s), b->config.At(u, s));
+    }
+  }
+}
+
+TEST(AvgTest, OriginalSamplingAlsoValidButMoreIdle) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  FractionalSolution frac = Solve(inst);
+  int64_t idle_adv = 0, idle_orig = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    AvgOptions adv;
+    adv.seed = seed;
+    auto a = RunAvg(inst, frac, adv);
+    ASSERT_TRUE(a.ok());
+    idle_adv += a->idle_iterations;
+    AvgOptions orig;
+    orig.seed = seed;
+    orig.advanced_sampling = false;
+    auto o = RunAvg(inst, frac, orig);
+    ASSERT_TRUE(o.ok());
+    EXPECT_TRUE(o->config.CheckValid().ok());
+    idle_orig += o->idle_iterations;
+  }
+  // The advanced scheme discards non-contributing parameters in advance.
+  EXPECT_LT(idle_adv, idle_orig);
+}
+
+TEST(AvgTest, RunAvgBestImprovesOnSingleRun) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  FractionalSolution frac = Solve(inst);
+  AvgOptions opt;
+  opt.seed = 12345;
+  auto single = RunAvg(inst, frac, opt);
+  auto best = RunAvgBest(inst, frac, 15, opt);
+  ASSERT_TRUE(single.ok() && best.ok());
+  EXPECT_GE(Evaluate(inst, best->config).ScaledTotal(),
+            Evaluate(inst, single->config).ScaledTotal() - 1e-9);
+}
+
+TEST(AvgTest, FourApproximationHoldsEmpiricallyOnRandomInstances) {
+  // Property test of Theorem 4: the *expected* AVG value is >= OPT/4. We
+  // check the empirical mean against the LP bound (which upper-bounds OPT),
+  // an even stronger requirement, over a few random instances.
+  for (uint64_t seed : {101u, 202u, 303u, 404u}) {
+    DatasetParams params;
+    params.kind = DatasetKind::kYelp;
+    params.num_users = 6;
+    params.num_items = 8;
+    params.num_slots = 3;
+    params.seed = seed;
+    auto inst = GenerateDataset(params);
+    ASSERT_TRUE(inst.ok());
+    FractionalSolution frac = Solve(*inst);
+    double mean = 0.0;
+    const int runs = 30;
+    for (int i = 0; i < runs; ++i) {
+      AvgOptions opt;
+      opt.seed = seed * 1000 + i;
+      auto result = RunAvg(*inst, frac, opt);
+      ASSERT_TRUE(result.ok());
+      mean += Evaluate(*inst, result->config).ScaledTotal();
+    }
+    mean /= runs;
+    EXPECT_GE(mean, frac.lp_objective / 4.0 - 1e-9)
+        << "seed " << seed << ": mean " << mean << " vs LP "
+        << frac.lp_objective;
+  }
+}
+
+TEST(AvgTest, SizeCapNeverViolated) {
+  for (uint64_t seed : {7u, 8u}) {
+    DatasetParams params;
+    params.kind = DatasetKind::kTimik;
+    params.num_users = 12;
+    params.num_items = 15;
+    params.num_slots = 4;
+    params.seed = seed;
+    auto inst = GenerateDataset(params);
+    ASSERT_TRUE(inst.ok());
+    FractionalSolution frac = Solve(*inst);
+    for (int cap : {1, 2, 3}) {
+      AvgOptions opt;
+      opt.seed = seed;
+      opt.size_cap = cap;
+      auto result = RunAvg(*inst, frac, opt);
+      ASSERT_TRUE(result.ok());
+      EXPECT_TRUE(result->config.CheckValid().ok());
+      EXPECT_EQ(SizeConstraintViolation(result->config, cap), 0)
+          << "cap " << cap << " seed " << seed;
+    }
+  }
+}
+
+TEST(AvgTest, IndependentRoundingLosesSocialUtility) {
+  // Lemma 3 setup: indifferent preferences, uniform tau. Independent
+  // rounding collapses social utility; CSF keeps it.
+  const int n = 6, m = 12, k = 2;
+  SocialGraph g = CompleteGraph(n);
+  SvgicInstance inst(g, m, k, 0.5);
+  for (const Edge& e : g.edges()) {
+    for (ItemId c = 0; c < m; ++c) inst.set_tau(e.id, c, 0.5);
+  }
+  inst.FinalizePairs();
+  FractionalSolution frac = Solve(inst);
+  double avg_mean = 0.0, ind_mean = 0.0;
+  const int runs = 20;
+  for (int i = 0; i < runs; ++i) {
+    AvgOptions aopt;
+    aopt.seed = 50 + i;
+    auto avg = RunAvg(inst, frac, aopt);
+    ASSERT_TRUE(avg.ok());
+    avg_mean += Evaluate(inst, avg->config).ScaledTotal();
+    IndependentRoundingOptions iopt;
+    iopt.seed = 50 + i;
+    auto ind = RunIndependentRounding(inst, frac, iopt);
+    ASSERT_TRUE(ind.ok());
+    EXPECT_TRUE(ind->config.CheckValid().ok());
+    ind_mean += Evaluate(inst, ind->config).ScaledTotal();
+  }
+  // CSF should get close to full co-display; independent rounding only a
+  // ~1/m fraction of it.
+  EXPECT_GT(avg_mean, 2.0 * ind_mean);
+}
+
+TEST(AvgTest, RejectsUnpreparedFractionalSolution) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  FractionalSolution frac;
+  frac.num_users = 4;
+  frac.num_items = 5;
+  frac.num_slots = 3;
+  frac.x.assign(20, 0.5);
+  // BuildSupporters not called.
+  EXPECT_FALSE(RunAvg(inst, frac).ok());
+}
+
+}  // namespace
+}  // namespace savg

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "baselines/fmg.h"
+#include "baselines/grf.h"
+#include "baselines/ip_exact.h"
+#include "baselines/per.h"
+#include "baselines/sdp.h"
+#include "core/objective.h"
+#include "datagen/datasets.h"
+#include "paper_example.h"
+
+namespace savg {
+namespace {
+
+SvgicInstance RandomInstance(int n, int m, int k, uint64_t seed,
+                             DatasetKind kind = DatasetKind::kYelp) {
+  DatasetParams params;
+  params.kind = kind;
+  params.num_users = n;
+  params.num_items = m;
+  params.num_slots = k;
+  params.seed = seed;
+  auto inst = GenerateDataset(params);
+  EXPECT_TRUE(inst.ok()) << inst.status();
+  return std::move(inst).value();
+}
+
+TEST(BaselinesTest, AllProduceValidConfigurations) {
+  SvgicInstance inst = RandomInstance(10, 14, 4, 1);
+  auto per = RunPersonalizedTopK(inst);
+  auto fmg = RunFmg(inst);
+  auto sdp = RunSdp(inst);
+  auto grf = RunGrf(inst);
+  for (const auto* r : {&per, &fmg, &sdp, &grf}) {
+    ASSERT_TRUE(r->ok()) << r->status();
+    EXPECT_TRUE((*r)->CheckValid().ok());
+  }
+}
+
+TEST(BaselinesTest, PerMaximizesPreferenceUtility) {
+  // PER is the exact optimizer of the pure-preference objective, so its
+  // preference part must dominate every other method's.
+  SvgicInstance inst = RandomInstance(8, 12, 3, 2);
+  auto per = RunPersonalizedTopK(inst);
+  auto fmg = RunFmg(inst);
+  auto sdp = RunSdp(inst);
+  auto grf = RunGrf(inst);
+  ASSERT_TRUE(per.ok() && fmg.ok() && sdp.ok() && grf.ok());
+  const double p_per = Evaluate(inst, *per).preference;
+  EXPECT_GE(p_per, Evaluate(inst, *fmg).preference - 1e-9);
+  EXPECT_GE(p_per, Evaluate(inst, *sdp).preference - 1e-9);
+  EXPECT_GE(p_per, Evaluate(inst, *grf).preference - 1e-9);
+}
+
+TEST(BaselinesTest, FmgDisplaysOneBundleToEveryone) {
+  SvgicInstance inst = RandomInstance(9, 12, 3, 3);
+  auto fmg = RunFmg(inst);
+  ASSERT_TRUE(fmg.ok());
+  for (SlotId s = 0; s < 3; ++s) {
+    const ItemId c = fmg->At(0, s);
+    for (UserId u = 1; u < 9; ++u) EXPECT_EQ(fmg->At(u, s), c);
+  }
+}
+
+TEST(BaselinesTest, FmgFairnessLiftsWorstUser) {
+  // With a strong fairness weight, the worst-off user's preference sum
+  // should not decrease relative to the no-fairness bundle.
+  SvgicInstance inst = RandomInstance(8, 15, 3, 4);
+  FmgOptions none;
+  none.fairness_weight = 0.0;
+  FmgOptions strong;
+  strong.fairness_weight = 5.0;
+  auto a = RunFmg(inst, none);
+  auto b = RunFmg(inst, strong);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto min_user_pref = [&](const Configuration& config) {
+    double worst = 1e300;
+    for (UserId u = 0; u < inst.num_users(); ++u) {
+      double acc = 0.0;
+      for (SlotId s = 0; s < inst.num_slots(); ++s) {
+        acc += inst.p(u, config.At(u, s));
+      }
+      worst = std::min(worst, acc);
+    }
+    return worst;
+  };
+  EXPECT_GE(min_user_pref(*b), min_user_pref(*a) - 1e-9);
+}
+
+TEST(BaselinesTest, SdpGroupsAreStaticAcrossSlots) {
+  SvgicInstance inst = RandomInstance(10, 12, 3, 5);
+  Partition partition;
+  auto sdp = RunSdp(inst, SdpOptions{}, &partition);
+  ASSERT_TRUE(sdp.ok());
+  // Users in one community share their whole item sequence.
+  for (UserId u = 0; u < 10; ++u) {
+    for (UserId v = u + 1; v < 10; ++v) {
+      if (partition.community[u] != partition.community[v]) continue;
+      for (SlotId s = 0; s < 3; ++s) {
+        EXPECT_EQ(sdp->At(u, s), sdp->At(v, s));
+      }
+    }
+  }
+}
+
+TEST(BaselinesTest, GrfIgnoresTopologyAndGroupsByTaste) {
+  // Two users with identical preference rows end in the same cluster even
+  // if they are not friends.
+  SocialGraph g(4);
+  ASSERT_TRUE(g.AddUndirectedEdge(0, 2).ok());  // 0-2 friends, 0-1 not
+  SvgicInstance inst(g, 6, 2, 0.5);
+  for (ItemId c = 0; c < 6; ++c) {
+    inst.set_p(0, c, c == 1 ? 0.9 : 0.05);
+    inst.set_p(1, c, c == 1 ? 0.9 : 0.05);  // same taste as user 0
+    inst.set_p(2, c, c == 4 ? 0.9 : 0.05);
+    inst.set_p(3, c, c == 4 ? 0.9 : 0.05);
+  }
+  inst.FinalizePairs();
+  Partition partition;
+  GrfOptions opt;
+  opt.num_clusters = 2;
+  auto grf = RunGrf(inst, opt, &partition);
+  ASSERT_TRUE(grf.ok());
+  EXPECT_EQ(partition.community[0], partition.community[1]);
+  EXPECT_EQ(partition.community[2], partition.community[3]);
+  EXPECT_NE(partition.community[0], partition.community[2]);
+}
+
+TEST(BaselinesTest, IpMatchesBruteForceOnRandomTinyInstances) {
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    SvgicInstance inst = RandomInstance(4, 5, 2, seed);
+    auto ip = SolveIpExact(inst);
+    auto bf = SolveBruteForce(inst);
+    ASSERT_TRUE(ip.ok()) << ip.status();
+    ASSERT_TRUE(bf.ok()) << bf.status();
+    ASSERT_TRUE(ip->proven_optimal);
+    EXPECT_NEAR(ip->scaled_objective, bf->scaled_objective, 1e-5)
+        << "seed " << seed;
+  }
+}
+
+TEST(BaselinesTest, IpUnderNodeLimitStillReturnsIncumbent) {
+  SvgicInstance inst = RandomInstance(5, 6, 2, 41);
+  IpExactOptions opt;
+  opt.mip.max_nodes = 3;
+  auto ip = SolveIpExact(inst, opt);
+  ASSERT_TRUE(ip.ok()) << ip.status();
+  EXPECT_TRUE(ip->config.CheckValid().ok());
+  // The AVG-D seed guarantees a reasonable incumbent even with 3 nodes.
+  EXPECT_GT(ip->scaled_objective, 0.0);
+}
+
+TEST(BaselinesTest, BruteForceLimitsReported) {
+  SvgicInstance inst = RandomInstance(6, 8, 3, 51);
+  BruteForceOptions opt;
+  opt.max_configurations = 100;
+  opt.time_limit_seconds = 0.001;
+  auto bf = SolveBruteForce(inst, opt);
+  EXPECT_FALSE(bf.ok());
+  EXPECT_EQ(bf.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace savg

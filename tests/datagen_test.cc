@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <cmath>
+
+#include "datagen/datasets.h"
+#include "datagen/user_study.h"
+#include "datagen/utility_model.h"
+#include "graph/generators.h"
+
+namespace savg {
+namespace {
+
+TEST(UtilityModelTest, PopulatesValidInstance) {
+  Rng rng(3);
+  SocialGraph g = ErdosRenyi(12, 0.3, &rng);
+  SvgicInstance inst(g, 40, 5, 0.5);
+  UtilityModelParams params;
+  params.pref_pool = 10;
+  params.tau_pool = 8;
+  PopulateUtilities(&inst, {}, params, &rng);
+  EXPECT_TRUE(inst.Validate().ok()) << inst.Validate();
+}
+
+TEST(UtilityModelTest, PrefPoolSparsifiesPreferences) {
+  Rng rng(5);
+  SocialGraph g(6);
+  SvgicInstance inst(g, 50, 3, 0.5);
+  UtilityModelParams params;
+  params.pref_pool = 7;
+  PopulateUtilities(&inst, {}, params, &rng);
+  for (UserId u = 0; u < 6; ++u) {
+    int nonzero = 0;
+    for (ItemId c = 0; c < 50; ++c) {
+      if (inst.p(u, c) > 0.0) ++nonzero;
+    }
+    EXPECT_LE(nonzero, 7);
+  }
+}
+
+TEST(UtilityModelTest, CommunityCorrelatesPreferences) {
+  // Users in one community must be more preference-similar than users
+  // across communities.
+  Rng rng(7);
+  SocialGraph g(20);
+  SvgicInstance inst(g, 60, 3, 0.5);
+  std::vector<int> community(20);
+  for (int i = 0; i < 20; ++i) community[i] = i < 10 ? 0 : 1;
+  UtilityModelParams params;
+  params.community_mixing = 1.2;
+  params.popularity_boost = 0.1;
+  params.pref_pool = 0;
+  PopulateUtilities(&inst, community, params, &rng);
+  auto similarity = [&](UserId a, UserId b) {
+    double dot = 0, na = 0, nb = 0;
+    for (ItemId c = 0; c < 60; ++c) {
+      dot += inst.p(a, c) * inst.p(b, c);
+      na += inst.p(a, c) * inst.p(a, c);
+      nb += inst.p(b, c) * inst.p(b, c);
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  double intra = 0, inter = 0;
+  int ni = 0, nx = 0;
+  for (UserId a = 0; a < 20; ++a) {
+    for (UserId b = a + 1; b < 20; ++b) {
+      if (community[a] == community[b]) {
+        intra += similarity(a, b);
+        ++ni;
+      } else {
+        inter += similarity(a, b);
+        ++nx;
+      }
+    }
+  }
+  EXPECT_GT(intra / ni, inter / nx);
+}
+
+TEST(UtilityModelTest, AgreeHasUniformInfluenceGreeVariesPerTriple) {
+  Rng rng1(11), rng2(11);
+  SocialGraph g = CompleteGraph(6);
+  SvgicInstance agree(g, 30, 3, 0.5), gree(g, 30, 3, 0.5);
+  UtilityModelParams pa;
+  pa.kind = UtilityModelKind::kAgree;
+  pa.tau_pool = 0;
+  PopulateUtilities(&agree, {}, pa, &rng1);
+  UtilityModelParams pg;
+  pg.kind = UtilityModelKind::kGree;
+  pg.tau_pool = 0;
+  PopulateUtilities(&gree, {}, pg, &rng2);
+  EXPECT_TRUE(agree.Validate().ok());
+  EXPECT_TRUE(gree.Validate().ok());
+  // Same construction except the influence model; both nonempty.
+  int agree_entries = 0, gree_entries = 0;
+  for (const FriendPair& pair : agree.pairs()) {
+    agree_entries += static_cast<int>(pair.weights.size());
+  }
+  for (const FriendPair& pair : gree.pairs()) {
+    gree_entries += static_cast<int>(pair.weights.size());
+  }
+  EXPECT_GT(agree_entries, 0);
+  EXPECT_GT(gree_entries, 0);
+}
+
+TEST(DatasetsTest, GeneratesAllKindsValid) {
+  for (DatasetKind kind :
+       {DatasetKind::kTimik, DatasetKind::kEpinions, DatasetKind::kYelp}) {
+    DatasetParams params;
+    params.kind = kind;
+    params.num_users = 20;
+    params.num_items = 60;
+    params.num_slots = 5;
+    params.seed = 13;
+    auto inst = GenerateDataset(params);
+    ASSERT_TRUE(inst.ok()) << inst.status();
+    EXPECT_EQ(inst->num_users(), 20);
+    EXPECT_EQ(inst->num_items(), 60);
+    EXPECT_GT(inst->pairs().size(), 0u) << DatasetKindName(kind);
+  }
+}
+
+TEST(DatasetsTest, DeterministicForSeed) {
+  DatasetParams params;
+  params.num_users = 10;
+  params.num_items = 30;
+  params.num_slots = 3;
+  params.seed = 77;
+  auto a = GenerateDataset(params);
+  auto b = GenerateDataset(params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->graph().num_edges(), b->graph().num_edges());
+  for (UserId u = 0; u < 10; ++u) {
+    for (ItemId c = 0; c < 30; ++c) {
+      EXPECT_DOUBLE_EQ(a->p(u, c), b->p(u, c));
+    }
+  }
+}
+
+TEST(DatasetsTest, TimikDenserThanEpinions) {
+  double timik_density = 0.0, epinions_density = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    DatasetParams params;
+    params.num_users = 30;
+    params.num_items = 40;
+    params.num_slots = 4;
+    params.seed = seed;
+    params.kind = DatasetKind::kTimik;
+    auto t = GenerateDataset(params);
+    ASSERT_TRUE(t.ok());
+    timik_density += t->graph().UndirectedDensity();
+    params.kind = DatasetKind::kEpinions;
+    auto e = GenerateDataset(params);
+    ASSERT_TRUE(e.ok());
+    epinions_density += e->graph().UndirectedDensity();
+  }
+  EXPECT_GT(timik_density, epinions_density);
+}
+
+TEST(DatasetsTest, RejectsBadDimensions) {
+  DatasetParams params;
+  params.num_items = 2;
+  params.num_slots = 5;
+  EXPECT_FALSE(GenerateDataset(params).ok());
+}
+
+TEST(UserStudyTest, ProducesCoherentStudy) {
+  UserStudyParams params;
+  params.num_participants = 20;  // smaller cohort for test speed
+  params.num_items = 80;
+  params.num_slots = 5;
+  params.seed = 5;
+  auto study = RunUserStudy(params);
+  ASSERT_TRUE(study.ok()) << study.status();
+  ASSERT_EQ(study->lambdas.size(), 20u);
+  for (double l : study->lambdas) {
+    EXPECT_GE(l, 0.15);
+    EXPECT_LE(l, 0.85);
+  }
+  ASSERT_EQ(study->methods.size(), 4u);
+  // Utility-satisfaction correlation should be strongly positive (the
+  // paper reports ~0.83/0.81).
+  EXPECT_GT(study->spearman, 0.5);
+  EXPECT_GT(study->pearson, 0.5);
+  // AVG wins the study on total utility and satisfaction.
+  const auto& avg = study->methods[0];
+  EXPECT_EQ(avg.method, "AVG");
+  for (size_t i = 1; i < study->methods.size(); ++i) {
+    EXPECT_GE(avg.total_savg_utility,
+              study->methods[i].total_savg_utility - 1e-9)
+        << study->methods[i].method;
+  }
+  for (const auto& rec : study->methods) {
+    EXPECT_GE(rec.mean_satisfaction, 1.0);
+    EXPECT_LE(rec.mean_satisfaction, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace savg

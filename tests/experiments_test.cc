@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "experiments/runner.h"
+
+namespace savg {
+namespace {
+
+TEST(RunnerTest, AlgoNamesAreStable) {
+  EXPECT_STREQ(AlgoName(Algo::kAvg), "AVG");
+  EXPECT_STREQ(AlgoName(Algo::kAvgD), "AVG-D");
+  EXPECT_STREQ(AlgoName(Algo::kIp), "IP");
+  EXPECT_EQ(AllAlgos(false).size(), 6u);
+  EXPECT_EQ(AllAlgos(true).size(), 7u);
+}
+
+TEST(RunnerTest, RunAlgorithmAllKindsOnSmallInstance) {
+  DatasetParams params;
+  params.kind = DatasetKind::kTimik;
+  params.num_users = 6;
+  params.num_items = 8;
+  params.num_slots = 2;
+  params.seed = 3;
+  auto inst = GenerateDataset(params);
+  ASSERT_TRUE(inst.ok());
+  RunnerConfig config;
+  config.ip.mip.max_nodes = 2000;
+  for (Algo algo : AllAlgos(true)) {
+    auto run = RunAlgorithm(*inst, algo, config);
+    ASSERT_TRUE(run.ok()) << AlgoName(algo) << ": " << run.status();
+    EXPECT_TRUE(run->config.CheckValid().ok()) << AlgoName(algo);
+    EXPECT_GT(run->scaled_total, 0.0) << AlgoName(algo);
+  }
+}
+
+TEST(RunnerTest, ComparisonAggregatesAndOrders) {
+  DatasetParams params;
+  params.kind = DatasetKind::kYelp;
+  params.num_users = 14;
+  params.num_items = 40;
+  params.num_slots = 4;
+  params.seed = 11;
+  RunnerConfig config;
+  auto rows = RunComparison(params, /*samples=*/3, AllAlgos(false), config);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 6u);
+  double avg_value = 0.0, best_baseline = 0.0;
+  for (const AggregateRow& row : *rows) {
+    EXPECT_GT(row.mean_scaled_total, 0.0) << AlgoName(row.algo);
+    EXPECT_GE(row.mean_seconds, 0.0);
+    EXPECT_FALSE(row.regret_samples.empty());
+    if (row.algo == Algo::kAvg || row.algo == Algo::kAvgD) {
+      avg_value = std::max(avg_value, row.mean_scaled_total);
+    } else {
+      best_baseline = std::max(best_baseline, row.mean_scaled_total);
+    }
+  }
+  // The paper's headline: AVG/AVG-D beat every baseline.
+  EXPECT_GT(avg_value, best_baseline);
+}
+
+TEST(RunnerTest, SharedFractionalSolutionReused) {
+  DatasetParams params;
+  params.num_users = 8;
+  params.num_items = 10;
+  params.num_slots = 3;
+  params.seed = 21;
+  auto inst = GenerateDataset(params);
+  ASSERT_TRUE(inst.ok());
+  auto frac = SolveRelaxation(*inst);
+  ASSERT_TRUE(frac.ok());
+  RunnerConfig config;
+  auto with_shared = RunAlgorithm(*inst, Algo::kAvgD, config, &*frac);
+  auto without = RunAlgorithm(*inst, Algo::kAvgD, config);
+  ASSERT_TRUE(with_shared.ok() && without.ok());
+  // AVG-D is deterministic: same configuration either way.
+  EXPECT_NEAR(with_shared->scaled_total, without->scaled_total, 1e-9);
+}
+
+}  // namespace
+}  // namespace savg

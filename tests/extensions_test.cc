@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/avg_d.h"
+#include "core/extensions.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "metrics/metrics.h"
+#include "paper_example.h"
+
+namespace savg {
+namespace {
+
+TEST(ExtensionsTest, FoldCommodityValuesIsExactTransform) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  inst.set_commodity_values({2.0, 0.5, 1.0, 1.5, 1.0});
+  auto folded = FoldCommodityValues(inst);
+  ASSERT_TRUE(folded.ok()) << folded.status();
+  // Plain evaluation on the folded instance == weighted evaluation on the
+  // original, for any configuration.
+  for (const Configuration& config :
+       {MakeSavgOptimalConfig(), MakePersonalizedConfig()}) {
+    EvaluateOptions weighted;
+    weighted.use_extension_weights = true;
+    EXPECT_NEAR(Evaluate(*folded, config).Total(),
+                Evaluate(inst, config, weighted).Total(), 1e-5);
+  }
+}
+
+TEST(ExtensionsTest, FoldRequiresCommodityValues) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  EXPECT_FALSE(FoldCommodityValues(inst).ok());
+}
+
+TEST(ExtensionsTest, AvgDOnFoldedInstanceLiftsProfit) {
+  // Optimizing the folded instance must beat optimizing the plain one when
+  // measured by the commodity-weighted objective.
+  SvgicInstance inst = MakePaperExample(0.5);
+  inst.set_commodity_values({5.0, 0.2, 0.2, 0.2, 0.2});  // tripod is gold
+  auto folded = FoldCommodityValues(inst);
+  ASSERT_TRUE(folded.ok());
+  auto frac_plain = SolveRelaxation(inst);
+  auto frac_folded = SolveRelaxation(*folded);
+  ASSERT_TRUE(frac_plain.ok() && frac_folded.ok());
+  auto plain = RunAvgD(inst, *frac_plain);
+  auto aware = RunAvgD(*folded, *frac_folded);
+  ASSERT_TRUE(plain.ok() && aware.ok());
+  EvaluateOptions weighted;
+  weighted.use_extension_weights = true;
+  EXPECT_GE(Evaluate(inst, aware->config, weighted).Total(),
+            Evaluate(inst, plain->config, weighted).Total() - 1e-9);
+}
+
+TEST(ExtensionsTest, SlotOrderOptimizationImprovesWeightedObjective) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  inst.set_slot_weights({9.0, 3.0, 1.0});  // center-of-aisle effect [74]
+  const Configuration config = MakeAvgTable7Config();
+  const Configuration reordered = OptimizeSlotOrder(inst, config);
+  EvaluateOptions weighted;
+  weighted.use_extension_weights = true;
+  EXPECT_GE(Evaluate(inst, reordered, weighted).Total(),
+            Evaluate(inst, config, weighted).Total() - 1e-9);
+  // Plain objective is invariant under global slot permutations.
+  EXPECT_NEAR(Evaluate(inst, reordered).Total(),
+              Evaluate(inst, config).Total(), 1e-9);
+  EXPECT_TRUE(reordered.CheckValid().ok());
+}
+
+TEST(ExtensionsTest, MultiViewExtendsWithoutDuplicates) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  const Configuration base = MakePersonalizedConfig();
+  const MultiViewConfig mv = ExtendToMultiView(inst, base, /*beta=*/2);
+  for (UserId u = 0; u < 4; ++u) {
+    std::set<ItemId> seen;
+    for (SlotId s = 0; s < 3; ++s) {
+      ASSERT_GE(mv.views[u][s].size(), 1u);
+      ASSERT_LE(mv.views[u][s].size(), 2u);
+      EXPECT_EQ(mv.views[u][s][0], base.At(u, s));  // primary preserved
+      for (ItemId c : mv.views[u][s]) {
+        EXPECT_TRUE(seen.insert(c).second) << "duplicate view item";
+      }
+    }
+  }
+  // Extra views can only add utility.
+  EXPECT_GE(EvaluateMultiView(inst, mv),
+            Evaluate(inst, base).ScaledTotal() - 1e-9);
+}
+
+TEST(ExtensionsTest, MultiViewBeta1IsBaseline) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  const Configuration base = MakeSavgOptimalConfig();
+  const MultiViewConfig mv = ExtendToMultiView(inst, base, 1);
+  EXPECT_NEAR(EvaluateMultiView(inst, mv),
+              Evaluate(inst, base).ScaledTotal(), 1e-5);
+}
+
+TEST(ExtensionsTest, MvdLpBoundsGreedyExtension) {
+  // The Section 5 MVD LP upper-bounds any beta-view configuration; the
+  // greedy extension must sit between the single-view value and the bound.
+  SvgicInstance inst = MakePaperExample(0.5);
+  for (int beta : {1, 2, 3}) {
+    auto bound = SolveMvdLpBound(inst, beta);
+    ASSERT_TRUE(bound.ok()) << bound.status();
+    const Configuration base = MakeSavgOptimalConfig();
+    const MultiViewConfig mv = ExtendToMultiView(inst, base, beta);
+    const double value = EvaluateMultiView(inst, mv);
+    EXPECT_LE(value, *bound + 1e-5) << "beta " << beta;
+    EXPECT_GE(*bound, 10.35 - 1e-6);  // at least the single-view optimum
+  }
+  // More views can only raise the bound.
+  auto b1 = SolveMvdLpBound(inst, 1);
+  auto b3 = SolveMvdLpBound(inst, 3);
+  ASSERT_TRUE(b1.ok() && b3.ok());
+  EXPECT_GE(*b3, *b1 - 1e-9);
+}
+
+TEST(ExtensionsTest, MvdLpRejectsBadBeta) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  EXPECT_FALSE(SolveMvdLpBound(inst, 0).ok());
+}
+
+TEST(ExtensionsTest, GroupwiseSaturationBounded) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  const Configuration config = MakeGroupConfig();
+  const double pairwise = Evaluate(inst, config).ScaledTotal();
+  // Saturation -> infinity approaches the pairwise objective; small
+  // saturation discounts large groups.
+  const double nearly_pairwise = EvaluateGroupwise(inst, config, 1e6);
+  const double saturated = EvaluateGroupwise(inst, config, 0.5);
+  EXPECT_NEAR(nearly_pairwise, pairwise, 0.05);
+  EXPECT_LT(saturated, pairwise);
+  EXPECT_GT(saturated, 0.0);
+}
+
+TEST(ExtensionsTest, MinimizeSubgroupChangePreservesObjective) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  const Configuration config = MakeSavgOptimalConfig();
+  const Configuration reordered = MinimizeSubgroupChange(inst, config);
+  EXPECT_TRUE(reordered.CheckValid().ok());
+  EXPECT_NEAR(Evaluate(inst, reordered).Total(),
+              Evaluate(inst, config).Total(), 1e-9);
+  EXPECT_LE(SubgroupChangeEditDistance(inst, reordered),
+            SubgroupChangeEditDistance(inst, config));
+}
+
+TEST(ExtensionsTest, DynamicJoinAndLeave) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  DynamicSession session(inst, MakeSavgOptimalConfig());
+  const double before = session.CurrentScaledTotal();
+  EXPECT_NEAR(before, 10.35, 1e-5);
+
+  // Eve joins: loves the SP camera (c5), friends with Alice.
+  DynamicSession::NewUserTie tie;
+  tie.other = kAlice;
+  tie.tau_out = {{4, 0.3f}};
+  tie.tau_in = {{4, 0.2f}};
+  std::vector<float> pref = {0.1f, 0.1f, 0.2f, 0.3f, 0.9f};
+  auto eve = session.UserJoin(pref, {tie});
+  ASSERT_TRUE(eve.ok()) << eve.status();
+  EXPECT_EQ(*eve, 4);
+  EXPECT_TRUE(session.IsActive(*eve));
+  // Eve should co-display c5 with Alice at slot 0 (greedy joins the group).
+  EXPECT_EQ(session.config().At(*eve, 0), 4);
+  const double after_join = session.CurrentScaledTotal();
+  EXPECT_GT(after_join, before);
+
+  // Eve leaves again: total returns to the original value.
+  ASSERT_TRUE(session.UserLeave(*eve).ok());
+  EXPECT_FALSE(session.IsActive(*eve));
+  EXPECT_NEAR(session.CurrentScaledTotal(), before, 1e-5);
+  // Leaving twice is an error.
+  EXPECT_FALSE(session.UserLeave(*eve).ok());
+}
+
+TEST(ExtensionsTest, DynamicJoinRejectsBadTies) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  DynamicSession session(inst, MakeSavgOptimalConfig());
+  DynamicSession::NewUserTie tie;
+  tie.other = 99;
+  std::vector<float> pref(5, 0.1f);
+  EXPECT_FALSE(session.UserJoin(pref, {tie}).ok());
+  EXPECT_FALSE(session.UserJoin({0.1f, 0.2f}, {}).ok());  // wrong size
+}
+
+}  // namespace
+}  // namespace savg

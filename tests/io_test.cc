@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/io.h"
+#include "core/objective.h"
+#include "datagen/datasets.h"
+#include "paper_example.h"
+
+namespace savg {
+namespace {
+
+TEST(IoTest, InstanceRoundTripPreservesEverything) {
+  SvgicInstance inst = MakePaperExample(0.4);
+  inst.set_commodity_values({1.0f, 2.0f, 1.0f, 1.0f, 0.5f});
+  inst.set_slot_weights({3.0f, 1.0f, 1.0f});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteInstance(inst, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = ReadInstance(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_users(), 4);
+  EXPECT_EQ(loaded->num_items(), 5);
+  EXPECT_EQ(loaded->num_slots(), 3);
+  EXPECT_NEAR(loaded->lambda(), 0.4, 1e-9);
+  EXPECT_EQ(loaded->graph().num_edges(), 8);
+  for (UserId u = 0; u < 4; ++u) {
+    for (ItemId c = 0; c < 5; ++c) {
+      EXPECT_NEAR(loaded->p(u, c), inst.p(u, c), 1e-6);
+    }
+  }
+  for (EdgeId e = 0; e < 8; ++e) {
+    for (ItemId c = 0; c < 5; ++c) {
+      EXPECT_NEAR(loaded->TauOf(e, c), inst.TauOf(e, c), 1e-6);
+    }
+  }
+  EXPECT_NEAR(loaded->CommodityOf(1), 2.0, 1e-6);
+  EXPECT_NEAR(loaded->SlotWeightOf(0), 3.0, 1e-6);
+  // Same objective on the same configuration.
+  const Configuration config = MakeSavgOptimalConfig();
+  EXPECT_NEAR(Evaluate(*loaded, config).Total(),
+              Evaluate(inst, config).Total(), 1e-6);
+}
+
+TEST(IoTest, GeneratedInstanceRoundTrip) {
+  DatasetParams params;
+  params.kind = DatasetKind::kYelp;
+  params.num_users = 12;
+  params.num_items = 30;
+  params.num_slots = 4;
+  params.seed = 3;
+  auto inst = GenerateDataset(params);
+  ASSERT_TRUE(inst.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteInstance(*inst, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = ReadInstance(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->pairs().size(), inst->pairs().size());
+}
+
+TEST(IoTest, ConfigurationRoundTrip) {
+  const Configuration config = MakeAvgTable7Config();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteConfiguration(config, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = ReadConfiguration(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (UserId u = 0; u < 4; ++u) {
+    for (SlotId s = 0; s < 3; ++s) {
+      EXPECT_EQ(loaded->At(u, s), config.At(u, s));
+    }
+  }
+}
+
+TEST(IoTest, PartialConfigurationRoundTrip) {
+  Configuration config(3, 2, 4);
+  ASSERT_TRUE(config.Set(1, 0, 2).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteConfiguration(config, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = ReadConfiguration(&in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->At(1, 0), 2);
+  EXPECT_EQ(loaded->At(0, 0), kNoItem);
+  EXPECT_EQ(loaded->NumUnassigned(), 5);
+}
+
+TEST(IoTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# a comment\n"
+      "svgic 1\n"
+      "\n"
+      "dims 2 3 2 0.5\n"
+      "edge 0 1\n"
+      "p 0 1 0.9\n"
+      "tau 0 1 0.25\n"
+      "end\n");
+  auto loaded = ReadInstance(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_NEAR(loaded->p(0, 1), 0.9, 1e-6);
+  EXPECT_NEAR(loaded->TauOf(0, 1), 0.25, 1e-6);
+}
+
+TEST(IoTest, RejectsTruncatedFile) {
+  std::istringstream in("svgic 1\ndims 2 3 2 0.5\n");  // missing end
+  EXPECT_FALSE(ReadInstance(&in).ok());
+}
+
+TEST(IoTest, RejectsUnknownRecord) {
+  std::istringstream in("svgic 1\ndims 2 3 2 0.5\nbogus 1 2\nend\n");
+  EXPECT_FALSE(ReadInstance(&in).ok());
+}
+
+TEST(IoTest, RejectsOutOfRangeEntries) {
+  std::istringstream in("svgic 1\ndims 2 3 2 0.5\np 5 0 0.5\nend\n");
+  EXPECT_FALSE(ReadInstance(&in).ok());
+  std::istringstream in2("svgic 1\ndims 2 3 2 0.5\ntau 0 0 0.5\nend\n");
+  // tau references edge 0 but no edges exist.
+  EXPECT_FALSE(ReadInstance(&in2).ok());
+}
+
+TEST(IoTest, RejectsBadVersion) {
+  std::istringstream in("svgic 99\ndims 2 3 2 0.5\nend\n");
+  EXPECT_FALSE(ReadInstance(&in).ok());
+}
+
+TEST(IoTest, MissingFileIsNotFound) {
+  auto r = ReadInstanceFromFile("/nonexistent/path/instance.tsv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IoTest, FileRoundTripViaTempFile) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  const std::string path = testing::TempDir() + "/savg_io_test_instance.tsv";
+  ASSERT_TRUE(WriteInstanceToFile(inst, path).ok());
+  auto loaded = ReadInstanceFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_users(), 4);
+}
+
+}  // namespace
+}  // namespace savg

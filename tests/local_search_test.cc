@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "baselines/per.h"
+#include "core/avg.h"
+#include "core/local_search.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "datagen/datasets.h"
+#include "paper_example.h"
+
+namespace savg {
+namespace {
+
+TEST(LocalSearchTest, NeverDecreasesValueAndStaysValid) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    DatasetParams params;
+    params.kind = DatasetKind::kYelp;
+    params.num_users = 12;
+    params.num_items = 30;
+    params.num_slots = 4;
+    params.seed = seed;
+    auto inst = GenerateDataset(params);
+    ASSERT_TRUE(inst.ok());
+    auto per = RunPersonalizedTopK(*inst);
+    ASSERT_TRUE(per.ok());
+    auto improved = ImproveByLocalSearch(*inst, *per);
+    ASSERT_TRUE(improved.ok()) << improved.status();
+    EXPECT_TRUE(improved->config.CheckValid().ok());
+    EXPECT_GE(improved->final_value, improved->initial_value - 1e-9);
+    EXPECT_NEAR(improved->final_value,
+                Evaluate(*inst, improved->config).ScaledTotal(), 1e-6);
+  }
+}
+
+TEST(LocalSearchTest, ImprovesPersonalizedTowardSocial) {
+  // PER ignores social utility entirely; on a social-heavy instance local
+  // search must find strictly better alignments.
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto per = RunPersonalizedTopK(inst);
+  ASSERT_TRUE(per.ok());
+  auto improved = ImproveByLocalSearch(inst, *per);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_GT(improved->final_value, improved->initial_value);
+  EXPECT_GT(improved->moves_taken, 0);
+}
+
+TEST(LocalSearchTest, FixpointOfOptimumIsOptimum) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  const Configuration opt = MakeSavgOptimalConfig();
+  auto improved = ImproveByLocalSearch(inst, opt);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_NEAR(improved->final_value, 10.35, 1e-5);
+}
+
+TEST(LocalSearchTest, RespectsSizeCap) {
+  DatasetParams params;
+  params.kind = DatasetKind::kTimik;
+  params.num_users = 12;
+  params.num_items = 20;
+  params.num_slots = 3;
+  params.seed = 9;
+  auto inst = GenerateDataset(params);
+  ASSERT_TRUE(inst.ok());
+  auto frac = SolveRelaxation(*inst);
+  ASSERT_TRUE(frac.ok());
+  AvgOptions avg;
+  avg.size_cap = 3;
+  avg.seed = 9;
+  auto rounded = RunAvg(*inst, *frac, avg);
+  ASSERT_TRUE(rounded.ok());
+  ASSERT_EQ(SizeConstraintViolation(rounded->config, 3), 0);
+  LocalSearchOptions opt;
+  opt.size_cap = 3;
+  auto improved = ImproveByLocalSearch(*inst, rounded->config, opt);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_EQ(SizeConstraintViolation(improved->config, 3), 0);
+  EXPECT_GE(improved->final_value, improved->initial_value - 1e-9);
+}
+
+TEST(LocalSearchTest, RejectsIncompleteConfiguration) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration partial(4, 3, 5);
+  ASSERT_TRUE(partial.Set(0, 0, 1).ok());
+  EXPECT_FALSE(ImproveByLocalSearch(inst, partial).ok());
+}
+
+TEST(LocalSearchTest, SweepBudgetIsHonoured) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto per = RunPersonalizedTopK(inst);
+  LocalSearchOptions opt;
+  opt.max_sweeps = 1;
+  auto improved = ImproveByLocalSearch(inst, *per, opt);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_EQ(improved->sweeps, 1);
+}
+
+}  // namespace
+}  // namespace savg

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "datagen/datasets.h"
+#include "lp/simplex.h"
+#include "paper_example.h"
+
+namespace savg {
+namespace {
+
+/// Small random instance helper.
+SvgicInstance RandomInstance(int n, int m, int k, double lambda,
+                             uint64_t seed) {
+  DatasetParams params;
+  params.kind = DatasetKind::kTimik;
+  params.num_users = n;
+  params.num_items = m;
+  params.num_slots = k;
+  params.lambda = lambda;
+  params.seed = seed;
+  params.universe_users = 4 * n + 20;
+  UtilityModelParams u = DefaultUtilityParams(DatasetKind::kTimik);
+  u.pref_pool = 0;  // dense small instances
+  u.tau_pool = 0;
+  params.utility = u;
+  params.override_utility = true;
+  auto inst = GenerateDataset(params);
+  EXPECT_TRUE(inst.ok()) << inst.status();
+  return std::move(inst).value();
+}
+
+TEST(LpFormulationTest, Observation2CompactEqualsExpanded) {
+  // OPT_SIMP == OPT_SVGIC (Observation 2) on random small instances.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SvgicInstance inst = RandomInstance(5, 8, 3, 0.5, seed);
+    CompactLpMap cmap;
+    auto compact = BuildCompactLp(inst, &cmap);
+    ASSERT_TRUE(compact.ok()) << compact.status();
+    ExpandedLpMap emap;
+    auto expanded = BuildExpandedLp(inst, &emap);
+    ASSERT_TRUE(expanded.ok()) << expanded.status();
+    auto sol_c = SolveLp(*compact);
+    auto sol_e = SolveLp(*expanded);
+    ASSERT_TRUE(sol_c.ok()) << sol_c.status();
+    ASSERT_TRUE(sol_e.ok()) << sol_e.status();
+    EXPECT_NEAR(sol_c->objective, sol_e->objective,
+                1e-6 * (1.0 + std::abs(sol_c->objective)));
+  }
+}
+
+TEST(LpFormulationTest, CompactLpIsMuchSmaller) {
+  SvgicInstance inst = RandomInstance(5, 8, 3, 0.5, 11);
+  CompactLpMap cmap;
+  ExpandedLpMap emap;
+  auto compact = BuildCompactLp(inst, &cmap);
+  auto expanded = BuildExpandedLp(inst, &emap);
+  ASSERT_TRUE(compact.ok() && expanded.ok());
+  EXPECT_LT(compact->num_vars() * 2, expanded->num_vars());
+  EXPECT_LT(compact->num_rows() * 2, expanded->num_rows());
+}
+
+TEST(LpFormulationTest, LpUpperBoundsIntegerOptimum) {
+  for (uint64_t seed : {5u, 6u}) {
+    SvgicInstance inst = RandomInstance(4, 5, 2, 0.5, seed);
+    auto frac = SolveRelaxation(inst);
+    ASSERT_TRUE(frac.ok()) << frac.status();
+    auto opt = SolveBruteForce(inst);
+    ASSERT_TRUE(opt.ok()) << opt.status();
+    EXPECT_GE(frac->lp_objective, opt->scaled_objective - 1e-6);
+  }
+}
+
+TEST(LpFormulationTest, RelaxationMassIsK) {
+  SvgicInstance inst = RandomInstance(6, 10, 4, 0.5, 21);
+  auto frac = SolveRelaxation(inst);
+  ASSERT_TRUE(frac.ok());
+  for (UserId u = 0; u < 6; ++u) {
+    double mass = 0.0;
+    for (ItemId c = 0; c < 10; ++c) {
+      const double x = frac->XCompact(u, c);
+      EXPECT_GE(x, -1e-9);
+      EXPECT_LE(x, 1.0 + 1e-9);
+      mass += x;
+    }
+    EXPECT_NEAR(mass, 4.0, 1e-6);
+  }
+}
+
+TEST(LpFormulationTest, SimplexExpandedCompressesToCompactOptimum) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  RelaxationOptions opt;
+  opt.method = RelaxationMethod::kSimplexExpanded;
+  auto expanded = SolveRelaxation(inst, opt);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  opt.method = RelaxationMethod::kSimplex;
+  auto compact = SolveRelaxation(inst, opt);
+  ASSERT_TRUE(compact.ok());
+  EXPECT_NEAR(expanded->lp_objective, compact->lp_objective, 1e-5);
+}
+
+TEST(LpFormulationTest, SubgradientApproachesSimplexOptimum) {
+  SvgicInstance inst = RandomInstance(6, 10, 3, 0.5, 31);
+  RelaxationOptions exact_opt;
+  exact_opt.method = RelaxationMethod::kSimplex;
+  auto exact = SolveRelaxation(inst, exact_opt);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  RelaxationOptions approx_opt;
+  approx_opt.method = RelaxationMethod::kSubgradient;
+  approx_opt.subgradient.max_iterations = 400;
+  approx_opt.subgradient.polish_sweeps = 6;
+  auto approx = SolveRelaxation(inst, approx_opt);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_FALSE(approx->exact);
+  EXPECT_LE(approx->lp_objective, exact->lp_objective + 1e-6);
+  EXPECT_GE(approx->lp_objective, 0.9 * exact->lp_objective);
+}
+
+TEST(LpFormulationTest, LambdaZeroGivesTopK) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  inst.set_lambda(0.0);
+  auto frac = SolveRelaxation(inst);
+  ASSERT_TRUE(frac.ok());
+  EXPECT_TRUE(frac->exact);
+  // Alice's top 3: c5, c2, c1.
+  EXPECT_NEAR(frac->XCompact(kAlice, 4), 1.0, 1e-9);
+  EXPECT_NEAR(frac->XCompact(kAlice, 1), 1.0, 1e-9);
+  EXPECT_NEAR(frac->XCompact(kAlice, 0), 1.0, 1e-9);
+  EXPECT_NEAR(frac->XCompact(kAlice, 2), 0.0, 1e-9);
+}
+
+TEST(LpFormulationTest, SupportersSortedAndPruned) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto frac = SolveRelaxation(inst);
+  ASSERT_TRUE(frac.ok());
+  for (ItemId c : frac->active_items()) {
+    const auto& sups = frac->SupportersOf(c);
+    ASSERT_FALSE(sups.empty());
+    for (size_t i = 0; i + 1 < sups.size(); ++i) {
+      EXPECT_GE(sups[i].x, sups[i + 1].x);
+    }
+    for (const Supporter& s : sups) EXPECT_GT(s.x, 0.0);
+  }
+}
+
+TEST(LpFormulationTest, StLpRespectsSizeRows) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  ExpandedLpMap map;
+  auto lp = BuildStLp(inst, /*d_tel=*/0.5, /*size_cap=*/2, &map);
+  ASSERT_TRUE(lp.ok()) << lp.status();
+  auto sol = SolveLp(*lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  // Fractional group sizes can't exceed the cap.
+  for (ItemId c = 0; c < 5; ++c) {
+    for (SlotId s = 0; s < 3; ++s) {
+      double group = 0.0;
+      for (UserId u = 0; u < 4; ++u) group += sol->x[map.XVar(u, s, c)];
+      EXPECT_LE(group, 2.0 + 1e-6);
+    }
+  }
+  EXPECT_FALSE(map.z.empty());
+}
+
+TEST(LpFormulationTest, StLpObjectiveBetweenDiscountedAndPlain) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  ExpandedLpMap map;
+  auto st = BuildStLp(inst, 0.5, /*size_cap=*/4, &map);
+  ASSERT_TRUE(st.ok());
+  auto st_sol = SolveLp(*st);
+  ASSERT_TRUE(st_sol.ok());
+  ExpandedLpMap emap;
+  auto plain = BuildExpandedLp(inst, &emap);
+  ASSERT_TRUE(plain.ok());
+  auto plain_sol = SolveLp(*plain);
+  ASSERT_TRUE(plain_sol.ok());
+  // Teleportation only adds utility; with a non-binding size cap the ST
+  // optimum is at least the plain optimum.
+  EXPECT_GE(st_sol->objective, plain_sol->objective - 1e-6);
+}
+
+TEST(LpFormulationTest, RejectsLambdaZeroLpBuild) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  inst.set_lambda(0.0);
+  CompactLpMap map;
+  EXPECT_FALSE(BuildCompactLp(inst, &map).ok());
+}
+
+TEST(LpFormulationTest, FillerVariablesForUselessItems) {
+  // A 1-user instance with sparse preference: useless items fold into one
+  // filler variable.
+  SocialGraph g(1);
+  SvgicInstance inst(g, 20, 2, 0.5);
+  inst.set_p(0, 3, 0.9);
+  inst.set_p(0, 7, 0.8);
+  inst.FinalizePairs();
+  CompactLpMap map;
+  auto lp = BuildCompactLp(inst, &map);
+  ASSERT_TRUE(lp.ok());
+  // 2 useful x vars + 1 filler.
+  EXPECT_EQ(lp->num_vars(), 3);
+  EXPECT_GE(map.filler[0], 0);
+  auto sol = SolveLp(*lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, (0.9 + 0.8), 1e-6);  // p' = p at lambda 1/2
+}
+
+}  // namespace
+}  // namespace savg

@@ -1,0 +1,491 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/branch_and_bound.h"
+#include "lp/capped_simplex.h"
+#include "lp/dense_matrix.h"
+#include "lp/lp_model.h"
+#include "lp/simplex.h"
+#include "lp/subgradient.h"
+#include "util/random.h"
+
+namespace savg {
+namespace {
+
+TEST(DenseMatrixTest, IdentityInverse) {
+  DenseMatrix id = DenseMatrix::Identity(4);
+  auto inv = id.Inverse();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_LT(id.InverseResidual(*inv), 1e-12);
+}
+
+TEST(DenseMatrixTest, RandomInverse) {
+  Rng rng(3);
+  DenseMatrix m(6, 6);
+  for (size_t r = 0; r < 6; ++r)
+    for (size_t c = 0; c < 6; ++c) m.At(r, c) = rng.Uniform(-1, 1);
+  for (size_t i = 0; i < 6; ++i) m.At(i, i) += 3.0;  // well-conditioned
+  auto inv = m.Inverse();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_LT(m.InverseResidual(*inv), 1e-9);
+}
+
+TEST(DenseMatrixTest, SingularFails) {
+  DenseMatrix m(2, 2, 1.0);  // rank 1
+  EXPECT_FALSE(m.Inverse().ok());
+}
+
+TEST(DenseMatrixTest, MultiplyVector) {
+  DenseMatrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(0, 2) = 3;
+  m.At(1, 2) = 4;
+  auto y = m.MultiplyVector({1, 1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+  auto z = m.TransposeMultiplyVector({1, 2});
+  EXPECT_DOUBLE_EQ(z[2], 11.0);
+}
+
+// --- Simplex -----------------------------------------------------------
+
+TEST(SimplexTest, TwoVariableTextbook) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> (4,0), obj 12.
+  LpModel m;
+  int x = m.AddVariable(0, kLpInfinity, 3);
+  int y = m.AddVariable(0, kLpInfinity, 2);
+  m.AddRow(RowType::kLessEqual, 4, {{x, 1}, {y, 1}});
+  m.AddRow(RowType::kLessEqual, 6, {{x, 1}, {y, 3}});
+  auto sol = SolveLp(m);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 12.0, 1e-8);
+  EXPECT_NEAR(sol->x[x], 4.0, 1e-8);
+  EXPECT_NEAR(sol->x[y], 0.0, 1e-8);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + 2y s.t. x + y = 3, y <= 2 -> (1,2), obj 5.
+  LpModel m;
+  int x = m.AddVariable(0, kLpInfinity, 1);
+  int y = m.AddVariable(0, 2, 2);
+  m.AddRow(RowType::kEqual, 3, {{x, 1}, {y, 1}});
+  auto sol = SolveLp(m);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 5.0, 1e-8);
+  EXPECT_NEAR(sol->x[y], 2.0, 1e-8);
+}
+
+TEST(SimplexTest, GreaterEqualAndMinimize) {
+  // min 2x + 3y s.t. x + y >= 4, x <= 3 -> (3,1), obj 9.
+  LpModel m;
+  m.SetMaximize(false);
+  int x = m.AddVariable(0, 3, 2);
+  int y = m.AddVariable(0, kLpInfinity, 3);
+  m.AddRow(RowType::kGreaterEqual, 4, {{x, 1}, {y, 1}});
+  auto sol = SolveLp(m);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 9.0, 1e-8);
+  EXPECT_NEAR(sol->x[x], 3.0, 1e-8);
+  EXPECT_NEAR(sol->x[y], 1.0, 1e-8);
+}
+
+TEST(SimplexTest, UpperBoundedVariablesOnly) {
+  // max x + y with x <= 0.5, y <= 0.25, no rows.
+  LpModel m;
+  int x = m.AddVariable(0, 0.5, 1);
+  int y = m.AddVariable(0, 0.25, 1);
+  auto sol = SolveLp(m);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 0.75, 1e-9);
+  EXPECT_NEAR(sol->x[x], 0.5, 1e-9);
+  EXPECT_NEAR(sol->x[y], 0.25, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  LpModel m;
+  int x = m.AddVariable(0, 1, 1);
+  m.AddRow(RowType::kGreaterEqual, 5, {{x, 1}});
+  auto sol = SolveLp(m);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpModel m;
+  int x = m.AddVariable(0, kLpInfinity, 1);
+  m.AddRow(RowType::kGreaterEqual, 1, {{x, 1}});
+  auto sol = SolveLp(m);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsRows) {
+  // max x s.t. -x <= -2 (i.e. x >= 2), x <= 5.
+  LpModel m;
+  int x = m.AddVariable(0, 5, 1);
+  m.AddRow(RowType::kLessEqual, -2, {{x, -1}});
+  auto sol = SolveLp(m);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 5.0, 1e-8);
+}
+
+TEST(SimplexTest, DegenerateLpTerminates) {
+  // Many redundant constraints through the same vertex.
+  LpModel m;
+  int x = m.AddVariable(0, kLpInfinity, 1);
+  int y = m.AddVariable(0, kLpInfinity, 1);
+  for (int i = 1; i <= 8; ++i) {
+    m.AddRow(RowType::kLessEqual, 2, {{x, 1.0}, {y, static_cast<double>(i)}});
+  }
+  auto sol = SolveLp(m);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 2.0, 1e-8);  // x=2, y=0
+}
+
+TEST(SimplexTest, TransportationProblem) {
+  // Classic 2x3 transportation: supplies {20, 30}, demands {10, 25, 15},
+  // costs row-major {2,4,5 / 3,1,7}. Min cost = 2*10+4*10+1*25+5*... check
+  // via known optimum: ship (10,0,10) from s0 (cost 20+0+50), (0,25,5) from
+  // s1 (cost 25+35) -> total 130? Let solver find it; validate against a
+  // brute-force grid search instead.
+  LpModel m;
+  m.SetMaximize(false);
+  const double cost[2][3] = {{2, 4, 5}, {3, 1, 7}};
+  int v[2][3];
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j)
+      v[i][j] = m.AddVariable(0, kLpInfinity, cost[i][j]);
+  const double supply[2] = {20, 30};
+  const double demand[3] = {10, 25, 15};
+  for (int i = 0; i < 2; ++i) {
+    m.AddRow(RowType::kLessEqual, supply[i],
+             {{v[i][0], 1}, {v[i][1], 1}, {v[i][2], 1}});
+  }
+  for (int j = 0; j < 3; ++j) {
+    m.AddRow(RowType::kEqual, demand[j], {{v[0][j], 1}, {v[1][j], 1}});
+  }
+  auto sol = SolveLp(m);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_LE(sol->objective, 2 * 10 + 4 * 25 + 5 * 15 + 1);  // naive feasible
+  EXPECT_NEAR(m.MaxViolation(sol->x), 0.0, 1e-7);
+  // Optimal plan: s1 ships 25 to d1 and 5 to d0; s0 ships 5 to d0 and 15 to
+  // d2. Cost = 25*1 + 5*3 + 5*2 + 15*5 = 125.
+  EXPECT_NEAR(sol->objective, 125.0, 1e-6);
+}
+
+TEST(SimplexTest, RandomLpsAgainstVertexEnumeration) {
+  // Property test: random 2-var LPs, compare against brute-force over a
+  // fine grid (within grid tolerance).
+  Rng rng(41);
+  for (int trial = 0; trial < 25; ++trial) {
+    LpModel m;
+    const double c0 = rng.Uniform(-1, 2), c1 = rng.Uniform(-1, 2);
+    int x = m.AddVariable(0, 1, c0);
+    int y = m.AddVariable(0, 1, c1);
+    const double a0 = rng.Uniform(0.2, 1), a1 = rng.Uniform(0.2, 1);
+    const double rhs = rng.Uniform(0.5, 1.5);
+    m.AddRow(RowType::kLessEqual, rhs, {{x, a0}, {y, a1}});
+    auto sol = SolveLp(m);
+    ASSERT_TRUE(sol.ok()) << sol.status();
+    double best = -1e18;
+    const int kGrid = 200;
+    for (int i = 0; i <= kGrid; ++i) {
+      for (int j = 0; j <= kGrid; ++j) {
+        const double xv = static_cast<double>(i) / kGrid;
+        const double yv = static_cast<double>(j) / kGrid;
+        if (a0 * xv + a1 * yv <= rhs + 1e-12) {
+          best = std::max(best, c0 * xv + c1 * yv);
+        }
+      }
+    }
+    EXPECT_GE(sol->objective, best - 1e-6);
+    EXPECT_LE(sol->objective, best + 0.05);  // grid resolution slack
+    EXPECT_NEAR(m.MaxViolation(sol->x), 0.0, 1e-7);
+  }
+}
+
+// --- Capped simplex -----------------------------------------------------
+
+TEST(CappedSimplexTest, ProjectionFeasible) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v(20);
+    for (double& x : v) x = rng.Uniform(-2, 2);
+    const double k = 1 + rng.UniformInt(int64_t{1}, int64_t{10});
+    auto w = v;
+    ProjectCappedSimplex(&w, k);
+    double total = 0;
+    for (double x : w) {
+      EXPECT_GE(x, -1e-9);
+      EXPECT_LE(x, 1 + 1e-9);
+      total += x;
+    }
+    EXPECT_NEAR(total, k, 1e-6);
+  }
+}
+
+TEST(CappedSimplexTest, ProjectionIsIdempotentOnFeasible) {
+  std::vector<double> v = {0.5, 0.5, 1.0, 0.0};
+  auto w = v;
+  ProjectCappedSimplex(&w, 2.0);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(w[i], v[i], 1e-6);
+}
+
+TEST(CappedSimplexTest, ProjectionIsClosestPoint) {
+  // For a 2-d case the projection onto {x0 + x1 = 1, 0<=x<=1} is computable
+  // by hand: project (0.9, 0.5) -> (0.7, 0.3).
+  std::vector<double> v = {0.9, 0.5};
+  ProjectCappedSimplex(&v, 1.0);
+  EXPECT_NEAR(v[0], 0.7, 1e-6);
+  EXPECT_NEAR(v[1], 0.3, 1e-6);
+}
+
+TEST(CappedSimplexTest, LmoPicksTopK) {
+  std::vector<double> g = {0.1, 0.9, 0.5, 0.7};
+  auto x = CappedSimplexLmo(g, 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[3], 1.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[2], 0.0);
+}
+
+TEST(CappedSimplexTest, LmoFractionalK) {
+  std::vector<double> g = {0.1, 0.9, 0.5};
+  auto x = CappedSimplexLmo(g, 1.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], 0.5);
+}
+
+// --- Subgradient solver ---------------------------------------------------
+
+PairwiseConcaveProblem SmallConcaveProblem() {
+  // 2 agents, 3 items, k=1. Linear prefs pull agents apart; pair weight on
+  // item 0 pulls them together.
+  PairwiseConcaveProblem p;
+  p.num_agents = 2;
+  p.num_items = 3;
+  p.k = 1.0;
+  p.linear = {0.6, 0.0, 0.3,   // agent 0
+              0.0, 0.55, 0.3};  // agent 1
+  ConcavePair pr;
+  pr.a = 0;
+  pr.b = 1;
+  pr.weights = {{2, 1.0}};  // strong joint reward on item 2
+  p.pairs.push_back(pr);
+  return p;
+}
+
+TEST(SubgradientTest, FindsJointItemWhenSocialDominates) {
+  auto p = SmallConcaveProblem();
+  auto sol = MaximizePairwiseConcave(p);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  // Optimal: both put mass 1 on item 2: objective 0.3 + 0.3 + 1.0 = 1.6.
+  EXPECT_NEAR(sol->objective, 1.6, 1e-6);
+  EXPECT_NEAR(sol->x[2], 1.0, 1e-6);
+  EXPECT_NEAR(sol->x[5], 1.0, 1e-6);
+}
+
+TEST(SubgradientTest, MatchesSimplexOnRandomInstances) {
+  // The reduced concave objective equals the LP optimum; verify against an
+  // explicit y-variable LP solved with the simplex.
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 3, m = 4;
+    const double k = 2.0;
+    PairwiseConcaveProblem p;
+    p.num_agents = n;
+    p.num_items = m;
+    p.k = k;
+    p.linear.resize(n * m);
+    for (double& v : p.linear) v = rng.Uniform(0, 1);
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (!rng.Bernoulli(0.8)) continue;
+        ConcavePair pr;
+        pr.a = a;
+        pr.b = b;
+        for (int c = 0; c < m; ++c) {
+          if (rng.Bernoulli(0.7)) {
+            pr.weights.emplace_back(c, rng.Uniform(0, 1));
+          }
+        }
+        if (!pr.weights.empty()) p.pairs.push_back(pr);
+      }
+    }
+    // Explicit LP.
+    LpModel lp;
+    std::vector<int> xv(n * m);
+    for (int a = 0; a < n; ++a)
+      for (int c = 0; c < m; ++c)
+        xv[a * m + c] = lp.AddVariable(0, 1, p.linear[a * m + c]);
+    for (int a = 0; a < n; ++a) {
+      std::vector<LpTerm> terms;
+      for (int c = 0; c < m; ++c) terms.push_back({xv[a * m + c], 1});
+      lp.AddRow(RowType::kEqual, k, terms);
+    }
+    for (const auto& pr : p.pairs) {
+      for (const auto& [c, w] : pr.weights) {
+        int y = lp.AddVariable(0, 1, w);
+        lp.AddRow(RowType::kLessEqual, 0, {{y, 1}, {xv[pr.a * m + c], -1}});
+        lp.AddRow(RowType::kLessEqual, 0, {{y, 1}, {xv[pr.b * m + c], -1}});
+      }
+    }
+    auto exact = SolveLp(lp);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+
+    SubgradientOptions opt;
+    opt.max_iterations = 400;
+    opt.polish_sweeps = 8;
+    auto approx = MaximizePairwiseConcave(p, opt);
+    ASSERT_TRUE(approx.ok()) << approx.status();
+    EXPECT_LE(approx->objective, exact->objective + 1e-6);
+    EXPECT_GE(approx->objective, 0.93 * exact->objective);
+  }
+}
+
+TEST(SubgradientTest, ExactBlockMaximizeIsOptimalForOneAgent) {
+  // Single agent, no pairs: block maximization must pick the top-k items.
+  PairwiseConcaveProblem p;
+  p.num_agents = 1;
+  p.num_items = 5;
+  p.k = 2.0;
+  p.linear = {0.1, 0.9, 0.4, 0.8, 0.2};
+  std::vector<double> x(5, 0.4);
+  std::vector<std::vector<int>> poa(1);
+  double contrib = ExactBlockMaximize(p, 0, poa, &x);
+  EXPECT_NEAR(contrib, 1.7, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+  EXPECT_NEAR(x[3], 1.0, 1e-9);
+}
+
+TEST(SubgradientTest, RejectsBadInput) {
+  PairwiseConcaveProblem p;
+  p.num_agents = 0;
+  EXPECT_FALSE(MaximizePairwiseConcave(p).ok());
+  p.num_agents = 1;
+  p.num_items = 2;
+  p.k = 5.0;  // k > m
+  p.linear = {0, 0};
+  EXPECT_FALSE(MaximizePairwiseConcave(p).ok());
+}
+
+// --- Branch and bound -----------------------------------------------------
+
+TEST(BranchAndBoundTest, SmallKnapsack) {
+  // max 10a + 6b + 4c s.t. a + b + c <= 2 (binary) -> 16.
+  LpModel m;
+  int a = m.AddVariable(0, 1, 10);
+  int b = m.AddVariable(0, 1, 6);
+  int c = m.AddVariable(0, 1, 4);
+  m.AddRow(RowType::kLessEqual, 2, {{a, 1}, {b, 1}, {c, 1}});
+  auto sol = SolveMip(m, {a, b, c});
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_TRUE(sol->proven_optimal);
+  EXPECT_NEAR(sol->objective, 16.0, 1e-7);
+}
+
+TEST(BranchAndBoundTest, FractionalLpIntegerGap) {
+  // max x + y s.t. 2x + 2y <= 3, binary -> LP 1.5, IP 1.
+  LpModel m;
+  int x = m.AddVariable(0, 1, 1);
+  int y = m.AddVariable(0, 1, 1);
+  m.AddRow(RowType::kLessEqual, 3, {{x, 2}, {y, 2}});
+  auto sol = SolveMip(m, {x, y});
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 1.0, 1e-7);
+}
+
+TEST(BranchAndBoundTest, EqualityWithIntegers) {
+  // max 5x + 4y + 3z s.t. x + y + z = 2, z binary-ish bounds.
+  LpModel m;
+  int x = m.AddVariable(0, 1, 5);
+  int y = m.AddVariable(0, 1, 4);
+  int z = m.AddVariable(0, 1, 3);
+  m.AddRow(RowType::kEqual, 2, {{x, 1}, {y, 1}, {z, 1}});
+  auto sol = SolveMip(m, {x, y, z});
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 9.0, 1e-7);
+}
+
+TEST(BranchAndBoundTest, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 with x integer: infeasible.
+  LpModel m;
+  int x = m.AddVariable(0.4, 0.6, 1);
+  auto sol = SolveMip(m, {x});
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(BranchAndBoundTest, AllStrategiesAgreeOnOptimum) {
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    LpModel m;
+    const int n = 8;
+    std::vector<int> vars;
+    std::vector<LpTerm> row;
+    for (int i = 0; i < n; ++i) {
+      int v = m.AddVariable(0, 1, rng.Uniform(1, 10));
+      vars.push_back(v);
+      row.push_back({v, rng.Uniform(1, 5)});
+    }
+    m.AddRow(RowType::kLessEqual, 8, row);
+    double objs[3];
+    int idx = 0;
+    for (auto strat : {NodeSelection::kBestBound, NodeSelection::kDepthFirst,
+                       NodeSelection::kHybrid}) {
+      MipOptions opt;
+      opt.node_selection = strat;
+      auto sol = SolveMip(m, vars, opt);
+      ASSERT_TRUE(sol.ok()) << sol.status();
+      EXPECT_TRUE(sol->proven_optimal);
+      objs[idx++] = sol->objective;
+    }
+    EXPECT_NEAR(objs[0], objs[1], 1e-6);
+    EXPECT_NEAR(objs[0], objs[2], 1e-6);
+  }
+}
+
+TEST(BranchAndBoundTest, HeuristicSeedsIncumbent) {
+  LpModel m;
+  int x = m.AddVariable(0, 1, 1);
+  int y = m.AddVariable(0, 1, 1);
+  m.AddRow(RowType::kLessEqual, 3, {{x, 2}, {y, 2}});
+  MipOptions opt;
+  bool called = false;
+  opt.heuristic = [&](const std::vector<double>&)
+      -> std::optional<std::vector<double>> {
+    called = true;
+    return std::vector<double>{1.0, 0.0};
+  };
+  auto sol = SolveMip(m, {x, y}, opt);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_TRUE(called);
+  EXPECT_NEAR(sol->objective, 1.0, 1e-7);
+}
+
+TEST(BranchAndBoundTest, NodeLimitReturnsIncumbentUnproven) {
+  // A problem with enough structure that the first dives find an incumbent
+  // before the node limit bites.
+  Rng rng(7);
+  LpModel m;
+  std::vector<int> vars;
+  std::vector<LpTerm> row;
+  for (int i = 0; i < 14; ++i) {
+    int v = m.AddVariable(0, 1, rng.Uniform(1, 10));
+    vars.push_back(v);
+    row.push_back({v, rng.Uniform(1, 5)});
+  }
+  m.AddRow(RowType::kLessEqual, 10, row);
+  MipOptions opt;
+  opt.node_selection = NodeSelection::kDepthFirst;
+  opt.max_nodes = 25;
+  auto sol = SolveMip(m, vars, opt);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_FALSE(sol->proven_optimal);
+  EXPECT_GE(sol->best_bound, sol->objective - 1e-9);
+}
+
+}  // namespace
+}  // namespace savg

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "baselines/fmg.h"
+#include "baselines/per.h"
+#include "metrics/metrics.h"
+#include "paper_example.h"
+
+namespace savg {
+namespace {
+
+TEST(MetricsTest, GroupConfigIsAllIntra) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  const SubgroupMetrics m =
+      ComputeSubgroupMetrics(inst, MakeGroupConfig());
+  EXPECT_NEAR(m.intra_fraction, 1.0, 1e-9);
+  EXPECT_NEAR(m.inter_fraction, 0.0, 1e-9);
+  EXPECT_NEAR(m.co_display_rate, 1.0, 1e-9);
+  EXPECT_NEAR(m.alone_rate, 0.0, 1e-9);
+  // Whole group = whole graph: normalized density is exactly 1.
+  EXPECT_NEAR(m.normalized_density, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, PersonalizedConfigIsAllInterHere) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  const SubgroupMetrics m =
+      ComputeSubgroupMetrics(inst, MakePersonalizedConfig());
+  // In the running example the personalized columns share no (item, slot).
+  EXPECT_NEAR(m.intra_fraction, 0.0, 1e-9);
+  EXPECT_NEAR(m.inter_fraction, 1.0, 1e-9);
+  EXPECT_NEAR(m.co_display_rate, 0.0, 1e-9);
+  EXPECT_NEAR(m.alone_rate, 1.0, 1e-9);
+  EXPECT_NEAR(m.normalized_density, 0.0, 1e-9);
+}
+
+TEST(MetricsTest, SavgConfigMixesIntraAndInter) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  const SubgroupMetrics m =
+      ComputeSubgroupMetrics(inst, MakeSavgOptimalConfig());
+  EXPECT_GT(m.intra_fraction, 0.3);
+  EXPECT_GT(m.inter_fraction, 0.0);
+  EXPECT_NEAR(m.intra_fraction + m.inter_fraction, 1.0, 1e-9);
+  EXPECT_NEAR(m.co_display_rate, 1.0, 1e-9);  // every pair shares something
+  EXPECT_NEAR(m.alone_rate, 0.0, 1e-9);
+}
+
+TEST(MetricsTest, UpperBoundDominatesAchievedUtility) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  for (const Configuration& config :
+       {MakeSavgOptimalConfig(), MakePersonalizedConfig(),
+        MakeGroupConfig()}) {
+    const auto per_user = EvaluatePerUser(inst, config);
+    for (UserId u = 0; u < 4; ++u) {
+      EXPECT_LE(per_user[u], UpperBoundUtility(inst, u) + 1e-9);
+    }
+  }
+}
+
+TEST(MetricsTest, RegretInUnitIntervalAndOrdersMethods) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  const auto reg_opt = RegretRatios(inst, MakeSavgOptimalConfig());
+  const auto reg_per = RegretRatios(inst, MakePersonalizedConfig());
+  double mean_opt = 0.0, mean_per = 0.0;
+  for (UserId u = 0; u < 4; ++u) {
+    EXPECT_GE(reg_opt[u], 0.0);
+    EXPECT_LE(reg_opt[u], 1.0);
+    mean_opt += reg_opt[u];
+    mean_per += reg_per[u];
+  }
+  // The SAVG optimum leaves less regret than pure personalization (which
+  // foregoes all social utility).
+  EXPECT_LT(mean_opt, mean_per);
+}
+
+TEST(MetricsTest, SubgroupChangeEditDistance) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  // Group config: all pairs together at every slot -> zero change.
+  EXPECT_EQ(SubgroupChangeEditDistance(inst, MakeGroupConfig()), 0);
+  // Personalized: never together -> zero change as well.
+  EXPECT_EQ(SubgroupChangeEditDistance(inst, MakePersonalizedConfig()), 0);
+  // The SAVG optimum regroups across slots -> positive change.
+  EXPECT_GT(SubgroupChangeEditDistance(inst, MakeSavgOptimalConfig()), 0);
+}
+
+TEST(MetricsTest, PartialConfigurationsAreHandled) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration config(4, 3, 5);
+  ASSERT_TRUE(config.Set(kAlice, 0, 4).ok());
+  const SubgroupMetrics m = ComputeSubgroupMetrics(inst, config);
+  EXPECT_EQ(m.intra_fraction, 0.0);
+  EXPECT_EQ(m.co_display_rate, 0.0);
+  EXPECT_EQ(m.alone_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace savg

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/objective.h"
+#include "paper_example.h"
+
+namespace savg {
+namespace {
+
+TEST(ObjectiveTest, EmptyConfigurationIsZero) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration config(4, 3, 5);
+  const ObjectiveBreakdown obj = Evaluate(inst, config);
+  EXPECT_DOUBLE_EQ(obj.Total(), 0.0);
+  EXPECT_DOUBLE_EQ(obj.preference, 0.0);
+  EXPECT_DOUBLE_EQ(obj.social_direct, 0.0);
+}
+
+TEST(ObjectiveTest, PartialConfigurationCounts) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration config(4, 3, 5);
+  ASSERT_TRUE(config.Set(kAlice, 0, 4).ok());
+  ASSERT_TRUE(config.Set(kCharlie, 0, 4).ok());
+  const ObjectiveBreakdown obj = Evaluate(inst, config);
+  // p(A,c5) + p(C,c5) = 1.0 + 0.1; pair (A,C) on c5 = 0.3 + 0.3.
+  EXPECT_NEAR(obj.preference, 1.1, 1e-5);
+  EXPECT_NEAR(obj.social_direct, 0.6, 1e-5);
+}
+
+TEST(ObjectiveTest, LambdaWeightingMatchesDefinition) {
+  SvgicInstance inst = MakePaperExample(0.4);
+  Configuration config = MakeSavgOptimalConfig();
+  const ObjectiveBreakdown obj = Evaluate(inst, config);
+  EXPECT_NEAR(obj.Total(), 0.6 * 8.0 + 0.4 * 2.35, 1e-5);
+  EXPECT_NEAR(obj.ScaledTotal(), obj.Total() / 0.4, 1e-9);
+}
+
+TEST(ObjectiveTest, IndirectCoDisplayWithDiscount) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration config(4, 3, 5);
+  // Alice sees c5 at slot 0; Charlie sees c5 at slot 1: indirect only.
+  ASSERT_TRUE(config.Set(kAlice, 0, 4).ok());
+  ASSERT_TRUE(config.Set(kCharlie, 1, 4).ok());
+  EvaluateOptions st;
+  st.d_tel = 0.5;
+  const ObjectiveBreakdown obj = Evaluate(inst, config, st);
+  EXPECT_NEAR(obj.social_direct, 0.0, 1e-9);
+  EXPECT_NEAR(obj.social_indirect, 0.6, 1e-5);
+  // Total = 0.5 * pref + 0.5 * (0 + 0.5 * 0.6).
+  EXPECT_NEAR(obj.Total(), 0.5 * 1.1 + 0.5 * 0.3, 1e-5);
+}
+
+TEST(ObjectiveTest, DirectAndIndirectAreExclusive) {
+  // No-duplication makes direct + indirect impossible for one (pair, item),
+  // so flipping one endpoint's slot converts indirect into direct.
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration config(4, 3, 5);
+  ASSERT_TRUE(config.Set(kAlice, 1, 4).ok());
+  ASSERT_TRUE(config.Set(kCharlie, 1, 4).ok());
+  EvaluateOptions st;
+  st.d_tel = 0.5;
+  const ObjectiveBreakdown obj = Evaluate(inst, config, st);
+  EXPECT_NEAR(obj.social_direct, 0.6, 1e-5);
+  EXPECT_NEAR(obj.social_indirect, 0.0, 1e-9);
+}
+
+TEST(ObjectiveTest, PerUserUtilitiesSumToTotal) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration config = MakeSavgOptimalConfig();
+  const auto per_user = EvaluatePerUser(inst, config);
+  double total = 0.0;
+  for (double u : per_user) total += u;
+  // Sum of directed per-user utilities equals the aggregate Total() since
+  // each pair's two directions land on the two endpoints.
+  EXPECT_NEAR(total, Evaluate(inst, config).Total(), 1e-5);
+}
+
+TEST(ObjectiveTest, PerUserDirectedAsymmetry) {
+  // tau(D,A,c5) = 0.25 vs tau(A,D,c5) = 0.2: when A and D co-display c5,
+  // Dave gains more than Alice from that pair.
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration config(4, 3, 5);
+  ASSERT_TRUE(config.Set(kAlice, 0, 4).ok());
+  ASSERT_TRUE(config.Set(kDave, 0, 4).ok());
+  const auto per_user = EvaluatePerUser(inst, config);
+  // Alice: 0.5*1.0 + 0.5*0.2; Dave: 0.5*0.95 + 0.5*0.25.
+  EXPECT_NEAR(per_user[kAlice], 0.6, 1e-5);
+  EXPECT_NEAR(per_user[kDave], 0.6, 1e-5);
+  // Social shares specifically:
+  EXPECT_NEAR(per_user[kAlice] - 0.5 * 1.0, 0.1, 1e-5);
+  EXPECT_NEAR(per_user[kDave] - 0.5 * 0.95, 0.125, 1e-5);
+}
+
+TEST(ObjectiveTest, ExtensionWeightsCommodity) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  inst.set_commodity_values({2.0, 1.0, 1.0, 1.0, 1.0});  // c1 worth double
+  Configuration config(4, 3, 5);
+  ASSERT_TRUE(config.Set(kAlice, 0, 0).ok());
+  EvaluateOptions opt;
+  opt.use_extension_weights = true;
+  EXPECT_NEAR(Evaluate(inst, config, opt).preference, 1.6, 1e-5);
+  EXPECT_NEAR(Evaluate(inst, config).preference, 0.8, 1e-5);
+}
+
+TEST(ObjectiveTest, ExtensionWeightsSlots) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  inst.set_slot_weights({3.0, 1.0, 1.0});
+  Configuration config(4, 3, 5);
+  ASSERT_TRUE(config.Set(kAlice, 0, 0).ok());
+  ASSERT_TRUE(config.Set(kBob, 1, 1).ok());
+  EvaluateOptions opt;
+  opt.use_extension_weights = true;
+  // Alice at slot 0 weighted 3x, Bob at slot 1 weighted 1x.
+  EXPECT_NEAR(Evaluate(inst, config, opt).preference, 3 * 0.8 + 1.0, 1e-5);
+}
+
+TEST(ObjectiveTest, SizeConstraintViolation) {
+  Configuration config(5, 1, 3);
+  for (UserId u = 0; u < 4; ++u) ASSERT_TRUE(config.Set(u, 0, 0).ok());
+  ASSERT_TRUE(config.Set(4, 0, 1).ok());
+  EXPECT_EQ(SizeConstraintViolation(config, 2), 2);  // group of 4, cap 2
+  EXPECT_EQ(SizeConstraintViolation(config, 4), 0);
+  EXPECT_EQ(SizeConstraintViolation(config, 1), 3);
+}
+
+TEST(ObjectiveTest, ScaledTotalLambdaZeroFallsBackToPreference) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  inst.set_lambda(0.0);
+  Configuration config = MakeSavgOptimalConfig();
+  const ObjectiveBreakdown obj = Evaluate(inst, config);
+  EXPECT_NEAR(obj.ScaledTotal(), obj.preference, 1e-9);
+}
+
+}  // namespace
+}  // namespace savg

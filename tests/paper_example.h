@@ -1,0 +1,118 @@
+// Shared builder for the paper's running example (Table 1): four users
+// (Alice, Bob, Charlie, Dave), five items (c1 tripod, c2 DSLR camera,
+// c3 PSD, c4 memory card, c5 SP camera), k = 3 slots.
+//
+// Item ids are 0-based: paper's c1 -> 0, ..., c5 -> 4.
+
+#pragma once
+
+#include "core/configuration.h"
+#include "core/problem.h"
+#include "graph/graph.h"
+
+namespace savg {
+
+inline constexpr UserId kAlice = 0;
+inline constexpr UserId kBob = 1;
+inline constexpr UserId kCharlie = 2;
+inline constexpr UserId kDave = 3;
+
+/// Builds the Table 1 instance with the given lambda.
+inline SvgicInstance MakePaperExample(double lambda) {
+  SocialGraph g(4);
+  // Directed edges with tau columns in Table 1:
+  // (A,B), (A,C), (A,D), (B,A), (B,C), (C,A), (C,B), (D,A).
+  const EdgeId ab = *g.AddEdge(kAlice, kBob);
+  const EdgeId ac = *g.AddEdge(kAlice, kCharlie);
+  const EdgeId ad = *g.AddEdge(kAlice, kDave);
+  const EdgeId ba = *g.AddEdge(kBob, kAlice);
+  const EdgeId bc = *g.AddEdge(kBob, kCharlie);
+  const EdgeId ca = *g.AddEdge(kCharlie, kAlice);
+  const EdgeId cb = *g.AddEdge(kCharlie, kBob);
+  const EdgeId da = *g.AddEdge(kDave, kAlice);
+
+  SvgicInstance inst(g, /*num_items=*/5, /*num_slots=*/3, lambda);
+  // Preference rows of Table 1 (items c1..c5).
+  const double p[4][5] = {
+      {0.8, 0.85, 0.1, 0.05, 1.0},   // Alice
+      {0.7, 1.0, 0.15, 0.2, 0.1},    // Bob
+      {0.0, 0.15, 0.7, 0.6, 0.1},    // Charlie
+      {0.1, 0.0, 0.3, 1.0, 0.95},    // Dave
+  };
+  for (UserId u = 0; u < 4; ++u) {
+    for (ItemId c = 0; c < 5; ++c) inst.set_p(u, c, p[u][c]);
+  }
+  // Social utility columns of Table 1, rows c1..c5.
+  const double tau[8][5] = {
+      // c1     c2    c3    c4    c5
+      {0.2, 0.05, 0.1, 0.0, 0.05},   // tau(A,B,.)
+      {0.0, 0.05, 0.1, 0.0, 0.3},    // tau(A,C,.)
+      {0.2, 0.05, 0.1, 0.05, 0.2},   // tau(A,D,.)
+      {0.2, 0.05, 0.1, 0.05, 0.05},  // tau(B,A,.)
+      {0.0, 0.05, 0.1, 0.2, 0.0},    // tau(B,C,.)
+      {0.0, 0.05, 0.1, 0.05, 0.3},   // tau(C,A,.)
+      {0.1, 0.05, 0.1, 0.2, 0.05},   // tau(C,B,.)
+      {0.3, 0.05, 0.05, 0.0, 0.25},  // tau(D,A,.)
+  };
+  const EdgeId edges[8] = {ab, ac, ad, ba, bc, ca, cb, da};
+  for (int e = 0; e < 8; ++e) {
+    for (ItemId c = 0; c < 5; ++c) {
+      if (tau[e][c] > 0.0) inst.set_tau(edges[e], c, tau[e][c]);
+    }
+  }
+  inst.FinalizePairs();
+  return inst;
+}
+
+namespace internal {
+inline Configuration MakeConfigFromTable(const int table[4][3]) {
+  Configuration config(4, 3, 5);
+  for (UserId u = 0; u < 4; ++u) {
+    for (SlotId s = 0; s < 3; ++s) {
+      Status st = config.Set(u, s, table[u][s]);
+      (void)st;
+    }
+  }
+  return config;
+}
+}  // namespace internal
+
+/// The SAVG configuration of Figure 1(b) (the example's optimum, 10.35).
+inline Configuration MakeSavgOptimalConfig() {
+  const int t[4][3] = {{4, 0, 1}, {1, 0, 3}, {4, 2, 3}, {4, 0, 3}};
+  return internal::MakeConfigFromTable(t);
+}
+
+/// Table 7: configuration returned by AVG in Example 4 (9.75).
+inline Configuration MakeAvgTable7Config() {
+  const int t[4][3] = {{4, 1, 0}, {1, 3, 0}, {2, 3, 4}, {4, 3, 0}};
+  return internal::MakeConfigFromTable(t);
+}
+
+/// Table 8: configuration returned by AVG-D in Example 5 (9.85).
+inline Configuration MakeAvgDTable8Config() {
+  const int t[4][3] = {{4, 0, 1}, {4, 0, 1}, {4, 2, 1}, {4, 0, 3}};
+  return internal::MakeConfigFromTable(t);
+}
+
+/// Table 9 rows (Example 5 totals: 8.25 / 8.35 / 8.4 / 8.7).
+inline Configuration MakePersonalizedConfig() {
+  const int t[4][3] = {{4, 1, 0}, {1, 0, 3}, {2, 3, 1}, {3, 4, 2}};
+  return internal::MakeConfigFromTable(t);
+}
+inline Configuration MakeGroupConfig() {
+  const int t[4][3] = {{4, 0, 1}, {4, 0, 1}, {4, 0, 1}, {4, 0, 1}};
+  return internal::MakeConfigFromTable(t);
+}
+inline Configuration MakeSubgroupByFriendshipConfig() {
+  // {Alice, Dave}: <c5, c1, c4>; {Bob, Charlie}: <c2, c4, c3>.
+  const int t[4][3] = {{4, 0, 3}, {1, 3, 2}, {1, 3, 2}, {4, 0, 3}};
+  return internal::MakeConfigFromTable(t);
+}
+inline Configuration MakeSubgroupByPreferenceConfig() {
+  // {Alice, Bob}: <c2, c1, c5>; {Charlie, Dave}: <c4, c5, c3>.
+  const int t[4][3] = {{1, 0, 4}, {1, 0, 4}, {3, 4, 2}, {3, 4, 2}};
+  return internal::MakeConfigFromTable(t);
+}
+
+}  // namespace savg

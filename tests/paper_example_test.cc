@@ -1,0 +1,171 @@
+// End-to-end validation against the paper's running example (Examples 1-5,
+// Tables 1 and 6-9): the 4-user / 5-item digital-photography store.
+//
+// Every expected number below is stated in the paper (Example 5 lists the
+// scaled totals of all approaches; Example 2 gives w_A(u_A, c1) = 0.64 at
+// lambda = 0.4) and was re-derived by hand from Table 1.
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "baselines/fmg.h"
+#include "baselines/ip_exact.h"
+#include "baselines/per.h"
+#include "core/avg.h"
+#include "core/avg_d.h"
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "core/problem.h"
+#include "paper_example.h"
+
+namespace savg {
+namespace {
+
+TEST(PaperExampleTest, InstanceIsValid) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  ASSERT_TRUE(inst.Validate().ok()) << inst.Validate();
+  EXPECT_EQ(inst.num_users(), 4);
+  EXPECT_EQ(inst.num_items(), 5);
+  EXPECT_EQ(inst.num_slots(), 3);
+  // Friend pairs: {A,B}, {A,C}, {A,D}, {B,C}.
+  EXPECT_EQ(inst.pairs().size(), 4u);
+}
+
+TEST(PaperExampleTest, Example2SavgUtility) {
+  // Example 2: lambda = 0.4; Alice co-displayed the tripod (c1) with Bob
+  // and Dave at slot 2 => w_A(u_A, c1) = 0.6*0.8 + 0.4*(0.2+0.2) = 0.64.
+  SvgicInstance inst = MakePaperExample(0.4);
+  const double w = 0.6 * inst.p(kAlice, 0) +
+                   0.4 * (inst.Tau(kAlice, kBob, 0) +
+                          inst.Tau(kAlice, kDave, 0));
+  EXPECT_NEAR(w, 0.64, 1e-6);
+}
+
+TEST(PaperExampleTest, SavgConfigurationScores1035) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration config = MakeSavgOptimalConfig();
+  ASSERT_TRUE(config.CheckValid().ok());
+  const ObjectiveBreakdown obj = Evaluate(inst, config);
+  EXPECT_NEAR(obj.preference, 8.0, 1e-6);
+  EXPECT_NEAR(obj.social_direct, 2.35, 1e-6);
+  EXPECT_NEAR(obj.ScaledTotal(), 10.35, 1e-6);
+}
+
+TEST(PaperExampleTest, AvgTable7Scores975) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration config = MakeAvgTable7Config();
+  EXPECT_NEAR(Evaluate(inst, config).ScaledTotal(), 9.75, 1e-6);
+}
+
+TEST(PaperExampleTest, AvgDTable8Scores985) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  Configuration config = MakeAvgDTable8Config();
+  EXPECT_NEAR(Evaluate(inst, config).ScaledTotal(), 9.85, 1e-6);
+}
+
+TEST(PaperExampleTest, BaselineTable9Scores) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  // Personalized: 8.25; group: 8.35; subgroup-by-friendship: 8.4;
+  // subgroup-by-preference: 8.7 (Example 5).
+  EXPECT_NEAR(Evaluate(inst, MakePersonalizedConfig()).ScaledTotal(), 8.25,
+              1e-6);
+  EXPECT_NEAR(Evaluate(inst, MakeGroupConfig()).ScaledTotal(), 8.35, 1e-6);
+  EXPECT_NEAR(Evaluate(inst, MakeSubgroupByFriendshipConfig()).ScaledTotal(),
+              8.4, 1e-6);
+  EXPECT_NEAR(Evaluate(inst, MakeSubgroupByPreferenceConfig()).ScaledTotal(),
+              8.7, 1e-6);
+}
+
+TEST(PaperExampleTest, PerBaselineReproducesPersonalizedColumn) {
+  // Our PER implementation must reproduce the paper's personalized top-3
+  // assignment (up to ties; Table 1 has none in each user's top 3).
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto config = RunPersonalizedTopK(inst);
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_NEAR(Evaluate(inst, *config).ScaledTotal(), 8.25, 1e-6);
+  // Alice's top 3: c5 (1.0), c2 (0.85), c1 (0.8).
+  EXPECT_EQ(config->At(kAlice, 0), 4);
+  EXPECT_EQ(config->At(kAlice, 1), 1);
+  EXPECT_EQ(config->At(kAlice, 2), 0);
+}
+
+TEST(PaperExampleTest, BruteForceOptimumIs1035) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto opt = SolveBruteForce(inst);
+  ASSERT_TRUE(opt.ok()) << opt.status();
+  EXPECT_NEAR(opt->scaled_objective, 10.35, 1e-6);
+}
+
+TEST(PaperExampleTest, IpExactMatchesBruteForce) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto ip = SolveIpExact(inst);
+  ASSERT_TRUE(ip.ok()) << ip.status();
+  EXPECT_TRUE(ip->proven_optimal);
+  EXPECT_NEAR(ip->scaled_objective, 10.35, 1e-6);
+}
+
+TEST(PaperExampleTest, LpRelaxationUpperBoundsOptimum) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto frac = SolveRelaxation(inst);
+  ASSERT_TRUE(frac.ok()) << frac.status();
+  EXPECT_TRUE(frac->exact);
+  EXPECT_GE(frac->lp_objective, 10.35 - 1e-6);
+  // Each user's fractional mass must be exactly k.
+  for (UserId u = 0; u < 4; ++u) {
+    double mass = 0.0;
+    for (ItemId c = 0; c < 5; ++c) mass += frac->XCompact(u, c);
+    EXPECT_NEAR(mass, 3.0, 1e-6);
+  }
+}
+
+TEST(PaperExampleTest, AvgBeatsAllBaselinesOnExpectation) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto frac = SolveRelaxation(inst);
+  ASSERT_TRUE(frac.ok());
+  // Average over seeds; the paper reports AVG ~ 9.75 here, well above the
+  // best baseline (8.7). Require the empirical mean to clear 9.0.
+  double total = 0.0;
+  const int runs = 40;
+  for (int i = 0; i < runs; ++i) {
+    AvgOptions opt;
+    opt.seed = 1000 + i;
+    auto avg = RunAvg(inst, *frac, opt);
+    ASSERT_TRUE(avg.ok()) << avg.status();
+    ASSERT_TRUE(avg->config.CheckValid().ok());
+    total += Evaluate(inst, avg->config).ScaledTotal();
+  }
+  EXPECT_GE(total / runs, 9.0);
+}
+
+TEST(PaperExampleTest, AvgDIsNearOptimalHere) {
+  SvgicInstance inst = MakePaperExample(0.5);
+  auto frac = SolveRelaxation(inst);
+  ASSERT_TRUE(frac.ok());
+  auto avg_d = RunAvgD(inst, *frac);
+  ASSERT_TRUE(avg_d.ok()) << avg_d.status();
+  ASSERT_TRUE(avg_d->config.CheckValid().ok());
+  const double value = Evaluate(inst, avg_d->config).ScaledTotal();
+  // The paper's AVG-D reaches 9.85 of OPT 10.35; ours must at least land in
+  // the same near-optimal band (> every baseline).
+  EXPECT_GE(value, 9.5);
+  EXPECT_LE(value, 10.35 + 1e-6);
+}
+
+TEST(PaperExampleTest, FmgMatchesGroupApproachShape) {
+  // FMG with zero fairness weight reduces to the paper's group approach:
+  // top-3 items by aggregate utility = <c5, c1, c2> and a total of 8.35.
+  SvgicInstance inst = MakePaperExample(0.5);
+  FmgOptions opt;
+  opt.fairness_weight = 0.0;
+  auto config = RunFmg(inst, opt);
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_NEAR(Evaluate(inst, *config).ScaledTotal(), 8.35, 1e-6);
+  for (UserId u = 0; u < 4; ++u) {
+    EXPECT_EQ(config->At(u, 0), 4);  // c5
+    EXPECT_EQ(config->At(u, 1), 0);  // c1
+    EXPECT_EQ(config->At(u, 2), 1);  // c2
+  }
+}
+
+}  // namespace
+}  // namespace savg

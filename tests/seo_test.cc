@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/seo.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace savg {
+namespace {
+
+/// A small SEO scenario: 9 attendees in three friend-triangles, 5 events.
+SeoProblem MakeSeoProblem(uint64_t seed) {
+  SeoProblem problem;
+  problem.network = SocialGraph(9);
+  for (int base : {0, 3, 6}) {
+    for (int a = 0; a < 3; ++a) {
+      for (int b = a + 1; b < 3; ++b) {
+        Status st = problem.network.AddUndirectedEdge(base + a, base + b);
+        (void)st;
+      }
+    }
+  }
+  problem.num_events = 5;
+  problem.num_time_slots = 2;
+  problem.lambda = 0.5;
+  problem.capacity = {4, 4, 4, 4, 4};
+  problem.interest.assign(9 * 5, 0.0f);
+  Rng rng(seed);
+  for (int u = 0; u < 9; ++u) {
+    for (int e = 0; e < 5; ++e) {
+      problem.interest[u * 5 + e] = static_cast<float>(rng.Uniform(0.1, 1.0));
+    }
+  }
+  problem.joint_benefit.resize(problem.network.num_edges());
+  for (const Edge& e : problem.network.edges()) {
+    for (int ev = 0; ev < 5; ++ev) {
+      problem.joint_benefit[e.id].push_back(
+          {ev, static_cast<float>(rng.Uniform(0.1, 0.5))});
+    }
+  }
+  return problem;
+}
+
+TEST(SeoTest, ConversionProducesValidInstance) {
+  SeoProblem problem = MakeSeoProblem(1);
+  auto inst = SeoToSvgic(problem);
+  ASSERT_TRUE(inst.ok()) << inst.status();
+  EXPECT_EQ(inst->num_users(), 9);
+  EXPECT_EQ(inst->num_items(), 5);
+  EXPECT_EQ(inst->num_slots(), 2);
+  EXPECT_EQ(inst->pairs().size(), 9u);  // three triangles
+}
+
+TEST(SeoTest, AssignmentRespectsCapacities) {
+  SeoProblem problem = MakeSeoProblem(2);
+  auto result = SolveSeo(problem);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->capacity_feasible);
+  // Count attendance per (event, time slot).
+  for (int t = 0; t < problem.num_time_slots; ++t) {
+    std::vector<int> count(problem.num_events, 0);
+    for (int u = 0; u < 9; ++u) {
+      const int e = result->schedule[u][t];
+      ASSERT_GE(e, 0);
+      ASSERT_LT(e, problem.num_events);
+      ++count[e];
+    }
+    for (int e = 0; e < problem.num_events; ++e) {
+      EXPECT_LE(count[e], problem.capacity[e]) << "event " << e;
+    }
+  }
+}
+
+TEST(SeoTest, NoUserAttendsSameEventTwice) {
+  SeoProblem problem = MakeSeoProblem(3);
+  auto result = SolveSeo(problem);
+  ASSERT_TRUE(result.ok());
+  for (int u = 0; u < 9; ++u) {
+    EXPECT_NE(result->schedule[u][0], result->schedule[u][1]);
+  }
+}
+
+TEST(SeoTest, TightCapacitiesStillFeasible) {
+  SeoProblem problem = MakeSeoProblem(4);
+  problem.capacity = {2, 2, 2, 2, 2};  // 9 users, 2 per event, 5 events
+  auto result = SolveSeo(problem);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // 5 events x cap 2 = 10 >= 9 users per slot: feasible must be found.
+  EXPECT_TRUE(result->capacity_feasible);
+}
+
+TEST(SeoTest, FriendsTendToAttendTogether) {
+  SeoProblem problem = MakeSeoProblem(5);
+  auto result = SolveSeo(problem);
+  ASSERT_TRUE(result.ok());
+  // Count (friend pair, slot) co-attendances; with triangles and joint
+  // benefits the solver should produce a decent number.
+  int together = 0;
+  for (const Edge& e : problem.network.edges()) {
+    if (e.u > e.v) continue;
+    for (int t = 0; t < problem.num_time_slots; ++t) {
+      if (result->schedule[e.u][t] == result->schedule[e.v][t]) ++together;
+    }
+  }
+  EXPECT_GT(together, 3);
+}
+
+TEST(SeoTest, RejectsTooFewEvents) {
+  SeoProblem problem = MakeSeoProblem(6);
+  problem.num_time_slots = 6;  // > num_events
+  EXPECT_FALSE(SolveSeo(problem).ok());
+}
+
+}  // namespace
+}  // namespace savg

