@@ -19,7 +19,7 @@ void PrintTables() {
   config.relaxation.method = RelaxationMethod::kSubgradient;
   config.avg_repeats = 3;
   config.sdp.diversity_weight = 0.0;
-  const std::vector<Algo> algos = AllAlgos(false);
+  const std::vector<std::string> algos = benchutil::AlgosOrDefault(false);
   for (DatasetKind kind :
        {DatasetKind::kTimik, DatasetKind::kEpinions, DatasetKind::kYelp}) {
     DatasetParams params;
@@ -28,7 +28,8 @@ void PrintTables() {
     params.num_items = 2000;
     params.num_slots = 20;
     params.seed = 11;
-    auto rows = RunComparison(params, /*samples=*/3, algos, config);
+    auto rows = RunComparisonNamed(params, /*samples=*/3, algos, config,
+                                   benchutil::WorkerOverride());
     if (!rows.ok()) {
       std::cerr << rows.status() << "\n";
       continue;
@@ -37,7 +38,7 @@ void PrintTables() {
              "Alone%", "mean regret"});
     for (const AggregateRow& row : *rows) {
       t.NewRow()
-          .Add(AlgoName(row.algo))
+          .Add(row.name)
           .Add(FormatPercent(row.mean_subgroup.intra_fraction))
           .Add(FormatPercent(row.mean_subgroup.inter_fraction))
           .Add(row.mean_subgroup.normalized_density, 2)
@@ -52,7 +53,7 @@ void PrintTables() {
     Table cdf({"algorithm", "P(reg<=0.1)", "P(reg<=0.2)", "P(reg<=0.4)",
                "P(reg<=0.6)", "P(reg<=0.8)"});
     for (const AggregateRow& row : *rows) {
-      cdf.NewRow().Add(AlgoName(row.algo));
+      cdf.NewRow().Add(row.name);
       for (double threshold : {0.1, 0.2, 0.4, 0.6, 0.8}) {
         cdf.Add(FormatPercent(CdfAt(row.regret_samples, threshold)));
       }

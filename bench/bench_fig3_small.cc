@@ -42,7 +42,7 @@ void PrintTables() {
       points.push_back({std::to_string(n), p});
     }
     PrintSweep("Fig 3(a,b): vs user-set size n (m=20, k=3)", "n", points,
-               kSamples, AllAlgos(/*include_ip=*/true), Config());
+               kSamples, benchutil::AlgosOrDefault(true), Config());
   }
   {
     std::vector<SweepPoint> points;
@@ -52,7 +52,7 @@ void PrintTables() {
       points.push_back({std::to_string(m), p});
     }
     PrintSweep("Fig 3(c,d): vs item-set size m (n=6, k=3)", "m", points,
-               kSamples, AllAlgos(true), Config());
+               kSamples, benchutil::AlgosOrDefault(true), Config());
   }
   {
     std::vector<SweepPoint> points;
@@ -62,7 +62,7 @@ void PrintTables() {
       points.push_back({std::to_string(k), p});
     }
     PrintSweep("Fig 3(e,f): vs slot count k (n=6, m=20)", "k", points,
-               kSamples, AllAlgos(true), Config());
+               kSamples, benchutil::AlgosOrDefault(true), Config());
   }
 }
 

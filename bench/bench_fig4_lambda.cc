@@ -24,20 +24,22 @@ void PrintTables() {
     RunnerConfig config;
     config.avg_repeats = 5;
     config.ip.mip.time_limit_seconds = 20.0;
-    auto rows = RunComparison(params, kSamples, AllAlgos(true), config);
+    auto rows = RunComparisonNamed(params, kSamples,
+                                   benchutil::AlgosOrDefault(true), config,
+                                   benchutil::WorkerOverride());
     if (!rows.ok()) {
       std::cerr << rows.status() << "\n";
       continue;
     }
     double ip_value = 0.0;
     for (const AggregateRow& row : *rows) {
-      if (row.algo == Algo::kIp) ip_value = row.mean_scaled_total;
+      if (row.name == "IP") ip_value = row.mean_scaled_total;
     }
     Table t({"algorithm", "normalized total", "Personal%", "Social%"});
     for (const AggregateRow& row : *rows) {
       const double total = row.mean_preference + row.mean_social;
       t.NewRow()
-          .Add(AlgoName(row.algo))
+          .Add(row.name)
           .Add(benchutil::Ratio(row.mean_scaled_total, ip_value))
           .Add(total > 0 ? FormatPercent(row.mean_preference / total)
                          : "-")

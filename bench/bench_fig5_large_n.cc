@@ -29,10 +29,11 @@ void PrintTables() {
     p.seed = 5;
     points.push_back({std::to_string(n), p});
   }
-  std::vector<Algo> algos = AllAlgos(false);
-  algos.insert(algos.begin() + 2, Algo::kAvgLs);  // AVG + local search
+  std::vector<std::string> algos = AllAlgoNames(false);
+  algos.insert(algos.begin() + 2, "AVG+LS");  // AVG + local search
   benchutil::PrintSweep("Fig 5: large Timik (m=10000, k=50)", "n", points,
-                        /*samples=*/2, algos, LargeConfig());
+                        /*samples=*/2, benchutil::AlgosOrDefault(algos),
+                        LargeConfig());
 }
 
 void BM_LargeRelaxation(benchmark::State& state) {

@@ -24,7 +24,10 @@ void PrintTables() {
     params.num_items = 10000;
     params.num_slots = 50;
     params.seed = 6;
-    auto rows = RunComparison(params, /*samples=*/2, AllAlgos(false), config);
+    auto rows =
+        RunComparisonNamed(params, /*samples=*/2,
+                           benchutil::AlgosOrDefault(false), config,
+                           benchutil::WorkerOverride());
     if (!rows.ok()) {
       std::cerr << rows.status() << "\n";
       continue;
@@ -32,7 +35,7 @@ void PrintTables() {
     Table t({"algorithm", "total", "personal part", "social part"});
     for (const AggregateRow& row : *rows) {
       t.NewRow()
-          .Add(AlgoName(row.algo))
+          .Add(row.name)
           .Add(row.mean_scaled_total, 1)
           .Add(row.mean_preference, 1)
           .Add(row.mean_social, 1);

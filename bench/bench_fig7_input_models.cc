@@ -25,7 +25,10 @@ void PrintTables() {
     params.num_slots = 20;
     params.seed = 7;
     params.utility.kind = kind;
-    auto rows = RunComparison(params, /*samples=*/3, AllAlgos(false), config);
+    auto rows =
+        RunComparisonNamed(params, /*samples=*/3,
+                           benchutil::AlgosOrDefault(false), config,
+                           benchutil::WorkerOverride());
     if (!rows.ok()) {
       std::cerr << rows.status() << "\n";
       continue;
@@ -33,7 +36,7 @@ void PrintTables() {
     Table t({"algorithm", "total", "personal part", "social part"});
     for (const AggregateRow& row : *rows) {
       t.NewRow()
-          .Add(AlgoName(row.algo))
+          .Add(row.name)
           .Add(row.mean_scaled_total, 1)
           .Add(row.mean_preference, 1)
           .Add(row.mean_social, 1);

@@ -62,8 +62,8 @@ void PrintTables() {
     config.relaxation.method = RelaxationMethod::kSubgradient;
     config.sdp.diversity_weight = 0.0;
     benchutil::PrintSweep("Fig 8(b): vs item count m (Yelp, n=40, k=10)",
-                          "m", points, /*samples=*/2, AllAlgos(false),
-                          config);
+                          "m", points, /*samples=*/2,
+                          benchutil::AlgosOrDefault(false), config);
   }
 }
 

@@ -6,17 +6,24 @@
 //  2. registers a couple of google-benchmark microbenchmarks of the code
 //     paths the figure exercises.
 //
-// SAVG_BENCH_MAIN(fn) wires the two together.
+// SAVG_BENCH_MAIN(fn) wires the two together. Algorithms are addressed by
+// solver-registry name; every binary accepts `--algos=avg,grf` (and
+// `--workers=N`) to override a figure's default algorithm list, so one
+// build serves arbitrary slices of the experiment matrix.
 
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "experiments/runner.h"
+#include "solvers/solver_registry.h"
 #include "util/table.h"
 
 namespace savg {
@@ -28,20 +35,97 @@ struct SweepPoint {
   DatasetParams params;
 };
 
-/// Runs `algos` over the sweep (averaging `samples` instances per point)
-/// and prints two tables: mean scaled SAVG utility and mean seconds.
-/// Returns the utility rows (per point) for further analysis.
+/// --algos= override shared by the whole binary (empty = use the figure's
+/// default list).
+inline std::vector<std::string>& AlgoOverride() {
+  static std::vector<std::string> override_names;
+  return override_names;
+}
+
+/// --workers= override for the batch engine (0 = all cores).
+inline int& WorkerOverride() {
+  static int workers = 0;
+  return workers;
+}
+
+/// Splits "avg,grf" and resolves each name against the registry (so typos
+/// fail loudly, with the known names listed).
+inline Result<std::vector<std::string>> ParseAlgoList(
+    const std::string& csv) {
+  std::vector<std::string> names;
+  std::istringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    auto solver = SolverRegistry::Global().Find(token);
+    if (!solver.ok()) return solver.status();
+    names.push_back((*solver)->Name());
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("--algos list is empty");
+  }
+  return names;
+}
+
+/// Strips --algos=/--workers= from argv (before google-benchmark sees
+/// them) and records the overrides. Exits on malformed values.
+inline void ConsumeFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--algos=", 8) == 0) {
+      auto parsed = ParseAlgoList(argv[i] + 8);
+      if (!parsed.ok()) {
+        std::cerr << parsed.status() << "\n";
+        std::exit(2);
+      }
+      AlgoOverride() = std::move(parsed).value();
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      const char* value = argv[i] + 10;
+      char* end = nullptr;
+      const long workers = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::cerr << "--workers expects an integer, got \"" << value
+                  << "\"\n";
+        std::exit(2);
+      }
+      WorkerOverride() = static_cast<int>(workers);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// The figure's default list, unless the user passed --algos=.
+inline std::vector<std::string> AlgosOrDefault(
+    std::vector<std::string> defaults) {
+  return AlgoOverride().empty() ? std::move(defaults) : AlgoOverride();
+}
+inline std::vector<std::string> AlgosOrDefault(bool include_ip) {
+  return AlgosOrDefault(AllAlgoNames(include_ip));
+}
+
+/// Runs `algos` over the sweep (averaging `samples` instances per point,
+/// fanned out through the parallel batch engine) and prints two tables:
+/// mean scaled SAVG utility and mean seconds. Returns the utility rows
+/// (per point) for further analysis.
+///
+/// Timing caveat: with the default --workers=0 (all cores) the per-run
+/// timers observe whatever contention the concurrent tasks create. Pass
+/// --workers=1 when the execution-time table must be contention-free /
+/// comparable to the sequential harness.
 inline std::vector<std::vector<AggregateRow>> PrintSweep(
     const std::string& title, const std::string& x_name,
     const std::vector<SweepPoint>& points, int samples,
-    const std::vector<Algo>& algos, const RunnerConfig& config) {
+    const std::vector<std::string>& algos, const RunnerConfig& config) {
   std::vector<std::string> header = {x_name};
-  for (Algo algo : algos) header.push_back(AlgoName(algo));
+  for (const std::string& algo : algos) header.push_back(algo);
   Table utility(header);
   Table seconds(header);
   std::vector<std::vector<AggregateRow>> all_rows;
   for (const SweepPoint& point : points) {
-    auto rows = RunComparison(point.params, samples, algos, config);
+    auto rows = RunComparisonNamed(point.params, samples, algos, config,
+                                   WorkerOverride());
     if (!rows.ok()) {
       std::cerr << "sweep point " << point.label
                 << " failed: " << rows.status() << "\n";
@@ -72,6 +156,7 @@ inline std::string Ratio(double value, double base) {
 /// Prints the reproduction output, then runs registered microbenchmarks.
 #define SAVG_BENCH_MAIN(print_fn)                          \
   int main(int argc, char** argv) {                        \
+    ::savg::benchutil::ConsumeFlags(&argc, argv);          \
     print_fn();                                            \
     ::benchmark::Initialize(&argc, argv);                  \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

@@ -1,11 +1,12 @@
 // svgic_cli: run any algorithm of the library on an instance file.
 //
 //   svgic_cli gen  <kind> <n> <m> <k> <seed> <out.tsv>   generate a dataset
-//   svgic_cli run  <algo> <instance.tsv> [out_config.tsv]  solve it
+//   svgic_cli run  <solver> <instance.tsv> [out_config.tsv]  solve it
 //   svgic_cli eval <instance.tsv> <config.tsv>            score a config
 //
-// <kind> in {timik, epinions, yelp}; <algo> in {avg, avg-d, per, fmg, sdp,
-// grf, ip, local}. "local" = AVG-D followed by local-search polish.
+// <kind> in {timik, epinions, yelp}; <solver> is any registry name
+// (case-insensitive; `svgic_cli run help` lists them), plus "local" =
+// AVG-D followed by local-search polish.
 
 #include <cstring>
 #include <iostream>
@@ -17,6 +18,7 @@
 #include "datagen/datasets.h"
 #include "experiments/runner.h"
 #include "metrics/metrics.h"
+#include "solvers/solver_registry.h"
 #include "util/logging.h"
 #include "util/table.h"
 
@@ -24,13 +26,23 @@ using namespace savg;
 
 namespace {
 
+std::string KnownSolvers() {
+  std::string names;
+  for (const std::string& name : SolverRegistry::Global().Names()) {
+    if (!names.empty()) names += "|";
+    names += name;
+  }
+  return names;
+}
+
 int Usage() {
-  std::cerr
-      << "usage:\n"
-         "  svgic_cli gen  <timik|epinions|yelp> <n> <m> <k> <seed> <out>\n"
-         "  svgic_cli run  <avg|avg-d|per|fmg|sdp|grf|ip|local> <instance> "
-         "[out_config]\n"
-         "  svgic_cli eval <instance> <config>\n";
+  std::cerr << "usage:\n"
+               "  svgic_cli gen  <timik|epinions|yelp> <n> <m> <k> <seed> "
+               "<out>\n"
+               "  svgic_cli run  <solver> <instance> [out_config]\n"
+               "  svgic_cli eval <instance> <config>\n"
+               "solvers: "
+            << KnownSolvers() << "|local (AVG-D + local search)\n";
   return 2;
 }
 
@@ -106,26 +118,17 @@ int Run(int argc, char** argv) {
     }
     result = std::move(polished->config);
   } else {
-    Algo kind;
-    if (algo == "avg") {
-      kind = Algo::kAvg;
-    } else if (algo == "avg-d") {
-      kind = Algo::kAvgD;
-    } else if (algo == "per") {
-      kind = Algo::kPer;
-    } else if (algo == "fmg") {
-      kind = Algo::kFmg;
-    } else if (algo == "sdp") {
-      kind = Algo::kSdp;
-    } else if (algo == "grf") {
-      kind = Algo::kGrf;
-    } else if (algo == "ip") {
-      kind = Algo::kIp;
-      config.ip.mip.time_limit_seconds = 60.0;
-    } else {
+    auto solver = SolverRegistry::Global().Find(algo);
+    if (!solver.ok()) {
+      std::cerr << solver.status() << "\n";
       return Usage();
     }
-    auto run = RunAlgorithm(*inst, kind, config);
+    if ((*solver)->Name() == "IP") {
+      config.ip.mip.time_limit_seconds = 60.0;
+    }
+    SolverContext context;
+    context.options = &config;
+    auto run = (*solver)->Solve(*inst, context);
     if (!run.ok()) {
       std::cerr << run.status() << "\n";
       return 1;

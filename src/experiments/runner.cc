@@ -1,6 +1,9 @@
 #include "experiments/runner.h"
 
-#include "baselines/per.h"
+#include <algorithm>
+
+#include "experiments/batch_runner.h"
+#include "solvers/solver_registry.h"
 #include "util/logging.h"
 
 namespace savg {
@@ -34,133 +37,93 @@ std::vector<Algo> AllAlgos(bool include_ip) {
   return algos;
 }
 
+std::vector<std::string> AllAlgoNames(bool include_ip) {
+  std::vector<std::string> names;
+  for (Algo algo : AllAlgos(include_ip)) names.push_back(AlgoName(algo));
+  return names;
+}
+
 Result<AlgoRun> RunAlgorithm(const SvgicInstance& instance, Algo algo,
                              const RunnerConfig& config,
                              const FractionalSolution* shared_frac) {
+  SAVG_ASSIGN_OR_RETURN(const Solver* solver,
+                        SolverRegistry::Global().Find(AlgoName(algo)));
+  SolverContext context;
+  context.options = &config;
+  context.shared_relaxation = shared_frac;
+  SAVG_ASSIGN_OR_RETURN(SolverRun sr, solver->Solve(instance, context));
   AlgoRun run;
   run.algo = algo;
-  Timer timer;
-  switch (algo) {
-    case Algo::kAvg:
-    case Algo::kAvgD:
-    case Algo::kAvgLs: {
-      FractionalSolution local;
-      const FractionalSolution* frac = shared_frac;
-      if (frac == nullptr) {
-        auto solved = SolveRelaxation(instance, config.relaxation);
-        if (!solved.ok()) return solved.status();
-        local = std::move(solved).value();
-        frac = &local;
-      }
-      if (algo == Algo::kAvg || algo == Algo::kAvgLs) {
-        auto avg = RunAvgBest(instance, *frac, config.avg_repeats,
-                              config.avg);
-        if (!avg.ok()) return avg.status();
-        if (algo == Algo::kAvgLs) {
-          LocalSearchOptions ls;
-          ls.size_cap = config.avg.size_cap;
-          auto polished = ImproveByLocalSearch(instance, avg->config, ls);
-          if (!polished.ok()) return polished.status();
-          run.config = std::move(polished->config);
-        } else {
-          run.config = std::move(avg->config);
-        }
-      } else {
-        auto avg_d = RunAvgD(instance, *frac, config.avg_d);
-        if (!avg_d.ok()) return avg_d.status();
-        run.config = std::move(avg_d->config);
-      }
-      break;
-    }
-    case Algo::kPer: {
-      auto per = RunPersonalizedTopK(instance);
-      if (!per.ok()) return per.status();
-      run.config = std::move(per).value();
-      break;
-    }
-    case Algo::kFmg: {
-      auto fmg = RunFmg(instance, config.fmg);
-      if (!fmg.ok()) return fmg.status();
-      run.config = std::move(fmg).value();
-      break;
-    }
-    case Algo::kSdp: {
-      auto sdp = RunSdp(instance, config.sdp);
-      if (!sdp.ok()) return sdp.status();
-      run.config = std::move(sdp).value();
-      break;
-    }
-    case Algo::kGrf: {
-      auto grf = RunGrf(instance, config.grf);
-      if (!grf.ok()) return grf.status();
-      run.config = std::move(grf).value();
-      break;
-    }
-    case Algo::kIp: {
-      auto ip = SolveIpExact(instance, config.ip);
-      if (!ip.ok()) return ip.status();
-      run.config = std::move(ip->config);
-      run.ip_proven_optimal = ip->proven_optimal;
-      break;
-    }
-  }
-  run.seconds = timer.ElapsedSeconds();
-  run.breakdown = Evaluate(instance, run.config);
-  run.scaled_total = run.breakdown.ScaledTotal();
+  run.config = std::move(sr.config);
+  run.breakdown = sr.breakdown;
+  run.scaled_total = sr.scaled_total;
+  run.seconds = sr.seconds;
+  run.ip_proven_optimal = sr.proven_optimal;
   return run;
 }
 
-Result<std::vector<AggregateRow>> RunComparison(
+Result<std::vector<AggregateRow>> RunComparisonNamed(
     const DatasetParams& base_params, int samples,
-    const std::vector<Algo>& algos, const RunnerConfig& config) {
-  std::vector<AggregateRow> rows(algos.size());
-  for (size_t a = 0; a < algos.size(); ++a) rows[a].algo = algos[a];
+    const std::vector<std::string>& solvers, const RunnerConfig& config,
+    int num_workers) {
+  if (samples < 1) return Status::InvalidArgument("samples must be >= 1");
+  std::vector<AggregateRow> rows(solvers.size());
+  for (size_t s = 0; s < solvers.size(); ++s) {
+    SAVG_ASSIGN_OR_RETURN(const Solver* solver,
+                          SolverRegistry::Global().Find(solvers[s]));
+    rows[s].name = solver->Name();
+  }
 
-  const bool need_frac =
-      std::find(algos.begin(), algos.end(), Algo::kAvg) != algos.end() ||
-      std::find(algos.begin(), algos.end(), Algo::kAvgD) != algos.end() ||
-      std::find(algos.begin(), algos.end(), Algo::kAvgLs) != algos.end();
-
+  // Generate the sampled instances up front, then fan the whole
+  // samples x solvers matrix out through the batch engine (one shared LP
+  // relaxation per instance).
+  std::vector<SvgicInstance> instances;
+  instances.reserve(samples);
   for (int sample = 0; sample < samples; ++sample) {
     DatasetParams params = base_params;
     params.seed = base_params.seed + 7919 * sample;
-    auto instance = GenerateDataset(params);
-    if (!instance.ok()) return instance.status();
+    SAVG_ASSIGN_OR_RETURN(SvgicInstance instance, GenerateDataset(params));
+    instances.push_back(std::move(instance));
+  }
+  std::vector<const SvgicInstance*> instance_ptrs;
+  instance_ptrs.reserve(instances.size());
+  for (const SvgicInstance& instance : instances) {
+    instance_ptrs.push_back(&instance);
+  }
 
-    FractionalSolution frac;
-    double frac_seconds = 0.0;
-    if (need_frac) {
-      auto solved = SolveRelaxation(*instance, config.relaxation);
-      if (!solved.ok()) return solved.status();
-      frac = std::move(solved).value();
-      frac_seconds = frac.solve_seconds;
-    }
+  BatchOptions batch;
+  batch.num_workers = num_workers;
+  batch.repeats = 1;
+  batch.base_seed = base_params.seed;
+  batch.solver = config;
+  BatchRunner engine(batch);
+  SAVG_ASSIGN_OR_RETURN(BatchReport report,
+                        engine.Run(instance_ptrs, solvers));
+  SAVG_RETURN_NOT_OK(report.FirstError());
 
-    for (size_t a = 0; a < algos.size(); ++a) {
-      auto run = RunAlgorithm(*instance, algos[a], config,
-                              need_frac ? &frac : nullptr);
-      if (!run.ok()) return run.status();
-      AggregateRow& row = rows[a];
-      row.mean_scaled_total += run->scaled_total;
-      // AVG/AVG-D time must include their share of the relaxation.
-      const bool uses_frac = algos[a] == Algo::kAvg ||
-                             algos[a] == Algo::kAvgD ||
-                             algos[a] == Algo::kAvgLs;
-      row.mean_seconds += run->seconds + (uses_frac ? frac_seconds : 0.0);
-      const double lambda = instance->lambda();
+  for (int sample = 0; sample < samples; ++sample) {
+    const SvgicInstance& instance = instances[sample];
+    for (size_t s = 0; s < solvers.size(); ++s) {
+      const SolverRun& run =
+          report.Task(sample, static_cast<int>(s), 0).run;
+      AggregateRow& row = rows[s];
+      row.mean_scaled_total += run.scaled_total;
+      // AVG-family time includes their share of the shared relaxation.
+      row.mean_seconds += run.TotalSeconds();
+      const double lambda = instance.lambda();
       const double scaled_pref =
-          lambda > 0.0 ? (1.0 - lambda) / lambda * run->breakdown.preference
-                       : run->breakdown.preference;
+          lambda > 0.0 ? (1.0 - lambda) / lambda * run.breakdown.preference
+                       : run.breakdown.preference;
       row.mean_preference += scaled_pref;
-      row.mean_social += run->breakdown.social_direct;
+      row.mean_social += run.breakdown.social_direct;
       const SubgroupMetrics sm =
-          ComputeSubgroupMetrics(*instance, run->config);
+          ComputeSubgroupMetrics(instance, run.config);
       row.mean_subgroup.intra_fraction += sm.intra_fraction;
       row.mean_subgroup.inter_fraction += sm.inter_fraction;
       row.mean_subgroup.normalized_density += sm.normalized_density;
       row.mean_subgroup.co_display_rate += sm.co_display_rate;
       row.mean_subgroup.alone_rate += sm.alone_rate;
-      const auto regrets = RegretRatios(*instance, run->config);
+      const auto regrets = RegretRatios(instance, run.config);
       double regret_sum = 0.0;
       for (double r : regrets) {
         regret_sum += r;
@@ -182,6 +145,19 @@ Result<std::vector<AggregateRow>> RunComparison(
     row.mean_subgroup.alone_rate *= inv;
     row.mean_regret *= inv;
   }
+  return rows;
+}
+
+Result<std::vector<AggregateRow>> RunComparison(
+    const DatasetParams& base_params, int samples,
+    const std::vector<Algo>& algos, const RunnerConfig& config) {
+  std::vector<std::string> names;
+  names.reserve(algos.size());
+  for (Algo algo : algos) names.push_back(AlgoName(algo));
+  SAVG_ASSIGN_OR_RETURN(
+      std::vector<AggregateRow> rows,
+      RunComparisonNamed(base_params, samples, names, config));
+  for (size_t s = 0; s < algos.size(); ++s) rows[s].algo = algos[s];
   return rows;
 }
 

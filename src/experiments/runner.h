@@ -1,25 +1,23 @@
 // Shared experiment harness used by every bench binary.
 //
-// Wraps the algorithm zoo behind one enum, measures wall time per run, and
-// aggregates means over sampled instances — the machinery behind each
-// figure/table reproduction in bench/.
+// This is now a thin compatibility shim over the solver registry and the
+// batch execution engine (solvers/solver_registry.h,
+// experiments/batch_runner.h): the Algo enum maps 1:1 onto registry names,
+// RunAlgorithm() resolves through the registry, and RunComparison() fans
+// its samples x algorithms matrix out through the BatchRunner (sharing one
+// LP relaxation per instance across the AVG family). New call sites should
+// address solvers by name; the enum survives for the existing figure
+// reproductions.
 
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "baselines/fmg.h"
-#include "baselines/grf.h"
-#include "baselines/ip_exact.h"
-#include "baselines/sdp.h"
-#include "core/avg.h"
-#include "core/avg_d.h"
-#include "core/local_search.h"
-#include "core/lp_formulation.h"
-#include "core/objective.h"
 #include "datagen/datasets.h"
 #include "metrics/metrics.h"
+#include "solvers/solver.h"
+#include "solvers/solver_options.h"
 #include "util/status.h"
 
 namespace savg {
@@ -35,21 +33,18 @@ enum class Algo {
   kIp,
 };
 
+/// Canonical display name — identical to the registry name, so
+/// `SolverRegistry::Global().Find(AlgoName(a))` always resolves.
 const char* AlgoName(Algo algo);
 
 /// All algorithms in the paper's default comparison order.
 std::vector<Algo> AllAlgos(bool include_ip);
 
-struct RunnerConfig {
-  RelaxationOptions relaxation;
-  AvgOptions avg;
-  int avg_repeats = 3;
-  AvgDOptions avg_d;
-  FmgOptions fmg;
-  SdpOptions sdp;
-  GrfOptions grf;
-  IpExactOptions ip;
-};
+/// Same, as registry names (usable with BatchRunner / --algos flags).
+std::vector<std::string> AllAlgoNames(bool include_ip);
+
+/// Aggregated tuning knobs; see solvers/solver_options.h.
+using RunnerConfig = SolverOptions;
 
 /// One algorithm run on one instance.
 struct AlgoRun {
@@ -69,7 +64,8 @@ Result<AlgoRun> RunAlgorithm(const SvgicInstance& instance, Algo algo,
 
 /// Aggregated comparison over `samples` generated instances (seed varies).
 struct AggregateRow {
-  Algo algo = Algo::kAvg;
+  Algo algo = Algo::kAvg;  ///< set when the solver has an enum value
+  std::string name;        ///< registry name (always set)
   double mean_scaled_total = 0.0;
   double mean_seconds = 0.0;
   double mean_preference = 0.0;  ///< scaled preference part
@@ -78,6 +74,13 @@ struct AggregateRow {
   double mean_regret = 0.0;
   std::vector<double> regret_samples;  ///< pooled per-user regrets
 };
+
+/// Registry-name front-end: runs `solvers` over `samples` instances
+/// through the parallel BatchRunner. `num_workers` <= 0 uses all cores.
+Result<std::vector<AggregateRow>> RunComparisonNamed(
+    const DatasetParams& base_params, int samples,
+    const std::vector<std::string>& solvers, const RunnerConfig& config,
+    int num_workers = 0);
 
 Result<std::vector<AggregateRow>> RunComparison(
     const DatasetParams& base_params, int samples,

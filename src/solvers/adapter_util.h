@@ -1,0 +1,57 @@
+// Shared plumbing for the built-in solver adapters (internal header).
+
+#pragma once
+
+#include <string>
+
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "solvers/solver.h"
+#include "solvers/solver_options.h"
+#include "util/logging.h"
+
+namespace savg {
+namespace solvers_internal {
+
+/// Context options, or process-wide defaults when none were supplied.
+inline const SolverOptions& OptionsOf(const SolverContext& context) {
+  static const SolverOptions kDefaults;
+  return context.options != nullptr ? *context.options : kDefaults;
+}
+
+/// The compact relaxation for a run: the shared one when the caller
+/// provides it, otherwise solved into `*local`.
+struct RelaxationRef {
+  const FractionalSolution* frac = nullptr;
+  bool shared = false;
+};
+
+inline Result<RelaxationRef> ObtainRelaxation(const SvgicInstance& instance,
+                                              const SolverContext& context,
+                                              FractionalSolution* local) {
+  if (context.shared_relaxation != nullptr) {
+    return RelaxationRef{context.shared_relaxation, true};
+  }
+  auto solved = SolveRelaxation(instance, OptionsOf(context).relaxation);
+  if (!solved.ok()) return solved.status();
+  *local = std::move(solved).value();
+  return RelaxationRef{local, false};
+}
+
+/// Fills the evaluation/timing tail of a SolverRun whose `config` is set.
+inline void FinalizeRun(const SvgicInstance& instance,
+                        const std::string& name, const Timer& timer,
+                        SolverRun* run) {
+  run->solver = name;
+  run->seconds = timer.ElapsedSeconds();
+  run->breakdown = Evaluate(instance, run->config);
+  run->scaled_total = run->breakdown.ScaledTotal();
+}
+
+/// Task seed override: context.seed when nonzero, else the option seed.
+inline uint64_t SeedOr(const SolverContext& context, uint64_t option_seed) {
+  return context.seed != 0 ? context.seed : option_seed;
+}
+
+}  // namespace solvers_internal
+}  // namespace savg

@@ -1,0 +1,41 @@
+// BRUTE adapter: exhaustive search — the tiny-instance test oracle.
+
+#include "baselines/brute_force.h"
+#include "solvers/adapter_util.h"
+#include "solvers/builtin_solvers.h"
+#include "solvers/solver_registry.h"
+
+namespace savg {
+namespace {
+
+using solvers_internal::FinalizeRun;
+using solvers_internal::OptionsOf;
+
+class BruteForceSolver : public Solver {
+ public:
+  std::string Name() const override { return "BRUTE"; }
+
+  Result<SolverRun> Solve(const SvgicInstance& instance,
+                          const SolverContext& context) const override {
+    SolverRun run;
+    Timer timer;
+    auto result = SolveBruteForce(instance, OptionsOf(context).brute_force);
+    if (!result.ok()) return result.status();
+    run.config = std::move(result->config);
+    run.proven_optimal = true;
+    run.iterations =
+        static_cast<int64_t>(result->configurations_examined);
+    FinalizeRun(instance, Name(), timer, &run);
+    return run;
+  }
+};
+
+}  // namespace
+
+void RegisterBruteForceSolver(SolverRegistry* registry) {
+  (void)registry->Register(
+      "BRUTE", [] { return std::make_unique<BruteForceSolver>(); },
+      {"bf", "brute-force"});
+}
+
+}  // namespace savg

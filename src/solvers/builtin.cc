@@ -1,0 +1,20 @@
+#include "solvers/builtin_solvers.h"
+#include "solvers/solver_registry.h"
+
+namespace savg {
+
+void RegisterBuiltinSolvers(SolverRegistry* registry) {
+  // The paper's default comparison order, then the extras.
+  RegisterAvgSolvers(registry);
+  RegisterAvgDSolver(registry);
+  RegisterPerSolver(registry);
+  RegisterFmgSolver(registry);
+  RegisterSdpSolver(registry);
+  RegisterGrfSolver(registry);
+  RegisterIpSolver(registry);
+  RegisterAvgStSolver(registry);
+  RegisterBruteForceSolver(registry);
+  RegisterIndependentRoundingSolver(registry);
+}
+
+}  // namespace savg

@@ -1,0 +1,25 @@
+// Registration hooks for the built-in algorithm adapters (internal).
+//
+// Each adapter translation unit defines one hook; RegisterBuiltinSolvers()
+// (solvers/builtin.cc) calls them all, which keeps registration robust
+// inside the static library (no reliance on static initializers the linker
+// could drop).
+
+#pragma once
+
+namespace savg {
+
+class SolverRegistry;
+
+void RegisterAvgSolvers(SolverRegistry* registry);       // AVG, AVG+LS
+void RegisterAvgDSolver(SolverRegistry* registry);       // AVG-D
+void RegisterAvgStSolver(SolverRegistry* registry);      // AVG-ST
+void RegisterIndependentRoundingSolver(SolverRegistry* registry);  // IR
+void RegisterPerSolver(SolverRegistry* registry);        // PER
+void RegisterFmgSolver(SolverRegistry* registry);        // FMG
+void RegisterSdpSolver(SolverRegistry* registry);        // SDP
+void RegisterGrfSolver(SolverRegistry* registry);        // GRF
+void RegisterIpSolver(SolverRegistry* registry);         // IP
+void RegisterBruteForceSolver(SolverRegistry* registry); // BRUTE
+
+}  // namespace savg

@@ -1,0 +1,89 @@
+// The polymorphic solver abstraction every algorithm plugs into.
+//
+// A Solver wraps one end-to-end SVGIC algorithm (relaxation included where
+// the algorithm needs one) behind Name() + Solve(). Callers — the batch
+// engine, the bench harness, the CLI — address algorithms by string name
+// through the SolverRegistry instead of a hard-coded enum, so adding an
+// algorithm never touches a call site.
+//
+// Layering: this header depends only on core/ types. The per-algorithm
+// option structs live in solver_options.h (included by adapters and by
+// callers that tune options), keeping this interface free of the
+// algorithm zoo.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/configuration.h"
+#include "core/objective.h"
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace savg {
+
+struct FractionalSolution;
+struct SolverOptions;
+
+/// Per-call inputs shared by every solver.
+struct SolverContext {
+  /// Overrides the per-algorithm option seeds when nonzero. The batch
+  /// engine derives one seed per task from indices (never from thread
+  /// identity), which is what makes parallel runs deterministic.
+  uint64_t seed = 0;
+  /// Tuning knobs; nullptr = defaults for every algorithm.
+  const SolverOptions* options = nullptr;
+  /// Pre-solved compact LP relaxation for this instance (supporters
+  /// built). Solvers that need a relaxation use it instead of re-solving;
+  /// others ignore it.
+  const FractionalSolution* shared_relaxation = nullptr;
+};
+
+/// Outcome of one solver run on one instance.
+struct SolverRun {
+  std::string solver;  ///< canonical registry name
+  Configuration config;
+  ObjectiveBreakdown breakdown;
+  double scaled_total = 0.0;
+  /// Wall time spent inside Solve() (includes an own LP solve, excludes a
+  /// shared one).
+  double seconds = 0.0;
+  /// LP-relaxation solve time attributable to this run (shared or own);
+  /// 0 for solvers that use no relaxation.
+  double relaxation_seconds = 0.0;
+  bool used_shared_relaxation = false;
+  bool proven_optimal = false;  ///< exact solvers only
+  int64_t iterations = 0;       ///< rounding/search iterations, if any
+
+  /// Total attributable time: Solve() time plus the shared LP's share
+  /// (an own LP solve is already inside `seconds`).
+  double TotalSeconds() const {
+    return seconds + (used_shared_relaxation ? relaxation_seconds : 0.0);
+  }
+};
+
+/// Interface implemented by every algorithm adapter. Implementations are
+/// stateless (all mutable state lives on the stack of Solve), so one
+/// instance may serve concurrent Solve calls from the thread pool.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Canonical name, e.g. "AVG-D". Lookup is case-insensitive.
+  virtual std::string Name() const = 0;
+
+  /// True if this solver consumes the compact LP relaxation for the given
+  /// context — the batch engine then provides one through its shared
+  /// per-instance cache.
+  virtual bool NeedsRelaxation(const SolverContext& context) const {
+    (void)context;
+    return false;
+  }
+
+  /// Runs the algorithm end-to-end on one instance.
+  virtual Result<SolverRun> Solve(const SvgicInstance& instance,
+                                  const SolverContext& context) const = 0;
+};
+
+}  // namespace savg

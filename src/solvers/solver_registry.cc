@@ -1,0 +1,108 @@
+#include "solvers/solver_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace savg {
+
+namespace {
+
+std::string Lowercase(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char ch) {
+    return static_cast<char>(std::tolower(ch));
+  });
+  return out;
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    RegisterBuiltinSolvers(r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status SolverRegistry::Register(const std::string& name, Factory factory,
+                                const std::vector<std::string>& aliases) {
+  if (name.empty()) return Status::InvalidArgument("solver name is empty");
+  if (!factory) return Status::InvalidArgument("solver factory is null");
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys = {Lowercase(name)};
+  for (const std::string& alias : aliases) keys.push_back(Lowercase(alias));
+  for (const std::string& key : keys) {
+    if (index_.count(key)) {
+      return Status::AlreadyExists("solver name already registered: " + key);
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->canonical_name = name;
+  entry->factory = std::move(factory);
+  const size_t idx = entries_.size();
+  entries_.push_back(std::move(entry));
+  for (const std::string& key : keys) index_[key] = idx;
+  return Status::OK();
+}
+
+Result<SolverRegistry::Entry*> SolverRegistry::LookupLocked(
+    const std::string& name) const {
+  auto it = index_.find(Lowercase(name));
+  if (it == index_.end()) {
+    std::ostringstream msg;
+    msg << "unknown solver \"" << name << "\"; known solvers:";
+    for (const auto& entry : entries_) msg << " " << entry->canonical_name;
+    return Status::NotFound(msg.str());
+  }
+  return entries_[it->second].get();
+}
+
+Result<const Solver*> SolverRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SAVG_ASSIGN_OR_RETURN(Entry * entry, LookupLocked(name));
+  if (entry->singleton == nullptr) entry->singleton = entry->factory();
+  return static_cast<const Solver*>(entry->singleton.get());
+}
+
+Result<std::unique_ptr<Solver>> SolverRegistry::Create(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SAVG_ASSIGN_OR_RETURN(Entry * entry, LookupLocked(name));
+  return entry->factory();
+}
+
+bool SolverRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(Lowercase(name)) > 0;
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& entry : entries_) names.push_back(entry->canonical_name);
+  return names;
+}
+
+namespace internal {
+
+SolverRegistrar::SolverRegistrar(const std::string& name,
+                                 SolverRegistry::Factory factory,
+                                 const std::vector<std::string>& aliases) {
+  Status st =
+      SolverRegistry::Global().Register(name, std::move(factory), aliases);
+  if (!st.ok()) {
+    // A name collision here means Find() will keep returning the earlier
+    // solver — surface it instead of silently dropping the registration.
+    SAVG_LOG(Warning) << "SAVG_REGISTER_SOLVER(" << name
+                      << ") ignored: " << st;
+  }
+}
+
+}  // namespace internal
+}  // namespace savg

@@ -1,0 +1,55 @@
+// A small fixed-size worker pool for CPU-bound fan-out.
+//
+// Tasks are plain std::function<void()> closures; Submit() never blocks
+// (the queue is unbounded) and Wait() blocks until every submitted task
+// has finished. Determinism of results is the *caller's* job: tasks must
+// write to disjoint, pre-indexed slots and derive any randomness from task
+// indices, never from thread identity or execution order — the BatchRunner
+// follows exactly that discipline.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace savg {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; <= 0 means DefaultThreadCount().
+  explicit ThreadPool(int num_threads = 0);
+  /// Waits for pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  ///< queued + currently running tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace savg

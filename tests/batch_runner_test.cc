@@ -1,0 +1,166 @@
+#include "experiments/batch_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "util/thread_pool.h"
+
+namespace savg {
+namespace {
+
+std::vector<SvgicInstance> MakeInstances(int count) {
+  std::vector<SvgicInstance> instances;
+  for (int i = 0; i < count; ++i) {
+    DatasetParams params;
+    params.kind = i % 2 == 0 ? DatasetKind::kTimik : DatasetKind::kYelp;
+    params.num_users = 8;
+    params.num_items = 12;
+    params.num_slots = 3;
+    params.seed = 100 + 31 * i;
+    auto inst = GenerateDataset(params);
+    EXPECT_TRUE(inst.ok()) << inst.status();
+    instances.push_back(std::move(inst).value());
+  }
+  return instances;
+}
+
+std::vector<const SvgicInstance*> Pointers(
+    const std::vector<SvgicInstance>& instances) {
+  std::vector<const SvgicInstance*> ptrs;
+  for (const SvgicInstance& inst : instances) ptrs.push_back(&inst);
+  return ptrs;
+}
+
+Result<BatchReport> RunWithWorkers(
+    const std::vector<const SvgicInstance*>& instances, int workers,
+    int repeats) {
+  BatchOptions options;
+  options.num_workers = workers;
+  options.repeats = repeats;
+  options.base_seed = 42;
+  options.solver.avg_repeats = 2;
+  BatchRunner runner(options);
+  return runner.Run(instances,
+                    std::vector<std::string>{"AVG", "AVG-D", "GRF", "IR"});
+}
+
+std::string ConfigFingerprint(const Configuration& config) {
+  std::string out;
+  for (UserId u = 0; u < config.num_users(); ++u) {
+    for (SlotId s = 0; s < config.num_slots(); ++s) {
+      out += std::to_string(config.At(u, s));
+      out += ',';
+    }
+  }
+  return out;
+}
+
+TEST(BatchRunnerTest, ResultsAreIdenticalForOneAndEightWorkers) {
+  const auto instances = MakeInstances(3);
+  auto serial = RunWithWorkers(Pointers(instances), 1, 2);
+  auto parallel = RunWithWorkers(Pointers(instances), 8, 2);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ASSERT_TRUE(serial->FirstError().ok()) << serial->FirstError();
+  ASSERT_TRUE(parallel->FirstError().ok()) << parallel->FirstError();
+  ASSERT_EQ(serial->tasks.size(), parallel->tasks.size());
+  for (size_t t = 0; t < serial->tasks.size(); ++t) {
+    const SolverRun& a = serial->tasks[t].run;
+    const SolverRun& b = parallel->tasks[t].run;
+    EXPECT_EQ(a.solver, b.solver);
+    // Bit-identical objective and identical configurations: seeds derive
+    // from task indices, never from scheduling.
+    EXPECT_EQ(a.scaled_total, b.scaled_total) << a.solver << " task " << t;
+    EXPECT_EQ(ConfigFingerprint(a.config), ConfigFingerprint(b.config))
+        << a.solver << " task " << t;
+  }
+}
+
+TEST(BatchRunnerTest, RepeatsDifferButAreReproducible) {
+  const auto instances = MakeInstances(1);
+  auto first = RunWithWorkers(Pointers(instances), 4, 3);
+  auto second = RunWithWorkers(Pointers(instances), 2, 3);
+  ASSERT_TRUE(first.ok() && second.ok());
+  // Same (instance, solver, repeat) cell reproduces across runs...
+  for (size_t t = 0; t < first->tasks.size(); ++t) {
+    EXPECT_EQ(first->tasks[t].run.scaled_total,
+              second->tasks[t].run.scaled_total);
+  }
+  // ...while randomized repeats draw distinct seeds.
+  EXPECT_NE(BatchTaskSeed(42, 0, "AVG", 0), BatchTaskSeed(42, 0, "AVG", 1));
+  EXPECT_NE(BatchTaskSeed(42, 0, "AVG", 0), BatchTaskSeed(42, 1, "AVG", 0));
+  EXPECT_NE(BatchTaskSeed(42, 0, "AVG", 0), BatchTaskSeed(43, 0, "AVG", 0));
+  // Case differences must not change a solver's seed stream.
+  EXPECT_EQ(BatchTaskSeed(42, 0, "AVG", 0), BatchTaskSeed(42, 0, "avg", 0));
+}
+
+TEST(BatchRunnerTest, LpRelaxationSolvedExactlyOncePerInstance) {
+  const auto instances = MakeInstances(2);
+  const int repeats = 3;
+  BatchOptions options;
+  options.num_workers = 4;
+  options.repeats = repeats;
+  options.solver.avg_repeats = 3;
+  BatchRunner runner(options);
+  // Three relaxation consumers x 2 instances x 3 repeats.
+  auto report = runner.Run(
+      Pointers(instances), std::vector<std::string>{"AVG", "AVG-D", "AVG+LS"});
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->FirstError().ok()) << report->FirstError();
+  EXPECT_EQ(report->lp_cache_misses, 2);  // one solve per instance
+  EXPECT_EQ(report->lp_cache_hits, 2 * 3 * repeats - 2);
+  for (const BatchTaskResult& task : report->tasks) {
+    EXPECT_TRUE(task.run.used_shared_relaxation) << task.run.solver;
+    EXPECT_GT(task.run.scaled_total, 0.0);
+  }
+}
+
+TEST(BatchRunnerTest, SolversWithoutRelaxationSkipTheCache) {
+  const auto instances = MakeInstances(1);
+  BatchOptions options;
+  options.num_workers = 2;
+  BatchRunner runner(options);
+  auto report = runner.Run(Pointers(instances),
+                           std::vector<std::string>{"PER", "FMG", "SDP"});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->lp_cache_misses, 0);
+  EXPECT_EQ(report->lp_cache_hits, 0);
+}
+
+TEST(BatchRunnerTest, UnknownSolverNameFailsUpFront) {
+  const auto instances = MakeInstances(1);
+  BatchRunner runner;
+  auto report = runner.Run(Pointers(instances),
+                           std::vector<std::string>{"AVG", "nope"});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BatchRunnerTest, EmptyBatchIsInvalid) {
+  BatchRunner runner;
+  auto no_instances =
+      runner.Run({}, std::vector<std::string>{"AVG"});
+  EXPECT_EQ(no_instances.status().code(), StatusCode::kInvalidArgument);
+  const auto instances = MakeInstances(1);
+  auto no_solvers =
+      runner.Run(Pointers(instances), std::vector<std::string>{});
+  EXPECT_EQ(no_solvers.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ThreadPoolTest, RunsAllTasksAndWaits) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool stays usable after a Wait().
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+}  // namespace
+}  // namespace savg
