@@ -13,6 +13,9 @@ namespace {
 void PrintTables() {
   const double kLambdas[] = {0.33, 0.5, 0.67};
   const int kSamples = 3;
+  // Successive lambdas share the compact LP's constraint matrix, so the
+  // previous point's optimal bases warm-start the next point's solves.
+  SweepWarmStart warm;
   for (double lambda : kLambdas) {
     DatasetParams params;
     params.kind = DatasetKind::kTimik;
@@ -24,9 +27,12 @@ void PrintTables() {
     RunnerConfig config;
     config.avg_repeats = 5;
     config.ip.mip.time_limit_seconds = 20.0;
+    Timer point_timer;
     auto rows = RunComparisonNamed(params, kSamples,
                                    benchutil::AlgosOrDefault(true), config,
-                                   benchutil::WorkerOverride());
+                                   benchutil::WorkerOverride(), &warm);
+    benchutil::RecordMetric("fig4 | lambda=" + FormatDouble(lambda, 2),
+                            point_timer.ElapsedSeconds());
     if (!rows.ok()) {
       std::cerr << rows.status() << "\n";
       continue;

@@ -14,6 +14,7 @@ namespace {
 void PrintTables() {
   // (a) time vs n, IP capped at 15 s.
   {
+    Timer part_a_timer;
     Table t({"n", "AVG", "AVG-D", "PER", "FMG", "SDP", "GRF",
              "IP (cap 15s)", "IP optimal?"});
     for (int n : {5, 10, 15, 20, 25}) {
@@ -45,6 +46,8 @@ void PrintTables() {
       t.Add(ip.ok() && ip->ip_proven_optimal ? "yes" : "NO (budget hit)");
     }
     t.Print("Fig 8(a): execution time vs n (Yelp, m=12, k=3)");
+    benchutil::RecordMetric("fig8a | time vs n",
+                            part_a_timer.ElapsedSeconds());
   }
   // (b) time vs m, polynomial methods only.
   {

@@ -17,6 +17,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -24,6 +25,7 @@
 
 #include "experiments/runner.h"
 #include "solvers/solver_registry.h"
+#include "util/logging.h"
 #include "util/table.h"
 
 namespace savg {
@@ -46,6 +48,52 @@ inline std::vector<std::string>& AlgoOverride() {
 inline int& WorkerOverride() {
   static int workers = 0;
   return workers;
+}
+
+/// --json= output path (empty = no JSON metrics file).
+inline std::string& JsonPath() {
+  static std::string path;
+  return path;
+}
+
+/// One perf-smoke metric: a stable name and its wall-clock seconds.
+struct JsonMetric {
+  std::string name;
+  double seconds = 0.0;
+};
+
+inline std::vector<JsonMetric>& JsonMetrics() {
+  static std::vector<JsonMetric> metrics;
+  return metrics;
+}
+
+/// Records a metric for the --json perf artifact (no-op without --json=).
+inline void RecordMetric(const std::string& name, double seconds) {
+  if (!JsonPath().empty()) JsonMetrics().push_back({name, seconds});
+}
+
+/// Writes {"metrics": [{"name": ..., "seconds": ...}, ...]} to the --json=
+/// path. Called by SAVG_BENCH_MAIN after the reproduction tables printed;
+/// CI uploads the file and gates on regressions vs a checked-in baseline
+/// (tools/perf_compare.py).
+inline void WriteJsonMetrics() {
+  if (JsonPath().empty()) return;
+  std::ofstream out(JsonPath());
+  if (!out) {
+    std::cerr << "cannot write --json file " << JsonPath() << "\n";
+    std::exit(2);
+  }
+  out << "{\n  \"metrics\": [\n";
+  const auto& metrics = JsonMetrics();
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::string name = metrics[i].name;
+    for (char& ch : name) {
+      if (ch == '"' || ch == '\\') ch = '\'';
+    }
+    out << "    {\"name\": \"" << name << "\", \"seconds\": "
+        << metrics[i].seconds << (i + 1 < metrics.size() ? "},\n" : "}\n");
+  }
+  out << "  ]\n}\n";
 }
 
 /// Splits "avg,grf" and resolves each name against the registry (so typos
@@ -89,6 +137,12 @@ inline void ConsumeFlags(int* argc, char** argv) {
         std::exit(2);
       }
       WorkerOverride() = static_cast<int>(workers);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      if (argv[i][7] == '\0') {
+        std::cerr << "--json expects a file path\n";
+        std::exit(2);
+      }
+      JsonPath() = argv[i] + 7;
     } else {
       argv[out++] = argv[i];
     }
@@ -123,9 +177,16 @@ inline std::vector<std::vector<AggregateRow>> PrintSweep(
   Table utility(header);
   Table seconds(header);
   std::vector<std::vector<AggregateRow>> all_rows;
+  // The previous point's relaxation bases warm-start the next point's
+  // simplex solves (a lambda sweep keeps the LP shape; sweeps that change
+  // the shape silently fall back to cold starts).
+  SweepWarmStart warm;
   for (const SweepPoint& point : points) {
+    Timer point_timer;
     auto rows = RunComparisonNamed(point.params, samples, algos, config,
-                                   WorkerOverride());
+                                   WorkerOverride(), &warm);
+    RecordMetric(title + " | " + x_name + "=" + point.label,
+                 point_timer.ElapsedSeconds());
     if (!rows.ok()) {
       std::cerr << "sweep point " << point.label
                 << " failed: " << rows.status() << "\n";
@@ -150,14 +211,27 @@ inline std::string Ratio(double value, double base) {
   return base > 0 ? FormatDouble(value / base, 3) : std::string("-");
 }
 
+/// Basename of argv[0], used to namespace per-binary metrics.
+inline std::string BinaryName(const char* argv0) {
+  const std::string path = argv0 != nullptr ? argv0 : "bench";
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
 }  // namespace benchutil
 }  // namespace savg
 
-/// Prints the reproduction output, then runs registered microbenchmarks.
+/// Prints the reproduction output (recording --json metrics), then runs
+/// registered microbenchmarks.
 #define SAVG_BENCH_MAIN(print_fn)                          \
   int main(int argc, char** argv) {                        \
     ::savg::benchutil::ConsumeFlags(&argc, argv);          \
+    ::savg::Timer savg_bench_timer;                        \
     print_fn();                                            \
+    ::savg::benchutil::RecordMetric(                       \
+        ::savg::benchutil::BinaryName(argv[0]) + " | total_print_seconds", \
+        savg_bench_timer.ElapsedSeconds());                \
+    ::savg::benchutil::WriteJsonMetrics();                 \
     ::benchmark::Initialize(&argc, argv);                  \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                 \

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/problem.h"
+#include "lp/lp_model.h"
 
 namespace savg {
 
@@ -36,6 +37,13 @@ struct FractionalSolution {
   /// True if produced by the exact simplex (vs the approximate solver).
   bool exact = false;
   double solve_seconds = 0.0;
+  /// Simplex pivots spent on this relaxation (0 for non-simplex paths).
+  int simplex_iterations = 0;
+  /// True when the solve reused a caller-supplied warm-start basis.
+  bool warm_started = false;
+  /// Final simplex basis of the compact LP; reusable as a warm start for
+  /// a related instance (same shape, different lambda / objective).
+  LpBasis lp_basis;
 
   double XCompact(UserId u, ItemId c) const {
     return x[static_cast<size_t>(u) * num_items + c];

@@ -261,7 +261,8 @@ FractionalSolution TopKSolution(const SvgicInstance& instance) {
 }  // namespace
 
 Result<FractionalSolution> SolveRelaxation(const SvgicInstance& instance,
-                                           const RelaxationOptions& options) {
+                                           const RelaxationOptions& options,
+                                           const LpBasis* warm_start) {
   SAVG_RETURN_NOT_OK(instance.Validate());
   Timer timer;
   const int n = instance.num_users();
@@ -293,7 +294,7 @@ Result<FractionalSolution> SolveRelaxation(const SvgicInstance& instance,
       CompactLpMap map;
       auto lp = BuildCompactLp(instance, &map);
       if (!lp.ok()) return lp.status();
-      auto sol = SolveLp(*lp, options.simplex);
+      auto sol = SolveLp(*lp, options.simplex, warm_start);
       if (!sol.ok()) return sol.status();
       for (UserId u = 0; u < n; ++u) {
         for (ItemId c = 0; c < m; ++c) {
@@ -305,6 +306,9 @@ Result<FractionalSolution> SolveRelaxation(const SvgicInstance& instance,
       }
       frac.lp_objective = sol->objective;
       frac.exact = true;
+      frac.simplex_iterations = sol->iterations;
+      frac.warm_started = sol->warm_started;
+      frac.lp_basis = std::move(sol->basis);
       break;
     }
     case RelaxationMethod::kSimplexExpanded: {
@@ -322,6 +326,7 @@ Result<FractionalSolution> SolveRelaxation(const SvgicInstance& instance,
       }
       frac.lp_objective = sol->objective;
       frac.exact = true;
+      frac.simplex_iterations = sol->iterations;
       break;
     }
     case RelaxationMethod::kSubgradient: {

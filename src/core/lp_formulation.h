@@ -106,8 +106,14 @@ struct RelaxationOptions {
 
 /// Solves the SVGIC relaxation and returns the compact fractional solution
 /// with supporter lists built.
+///
+/// `warm_start` (optional) seeds the simplex from the final basis of a
+/// related compact-LP solve — e.g. the same instance at the previous
+/// lambda of a sweep, whose constraint matrix is identical. Ignored by the
+/// subgradient / expanded paths and by shape-incompatible bases.
 Result<FractionalSolution> SolveRelaxation(
-    const SvgicInstance& instance, const RelaxationOptions& options = {});
+    const SvgicInstance& instance, const RelaxationOptions& options = {},
+    const LpBasis* warm_start = nullptr);
 
 /// Number of rows the compact LP would have (for the kAuto decision and
 /// for tests).

@@ -42,9 +42,9 @@ uint64_t BatchTaskSeed(uint64_t base_seed, int instance_index,
   return seed != 0 ? seed : 1;  // 0 means "use option seeds" downstream
 }
 
-RelaxationCache::RelaxationCache(int num_instances,
-                                 RelaxationOptions options)
-    : options_(options) {
+RelaxationCache::RelaxationCache(int num_instances, RelaxationOptions options,
+                                 const std::vector<LpBasis>* warm_starts)
+    : options_(options), warm_starts_(warm_starts) {
   entries_.reserve(std::max(0, num_instances));
   for (int i = 0; i < num_instances; ++i) {
     entries_.push_back(std::make_unique<Entry>());
@@ -61,9 +61,16 @@ Result<const FractionalSolution*> RelaxationCache::Get(
   std::call_once(entry.once, [&] {
     solved_here = true;
     misses_.fetch_add(1);
-    auto solved = SolveRelaxation(instance, options_);
+    const LpBasis* warm = nullptr;
+    if (warm_starts_ != nullptr &&
+        index < static_cast<int>(warm_starts_->size()) &&
+        !(*warm_starts_)[index].Empty()) {
+      warm = &(*warm_starts_)[index];
+    }
+    auto solved = SolveRelaxation(instance, options_, warm);
     if (solved.ok()) {
       entry.frac = std::move(solved).value();
+      entry.solved = true;
     } else {
       entry.status = solved.status();
     }
@@ -71,6 +78,38 @@ Result<const FractionalSolution*> RelaxationCache::Get(
   if (!solved_here) hits_.fetch_add(1);
   if (!entry.status.ok()) return entry.status;
   return static_cast<const FractionalSolution*>(&entry.frac);
+}
+
+std::vector<LpBasis> RelaxationCache::ExportBases() const {
+  std::vector<LpBasis> bases(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i]->solved) bases[i] = entries_[i]->frac.lp_basis;
+  }
+  return bases;
+}
+
+std::vector<double> RelaxationCache::ExportObjectives() const {
+  std::vector<double> objectives(entries_.size(), 0.0);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i]->solved) objectives[i] = entries_[i]->frac.lp_objective;
+  }
+  return objectives;
+}
+
+int64_t RelaxationCache::TotalSimplexIterations() const {
+  int64_t total = 0;
+  for (const auto& entry : entries_) {
+    if (entry->solved) total += entry->frac.simplex_iterations;
+  }
+  return total;
+}
+
+int64_t RelaxationCache::WarmStartedSolves() const {
+  int64_t total = 0;
+  for (const auto& entry : entries_) {
+    if (entry->solved && entry->frac.warm_started) ++total;
+  }
+  return total;
 }
 
 Status BatchReport::FirstError() const {
@@ -112,7 +151,8 @@ Result<BatchReport> BatchRunner::Run(
   report.tasks.resize(static_cast<size_t>(num_instances) * num_solvers *
                       repeats);
 
-  RelaxationCache cache(num_instances, options_.solver.relaxation);
+  RelaxationCache cache(num_instances, options_.solver.relaxation,
+                        options_.relaxation_warm_starts);
   {
     ThreadPool pool(options_.num_workers);
     for (int i = 0; i < num_instances; ++i) {
@@ -154,6 +194,10 @@ Result<BatchReport> BatchRunner::Run(
   }
   report.lp_cache_hits = cache.hits();
   report.lp_cache_misses = cache.misses();
+  report.lp_simplex_iterations = cache.TotalSimplexIterations();
+  report.lp_warm_started_solves = cache.WarmStartedSolves();
+  report.relaxation_bases = cache.ExportBases();
+  report.relaxation_objectives = cache.ExportObjectives();
   report.wall_seconds = timer.ElapsedSeconds();
   return report;
 }

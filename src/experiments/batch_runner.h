@@ -32,7 +32,12 @@ namespace savg {
 /// Thread-safe once-per-instance LP relaxation cache.
 class RelaxationCache {
  public:
-  RelaxationCache(int num_instances, RelaxationOptions options);
+  /// `warm_starts` (optional, not owned, must outlive the cache) provides
+  /// per-instance starting bases for the simplex — typically the final
+  /// bases of the previous point of a lambda sweep. Index-aligned with the
+  /// instances; an empty or shape-incompatible basis is ignored.
+  RelaxationCache(int num_instances, RelaxationOptions options,
+                  const std::vector<LpBasis>* warm_starts = nullptr);
 
   /// The relaxation of instance `index`, solving it on first request.
   /// Concurrent callers for one instance block until the single solve
@@ -44,14 +49,25 @@ class RelaxationCache {
   int64_t hits() const { return hits_.load(); }
   int64_t misses() const { return misses_.load(); }
 
+  /// Final simplex bases of the solved entries (empty basis where the
+  /// instance was never requested or solved by a non-simplex path), their
+  /// LP objectives (0 where unsolved), and the total/warm-started pivot
+  /// counters. Call after the batch drained.
+  std::vector<LpBasis> ExportBases() const;
+  std::vector<double> ExportObjectives() const;
+  int64_t TotalSimplexIterations() const;
+  int64_t WarmStartedSolves() const;
+
  private:
   struct Entry {
     std::once_flag once;
+    bool solved = false;
     Status status = Status::OK();
     FractionalSolution frac;
   };
 
   RelaxationOptions options_;
+  const std::vector<LpBasis>* warm_starts_ = nullptr;
   std::vector<std::unique_ptr<Entry>> entries_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
@@ -74,6 +90,11 @@ struct BatchOptions {
   SolverOptions solver;
   /// Serve the AVG family from the shared per-instance LP cache.
   bool share_relaxation = true;
+  /// Per-instance warm-start bases for the relaxation cache (not owned,
+  /// must outlive Run). Typically BatchReport::relaxation_bases of the
+  /// previous point of a lambda sweep, whose LPs share the constraint
+  /// matrix and differ only in the objective.
+  const std::vector<LpBasis>* relaxation_warm_starts = nullptr;
 };
 
 /// One task outcome. `run` is meaningful iff `status.ok()`.
@@ -93,6 +114,18 @@ struct BatchReport {
   std::vector<BatchTaskResult> tasks;
   int64_t lp_cache_hits = 0;
   int64_t lp_cache_misses = 0;
+  /// Total simplex pivots spent by the shared relaxation cache, and how
+  /// many of its solves reused a warm-start basis (warm-start
+  /// effectiveness counters for the lambda-sweep benches/tests).
+  int64_t lp_simplex_iterations = 0;
+  int64_t lp_warm_started_solves = 0;
+  /// Final basis per instance (empty where no simplex relaxation ran);
+  /// feed into BatchOptions::relaxation_warm_starts of the next sweep
+  /// point.
+  std::vector<LpBasis> relaxation_bases;
+  /// LP objective per instance (0 where no relaxation ran); lets tests
+  /// assert that warm-started sweeps reproduce cold-start optima.
+  std::vector<double> relaxation_objectives;
   double wall_seconds = 0.0;
 
   const BatchTaskResult& Task(int instance, int solver, int repeat) const {

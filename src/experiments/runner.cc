@@ -65,7 +65,7 @@ Result<AlgoRun> RunAlgorithm(const SvgicInstance& instance, Algo algo,
 Result<std::vector<AggregateRow>> RunComparisonNamed(
     const DatasetParams& base_params, int samples,
     const std::vector<std::string>& solvers, const RunnerConfig& config,
-    int num_workers) {
+    int num_workers, SweepWarmStart* warm_start) {
   if (samples < 1) return Status::InvalidArgument("samples must be >= 1");
   std::vector<AggregateRow> rows(solvers.size());
   for (size_t s = 0; s < solvers.size(); ++s) {
@@ -96,10 +96,18 @@ Result<std::vector<AggregateRow>> RunComparisonNamed(
   batch.repeats = 1;
   batch.base_seed = base_params.seed;
   batch.solver = config;
+  if (warm_start != nullptr && !warm_start->bases.empty()) {
+    batch.relaxation_warm_starts = &warm_start->bases;
+  }
   BatchRunner engine(batch);
   SAVG_ASSIGN_OR_RETURN(BatchReport report,
                         engine.Run(instance_ptrs, solvers));
   SAVG_RETURN_NOT_OK(report.FirstError());
+  if (warm_start != nullptr) {
+    warm_start->bases = std::move(report.relaxation_bases);
+    warm_start->total_simplex_iterations += report.lp_simplex_iterations;
+    warm_start->warm_started_solves += report.lp_warm_started_solves;
+  }
 
   for (int sample = 0; sample < samples; ++sample) {
     const SvgicInstance& instance = instances[sample];

@@ -75,12 +75,25 @@ struct AggregateRow {
   std::vector<double> regret_samples;  ///< pooled per-user regrets
 };
 
+/// Cross-point warm-start state for sweeps. Holds the final compact-LP
+/// basis of every sampled instance after a RunComparisonNamed call; the
+/// next call with the same `samples` (e.g. the next lambda of a sweep,
+/// which keeps the constraint matrix fixed) seeds its simplex solves from
+/// them. Also accumulates the relaxation pivot counters, so benches and
+/// tests can compare warm vs cold sweeps.
+struct SweepWarmStart {
+  std::vector<LpBasis> bases;
+  int64_t total_simplex_iterations = 0;
+  int64_t warm_started_solves = 0;
+};
+
 /// Registry-name front-end: runs `solvers` over `samples` instances
 /// through the parallel BatchRunner. `num_workers` <= 0 uses all cores.
+/// `warm_start` (optional) carries relaxation bases across calls.
 Result<std::vector<AggregateRow>> RunComparisonNamed(
     const DatasetParams& base_params, int samples,
     const std::vector<std::string>& solvers, const RunnerConfig& config,
-    int num_workers = 0);
+    int num_workers = 0, SweepWarmStart* warm_start = nullptr);
 
 Result<std::vector<AggregateRow>> RunComparison(
     const DatasetParams& base_params, int samples,

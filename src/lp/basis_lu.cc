@@ -1,0 +1,304 @@
+#include "lp/basis_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "lp/dense_matrix.h"
+#include "util/logging.h"
+
+namespace savg {
+
+namespace {
+
+constexpr double kPivotTolerance = 1e-11;
+constexpr double kUpdatePivotTolerance = 1e-9;
+/// Threshold partial pivoting: accept a sparser pivot row whose magnitude
+/// is within this factor of the column maximum.
+constexpr double kThresholdPivoting = 0.1;
+
+/// One product-form eta: basis position, pivot value, off-pivot terms.
+struct ProductEta {
+  int pos = 0;
+  double pivot = 1.0;
+  std::vector<std::pair<int, double>> terms;
+};
+
+void ApplyEtasFtran(const std::vector<ProductEta>& etas,
+                    std::vector<double>* v) {
+  for (const ProductEta& eta : etas) {
+    double& vp = (*v)[eta.pos];
+    const double t = vp / eta.pivot;
+    vp = t;
+    if (t == 0.0) continue;
+    for (const auto& [row, value] : eta.terms) (*v)[row] -= value * t;
+  }
+}
+
+void ApplyEtasBtran(const std::vector<ProductEta>& etas,
+                    std::vector<double>* v) {
+  for (auto it = etas.rbegin(); it != etas.rend(); ++it) {
+    double acc = (*v)[it->pos];
+    for (const auto& [row, value] : it->terms) acc -= value * (*v)[row];
+    (*v)[it->pos] = acc / it->pivot;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse LU backend.
+// ---------------------------------------------------------------------------
+
+/// Left-looking (Gilbert-Peierls flavoured) LU of the basis matrix with
+/// threshold partial pivoting and a static ascending-nonzero column order.
+/// L is kept as an ordered elimination eta file, U column-wise in pivot
+/// coordinates; both stay sparse, so Ftran/Btran cost O(nnz(L) + nnz(U))
+/// instead of the dense O(n^2).
+class LuBasisFactorization : public BasisFactorization {
+ public:
+  Status Factorize(const std::vector<SparseColumn>& columns,
+                   const std::vector<int>& basis) override {
+    const int n = static_cast<int>(basis.size());
+    n_ = n;
+    ++factorizations_;
+    etas_.clear();
+    pos_of_k_.assign(n, -1);
+    k_of_pos_.assign(n, -1);
+    pivot_row_of_k_.assign(n, -1);
+    k_of_row_.assign(n, -1);
+    leta_.assign(n, {});
+    ucol_.assign(n, {});
+    diag_.assign(n, 0.0);
+    work_.assign(n, 0.0);
+
+    // Static fill-reducing order: sparsest basis columns pivot first.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return columns[basis[a]].size() < columns[basis[b]].size();
+    });
+
+    std::vector<int> touched;
+    touched.reserve(n);
+    for (int k = 0; k < n; ++k) {
+      const int pos = order[k];
+      touched.clear();
+      for (const auto& [row, value] : columns[basis[pos]]) {
+        if (work_[row] == 0.0 && value != 0.0) touched.push_back(row);
+        work_[row] += value;
+      }
+      // Left-looking pass: fold in the eliminations of earlier pivots.
+      for (int k2 = 0; k2 < k; ++k2) {
+        const double xk = work_[pivot_row_of_k_[k2]];
+        if (xk == 0.0) continue;
+        for (const auto& [row, mult] : leta_[k2]) {
+          if (work_[row] == 0.0) touched.push_back(row);
+          work_[row] -= mult * xk;
+        }
+      }
+      // Pivot choice: the unpivoted row of largest magnitude, except that
+      // a smaller-index row within the pivoting threshold of the max wins
+      // (deterministic, and biases toward the natural row order that the
+      // mostly-triangular simplex bases preserve).
+      double pivot_abs_max = 0.0;
+      for (int row : touched) {
+        if (k_of_row_[row] >= 0) continue;
+        pivot_abs_max = std::max(pivot_abs_max, std::abs(work_[row]));
+      }
+      if (pivot_abs_max < kPivotTolerance) {
+        for (int row : touched) work_[row] = 0.0;
+        return Status::NumericalError("singular basis in LU factorization");
+      }
+      int pivot_row = -1;
+      for (int row : touched) {
+        if (k_of_row_[row] >= 0) continue;
+        if (std::abs(work_[row]) < kThresholdPivoting * pivot_abs_max) {
+          continue;
+        }
+        if (pivot_row < 0 || row < pivot_row) pivot_row = row;
+      }
+      const double pivot = work_[pivot_row];
+      diag_[k] = pivot;
+      pivot_row_of_k_[k] = pivot_row;
+      k_of_row_[pivot_row] = k;
+      pos_of_k_[k] = pos;
+      k_of_pos_[pos] = k;
+      for (int row : touched) {
+        const double value = work_[row];
+        work_[row] = 0.0;
+        if (value == 0.0 || row == pivot_row) continue;
+        const int krow = k_of_row_[row];
+        if (krow >= 0 && krow < k) {
+          ucol_[k].emplace_back(krow, value);
+        } else if (krow < 0) {
+          leta_[k].emplace_back(row, value / pivot);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  void Ftran(std::vector<double>* v) const override {
+    // L pass in elimination order (original row space).
+    for (int k = 0; k < n_; ++k) {
+      const double xk = (*v)[pivot_row_of_k_[k]];
+      if (xk == 0.0) continue;
+      for (const auto& [row, mult] : leta_[k]) (*v)[row] -= mult * xk;
+    }
+    // Gather into pivot coordinates, backward-solve U, scatter to
+    // basis-position space.
+    std::vector<double>& z = scratch_;
+    z.assign(n_, 0.0);
+    for (int k = 0; k < n_; ++k) z[k] = (*v)[pivot_row_of_k_[k]];
+    for (int k = n_ - 1; k >= 0; --k) {
+      const double t = z[k] / diag_[k];
+      z[k] = t;
+      if (t == 0.0) continue;
+      for (const auto& [k2, value] : ucol_[k]) z[k2] -= value * t;
+    }
+    std::fill(v->begin(), v->end(), 0.0);
+    for (int k = 0; k < n_; ++k) (*v)[pos_of_k_[k]] = z[k];
+    ApplyEtasFtran(etas_, v);
+  }
+
+  void Btran(std::vector<double>* v) const override {
+    ApplyEtasBtran(etas_, v);
+    // Gather into pivot coordinates, forward-solve U', scatter through L'.
+    std::vector<double>& z = scratch_;
+    z.assign(n_, 0.0);
+    for (int k = 0; k < n_; ++k) z[k] = (*v)[pos_of_k_[k]];
+    for (int k = 0; k < n_; ++k) {
+      double acc = z[k];
+      for (const auto& [k2, value] : ucol_[k]) acc -= value * z[k2];
+      z[k] = acc / diag_[k];
+    }
+    std::fill(v->begin(), v->end(), 0.0);
+    for (int k = 0; k < n_; ++k) (*v)[pivot_row_of_k_[k]] = z[k];
+    for (int k = n_ - 1; k >= 0; --k) {
+      double acc = (*v)[pivot_row_of_k_[k]];
+      for (const auto& [row, mult] : leta_[k]) acc -= mult * (*v)[row];
+      (*v)[pivot_row_of_k_[k]] = acc;
+    }
+  }
+
+  Status Update(const std::vector<double>& w, int leaving_pos) override {
+    const double pivot = w[leaving_pos];
+    if (std::abs(pivot) < kUpdatePivotTolerance) {
+      return Status::NumericalError("tiny pivot in product-form update");
+    }
+    ProductEta eta;
+    eta.pos = leaving_pos;
+    eta.pivot = pivot;
+    for (int i = 0; i < n_; ++i) {
+      if (i == leaving_pos || w[i] == 0.0) continue;
+      eta.terms.emplace_back(i, w[i]);
+    }
+    etas_.push_back(std::move(eta));
+    return Status::OK();
+  }
+
+  int eta_count() const override { return static_cast<int>(etas_.size()); }
+  int factorizations() const override { return factorizations_; }
+
+ private:
+  int n_ = 0;
+  std::vector<int> pos_of_k_, k_of_pos_;
+  std::vector<int> pivot_row_of_k_, k_of_row_;
+  /// L as elimination etas: leta_[k] = (row, multiplier) pairs.
+  std::vector<std::vector<std::pair<int, double>>> leta_;
+  /// U column k in pivot coordinates: (k' < k, value); diagonal separate.
+  std::vector<std::vector<std::pair<int, double>>> ucol_;
+  std::vector<double> diag_;
+  std::vector<ProductEta> etas_;
+  std::vector<double> work_;
+  mutable std::vector<double> scratch_;
+  int factorizations_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Dense backend (legacy explicit inverse).
+// ---------------------------------------------------------------------------
+
+class DenseBasisFactorization : public BasisFactorization {
+ public:
+  Status Factorize(const std::vector<SparseColumn>& columns,
+                   const std::vector<int>& basis) override {
+    const int n = static_cast<int>(basis.size());
+    n_ = n;
+    ++factorizations_;
+    eta_count_ = 0;
+    DenseMatrix b(n, n);
+    for (int pos = 0; pos < n; ++pos) {
+      for (const auto& [row, value] : columns[basis[pos]]) {
+        b.At(row, pos) += value;
+      }
+    }
+    auto inverse = b.Inverse();
+    if (!inverse.ok()) return inverse.status();
+    binv_ = std::move(inverse).value();
+    return Status::OK();
+  }
+
+  void Ftran(std::vector<double>* v) const override {
+    // binv_ rows are basis positions, columns original rows.
+    std::vector<double>& out = scratch_;
+    out.assign(n_, 0.0);
+    for (int r = 0; r < n_; ++r) {
+      const double x = (*v)[r];
+      if (x == 0.0) continue;
+      for (int pos = 0; pos < n_; ++pos) out[pos] += binv_.At(pos, r) * x;
+    }
+    *v = out;
+  }
+
+  void Btran(std::vector<double>* v) const override {
+    std::vector<double>& out = scratch_;
+    out.assign(n_, 0.0);
+    for (int pos = 0; pos < n_; ++pos) {
+      const double c = (*v)[pos];
+      if (c == 0.0) continue;
+      const double* row = binv_.RowPtr(pos);
+      for (int r = 0; r < n_; ++r) out[r] += row[r] * c;
+    }
+    *v = out;
+  }
+
+  Status Update(const std::vector<double>& w, int leaving_pos) override {
+    const double pivot = w[leaving_pos];
+    if (std::abs(pivot) < kUpdatePivotTolerance) {
+      return Status::NumericalError("tiny pivot in dense basis update");
+    }
+    double* prow = binv_.RowPtr(leaving_pos);
+    const double pinv = 1.0 / pivot;
+    for (int c = 0; c < n_; ++c) prow[c] *= pinv;
+    for (int i = 0; i < n_; ++i) {
+      if (i == leaving_pos || w[i] == 0.0) continue;
+      double* irow = binv_.RowPtr(i);
+      const double f = w[i];
+      for (int c = 0; c < n_; ++c) irow[c] -= f * prow[c];
+    }
+    ++eta_count_;
+    return Status::OK();
+  }
+
+  int eta_count() const override { return eta_count_; }
+  int factorizations() const override { return factorizations_; }
+
+ private:
+  int n_ = 0;
+  DenseMatrix binv_;
+  mutable std::vector<double> scratch_;
+  int eta_count_ = 0;
+  int factorizations_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<BasisFactorization> MakeLuFactorization() {
+  return std::make_unique<LuBasisFactorization>();
+}
+
+std::unique_ptr<BasisFactorization> MakeDenseFactorization() {
+  return std::make_unique<DenseBasisFactorization>();
+}
+
+}  // namespace savg

@@ -1,0 +1,69 @@
+// Basis factorization backends for the revised simplex.
+//
+// The simplex never forms B^-1 explicitly any more: it asks a
+// BasisFactorization for the two triangular-solve primitives
+//
+//   Ftran:  solve B w = a      (entering column in basic coordinates)
+//   Btran:  solve B' y = c_B   (pricing multipliers)
+//
+// plus a product-form Update() applied after every pivot. Two backends:
+//
+//  * LuBasisFactorization — sparse left-looking LU (Gilbert-Peierls style)
+//    with threshold partial pivoting and a static fill-reducing column
+//    order (ascending nonzero count). Pivots append eta terms to a
+//    product-form eta file; the simplex refactorizes when the file grows
+//    past SimplexOptions::refactor_interval or an update pivot is unsafe.
+//  * DenseBasisFactorization — the legacy explicit dense inverse
+//    (Gauss-Jordan refactorization, dense eta row operations). O(n^2) per
+//    solve and O(n^3) per refactorization; kept as the reference path for
+//    the sparse/dense equivalence test suite and for debugging.
+
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace savg {
+
+/// One sparse column: (row, coefficient) pairs, unordered, no duplicates.
+using SparseColumn = std::vector<std::pair<int, double>>;
+
+class BasisFactorization {
+ public:
+  virtual ~BasisFactorization() = default;
+
+  /// Factorizes the basis matrix whose position-i column is
+  /// columns[basis[i]]. Clears any pending eta updates. Returns
+  /// kNumericalError if the basis is (near-)singular.
+  virtual Status Factorize(const std::vector<SparseColumn>& columns,
+                           const std::vector<int>& basis) = 0;
+
+  /// v := B^-1 v (entering-column transform). Size num_rows.
+  virtual void Ftran(std::vector<double>* v) const = 0;
+
+  /// v := B^-T v (pricing transform). Size num_rows.
+  virtual void Btran(std::vector<double>* v) const = 0;
+
+  /// Replaces the basis column at position `leaving_pos` with the column
+  /// whose Ftran image is `w` (product-form update). Returns
+  /// kNumericalError when |w[leaving_pos]| is too small to pivot on — the
+  /// caller must refactorize.
+  virtual Status Update(const std::vector<double>& w, int leaving_pos) = 0;
+
+  /// Product-form eta terms accumulated since the last Factorize().
+  virtual int eta_count() const = 0;
+
+  /// Total factorizations performed over the lifetime.
+  virtual int factorizations() const = 0;
+};
+
+/// Sparse LU backend (the default).
+std::unique_ptr<BasisFactorization> MakeLuFactorization();
+
+/// Legacy dense-inverse backend (reference/equivalence path).
+std::unique_ptr<BasisFactorization> MakeDenseFactorization();
+
+}  // namespace savg

@@ -16,6 +16,8 @@ struct Node {
   std::vector<double> ub;
   double parent_bound = 0.0;  ///< LP bound inherited from the parent
   int depth = 0;
+  /// Optimal basis of the parent's LP relaxation; warm-starts this node.
+  LpBasis parent_basis;
 };
 
 /// Ordering for the best-bound priority queue (maximization: larger bound
@@ -145,7 +147,12 @@ Result<MipSolution> SolveMip(const LpModel& model,
     const double elapsed = timer.ElapsedSeconds();
     lp_opt.time_limit_seconds = std::min(
         lp_opt.time_limit_seconds, options.time_limit_seconds - elapsed);
-    auto lp = SolveLp(work, lp_opt);
+    const LpBasis* warm =
+        options.warm_start_nodes && !node.parent_basis.Empty()
+            ? &node.parent_basis
+            : nullptr;
+    auto lp = SolveLp(work, lp_opt, warm);
+    if (lp.ok()) result.simplex_iterations += lp->iterations;
     if (!lp.ok()) {
       if (lp.status().code() == StatusCode::kInfeasible) continue;
       if (lp.status().code() == StatusCode::kResourceExhausted) {
@@ -197,15 +204,18 @@ Result<MipSolution> SolveMip(const LpModel& model,
 
     const int var = integer_vars[branch_var];
     const double v = lp->x[var];
-    // Down child: x <= floor(v); up child: x >= ceil(v).
+    // Down child: x <= floor(v); up child: x >= ceil(v). Both children
+    // inherit this node's optimal basis as their warm start.
     Node down = node;
     down.ub[branch_var] = std::floor(v);
     down.parent_bound = bound;
     down.depth = node.depth + 1;
+    down.parent_basis = lp->basis;
     Node up = node;
     up.lb[branch_var] = std::ceil(v);
     up.parent_bound = bound;
     up.depth = node.depth + 1;
+    up.parent_basis = std::move(lp->basis);
     // Push the more promising child last for depth-first (explored first):
     // prefer the branch whose bound direction matches rounding of v.
     if (v - std::floor(v) > 0.5) {

@@ -43,6 +43,10 @@ struct MipOptions {
   /// Stop when (best_bound - incumbent) / max(1, |incumbent|) < gap.
   double relative_gap = 1e-9;
   NodeSelection node_selection = NodeSelection::kHybrid;
+  /// Warm-start each node's LP from the parent's optimal basis (the child
+  /// differs only in one variable bound, so a few dual-repair pivots
+  /// replace a from-scratch solve). Disable to force cold starts.
+  bool warm_start_nodes = true;
   MipHeuristic heuristic;  ///< optional primal heuristic
 };
 
@@ -51,6 +55,9 @@ struct MipSolution {
   double objective = 0.0;
   double best_bound = 0.0;
   int64_t nodes_explored = 0;
+  /// Total simplex pivots across every node LP (warm-start effectiveness
+  /// counter, compare warm_start_nodes on/off).
+  int64_t simplex_iterations = 0;
   bool proven_optimal = false;
   double solve_seconds = 0.0;
 };

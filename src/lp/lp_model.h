@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -82,12 +83,44 @@ class LpModel {
   std::vector<LpRow> rows_;
 };
 
+/// Basis-membership status of one variable (structural or logical).
+enum class VarBasisStatus : uint8_t {
+  kNonbasicLower = 0,
+  kNonbasicUpper = 1,
+  kBasic = 2,
+};
+
+/// A simplex basis snapshot: one status per structural variable plus one
+/// per row logical (slack). Returned in LpSolution::basis and accepted by
+/// SolveLp() as a warm start; a basis is only meaningful for a model with
+/// matching variable/row counts (bounds and objective may differ — that is
+/// exactly the branch-and-bound / lambda-sweep reuse case).
+struct LpBasis {
+  std::vector<VarBasisStatus> structural;
+  std::vector<VarBasisStatus> logical;
+
+  bool Empty() const { return structural.empty() && logical.empty(); }
+  bool Compatible(int num_vars, int num_rows) const {
+    return static_cast<int>(structural.size()) == num_vars &&
+           static_cast<int>(logical.size()) == num_rows;
+  }
+};
+
 /// Outcome of an LP solve.
 struct LpSolution {
   std::vector<double> x;
   double objective = 0.0;
+  /// Total simplex pivots/bound-flips (phase 1 + phase 2).
   int iterations = 0;
+  /// Pivots spent restoring primal feasibility (phase 1 only).
+  int phase1_iterations = 0;
+  /// Basis (re)factorizations performed.
+  int factorizations = 0;
+  /// True when a caller-supplied starting basis was actually used.
+  bool warm_started = false;
   double solve_seconds = 0.0;
+  /// Final basis, reusable as a warm start for a related model.
+  LpBasis basis;
 };
 
 }  // namespace savg

@@ -4,46 +4,62 @@
 #include <cmath>
 #include <vector>
 
+#include "lp/basis_lu.h"
 #include "util/logging.h"
 
 namespace savg {
 
 namespace {
 
-enum class VarStatus { kBasic, kAtLower, kAtUpper };
+enum class VarStatus : uint8_t { kBasic, kAtLower, kAtUpper };
+
+/// Per-variable bound violation below this is treated as feasible.
+constexpr double kFeasTolerance = 1e-8;
+/// Total violation accepted when phase 1 stalls at optimality.
+constexpr double kInfeasAccept = 1e-6;
+/// Time limits at or above this are "no limit" (skip the clock entirely).
+constexpr double kNoTimeLimit = 1e17;
 
 /// Internal working form:
 ///   maximize c'x  s.t.  A x = b,  l <= x <= u
-/// Columns 0..n_struct-1 are structural, then slacks, then artificials.
-class SimplexWorker {
+/// with >= rows negated into <= and one logical column per row: [0, inf)
+/// for inequalities, fixed [0, 0] for equalities. Columns 0..n_struct-1
+/// are structural, then the logicals — no artificial variables; primal
+/// feasibility from any basis is restored by the composite phase 1.
+class RevisedSimplex {
  public:
-  SimplexWorker(const LpModel& model, const SimplexOptions& options)
-      : model_(model), opt_(options) {}
+  RevisedSimplex(const LpModel& model, const SimplexOptions& options,
+                 const LpBasis* warm_start)
+      : model_(model), opt_(options), warm_(warm_start) {}
 
   Result<LpSolution> Run() {
-    Status st = Build();
-    if (!st.ok()) return st;
+    Status built = Build();
+    if (!built.ok()) return built;
     Timer timer;
-    // Phase 1: drive artificials to zero.
-    if (num_artificials_ > 0) {
-      SetPhase1Objective();
-      Status p1 = Iterate(&timer);
-      if (!p1.ok()) return p1;
-      double infeas = 0.0;
-      for (int j = first_artificial_; j < num_cols_; ++j) {
-        infeas += Value(j);
-      }
-      if (infeas > 1e-6) {
-        return Status::Infeasible("phase-1 infeasibility " +
-                                  std::to_string(infeas));
-      }
-      // Freeze artificials at zero for phase 2.
-      for (int j = first_artificial_; j < num_cols_; ++j) {
-        upper_[j] = 0.0;
-      }
+    if (!TryWarmBasis()) ColdBasis();
+    Status factored = Refactorize();
+    if (!factored.ok()) {
+      if (!warm_used_) return factored;
+      // A singular warm basis falls back to the cold start.
+      warm_used_ = false;
+      ColdBasis();
+      factored = Refactorize();
+      if (!factored.ok()) return factored;
     }
-    SetPhase2Objective();
-    Status p2 = Iterate(&timer);
+
+    // Phase 1: restore primal feasibility (no-op when already feasible).
+    cost_.assign(num_cols_, 0.0);
+    Status p1 = Iterate(&timer, /*phase1=*/true);
+    if (!p1.ok()) return p1;
+    phase1_iterations_ = total_iterations_;
+
+    // Phase 2: optimize the real objective.
+    const double sign = model_.maximize() ? 1.0 : -1.0;
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      cost_[j] = sign * model_.objective(j);
+    }
+    Status p2 = Iterate(&timer, /*phase1=*/false);
     if (!p2.ok()) return p2;
 
     LpSolution sol;
@@ -51,6 +67,10 @@ class SimplexWorker {
     for (int j = 0; j < model_.num_vars(); ++j) sol.x[j] = Value(j);
     sol.objective = model_.ObjectiveValue(sol.x);
     sol.iterations = total_iterations_;
+    sol.phase1_iterations = phase1_iterations_;
+    sol.factorizations = factor_->factorizations();
+    sol.warm_started = warm_used_;
+    sol.basis = ExportBasis();
     sol.solve_seconds = timer.ElapsedSeconds();
     return sol;
   }
@@ -59,101 +79,48 @@ class SimplexWorker {
   // ---- setup -------------------------------------------------------------
 
   Status Build() {
-    const int n_struct = model_.num_vars();
-    const int n_rows = model_.num_rows();
-    num_rows_ = n_rows;
+    n_struct_ = model_.num_vars();
+    num_rows_ = model_.num_rows();
+    num_cols_ = n_struct_ + num_rows_;
 
-    lower_.assign(n_struct, 0.0);
-    upper_.assign(n_struct, 0.0);
-    for (int j = 0; j < n_struct; ++j) {
+    lower_.assign(num_cols_, 0.0);
+    upper_.assign(num_cols_, 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
       lower_[j] = model_.lower(j);
       upper_[j] = model_.upper(j);
       if (!std::isfinite(lower_[j])) {
-        return Status::NotImplemented(
-            "simplex requires finite lower bounds");
+        return Status::NotImplemented("simplex requires finite lower bounds");
       }
       if (upper_[j] < lower_[j] - opt_.tolerance) {
         return Status::Infeasible("variable with empty bound interval");
       }
     }
 
-    // Normalize rows: >= becomes <= by negation; then <= gets a slack.
-    cols_.assign(n_struct, {});
-    num_cols_ = n_struct;
-    rhs_.assign(n_rows, 0.0);
-    std::vector<bool> is_eq(n_rows, false);
-    for (int i = 0; i < n_rows; ++i) {
+    cols_.assign(num_cols_, {});
+    rhs_.assign(num_rows_, 0.0);
+    for (int i = 0; i < num_rows_; ++i) {
       const LpRow& row = model_.row(i);
       const double sign = row.type == RowType::kGreaterEqual ? -1.0 : 1.0;
       rhs_[i] = sign * row.rhs;
-      is_eq[i] = row.type == RowType::kEqual;
       for (const LpTerm& t : row.terms) {
-        if (t.var < 0 || t.var >= n_struct) {
+        if (t.var < 0 || t.var >= n_struct_) {
           return Status::InvalidArgument("row references unknown variable");
         }
         AddCoef(t.var, i, sign * t.coef);
       }
-    }
-    // Slacks.
-    first_slack_ = n_struct;
-    slack_of_row_.assign(n_rows, -1);
-    for (int i = 0; i < n_rows; ++i) {
-      if (is_eq[i]) continue;
-      int j = NewColumn(0.0, kLpInfinity);
-      AddCoef(j, i, 1.0);
-      slack_of_row_[i] = j;
+      const int logical = n_struct_ + i;
+      cols_[logical].emplace_back(i, 1.0);
+      lower_[logical] = 0.0;
+      upper_[logical] = row.type == RowType::kEqual ? 0.0 : kLpInfinity;
     }
 
-    // Crash basis: structural vars at lower bound, slacks basic where the
-    // residual allows, artificials elsewhere.
     status_.assign(num_cols_, VarStatus::kAtLower);
-    basic_value_.assign(n_rows, 0.0);
-    basis_.assign(n_rows, -1);
-    row_of_basic_.assign(num_cols_, -1);
-
-    std::vector<double> residual = rhs_;
-    for (int j = 0; j < n_struct; ++j) {
-      const double xj = lower_[j];
-      if (xj != 0.0) {
-        for (const auto& [r, a] : cols_[j]) residual[r] -= a * xj;
-      }
-    }
-    first_artificial_ = num_cols_;
-    num_artificials_ = 0;
-    for (int i = 0; i < n_rows; ++i) {
-      const int sj = slack_of_row_[i];
-      if (sj >= 0 && residual[i] >= 0.0) {
-        MakeBasic(sj, i, residual[i]);
-      } else {
-        // Artificial with coefficient matching the residual sign.
-        int j = NewColumn(0.0, kLpInfinity);
-        if (num_artificials_ == 0) first_artificial_ = j;
-        ++num_artificials_;
-        AddCoef(j, i, residual[i] >= 0.0 ? 1.0 : -1.0);
-        MakeBasic(j, i, std::abs(residual[i]));
-      }
-    }
-    // B = identity-sign columns, so B_inv starts as signed identity.
-    binv_.assign(static_cast<size_t>(n_rows) * n_rows, 0.0);
-    for (int i = 0; i < n_rows; ++i) {
-      const int bj = basis_[i];
-      const double a = cols_[bj].front().second;  // single-entry column
-      // For slack/artificial columns the only row is i with coef +-1.
-      Binv(i, i) = 1.0 / a;
-    }
-    obj_.assign(num_cols_, 0.0);
+    basis_.assign(num_rows_, -1);
+    pos_of_basic_.assign(num_cols_, -1);
+    basic_value_.assign(num_rows_, 0.0);
+    factor_ = opt_.basis == SimplexBasisType::kDense ? MakeDenseFactorization()
+                                                     : MakeLuFactorization();
     return Status::OK();
-  }
-
-  int NewColumn(double lo, double hi) {
-    cols_.emplace_back();
-    lower_.push_back(lo);
-    upper_.push_back(hi);
-    if (static_cast<int>(status_.size()) == num_cols_) {
-      status_.push_back(VarStatus::kAtLower);
-    }
-    row_of_basic_.push_back(-1);
-    return num_cols_++;
   }
 
   void AddCoef(int col, int row, double coef) {
@@ -168,40 +135,105 @@ class SimplexWorker {
     c.emplace_back(row, coef);
   }
 
-  void MakeBasic(int col, int row, double value) {
-    basis_[row] = col;
-    row_of_basic_[col] = row;
-    status_[col] = VarStatus::kBasic;
-    basic_value_[row] = value;
-  }
-
-  void SetPhase1Objective() {
-    // maximize -(sum of artificials).
-    std::fill(obj_.begin(), obj_.end(), 0.0);
-    for (int j = first_artificial_; j < num_cols_; ++j) obj_[j] = -1.0;
-  }
-
-  void SetPhase2Objective() {
-    std::fill(obj_.begin(), obj_.end(), 0.0);
-    const double sign = model_.maximize() ? 1.0 : -1.0;
-    for (int j = 0; j < model_.num_vars(); ++j) {
-      obj_[j] = sign * model_.objective(j);
+  /// All logicals basic: the identity basis, always factorizable.
+  void ColdBasis() {
+    for (int j = 0; j < num_cols_; ++j) {
+      status_[j] = VarStatus::kAtLower;
+      pos_of_basic_[j] = -1;
     }
+    for (int i = 0; i < num_rows_; ++i) {
+      const int logical = n_struct_ + i;
+      basis_[i] = logical;
+      status_[logical] = VarStatus::kBasic;
+      pos_of_basic_[logical] = i;
+    }
+  }
+
+  /// Seeds statuses from the caller's basis; repairs the basic set to
+  /// exactly num_rows_ columns. Returns false when no usable warm basis
+  /// was supplied (caller then cold-starts).
+  bool TryWarmBasis() {
+    if (warm_ == nullptr || warm_->Empty() ||
+        !warm_->Compatible(n_struct_, num_rows_)) {
+      return false;
+    }
+    auto apply = [&](int col, VarBasisStatus s) {
+      switch (s) {
+        case VarBasisStatus::kBasic:
+          status_[col] = VarStatus::kBasic;
+          break;
+        case VarBasisStatus::kNonbasicUpper:
+          status_[col] = std::isfinite(upper_[col]) ? VarStatus::kAtUpper
+                                                    : VarStatus::kAtLower;
+          break;
+        case VarBasisStatus::kNonbasicLower:
+          status_[col] = VarStatus::kAtLower;
+          break;
+      }
+    };
+    for (int j = 0; j < n_struct_; ++j) apply(j, warm_->structural[j]);
+    for (int i = 0; i < num_rows_; ++i) {
+      apply(n_struct_ + i, warm_->logical[i]);
+    }
+
+    std::vector<int> basics;
+    basics.reserve(num_rows_);
+    for (int j = 0; j < num_cols_; ++j) {
+      if (status_[j] == VarStatus::kBasic) basics.push_back(j);
+    }
+    // Too many: demote from the tail (logicals first, keeping the
+    // structural part of the warm basis). Too few: promote nonbasic
+    // logicals.
+    while (static_cast<int>(basics.size()) > num_rows_) {
+      status_[basics.back()] = VarStatus::kAtLower;
+      basics.pop_back();
+    }
+    for (int i = 0; i < num_rows_ &&
+                    static_cast<int>(basics.size()) < num_rows_;
+         ++i) {
+      const int logical = n_struct_ + i;
+      if (status_[logical] != VarStatus::kBasic) {
+        status_[logical] = VarStatus::kBasic;
+        basics.push_back(logical);
+      }
+    }
+    if (static_cast<int>(basics.size()) != num_rows_) return false;
+    for (int i = 0; i < num_rows_; ++i) {
+      basis_[i] = basics[i];
+      pos_of_basic_[basics[i]] = i;
+    }
+    warm_used_ = true;
+    return true;
+  }
+
+  LpBasis ExportBasis() const {
+    LpBasis basis;
+    auto map = [](VarStatus s) {
+      switch (s) {
+        case VarStatus::kBasic:
+          return VarBasisStatus::kBasic;
+        case VarStatus::kAtUpper:
+          return VarBasisStatus::kNonbasicUpper;
+        case VarStatus::kAtLower:
+          break;
+      }
+      return VarBasisStatus::kNonbasicLower;
+    };
+    basis.structural.resize(n_struct_);
+    for (int j = 0; j < n_struct_; ++j) basis.structural[j] = map(status_[j]);
+    basis.logical.resize(num_rows_);
+    for (int i = 0; i < num_rows_; ++i) {
+      basis.logical[i] = map(status_[n_struct_ + i]);
+    }
+    return basis;
   }
 
   // ---- accessors ----------------------------------------------------------
 
-  double& Binv(int r, int c) {
-    return binv_[static_cast<size_t>(r) * num_rows_ + c];
-  }
-  double BinvAt(int r, int c) const {
-    return binv_[static_cast<size_t>(r) * num_rows_ + c];
-  }
-
   double Value(int j) const {
     switch (status_[j]) {
       case VarStatus::kBasic:
-        return basic_value_[row_of_basic_[j]];
+        return basic_value_[pos_of_basic_[j]];
       case VarStatus::kAtLower:
         return lower_[j];
       case VarStatus::kAtUpper:
@@ -210,45 +242,110 @@ class SimplexWorker {
     return 0.0;
   }
 
+  /// Factorizes the current basis and recomputes x_B = B^-1 (b - N x_N).
+  Status Refactorize() {
+    Status st = factor_->Factorize(cols_, basis_);
+    if (!st.ok()) return st;
+    ComputeBasicValues();
+    return Status::OK();
+  }
+
+  void ComputeBasicValues() {
+    std::vector<double> r = rhs_;
+    for (int j = 0; j < num_cols_; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      const double v = Value(j);
+      if (v == 0.0) continue;
+      for (const auto& [row, a] : cols_[j]) r[row] -= a * v;
+    }
+    factor_->Ftran(&r);
+    basic_value_ = std::move(r);
+  }
+
   // ---- core iteration ------------------------------------------------------
 
-  Status Iterate(Timer* timer) {
+  /// Phase-1 cost: push each out-of-bounds basic variable back toward its
+  /// violated bound. Returns the total violation.
+  double SetPhase1Cost() {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    double infeas = 0.0;
+    for (int pos = 0; pos < num_rows_; ++pos) {
+      const int j = basis_[pos];
+      const double v = basic_value_[pos];
+      if (v < lower_[j] - kFeasTolerance) {
+        cost_[j] = 1.0;  // maximize => increase v
+        infeas += lower_[j] - v;
+      } else if (v > upper_[j] + kFeasTolerance) {
+        cost_[j] = -1.0;
+        infeas += v - upper_[j];
+      }
+    }
+    return infeas;
+  }
+
+  double CurrentObjective() const {
+    double acc = 0.0;
+    for (int j = 0; j < num_cols_; ++j) {
+      const double v = Value(j);
+      if (v != 0.0) acc += cost_[j] * v;
+    }
+    return acc;
+  }
+
+  Status Iterate(Timer* timer, bool phase1) {
+    const bool timed = opt_.time_limit_seconds < kNoTimeLimit;
     int stall = 0;
-    double last_obj = CurrentObjective();
-    int since_refactor = 0;
+    double last_obj = -kLpInfinity;
+    devex_.assign(num_cols_, 1.0);
+    std::vector<double> y(num_rows_), w(num_rows_), rho;
+
     for (;;) {
+      if (phase1) {
+        const double infeas = SetPhase1Cost();
+        if (infeas <= kFeasTolerance) return Status::OK();
+      }
       if (total_iterations_++ > opt_.max_iterations) {
         return Status::ResourceExhausted("simplex iteration limit");
       }
-      if ((total_iterations_ & 63) == 0 &&
-          timer->ElapsedSeconds() > opt_.time_limit_seconds) {
+      if (timed && timer->ElapsedSeconds() > opt_.time_limit_seconds) {
         return Status::ResourceExhausted("simplex time limit");
       }
-      const bool bland = stall > opt_.stall_threshold;
-      // Pricing: y = B^-T c_B, reduced costs d_j = c_j - y' A_j.
-      std::vector<double> y(num_rows_, 0.0);
-      for (int i = 0; i < num_rows_; ++i) {
-        const double cb = obj_[basis_[i]];
-        if (cb == 0.0) continue;
-        const double* row = &binv_[static_cast<size_t>(i) * num_rows_];
-        for (int c = 0; c < num_rows_; ++c) y[c] += cb * row[c];
+      const double cur = phase1 ? -CurrentInfeasibility() : CurrentObjective();
+      if (cur > last_obj + 1e-12) {
+        stall = 0;
+        last_obj = cur;
+      } else {
+        ++stall;
       }
+      const bool bland = stall > opt_.stall_threshold;
+
+      // Pricing: y = B^-T c_B, reduced costs d_j = c_j - y' A_j.
+      y.assign(num_rows_, 0.0);
+      bool any_cost = false;
+      for (int pos = 0; pos < num_rows_; ++pos) {
+        const double cb = cost_[basis_[pos]];
+        if (cb != 0.0) {
+          y[pos] = cb;
+          any_cost = true;
+        }
+      }
+      if (any_cost) factor_->Btran(&y);
+
       int entering = -1;
-      double best_score = opt_.tolerance;
       int direction = 0;
+      double best_score = 0.0;
       for (int j = 0; j < num_cols_; ++j) {
         if (status_[j] == VarStatus::kBasic) continue;
         if (upper_[j] - lower_[j] < opt_.tolerance) continue;  // fixed
-        double d = obj_[j];
-        for (const auto& [r, a] : cols_[j]) d -= y[r] * a;
+        double d = cost_[j];
+        if (any_cost) {
+          for (const auto& [row, a] : cols_[j]) d -= y[row] * a;
+        }
         int dir = 0;
-        double score = 0.0;
         if (status_[j] == VarStatus::kAtLower && d > opt_.tolerance) {
           dir = +1;
-          score = d;
         } else if (status_[j] == VarStatus::kAtUpper && d < -opt_.tolerance) {
           dir = -1;
-          score = -d;
         } else {
           continue;
         }
@@ -257,214 +354,172 @@ class SimplexWorker {
           direction = dir;
           break;
         }
+        const double score =
+            opt_.devex_pricing ? d * d / devex_[j] : std::abs(d);
         if (score > best_score) {
           best_score = score;
           entering = j;
           direction = dir;
         }
       }
-      if (entering < 0) return Status::OK();  // optimal for this phase
+      if (entering < 0) {
+        if (!phase1) return Status::OK();  // optimal
+        if (CurrentInfeasibility() <= kInfeasAccept) return Status::OK();
+        return Status::Infeasible("phase-1 infeasibility " +
+                                  std::to_string(CurrentInfeasibility()));
+      }
 
       // Direction in basic space: w = B^-1 A_e.
-      std::vector<double> w(num_rows_, 0.0);
-      for (const auto& [r, a] : cols_[entering]) {
-        for (int i = 0; i < num_rows_; ++i) {
-          w[i] += a * BinvAt(i, r);
-        }
-      }
-      // Ratio test: entering moves by t >= 0 in `direction`.
+      w.assign(num_rows_, 0.0);
+      for (const auto& [row, a] : cols_[entering]) w[row] = a;
+      factor_->Ftran(&w);
+
+      // Ratio test: entering moves by t >= 0 in `direction`. In phase 1 an
+      // out-of-bounds basic variable moving toward feasibility blocks at
+      // its violated bound (so it re-enters the feasible box exactly
+      // there); one moving away never blocks.
       double t_limit = upper_[entering] - lower_[entering];  // bound flip
-      int leaving_row = -1;
-      int leaving_to_upper = 0;
-      for (int i = 0; i < num_rows_; ++i) {
-        const double delta = direction * w[i];
-        const int bj = basis_[i];
-        if (delta > opt_.tolerance) {
-          // Basic value decreases toward its lower bound.
-          const double room = basic_value_[i] - lower_[bj];
-          const double t = std::max(0.0, room) / delta;
-          if (t < t_limit) {
-            t_limit = t;
-            leaving_row = i;
-            leaving_to_upper = 0;
-          }
-        } else if (delta < -opt_.tolerance) {
+      int leaving_pos = -1;
+      bool leaving_to_upper = false;
+      for (int pos = 0; pos < num_rows_; ++pos) {
+        const double delta = direction * w[pos];
+        if (std::abs(delta) <= opt_.tolerance) continue;
+        const int bj = basis_[pos];
+        const double xb = basic_value_[pos];
+        double t;
+        bool to_upper;
+        if (phase1 && xb < lower_[bj] - kFeasTolerance) {
+          if (delta >= 0.0) continue;  // moving further below: no block
+          t = (lower_[bj] - xb) / (-delta);
+          to_upper = false;
+        } else if (phase1 && xb > upper_[bj] + kFeasTolerance) {
+          if (delta <= 0.0) continue;
+          t = (xb - upper_[bj]) / delta;
+          to_upper = true;
+        } else if (delta > 0.0) {
+          t = std::max(0.0, xb - lower_[bj]) / delta;
+          to_upper = false;
+        } else {
           if (!std::isfinite(upper_[bj])) continue;
-          const double room = upper_[bj] - basic_value_[i];
-          const double t = std::max(0.0, room) / (-delta);
-          if (t < t_limit) {
-            t_limit = t;
-            leaving_row = i;
-            leaving_to_upper = 1;
-          }
+          t = std::max(0.0, upper_[bj] - xb) / (-delta);
+          to_upper = true;
+        }
+        if (t < t_limit) {
+          t_limit = t;
+          leaving_pos = pos;
+          leaving_to_upper = to_upper;
         }
       }
       if (!std::isfinite(t_limit)) {
+        if (phase1) {
+          return Status::NumericalError("unbounded phase-1 ray");
+        }
         return Status::Unbounded("LP is unbounded");
       }
       const double t = std::max(0.0, t_limit);
 
-      // Apply the step to basic values.
       if (t > 0.0) {
-        for (int i = 0; i < num_rows_; ++i) {
-          basic_value_[i] -= direction * t * w[i];
+        for (int pos = 0; pos < num_rows_; ++pos) {
+          basic_value_[pos] -= direction * t * w[pos];
         }
       }
-      if (leaving_row < 0) {
+      if (leaving_pos < 0) {
         // Bound flip: entering jumps to its other bound.
-        status_[entering] = direction > 0 ? VarStatus::kAtUpper
-                                          : VarStatus::kAtLower;
-      } else {
-        // Pivot: entering becomes basic in leaving_row.
-        const int leaving = basis_[leaving_row];
-        status_[leaving] =
-            leaving_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
-        row_of_basic_[leaving] = -1;
-        const double entering_value =
-            (direction > 0 ? lower_[entering] + t : upper_[entering] - t);
-        MakeBasic(entering, leaving_row, entering_value);
-        // Eta update of B_inv: row ops making column `entering` the unit
-        // vector e_{leaving_row}.
-        const double pivot = w[leaving_row];
-        if (std::abs(pivot) < 1e-12) {
-          return Status::NumericalError("tiny pivot in simplex");
-        }
-        double* prow = &binv_[static_cast<size_t>(leaving_row) * num_rows_];
-        const double pinv = 1.0 / pivot;
-        for (int c = 0; c < num_rows_; ++c) prow[c] *= pinv;
-        for (int i = 0; i < num_rows_; ++i) {
-          if (i == leaving_row) continue;
-          const double f = w[i];
-          if (f == 0.0) continue;
-          double* irow = &binv_[static_cast<size_t>(i) * num_rows_];
-          for (int c = 0; c < num_rows_; ++c) irow[c] -= f * prow[c];
-        }
-        if (++since_refactor >= opt_.refactor_interval) {
-          Status st = Refactorize();
-          if (!st.ok()) return st;
-          since_refactor = 0;
-        }
+        status_[entering] =
+            direction > 0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        continue;
       }
 
-      const double cur = CurrentObjective();
-      if (cur > last_obj + 1e-12) {
-        stall = 0;
-        last_obj = cur;
-      } else {
-        ++stall;
+      // Devex reference-row BTRAN must see the pre-update basis.
+      const bool update_devex = opt_.devex_pricing && !bland;
+      if (update_devex) {
+        rho.assign(num_rows_, 0.0);
+        rho[leaving_pos] = 1.0;
+        factor_->Btran(&rho);
+      }
+
+      // Pivot: entering becomes basic in leaving_pos.
+      const int leaving = basis_[leaving_pos];
+      status_[leaving] =
+          leaving_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      pos_of_basic_[leaving] = -1;
+      basis_[leaving_pos] = entering;
+      pos_of_basic_[entering] = leaving_pos;
+      status_[entering] = VarStatus::kBasic;
+      basic_value_[leaving_pos] =
+          direction > 0 ? lower_[entering] + t : upper_[entering] - t;
+
+      if (update_devex) {
+        UpdateDevexWeights(entering, leaving, w[leaving_pos], rho);
+      }
+
+      Status updated = factor_->Update(w, leaving_pos);
+      if (!updated.ok() || factor_->eta_count() >= opt_.refactor_interval) {
+        Status refactored = Refactorize();
+        if (!refactored.ok()) return refactored;
       }
     }
   }
 
-  double CurrentObjective() const {
-    double acc = 0.0;
+  double CurrentInfeasibility() const {
+    double infeas = 0.0;
+    for (int pos = 0; pos < num_rows_; ++pos) {
+      const int j = basis_[pos];
+      const double v = basic_value_[pos];
+      infeas += std::max(0.0, lower_[j] - v) + std::max(0.0, v - upper_[j]);
+    }
+    return infeas;
+  }
+
+  /// Devex update: gamma_j = max(gamma_j, (alpha_rj / alpha_rq)^2 gamma_q)
+  /// over the pivot row alpha_r, with the leaving variable re-entering the
+  /// nonbasic set at max(gamma_q / alpha_rq^2, 1).
+  void UpdateDevexWeights(int entering, int leaving, double alpha_rq,
+                          const std::vector<double>& rho) {
+    const double gamma_q = devex_[entering];
+    const double inv_rq2 = 1.0 / (alpha_rq * alpha_rq);
     for (int j = 0; j < num_cols_; ++j) {
-      const double v = Value(j);
-      if (v != 0.0) acc += obj_[j] * v;
+      if (status_[j] == VarStatus::kBasic || j == leaving) continue;
+      double alpha_rj = 0.0;
+      for (const auto& [row, a] : cols_[j]) alpha_rj += rho[row] * a;
+      if (alpha_rj == 0.0) continue;
+      const double cand = alpha_rj * alpha_rj * inv_rq2 * gamma_q;
+      if (cand > devex_[j]) devex_[j] = cand;
     }
-    return acc;
-  }
-
-  /// Rebuilds B_inv from scratch (numerical hygiene) and recomputes the
-  /// basic values from the nonbasic point.
-  Status Refactorize() {
-    InvertBasis();
-    // Recompute basic values: x_B = B^-1 (b - A_N x_N).
-    std::vector<double> rhs = rhs_;
-    for (int j = 0; j < num_cols_; ++j) {
-      if (status_[j] == VarStatus::kBasic) continue;
-      const double v = Value(j);
-      if (v == 0.0) continue;
-      for (const auto& [r, a] : cols_[j]) rhs[r] -= a * v;
-    }
-    for (int i = 0; i < num_rows_; ++i) {
-      double acc = 0.0;
-      const double* row = &binv_[static_cast<size_t>(i) * num_rows_];
-      for (int c = 0; c < num_rows_; ++c) acc += row[c] * rhs[c];
-      basic_value_[i] = acc;
-    }
-    return refactor_status_;
-  }
-
-  void InvertBasis() {
-    // Gauss-Jordan inversion of the basis matrix, in place over binv_.
-    const int n = num_rows_;
-    std::vector<double> work(static_cast<size_t>(n) * n, 0.0);
-    for (int i = 0; i < n; ++i) {
-      for (const auto& [r, a] : cols_[basis_[i]]) {
-        work[static_cast<size_t>(r) * n + i] = a;
-      }
-    }
-    std::fill(binv_.begin(), binv_.end(), 0.0);
-    for (int i = 0; i < n; ++i) Binv(i, i) = 1.0;
-    refactor_status_ = Status::OK();
-    for (int col = 0; col < n; ++col) {
-      int pivot = col;
-      double best = std::abs(work[static_cast<size_t>(col) * n + col]);
-      for (int r = col + 1; r < n; ++r) {
-        const double v = std::abs(work[static_cast<size_t>(r) * n + col]);
-        if (v > best) {
-          best = v;
-          pivot = r;
-        }
-      }
-      if (best < 1e-12) {
-        refactor_status_ = Status::NumericalError("singular basis");
-        return;
-      }
-      if (pivot != col) {
-        for (int c = 0; c < n; ++c) {
-          std::swap(work[static_cast<size_t>(pivot) * n + c],
-                    work[static_cast<size_t>(col) * n + c]);
-          std::swap(Binv(pivot, c), Binv(col, c));
-        }
-      }
-      const double dinv = 1.0 / work[static_cast<size_t>(col) * n + col];
-      for (int c = 0; c < n; ++c) {
-        work[static_cast<size_t>(col) * n + c] *= dinv;
-        Binv(col, c) *= dinv;
-      }
-      for (int r = 0; r < n; ++r) {
-        if (r == col) continue;
-        const double f = work[static_cast<size_t>(r) * n + col];
-        if (f == 0.0) continue;
-        for (int c = 0; c < n; ++c) {
-          work[static_cast<size_t>(r) * n + c] -=
-              f * work[static_cast<size_t>(col) * n + c];
-          Binv(r, c) -= f * Binv(col, c);
-        }
-      }
-    }
+    devex_[leaving] = std::max(gamma_q * inv_rq2, 1.0);
+    // Restart the reference framework when weights blow up.
+    if (devex_[leaving] > 1e10) devex_.assign(num_cols_, 1.0);
   }
 
   const LpModel& model_;
   const SimplexOptions opt_;
+  const LpBasis* warm_ = nullptr;
 
+  int n_struct_ = 0;
   int num_rows_ = 0;
   int num_cols_ = 0;
-  int first_slack_ = 0;
-  int first_artificial_ = 0;
-  int num_artificials_ = 0;
 
-  /// Sparse columns: (row, coef) pairs.
-  std::vector<std::vector<std::pair<int, double>>> cols_;
-  std::vector<double> lower_, upper_, obj_, rhs_;
-  std::vector<int> slack_of_row_;
+  /// Column-wise sparse storage: (row, coef) pairs per column.
+  std::vector<SparseColumn> cols_;
+  std::vector<double> lower_, upper_, cost_, rhs_;
 
   std::vector<VarStatus> status_;
-  std::vector<int> basis_;          // row -> basic column
-  std::vector<int> row_of_basic_;   // column -> row (or -1)
-  std::vector<double> basic_value_;  // row -> value of its basic var
-  std::vector<double> binv_;         // dense num_rows x num_rows
+  std::vector<int> basis_;          ///< position -> basic column
+  std::vector<int> pos_of_basic_;   ///< column -> position (or -1)
+  std::vector<double> basic_value_;  ///< position -> value of its basic var
+  std::vector<double> devex_;        ///< Devex reference weights
 
+  std::unique_ptr<BasisFactorization> factor_;
+  bool warm_used_ = false;
   int total_iterations_ = 0;
-  Status refactor_status_ = Status::OK();
+  int phase1_iterations_ = 0;
 };
 
 }  // namespace
 
-Result<LpSolution> SolveLp(const LpModel& model, const SimplexOptions& options) {
-  SimplexWorker worker(model, options);
+Result<LpSolution> SolveLp(const LpModel& model, const SimplexOptions& options,
+                           const LpBasis* warm_start) {
+  RevisedSimplex worker(model, options, warm_start);
   return worker.Run();
 }
 

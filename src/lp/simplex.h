@@ -1,13 +1,22 @@
-// Primal simplex for bounded-variable linear programs.
+// Sparse revised primal simplex for bounded-variable linear programs.
 //
 // This is the in-repo replacement for the commercial LP solvers (Gurobi /
 // CPLEX) the paper uses to obtain the optimal fractional solution X* of the
 // SVGIC relaxation (Section 4.1). It implements:
 //
-//  * two-phase bounded-variable primal simplex,
-//  * explicit basis inverse with periodic refactorization,
-//  * Dantzig pricing with a Bland's-rule fallback for anti-cycling,
-//  * slack-first crash basis (artificials only where needed).
+//  * bounded-variable primal simplex over column-wise sparse storage, with
+//    a logical (slack) variable per row — no artificial variables,
+//  * a pluggable basis factorization (lp/basis_lu.h): sparse LU with
+//    product-form eta updates per pivot and periodic refactorization by
+//    default; the legacy explicit dense inverse as a reference backend,
+//  * a composite phase 1 that minimizes the sum of primal infeasibilities
+//    from any starting basis — which is what makes warm starts work: a
+//    caller can hand SolveLp() the final basis of a related model (a
+//    branch-and-bound parent, the previous lambda of a sweep) and the
+//    solver re-establishes feasibility in a few pivots instead of
+//    re-crashing from scratch,
+//  * Devex (steepest-edge-flavoured) pricing with the existing Bland's-rule
+//    fallback for anti-cycling.
 //
 // Intended scale: up to a few thousand rows/columns (the sizes at which the
 // paper itself still runs the exact IP/LP). Larger SVGIC instances use the
@@ -22,20 +31,37 @@
 
 namespace savg {
 
+/// Which basis backend SolveLp uses (see lp/basis_lu.h).
+enum class SimplexBasisType {
+  kSparseLu,  ///< sparse LU + eta file (default)
+  kDense,     ///< legacy explicit dense inverse (reference path)
+};
+
 struct SimplexOptions {
   int max_iterations = 200000;
+  /// Wall-clock budget, checked on every pivot when finite.
   double time_limit_seconds = 1e18;
   /// Feasibility / reduced-cost tolerance.
   double tolerance = 1e-9;
-  /// Refactorize the basis inverse every this many pivots.
+  /// Refactorize after this many eta updates (numerical hygiene).
   int refactor_interval = 256;
   /// Switch to Bland's rule after this many non-improving iterations.
   int stall_threshold = 400;
+  SimplexBasisType basis = SimplexBasisType::kSparseLu;
+  /// Devex pricing; false = Dantzig (largest reduced cost).
+  bool devex_pricing = true;
 };
 
 /// Solves `model` to optimality. Returns kInfeasible / kUnbounded /
 /// kResourceExhausted (limits) / kNumericalError as appropriate.
+///
+/// `warm_start` (optional) seeds the initial basis from a previous solve of
+/// a model with the same variable/row counts (bounds, objective and rhs may
+/// differ). An incompatible or singular warm basis silently falls back to
+/// the cold (all-logical) start; LpSolution::warm_started reports whether
+/// the seed was used.
 Result<LpSolution> SolveLp(const LpModel& model,
-                           const SimplexOptions& options = {});
+                           const SimplexOptions& options = {},
+                           const LpBasis* warm_start = nullptr);
 
 }  // namespace savg

@@ -115,6 +115,75 @@ TEST(BatchRunnerTest, LpRelaxationSolvedExactlyOncePerInstance) {
   }
 }
 
+TEST(BatchRunnerTest, WarmStartedLambdaSweepCutsSimplexIterations) {
+  // The lambda-sweep pattern of bench_fig4_lambda: the same instances
+  // re-solved at successive lambdas share the compact LP's constraint
+  // matrix, so handing the previous point's bases to the next point's
+  // relaxation cache must (a) reproduce the cold-start LP optima and
+  // (b) cut the total pivot count by at least 30% (acceptance criterion).
+  const double kLambdas[] = {0.33, 0.5, 0.67};
+  auto make_instances = [&](double lambda) {
+    std::vector<SvgicInstance> instances;
+    for (int i = 0; i < 2; ++i) {
+      DatasetParams params;
+      params.kind = DatasetKind::kTimik;
+      params.num_users = 10;
+      params.num_items = 14;
+      params.num_slots = 3;
+      params.lambda = lambda;
+      params.seed = 500 + 17 * i;
+      auto inst = GenerateDataset(params);
+      EXPECT_TRUE(inst.ok()) << inst.status();
+      instances.push_back(std::move(inst).value());
+    }
+    return instances;
+  };
+
+  auto run_sweep = [&](bool warm, std::vector<std::vector<double>>* objs) {
+    int64_t total_iterations = 0;
+    int64_t warm_started = 0;
+    std::vector<LpBasis> bases;
+    for (double lambda : kLambdas) {
+      const auto instances = make_instances(lambda);
+      BatchOptions options;
+      options.num_workers = 2;
+      if (warm && !bases.empty()) options.relaxation_warm_starts = &bases;
+      BatchRunner runner(options);
+      auto report = runner.Run(Pointers(instances),
+                               std::vector<std::string>{"AVG", "AVG-D"});
+      EXPECT_TRUE(report.ok()) << report.status();
+      if (!report.ok()) return std::pair<int64_t, int64_t>{0, 0};
+      EXPECT_TRUE(report->FirstError().ok()) << report->FirstError();
+      total_iterations += report->lp_simplex_iterations;
+      warm_started += report->lp_warm_started_solves;
+      bases = std::move(report->relaxation_bases);
+      objs->push_back(report->relaxation_objectives);
+    }
+    return std::pair<int64_t, int64_t>{total_iterations, warm_started};
+  };
+
+  std::vector<std::vector<double>> cold_objs, warm_objs;
+  const auto [cold_iters, cold_warm_count] = run_sweep(false, &cold_objs);
+  const auto [warm_iters, warm_warm_count] = run_sweep(true, &warm_objs);
+
+  // Every solve after the first sweep point reused a basis...
+  EXPECT_EQ(cold_warm_count, 0);
+  EXPECT_EQ(warm_warm_count, 2 * (std::size(kLambdas) - 1));
+  // ...reproducing the cold-start LP optima...
+  ASSERT_EQ(cold_objs.size(), warm_objs.size());
+  for (size_t p = 0; p < cold_objs.size(); ++p) {
+    ASSERT_EQ(cold_objs[p].size(), warm_objs[p].size());
+    for (size_t i = 0; i < cold_objs[p].size(); ++i) {
+      EXPECT_NEAR(cold_objs[p][i], warm_objs[p][i], 1e-6)
+          << "point " << p << " instance " << i;
+    }
+  }
+  // ...with >= 30% fewer total simplex iterations.
+  ASSERT_GT(cold_iters, 0);
+  EXPECT_LE(warm_iters, (cold_iters * 7) / 10)
+      << "warm " << warm_iters << " vs cold " << cold_iters;
+}
+
 TEST(BatchRunnerTest, SolversWithoutRelaxationSkipTheCache) {
   const auto instances = MakeInstances(1);
   BatchOptions options;

@@ -206,6 +206,163 @@ TEST(SimplexTest, RandomLpsAgainstVertexEnumeration) {
   }
 }
 
+// --- Sparse LU vs dense equivalence --------------------------------------
+
+/// Random bounded LP with mixed row types; some vars unbounded above.
+LpModel RandomLp(Rng* rng, int num_vars, int num_rows) {
+  LpModel m;
+  m.SetMaximize(rng->Bernoulli(0.5));
+  for (int j = 0; j < num_vars; ++j) {
+    const double lo = rng->Uniform(0, 0.5);
+    const double hi = rng->Bernoulli(0.2) ? kLpInfinity
+                                          : lo + rng->Uniform(0.5, 3.0);
+    m.AddVariable(lo, hi, rng->Uniform(-2, 2));
+  }
+  for (int i = 0; i < num_rows; ++i) {
+    std::vector<LpTerm> terms;
+    for (int j = 0; j < num_vars; ++j) {
+      if (rng->Bernoulli(0.5)) terms.push_back({j, rng->Uniform(0.1, 2.0)});
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    const double roll = rng->Uniform(0, 1);
+    // Mostly <= rows with generous rhs so most instances are feasible.
+    const RowType type = roll < 0.7
+                             ? RowType::kLessEqual
+                             : (roll < 0.85 ? RowType::kGreaterEqual
+                                            : RowType::kEqual);
+    const double rhs = rng->Uniform(1.0, 2.0 + num_vars);
+    m.AddRow(type, rhs, std::move(terms));
+  }
+  return m;
+}
+
+TEST(SimplexEquivalenceTest, SparseLuMatchesDenseOnRandomLps) {
+  Rng rng(1234);
+  int solved = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    LpModel m = RandomLp(&rng, 4 + trial % 9, 2 + trial % 7);
+    SimplexOptions sparse_opt;
+    sparse_opt.basis = SimplexBasisType::kSparseLu;
+    SimplexOptions dense_opt;
+    dense_opt.basis = SimplexBasisType::kDense;
+    auto sparse = SolveLp(m, sparse_opt);
+    auto dense = SolveLp(m, dense_opt);
+    ASSERT_EQ(sparse.ok(), dense.ok())
+        << "trial " << trial << ": sparse " << sparse.status() << " dense "
+        << dense.status();
+    if (!sparse.ok()) {
+      EXPECT_EQ(sparse.status().code(), dense.status().code());
+      continue;
+    }
+    ++solved;
+    EXPECT_NEAR(sparse->objective, dense->objective, 1e-6)
+        << "trial " << trial;
+    EXPECT_NEAR(m.MaxViolation(sparse->x), 0.0, 1e-6);
+    EXPECT_NEAR(m.MaxViolation(dense->x), 0.0, 1e-6);
+  }
+  EXPECT_GE(solved, 20);  // the generator must produce enough solvable LPs
+}
+
+TEST(SimplexEquivalenceTest, DantzigMatchesDevexPricing) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel m = RandomLp(&rng, 6, 5);
+    SimplexOptions devex;
+    SimplexOptions dantzig;
+    dantzig.devex_pricing = false;
+    auto a = SolveLp(m, devex);
+    auto b = SolveLp(m, dantzig);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) EXPECT_NEAR(a->objective, b->objective, 1e-6);
+  }
+}
+
+// --- Warm starts ----------------------------------------------------------
+
+TEST(SimplexWarmStartTest, WarmSolveMatchesColdAfterObjectiveChange) {
+  Rng rng(4321);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel m = RandomLp(&rng, 8, 6);
+    auto first = SolveLp(m);
+    if (!first.ok()) continue;
+    // Perturb the objective (the lambda-sweep pattern: same constraints).
+    for (int j = 0; j < m.num_vars(); ++j) {
+      m.SetObjectiveCoefficient(j, m.objective(j) * 1.3 + 0.1);
+    }
+    auto cold = SolveLp(m);
+    auto warm = SolveLp(m, {}, &first->basis);
+    ASSERT_EQ(cold.ok(), warm.ok());
+    if (!cold.ok()) continue;
+    EXPECT_TRUE(warm->warm_started);
+    EXPECT_NEAR(warm->objective, cold->objective, 1e-6) << "trial " << trial;
+    EXPECT_NEAR(m.MaxViolation(warm->x), 0.0, 1e-6);
+  }
+}
+
+TEST(SimplexWarmStartTest, WarmSolveMatchesColdAfterBoundTightening) {
+  // The branch-and-bound pattern: child nodes tighten one variable bound,
+  // making the parent basis primal infeasible; phase 1 must repair it.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel m = RandomLp(&rng, 8, 6);
+    auto parent = SolveLp(m);
+    if (!parent.ok()) continue;
+    const int branch = trial % m.num_vars();
+    const double v = parent->x[branch];
+    m.SetBounds(branch, m.lower(branch),
+                std::max(m.lower(branch), std::floor(v)));
+    auto cold = SolveLp(m);
+    auto warm = SolveLp(m, {}, &parent->basis);
+    ASSERT_EQ(cold.ok(), warm.ok())
+        << "trial " << trial << ": cold " << cold.status() << " warm "
+        << warm.status();
+    if (!cold.ok()) continue;
+    EXPECT_TRUE(warm->warm_started);
+    EXPECT_NEAR(warm->objective, cold->objective, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(SimplexWarmStartTest, IncompatibleBasisFallsBackToCold) {
+  LpModel m;
+  int x = m.AddVariable(0, kLpInfinity, 3);
+  int y = m.AddVariable(0, kLpInfinity, 2);
+  m.AddRow(RowType::kLessEqual, 4, {{x, 1}, {y, 1}});
+  LpBasis wrong_shape;
+  wrong_shape.structural.assign(5, VarBasisStatus::kNonbasicLower);
+  wrong_shape.logical.assign(7, VarBasisStatus::kBasic);
+  auto sol = SolveLp(m, {}, &wrong_shape);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_FALSE(sol->warm_started);
+  EXPECT_NEAR(sol->objective, 12.0, 1e-8);
+}
+
+TEST(SimplexWarmStartTest, OptimalBasisResolvesInFewIterations) {
+  Rng rng(2024);
+  LpModel m = RandomLp(&rng, 12, 8);
+  auto first = SolveLp(m);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto again = SolveLp(m, {}, &first->basis);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->warm_started);
+  // Re-solving from the optimal basis needs no phase-1 pivots and at most
+  // the final optimality check in phase 2.
+  EXPECT_EQ(again->phase1_iterations, 0);
+  EXPECT_LE(again->iterations, 2);
+  EXPECT_NEAR(again->objective, first->objective, 1e-9);
+}
+
+// --- Time limit -----------------------------------------------------------
+
+TEST(SimplexTest, TimeLimitIsEnforcedInsidePivotLoop) {
+  Rng rng(5);
+  LpModel m = RandomLp(&rng, 30, 25);
+  SimplexOptions opt;
+  opt.time_limit_seconds = 0.0;  // expired before the first pivot
+  auto sol = SolveLp(m, opt);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kResourceExhausted);
+}
+
 // --- Capped simplex -----------------------------------------------------
 
 TEST(CappedSimplexTest, ProjectionFeasible) {
@@ -463,6 +620,37 @@ TEST(BranchAndBoundTest, HeuristicSeedsIncumbent) {
   ASSERT_TRUE(sol.ok()) << sol.status();
   EXPECT_TRUE(called);
   EXPECT_NEAR(sol->objective, 1.0, 1e-7);
+}
+
+TEST(BranchAndBoundTest, WarmStartedNodesMatchColdAndPivotLess) {
+  Rng rng(31);
+  int64_t warm_total = 0, cold_total = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    LpModel m;
+    const int n = 12;
+    std::vector<int> vars;
+    std::vector<LpTerm> row;
+    for (int i = 0; i < n; ++i) {
+      int v = m.AddVariable(0, 1, rng.Uniform(1, 10));
+      vars.push_back(v);
+      row.push_back({v, rng.Uniform(1, 5)});
+    }
+    m.AddRow(RowType::kLessEqual, 9, row);
+    MipOptions warm_opt;
+    warm_opt.warm_start_nodes = true;
+    MipOptions cold_opt;
+    cold_opt.warm_start_nodes = false;
+    auto warm = SolveMip(m, vars, warm_opt);
+    auto cold = SolveMip(m, vars, cold_opt);
+    ASSERT_TRUE(warm.ok()) << warm.status();
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    EXPECT_TRUE(warm->proven_optimal);
+    EXPECT_NEAR(warm->objective, cold->objective, 1e-7);
+    warm_total += warm->simplex_iterations;
+    cold_total += cold->simplex_iterations;
+  }
+  // Parent-basis reuse must pay for itself across the node LPs.
+  EXPECT_LT(warm_total, cold_total);
 }
 
 TEST(BranchAndBoundTest, NodeLimitReturnsIncumbentUnproven) {

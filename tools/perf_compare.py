@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression gate for the bench --json artifacts.
+
+Usage:
+    perf_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+                    [--max-ratio 2.0] [--min-seconds 0.05]
+
+Each file is the {"metrics": [{"name", "seconds"}, ...]} object written by
+bench binaries via --json= (bench/bench_util.h). The gate fails (exit 1)
+when any metric present in both the baseline and the current run is slower
+than max-ratio x its baseline AND both sides exceed min-seconds in
+absolute terms (the floor keeps sub-50ms timer noise from flapping CI). Metrics missing on
+either side are reported but never fail the gate, so adding or renaming
+benches does not require a lockstep baseline update.
+
+Refresh the baseline with a Release build on a quiet machine:
+    ./build/bench_fig4_lambda --json=f4.json --benchmark_filter=DISABLED_none
+    ./build/bench_fig8_scalability --json=f8.json \
+        --benchmark_filter=DISABLED_none
+    python3 tools/perf_compare.py --merge f4.json f8.json \
+        > bench/perf_baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    metrics = {}
+    for entry in data.get("metrics", []):
+        metrics[entry["name"]] = float(entry["seconds"])
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline json (or first file with --merge)")
+    parser.add_argument("current", nargs="+", help="current-run json files")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current > ratio x baseline")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore metrics below this absolute time")
+    parser.add_argument("--merge", action="store_true",
+                        help="merge all inputs into one json on stdout")
+    args = parser.parse_args()
+
+    if args.merge:
+        merged = {}
+        for path in [args.baseline] + args.current:
+            merged.update(load_metrics(path))
+        json.dump({"metrics": [{"name": name, "seconds": seconds}
+                               for name, seconds in sorted(merged.items())]},
+                  sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+
+    baseline = load_metrics(args.baseline)
+    current = {}
+    for path in args.current:
+        current.update(load_metrics(path))
+
+    failures = []
+    for name, seconds in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"  new metric (no baseline): {name} = {seconds:.3f}s")
+            continue
+        ratio = seconds / base if base > 0 else float("inf")
+        marker = "ok"
+        # Both sides must clear the noise floor: a sub-floor baseline is
+        # pure timer jitter and must not be able to fail the gate.
+        if (ratio > args.max_ratio and seconds > args.min_seconds
+                and base > args.min_seconds):
+            marker = "REGRESSION"
+            failures.append(name)
+        print(f"  {marker:>10}: {name}: {seconds:.3f}s "
+              f"(baseline {base:.3f}s, ratio {ratio:.2f})")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  metric missing from current run: {name}")
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed more than "
+              f"{args.max_ratio}x: {', '.join(failures)}")
+        return 1
+    print("\nperf smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
