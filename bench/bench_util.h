@@ -203,6 +203,16 @@ inline std::vector<std::vector<AggregateRow>> PrintSweep(
   }
   utility.Print(title + " — total SAVG utility");
   seconds.Print(title + " — execution time (s)");
+  // Per-phase simplex time across the whole sweep: the data the ROADMAP's
+  // partial-pricing question is decided from (pricing-heavy profiles
+  // justify candidate lists; ftran/btran-heavy ones do not).
+  RecordMetric(title + " | lp_pricing_seconds",
+               warm.lp_stats.pricing_seconds);
+  RecordMetric(title + " | lp_ratio_test_seconds",
+               warm.lp_stats.ratio_test_seconds);
+  RecordMetric(title + " | lp_ftran_seconds", warm.lp_stats.ftran_seconds);
+  RecordMetric(title + " | lp_btran_seconds", warm.lp_stats.btran_seconds);
+  RecordMetric(title + " | lp_factor_seconds", warm.lp_stats.factor_seconds);
   return all_rows;
 }
 

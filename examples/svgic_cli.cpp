@@ -3,10 +3,17 @@
 //   svgic_cli gen  <kind> <n> <m> <k> <seed> <out.tsv>   generate a dataset
 //   svgic_cli run  <solver> <instance.tsv> [out_config.tsv]  solve it
 //   svgic_cli eval <instance.tsv> <config.tsv>            score a config
+//   svgic_cli genevents <instance.tsv> <mutations> <resolve_every> <seed>
+//                       <out.events>                      make an event log
+//   svgic_cli serve <instance.tsv> <events>               replay a live
+//                                                         serving session
 //
 // <kind> in {timik, epinions, yelp}; <solver> is any registry name
 // (case-insensitive; `svgic_cli run help` lists them), plus "local" =
-// AVG-D followed by local-search polish.
+// AVG-D followed by local-search polish. `serve` drives the online
+// subsystem (src/online/): each resolve event re-optimizes incrementally
+// from the cached simplex basis and prints which path ran plus the pivot
+// counts.
 
 #include <cstring>
 #include <iostream>
@@ -18,6 +25,8 @@
 #include "datagen/datasets.h"
 #include "experiments/runner.h"
 #include "metrics/metrics.h"
+#include "online/event_log.h"
+#include "online/session.h"
 #include "solvers/solver_registry.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -41,6 +50,9 @@ int Usage() {
                "<out>\n"
                "  svgic_cli run  <solver> <instance> [out_config]\n"
                "  svgic_cli eval <instance> <config>\n"
+               "  svgic_cli genevents <instance> <mutations> <resolve_every>"
+               " <seed> <out>\n"
+               "  svgic_cli serve <instance> <events>\n"
                "solvers: "
             << KnownSolvers() << "|local (AVG-D + local search)\n";
   return 2;
@@ -164,6 +176,93 @@ int Eval(int argc, char** argv) {
   return 0;
 }
 
+int GenerateEvents(int argc, char** argv) {
+  if (argc != 7) return Usage();
+  auto inst = ReadInstanceFromFile(argv[2]);
+  if (!inst.ok()) {
+    std::cerr << inst.status() << "\n";
+    return 1;
+  }
+  EventStreamParams params;
+  params.num_mutations = std::atoi(argv[3]);
+  params.resolve_every = std::atoi(argv[4]);
+  params.seed = std::strtoull(argv[5], nullptr, 10);
+  if (params.num_mutations <= 0) {
+    std::cerr << "mutations must be > 0\n";
+    return 1;
+  }
+  const EventLog log = GenerateEventStream(*inst, params);
+  Status st = WriteEventLogToFile(log, argv[6]);
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << log.size() << " events to " << argv[6] << "\n";
+  return 0;
+}
+
+int Serve(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  auto inst = ReadInstanceFromFile(argv[2]);
+  if (!inst.ok()) {
+    std::cerr << inst.status() << "\n";
+    return 1;
+  }
+  auto log = ReadEventLogFromFile(argv[3]);
+  if (!log.ok()) {
+    std::cerr << log.status() << "\n";
+    return 1;
+  }
+
+  Session session(std::move(inst).value());
+  Table t({"resolve", "path", "dirty", "pivots", "phase1", "changed",
+           "LP objective", "utility", "ms"});
+  int resolves = 0;
+  int64_t incremental_pivots = 0;
+  int64_t total_pivots = 0;
+  for (size_t i = 0; i < log->size(); ++i) {
+    const SessionEvent& event = (*log)[i];
+    ResolveReport report;
+    Status applied = session.ApplyEvent(event, &report);
+    if (!applied.ok()) {
+      std::cerr << "event " << i << " failed: " << applied << "\n";
+      return 1;
+    }
+    if (event.type != EventType::kResolve) continue;
+    ++resolves;
+    total_pivots += report.pivots;
+    if (report.path == ResolvePath::kIncremental) {
+      incremental_pivots += report.pivots;
+    }
+    t.NewRow()
+        .Add(static_cast<int64_t>(resolves))
+        .Add(ResolvePathName(report.path))
+        .Add(static_cast<int64_t>(report.num_dirty_users))
+        .Add(static_cast<int64_t>(report.pivots))
+        .Add(static_cast<int64_t>(report.phase1_pivots))
+        .Add(FormatPercent(report.changed_fraction))
+        .Add(report.lp_objective, 4)
+        .Add(report.scaled_total, 4)
+        .Add(report.total_seconds * 1000, 2);
+  }
+  t.Print("serve: " + std::to_string(log->size()) + " events, " +
+          std::to_string(resolves) + " resolves");
+  std::cout << "total pivots " << total_pivots << " (incremental path "
+            << incremental_pivots << ")\n";
+  // Only score a configuration that matches the final instance shape;
+  // mutations after the last resolve (or a log with no resolve) leave the
+  // served configuration stale or missing.
+  if (session.HasConfig() &&
+      session.config().num_users() == session.instance().num_users() &&
+      session.config().num_items() == session.instance().num_items()) {
+    PrintReport(session.instance(), session.config(), -1.0);
+  } else {
+    std::cout << "final configuration is stale (no resolve after the last "
+                 "mutation); append a 'resolve' event to score it\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,5 +270,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "gen") == 0) return Generate(argc, argv);
   if (std::strcmp(argv[1], "run") == 0) return Run(argc, argv);
   if (std::strcmp(argv[1], "eval") == 0) return Eval(argc, argv);
+  if (std::strcmp(argv[1], "genevents") == 0) return GenerateEvents(argc, argv);
+  if (std::strcmp(argv[1], "serve") == 0) return Serve(argc, argv);
   return Usage();
 }

@@ -87,6 +87,9 @@ Result<IpExactResult> SolveIpExact(const SvgicInstance& instance,
   for (int var : map.x) integer_vars.push_back(var);
 
   MipOptions mip = options.mip;
+  if (options.root_warm_start != nullptr) {
+    mip.root_warm_start = options.root_warm_start;
+  }
   std::vector<double> seed_vector;
   if (options.seed_with_avg_d && instance.lambda() > 0.0) {
     RelaxationOptions relax;
@@ -131,6 +134,10 @@ Result<IpExactResult> SolveIpExact(const SvgicInstance& instance,
   result.best_bound = sol->best_bound;
   result.proven_optimal = sol->proven_optimal;
   result.nodes_explored = sol->nodes_explored;
+  result.simplex_iterations = sol->simplex_iterations;
+  result.root_simplex_iterations = sol->root_simplex_iterations;
+  result.root_warm_started = sol->root_warm_started;
+  result.root_basis = std::move(sol->root_basis);
   result.solve_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -20,6 +20,12 @@ struct IpExactOptions {
   MipOptions mip;
   /// Seed the incumbent with an AVG-D solution before the tree search.
   bool seed_with_avg_d = true;
+  /// Optional warm start for the root LP relaxation (not owned): the
+  /// root_basis of a previous SolveIpExact on an instance with the same
+  /// expanded-LP shape — e.g. the same instance at a different lambda, or
+  /// the previous Figure 9(a) solver configuration. Overrides
+  /// mip.root_warm_start when set.
+  const LpBasis* root_warm_start = nullptr;
 };
 
 struct IpExactResult {
@@ -28,6 +34,13 @@ struct IpExactResult {
   double best_bound = 0.0;
   bool proven_optimal = false;
   int64_t nodes_explored = 0;
+  /// Total / root-only simplex pivots of the tree search, and whether the
+  /// root LP reused the caller's warm-start basis.
+  int64_t simplex_iterations = 0;
+  int root_simplex_iterations = 0;
+  bool root_warm_started = false;
+  /// Root LP basis, reusable via IpExactOptions::root_warm_start.
+  LpBasis root_basis;
   double solve_seconds = 0.0;
 };
 

@@ -14,17 +14,17 @@ inline int CandidateIndex(int ai, SlotId s, int k) { return ai * k + s; }
 
 }  // namespace
 
-Result<AvgResult> RunAvg(const SvgicInstance& instance,
-                         const FractionalSolution& frac,
-                         const AvgOptions& options) {
+Result<AvgResult> RunCsfSampling(CsfState* state_ptr,
+                                 const AvgOptions& options) {
+  CsfState& state = *state_ptr;
+  const FractionalSolution& frac = state.frac();
   if (!frac.HasSupporters()) {
     return Status::InvalidArgument(
         "fractional solution lacks supporter lists");
   }
   Timer timer;
   Rng rng(options.seed);
-  CsfState state(instance, frac, options.size_cap);
-  const int k = instance.num_slots();
+  const int k = state.instance().num_slots();
   const auto& active = frac.active_items();
   const int num_candidates = static_cast<int>(active.size()) * k;
 
@@ -106,6 +106,18 @@ Result<AvgResult> RunAvg(const SvgicInstance& instance,
   result.config = state.TakeConfig();
   result.rounding_seconds = timer.ElapsedSeconds();
   return result;
+}
+
+Result<AvgResult> RunAvg(const SvgicInstance& instance,
+                         const FractionalSolution& frac,
+                         const AvgOptions& options) {
+  // Checked before CsfState's constructor, which asserts on supporters.
+  if (!frac.HasSupporters()) {
+    return Status::InvalidArgument(
+        "fractional solution lacks supporter lists");
+  }
+  CsfState state(instance, frac, options.size_cap);
+  return RunCsfSampling(&state, options);
 }
 
 Result<AvgResult> RunAvgBest(const SvgicInstance& instance,

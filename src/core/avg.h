@@ -52,6 +52,15 @@ Result<AvgResult> RunAvg(const SvgicInstance& instance,
                          const FractionalSolution& frac,
                          const AvgOptions& options = {});
 
+/// The CSF sampling loop + greedy completion on a caller-prepared rounding
+/// state; RunAvg is this over a fresh state. The online serving layer
+/// (src/online/session.h) pre-assigns the units it keeps from the previous
+/// configuration, so sampling only fills the dirty users' units (their
+/// slots are the only eligible ones left). Consumes the state
+/// (TakeConfig).
+Result<AvgResult> RunCsfSampling(CsfState* state,
+                                 const AvgOptions& options = {});
+
 /// Corollary 4.1: `repeats` independent runs, keep the configuration with
 /// the best scaled total.
 Result<AvgResult> RunAvgBest(const SvgicInstance& instance,

@@ -5,17 +5,18 @@
 namespace savg {
 
 Result<FractionalSolution> SolveStRelaxation(const SvgicInstance& instance,
-                                             const StOptions& options) {
+                                             const StOptions& options,
+                                             const LpBasis* warm_start) {
   if (options.size_cap < 1) {
     return Status::InvalidArgument("size cap must be >= 1");
   }
   if (!options.use_st_lp) {
-    return SolveRelaxation(instance, options.relaxation);
+    return SolveRelaxation(instance, options.relaxation, warm_start);
   }
   ExpandedLpMap map;
   auto lp = BuildStLp(instance, options.d_tel, options.size_cap, &map);
   if (!lp.ok()) return lp.status();
-  auto sol = SolveLp(*lp, options.relaxation.simplex);
+  auto sol = SolveLp(*lp, options.relaxation.simplex, warm_start);
   if (!sol.ok()) return sol.status();
   FractionalSolution frac;
   frac.num_users = instance.num_users();
@@ -35,6 +36,10 @@ Result<FractionalSolution> SolveStRelaxation(const SvgicInstance& instance,
   frac.lp_objective = sol->objective;
   frac.exact = true;
   frac.solve_seconds = sol->solve_seconds;
+  frac.simplex_iterations = sol->iterations;
+  frac.warm_started = sol->warm_started;
+  frac.lp_stats = sol->stats;
+  frac.lp_basis = std::move(sol->basis);
   frac.BuildSupporters(options.relaxation.prune_tolerance);
   return frac;
 }

@@ -40,7 +40,15 @@ Result<AvgResult> RunAvgSt(const SvgicInstance& instance,
 
 /// Solves the relaxation used by AVG-ST (exposed for reuse across repeated
 /// roundings of one instance).
+///
+/// `warm_start` (optional) seeds the exact ST-LP simplex from the final
+/// basis of a previous ST solve with the same model shape (same instance
+/// structure; d_tel / size_cap / lambda may differ — they only touch
+/// objective and rhs). Returned in FractionalSolution::lp_basis. Ignored
+/// on the compact-proxy path, which forwards it to SolveRelaxation.
 Result<FractionalSolution> SolveStRelaxation(const SvgicInstance& instance,
-                                             const StOptions& options);
+                                             const StOptions& options,
+                                             const LpBasis* warm_start =
+                                                 nullptr);
 
 }  // namespace savg

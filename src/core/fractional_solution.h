@@ -41,6 +41,8 @@ struct FractionalSolution {
   int simplex_iterations = 0;
   /// True when the solve reused a caller-supplied warm-start basis.
   bool warm_started = false;
+  /// Per-phase simplex time breakdown (zero for non-simplex paths).
+  LpStats lp_stats;
   /// Final simplex basis of the compact LP; reusable as a warm start for
   /// a related instance (same shape, different lambda / objective).
   LpBasis lp_basis;

@@ -88,6 +88,49 @@ Result<LpModel> BuildCompactLp(const SvgicInstance& instance,
   return lp;
 }
 
+namespace {
+
+// Key packing: tag(2) | u(21) | v(21) | c(20). Column and row keys are
+// separate spaces (ProjectCompactBasis never compares across them), so
+// tags only need to keep the kinds disjoint within each space: cols use
+// tag 0 (x), 1 (filler), 2 (y); rows use tag 0 (mass), 2 and 3 (the two
+// y caps). u < v for pair entities (FriendPair canonical order).
+constexpr uint64_t PackKey(uint64_t tag, uint64_t u, uint64_t v, uint64_t c) {
+  return (tag << 62) | (u << 41) | (v << 20) | c;
+}
+
+}  // namespace
+
+CompactLpKeys BuildCompactLpKeys(const SvgicInstance& instance,
+                                 const CompactLpMap& map, const LpModel& lp) {
+  const int n = instance.num_users();
+  const int m = instance.num_items();
+  CompactLpKeys keys;
+  keys.cols.assign(lp.num_vars(), 0);
+  keys.rows.reserve(lp.num_rows());
+
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId c = 0; c < m; ++c) {
+      const int var = map.XVar(u, c, m);
+      if (var >= 0) keys.cols[var] = PackKey(0, u, 0, c);
+    }
+    if (map.filler[u] >= 0) keys.cols[map.filler[u]] = PackKey(1, u, 0, 0);
+  }
+  // Row order mirrors BuildCompactLp: per-user mass rows first...
+  for (UserId u = 0; u < n; ++u) keys.rows.push_back(PackKey(0, u, 0, 1));
+  // ...then per (pair, weight entry): the y column and its two cap rows.
+  for (size_t pi = 0; pi < instance.pairs().size(); ++pi) {
+    const FriendPair& pair = instance.pairs()[pi];
+    for (size_t wi = 0; wi < pair.weights.size(); ++wi) {
+      const ItemId c = pair.weights[wi].item;
+      keys.cols[map.y[pi][wi]] = PackKey(2, pair.u, pair.v, c);
+      keys.rows.push_back(PackKey(2, pair.u, pair.v, c));
+      keys.rows.push_back(PackKey(3, pair.u, pair.v, c));
+    }
+  }
+  return keys;
+}
+
 Result<LpModel> BuildExpandedLp(const SvgicInstance& instance,
                                 ExpandedLpMap* map) {
   SAVG_RETURN_NOT_OK(instance.Validate());
@@ -308,6 +351,7 @@ Result<FractionalSolution> SolveRelaxation(const SvgicInstance& instance,
       frac.exact = true;
       frac.simplex_iterations = sol->iterations;
       frac.warm_started = sol->warm_started;
+      frac.lp_stats = sol->stats;
       frac.lp_basis = std::move(sol->basis);
       break;
     }
@@ -315,7 +359,10 @@ Result<FractionalSolution> SolveRelaxation(const SvgicInstance& instance,
       ExpandedLpMap map;
       auto lp = BuildExpandedLp(instance, &map);
       if (!lp.ok()) return lp.status();
-      auto sol = SolveLp(*lp, options.simplex);
+      // Warm starts flow through the expanded path too (e.g. the final
+      // basis of a previous expanded solve of the same instance shape);
+      // an incompatible basis silently cold-starts.
+      auto sol = SolveLp(*lp, options.simplex, warm_start);
       if (!sol.ok()) return sol.status();
       for (UserId u = 0; u < n; ++u) {
         for (ItemId c = 0; c < m; ++c) {
@@ -327,6 +374,9 @@ Result<FractionalSolution> SolveRelaxation(const SvgicInstance& instance,
       frac.lp_objective = sol->objective;
       frac.exact = true;
       frac.simplex_iterations = sol->iterations;
+      frac.warm_started = sol->warm_started;
+      frac.lp_stats = sol->stats;
+      frac.lp_basis = std::move(sol->basis);
       break;
     }
     case RelaxationMethod::kSubgradient: {

@@ -111,6 +111,155 @@ void SvgicInstance::FinalizePairs() {
     pairs_of_user_[pairs_.back().v].push_back(idx);
   }
   finalized_ = true;
+  finalized_edge_count_ = graph_.num_edges();
+}
+
+UserId SvgicInstance::AddUser() {
+  const UserId id = graph_.AddVertex();
+  preference_.resize(static_cast<size_t>(graph_.num_vertices()) * num_items_,
+                     0.0f);
+  if (static_cast<int>(pairs_of_user_.size()) < graph_.num_vertices()) {
+    pairs_of_user_.resize(graph_.num_vertices());
+  }
+  return id;
+}
+
+Status SvgicInstance::AddFriendship(UserId u, UserId v) {
+  SAVG_RETURN_NOT_OK(graph_.AddUndirectedEdge(u, v));
+  tau_.resize(graph_.num_edges());
+  return Status::OK();
+}
+
+void SvgicInstance::SetTauValue(EdgeId e, ItemId c, double value) {
+  auto& entries = tau_[e];
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), c,
+      [](const ItemValue& iv, ItemId item) { return iv.item < item; });
+  if (it != entries.end() && it->item == c) {
+    it->value = static_cast<float>(value);
+  } else {
+    entries.insert(it, {c, static_cast<float>(value)});
+  }
+}
+
+void SvgicInstance::DeactivateUser(UserId u) {
+  std::fill(preference_.begin() + static_cast<size_t>(u) * num_items_,
+            preference_.begin() + static_cast<size_t>(u + 1) * num_items_,
+            0.0f);
+  for (EdgeId e : graph_.OutEdgeIds(u)) tau_[e].clear();
+  for (UserId v : graph_.InNeighbors(u)) {
+    const EdgeId e = graph_.FindEdge(v, u);
+    if (e >= 0) tau_[e].clear();
+  }
+}
+
+ItemId SvgicInstance::AddItem() {
+  const int n = num_users();
+  const int old_m = num_items_;
+  std::vector<float> grown(static_cast<size_t>(n) * (old_m + 1), 0.0f);
+  for (int u = 0; u < n; ++u) {
+    std::copy(preference_.begin() + static_cast<size_t>(u) * old_m,
+              preference_.begin() + static_cast<size_t>(u + 1) * old_m,
+              grown.begin() + static_cast<size_t>(u) * (old_m + 1));
+  }
+  preference_ = std::move(grown);
+  ++num_items_;
+  if (!commodity_values_.empty()) commodity_values_.push_back(1.0f);
+  return num_items_ - 1;
+}
+
+std::vector<UserId> SvgicInstance::RetireItem(ItemId c) {
+  for (UserId u = 0; u < num_users(); ++u) {
+    preference_[static_cast<size_t>(u) * num_items_ + c] = 0.0f;
+  }
+  std::vector<UserId> dirty;
+  for (const Edge& e : graph_.edges()) {
+    auto& entries = tau_[e.id];
+    const size_t before = entries.size();
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [c](const ItemValue& iv) {
+                                   return iv.item == c;
+                                 }),
+                  entries.end());
+    if (entries.size() != before) {
+      dirty.push_back(e.u);
+      dirty.push_back(e.v);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  return dirty;
+}
+
+int SvgicInstance::FindPairIndex(UserId u, UserId v) const {
+  const UserId lo = std::min(u, v);
+  const UserId hi = std::max(u, v);
+  if (lo < 0 || hi >= static_cast<int>(pairs_of_user_.size())) return -1;
+  for (int pi : pairs_of_user_[lo]) {
+    if (pairs_[pi].u == lo && pairs_[pi].v == hi) return pi;
+  }
+  return -1;
+}
+
+void SvgicInstance::RebuildPairWeights(FriendPair* pair) const {
+  pair->weights.clear();
+  if (pair->uv >= 0) {
+    pair->weights.insert(pair->weights.end(), tau_[pair->uv].begin(),
+                         tau_[pair->uv].end());
+  }
+  if (pair->vu >= 0) {
+    pair->weights.insert(pair->weights.end(), tau_[pair->vu].begin(),
+                         tau_[pair->vu].end());
+  }
+  SortAndMerge(&pair->weights);
+  pair->weights.erase(
+      std::remove_if(pair->weights.begin(), pair->weights.end(),
+                     [](const ItemValue& iv) { return iv.value == 0.0f; }),
+      pair->weights.end());
+}
+
+void SvgicInstance::RefinalizePairs(const std::vector<UserId>& dirty_users) {
+  if (static_cast<int>(pairs_of_user_.size()) < num_users()) {
+    pairs_of_user_.resize(num_users());
+  }
+  std::vector<char> touched(pairs_.size(), 0);
+  // Absorb edges added since the last (re)finalize: attach each to its
+  // existing pair (a reverse direction added later) or open a new pair.
+  for (EdgeId id = finalized_edge_count_; id < graph_.num_edges(); ++id) {
+    const Edge& e = graph_.edge(id);
+    SortAndMerge(&tau_[id]);
+    int pi = FindPairIndex(e.u, e.v);
+    if (pi < 0) {
+      FriendPair pair;
+      pair.u = std::min(e.u, e.v);
+      pair.v = std::max(e.u, e.v);
+      pi = static_cast<int>(pairs_.size());
+      pairs_.push_back(std::move(pair));
+      pairs_of_user_[pairs_[pi].u].push_back(pi);
+      pairs_of_user_[pairs_[pi].v].push_back(pi);
+      touched.push_back(1);
+    } else {
+      touched[pi] = 1;
+    }
+    if (e.u == pairs_[pi].u) {
+      pairs_[pi].uv = id;
+    } else {
+      pairs_[pi].vu = id;
+    }
+  }
+  finalized_edge_count_ = graph_.num_edges();
+  for (UserId u : dirty_users) {
+    if (u < 0 || u >= static_cast<int>(pairs_of_user_.size())) continue;
+    for (int pi : pairs_of_user_[u]) touched[pi] = 1;
+  }
+  for (size_t pi = 0; pi < pairs_.size(); ++pi) {
+    if (!touched[pi]) continue;
+    FriendPair& pair = pairs_[pi];
+    if (pair.uv >= 0) SortAndMerge(&tau_[pair.uv]);
+    if (pair.vu >= 0) SortAndMerge(&tau_[pair.vu]);
+    RebuildPairWeights(&pair);
+  }
+  finalized_ = true;
 }
 
 Status SvgicInstance::Validate() const {

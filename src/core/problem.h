@@ -117,6 +117,48 @@ class SvgicInstance {
   /// called after all set_tau edits and before running algorithms.
   void FinalizePairs();
 
+  // --- Online mutation API (src/online/) -----------------------------------
+  //
+  // These edits keep the instance usable between Resolve() calls of a live
+  // session: ids stay dense and stable, and RefinalizePairs() updates only
+  // the pairs incident to the touched users instead of rebuilding all of
+  // pairs_ the way FinalizePairs() does.
+
+  /// Appends a new user with zero preferences and no friendships; returns
+  /// the new id. The instance stays finalized (an isolated user has no
+  /// pairs).
+  UserId AddUser();
+
+  /// Adds the friendship {u, v} (both directed edges). New edges carry no
+  /// tau until SetTauValue(); callers must RefinalizePairs() afterwards.
+  Status AddFriendship(UserId u, UserId v);
+
+  /// Sets tau(edge e, c) = value absolutely (unlike set_tau, which appends
+  /// a to-be-merged entry). Maintains sorted entry order, so TauOf stays
+  /// correct immediately; pair weights need RefinalizePairs().
+  void SetTauValue(EdgeId e, ItemId c, double value);
+
+  /// "User left": zeroes u's preference row and the tau of every edge
+  /// incident to u. The vertex itself stays (dense ids remain valid); the
+  /// user contributes nothing to the objective afterwards. Callers must
+  /// RefinalizePairs() with u's neighbors marked dirty.
+  void DeactivateUser(UserId u);
+
+  /// Appends one item with zero preference/tau everywhere; returns its id.
+  ItemId AddItem();
+
+  /// "Item retired": zeroes p(*, c) and removes every tau entry for c.
+  /// The item id stays valid (dense ids). Returns the users whose incident
+  /// edges carried tau for c (the dirty set for RefinalizePairs()).
+  std::vector<UserId> RetireItem(ItemId c);
+
+  /// Incremental FinalizePairs(): recomputes the merged weights of only
+  /// the pairs incident to `dirty_users` and absorbs edges added since the
+  /// last (re)finalize, leaving every other pair untouched. Pair indices
+  /// are stable: emptied pairs stay in place with no weights. Equivalent
+  /// to FinalizePairs() when the dirty set covers every touched user.
+  void RefinalizePairs(const std::vector<UserId>& dirty_users);
+
   const std::vector<FriendPair>& pairs() const { return pairs_; }
   /// Pair indices incident to user u.
   const std::vector<int>& PairsOfUser(UserId u) const {
@@ -141,6 +183,14 @@ class SvgicInstance {
   std::vector<FriendPair> pairs_;
   std::vector<std::vector<int>> pairs_of_user_;
   bool finalized_ = false;
+  /// Edges already represented in pairs_ (prefix of edge ids); edges with
+  /// id >= this are absorbed by the next RefinalizePairs().
+  int finalized_edge_count_ = 0;
+
+  /// Pair index of the unordered pair {u, v}, or -1.
+  int FindPairIndex(UserId u, UserId v) const;
+  /// Recomputes pair weights from the (sorted) tau of both directions.
+  void RebuildPairWeights(FriendPair* pair) const;
 };
 
 }  // namespace savg

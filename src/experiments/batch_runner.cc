@@ -112,6 +112,14 @@ int64_t RelaxationCache::WarmStartedSolves() const {
   return total;
 }
 
+LpStats RelaxationCache::TotalLpStats() const {
+  LpStats total;
+  for (const auto& entry : entries_) {
+    if (entry->solved) total += entry->frac.lp_stats;
+  }
+  return total;
+}
+
 Status BatchReport::FirstError() const {
   for (const BatchTaskResult& task : tasks) {
     if (!task.status.ok()) return task.status;
@@ -196,6 +204,7 @@ Result<BatchReport> BatchRunner::Run(
   report.lp_cache_misses = cache.misses();
   report.lp_simplex_iterations = cache.TotalSimplexIterations();
   report.lp_warm_started_solves = cache.WarmStartedSolves();
+  report.lp_stats = cache.TotalLpStats();
   report.relaxation_bases = cache.ExportBases();
   report.relaxation_objectives = cache.ExportObjectives();
   report.wall_seconds = timer.ElapsedSeconds();

@@ -57,6 +57,8 @@ class RelaxationCache {
   std::vector<double> ExportObjectives() const;
   int64_t TotalSimplexIterations() const;
   int64_t WarmStartedSolves() const;
+  /// Summed per-phase simplex time across the solved entries.
+  LpStats TotalLpStats() const;
 
  private:
   struct Entry {
@@ -119,6 +121,9 @@ struct BatchReport {
   /// effectiveness counters for the lambda-sweep benches/tests).
   int64_t lp_simplex_iterations = 0;
   int64_t lp_warm_started_solves = 0;
+  /// Per-phase simplex time summed over the cache's LP solves (pricing vs
+  /// ratio test vs ftran/btran — the partial-pricing decision data).
+  LpStats lp_stats;
   /// Final basis per instance (empty where no simplex relaxation ran);
   /// feed into BatchOptions::relaxation_warm_starts of the next sweep
   /// point.

@@ -107,6 +107,7 @@ Result<std::vector<AggregateRow>> RunComparisonNamed(
     warm_start->bases = std::move(report.relaxation_bases);
     warm_start->total_simplex_iterations += report.lp_simplex_iterations;
     warm_start->warm_started_solves += report.lp_warm_started_solves;
+    warm_start->lp_stats += report.lp_stats;
   }
 
   for (int sample = 0; sample < samples; ++sample) {

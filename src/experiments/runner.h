@@ -85,6 +85,8 @@ struct SweepWarmStart {
   std::vector<LpBasis> bases;
   int64_t total_simplex_iterations = 0;
   int64_t warm_started_solves = 0;
+  /// Per-phase simplex time accumulated across the sweep's LP solves.
+  LpStats lp_stats;
 };
 
 /// Registry-name front-end: runs `solvers` over `samples` instances

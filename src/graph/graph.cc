@@ -13,6 +13,14 @@ SocialGraph::SocialGraph(int num_vertices)
       out_edge_ids_(num_vertices),
       in_adj_(num_vertices) {}
 
+UserId SocialGraph::AddVertex() {
+  const UserId id = num_vertices_++;
+  out_adj_.emplace_back();
+  out_edge_ids_.emplace_back();
+  in_adj_.emplace_back();
+  return id;
+}
+
 Result<EdgeId> SocialGraph::AddEdge(UserId u, UserId v) {
   if (u < 0 || u >= num_vertices_ || v < 0 || v >= num_vertices_) {
     return Status::OutOfRange("edge endpoint out of range");

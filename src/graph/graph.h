@@ -39,6 +39,10 @@ class SocialGraph {
   int num_vertices() const { return num_vertices_; }
   int num_edges() const { return static_cast<int>(edges_.size()); }
 
+  /// Appends a new isolated vertex (online serving: a user joining a live
+  /// session) and returns its id. Existing ids stay valid.
+  UserId AddVertex();
+
   /// Adds the directed edge u -> v; returns its id, or an error for
   /// out-of-range endpoints, self-loops, or duplicates.
   Result<EdgeId> AddEdge(UserId u, UserId v);

@@ -78,6 +78,9 @@ Result<MipSolution> SolveMip(const LpModel& model,
     root.ub[i] = model.upper(integer_vars[i]);
   }
   root.parent_bound = maximize ? 1e300 : -1e300;
+  if (options.root_warm_start != nullptr) {
+    root.parent_basis = *options.root_warm_start;
+  }
   arena.push_back(std::move(root));
   stack.push_back(0);
 
@@ -147,12 +150,24 @@ Result<MipSolution> SolveMip(const LpModel& model,
     const double elapsed = timer.ElapsedSeconds();
     lp_opt.time_limit_seconds = std::min(
         lp_opt.time_limit_seconds, options.time_limit_seconds - elapsed);
+    const bool is_root = nodes == 1;
+    // The root honors an explicit root_warm_start even when per-node warm
+    // starts are disabled (the point of wiring a caller basis through).
+    const bool want_warm =
+        options.warm_start_nodes ||
+        (is_root && options.root_warm_start != nullptr);
     const LpBasis* warm =
-        options.warm_start_nodes && !node.parent_basis.Empty()
-            ? &node.parent_basis
-            : nullptr;
+        want_warm && !node.parent_basis.Empty() ? &node.parent_basis
+                                                : nullptr;
     auto lp = SolveLp(work, lp_opt, warm);
-    if (lp.ok()) result.simplex_iterations += lp->iterations;
+    if (lp.ok()) {
+      result.simplex_iterations += lp->iterations;
+      if (is_root) {
+        result.root_simplex_iterations = lp->iterations;
+        result.root_warm_started = lp->warm_started;
+        result.root_basis = lp->basis;
+      }
+    }
     if (!lp.ok()) {
       if (lp.status().code() == StatusCode::kInfeasible) continue;
       if (lp.status().code() == StatusCode::kResourceExhausted) {

@@ -47,6 +47,12 @@ struct MipOptions {
   /// differs only in one variable bound, so a few dual-repair pivots
   /// replace a from-scratch solve). Disable to force cold starts.
   bool warm_start_nodes = true;
+  /// Optional warm start for the ROOT LP (not owned, must outlive the
+  /// solve): typically MipSolution::root_basis of a previous SolveMip on a
+  /// model with the same variable/row counts, or a matching LpSolution
+  /// basis. Honored even with warm_start_nodes = false; incompatible or
+  /// singular bases silently cold-start.
+  const LpBasis* root_warm_start = nullptr;
   MipHeuristic heuristic;  ///< optional primal heuristic
 };
 
@@ -58,6 +64,13 @@ struct MipSolution {
   /// Total simplex pivots across every node LP (warm-start effectiveness
   /// counter, compare warm_start_nodes on/off).
   int64_t simplex_iterations = 0;
+  /// Pivots spent on the root LP alone (root warm-start effectiveness).
+  int root_simplex_iterations = 0;
+  /// True when the root LP reused MipOptions::root_warm_start.
+  bool root_warm_started = false;
+  /// Optimal basis of the root LP relaxation; feed it into the next
+  /// SolveMip on the same model shape via MipOptions::root_warm_start.
+  LpBasis root_basis;
   bool proven_optimal = false;
   double solve_seconds = 0.0;
 };

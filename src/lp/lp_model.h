@@ -106,6 +106,26 @@ struct LpBasis {
   }
 };
 
+/// Per-phase wall-time breakdown of a simplex solve. Pricing dominating
+/// these numbers on the large compact LPs is the signal that would justify
+/// partial/candidate-list pricing (ROADMAP open item); the counters flow
+/// into the --json= perf artifacts so the question is decided from data.
+struct LpStats {
+  double pricing_seconds = 0.0;     ///< reduced-cost scan + Devex scoring
+  double ratio_test_seconds = 0.0;  ///< leaving-variable selection
+  double ftran_seconds = 0.0;       ///< B^-1 a_q solves (+ basic values)
+  double btran_seconds = 0.0;       ///< B^-T solves (pricing y, Devex rho)
+  double factor_seconds = 0.0;      ///< (re)factorizations + eta updates
+  LpStats& operator+=(const LpStats& o) {
+    pricing_seconds += o.pricing_seconds;
+    ratio_test_seconds += o.ratio_test_seconds;
+    ftran_seconds += o.ftran_seconds;
+    btran_seconds += o.btran_seconds;
+    factor_seconds += o.factor_seconds;
+    return *this;
+  }
+};
+
 /// Outcome of an LP solve.
 struct LpSolution {
   std::vector<double> x;
@@ -119,6 +139,8 @@ struct LpSolution {
   /// True when a caller-supplied starting basis was actually used.
   bool warm_started = false;
   double solve_seconds = 0.0;
+  /// Per-phase time breakdown (pricing vs ratio test vs ftran/btran).
+  LpStats stats;
   /// Final basis, reusable as a warm start for a related model.
   LpBasis basis;
 };

@@ -72,6 +72,7 @@ class RevisedSimplex {
     sol.warm_started = warm_used_;
     sol.basis = ExportBasis();
     sol.solve_seconds = timer.ElapsedSeconds();
+    sol.stats = stats_;
     return sol;
   }
 
@@ -244,9 +245,11 @@ class RevisedSimplex {
 
   /// Factorizes the current basis and recomputes x_B = B^-1 (b - N x_N).
   Status Refactorize() {
+    Timer t;
     Status st = factor_->Factorize(cols_, basis_);
     if (!st.ok()) return st;
     ComputeBasicValues();
+    stats_.factor_seconds += t.ElapsedSeconds();
     return Status::OK();
   }
 
@@ -304,7 +307,7 @@ class RevisedSimplex {
         const double infeas = SetPhase1Cost();
         if (infeas <= kFeasTolerance) return Status::OK();
       }
-      if (total_iterations_++ > opt_.max_iterations) {
+      if (total_iterations_ >= opt_.max_iterations) {
         return Status::ResourceExhausted("simplex iteration limit");
       }
       if (timed && timer->ElapsedSeconds() > opt_.time_limit_seconds) {
@@ -320,6 +323,7 @@ class RevisedSimplex {
       const bool bland = stall > opt_.stall_threshold;
 
       // Pricing: y = B^-T c_B, reduced costs d_j = c_j - y' A_j.
+      Timer phase_timer;
       y.assign(num_rows_, 0.0);
       bool any_cost = false;
       for (int pos = 0; pos < num_rows_; ++pos) {
@@ -330,7 +334,9 @@ class RevisedSimplex {
         }
       }
       if (any_cost) factor_->Btran(&y);
+      stats_.btran_seconds += phase_timer.ElapsedSeconds();
 
+      phase_timer.Reset();
       int entering = -1;
       int direction = 0;
       double best_score = 0.0;
@@ -362,18 +368,26 @@ class RevisedSimplex {
           direction = dir;
         }
       }
+      stats_.pricing_seconds += phase_timer.ElapsedSeconds();
       if (entering < 0) {
         if (!phase1) return Status::OK();  // optimal
         if (CurrentInfeasibility() <= kInfeasAccept) return Status::OK();
         return Status::Infeasible("phase-1 infeasibility " +
                                   std::to_string(CurrentInfeasibility()));
       }
+      // Only passes that change the solution count: a warm start from the
+      // optimal basis of an identical LP reports 0 iterations (the final
+      // optimality-detecting pricing pass is free).
+      ++total_iterations_;
 
       // Direction in basic space: w = B^-1 A_e.
+      phase_timer.Reset();
       w.assign(num_rows_, 0.0);
       for (const auto& [row, a] : cols_[entering]) w[row] = a;
       factor_->Ftran(&w);
+      stats_.ftran_seconds += phase_timer.ElapsedSeconds();
 
+      phase_timer.Reset();
       // Ratio test: entering moves by t >= 0 in `direction`. In phase 1 an
       // out-of-bounds basic variable moving toward feasibility blocks at
       // its violated bound (so it re-enters the feasible box exactly
@@ -410,6 +424,7 @@ class RevisedSimplex {
           leaving_to_upper = to_upper;
         }
       }
+      stats_.ratio_test_seconds += phase_timer.ElapsedSeconds();
       if (!std::isfinite(t_limit)) {
         if (phase1) {
           return Status::NumericalError("unbounded phase-1 ray");
@@ -433,9 +448,11 @@ class RevisedSimplex {
       // Devex reference-row BTRAN must see the pre-update basis.
       const bool update_devex = opt_.devex_pricing && !bland;
       if (update_devex) {
+        phase_timer.Reset();
         rho.assign(num_rows_, 0.0);
         rho[leaving_pos] = 1.0;
         factor_->Btran(&rho);
+        stats_.btran_seconds += phase_timer.ElapsedSeconds();
       }
 
       // Pivot: entering becomes basic in leaving_pos.
@@ -450,10 +467,14 @@ class RevisedSimplex {
           direction > 0 ? lower_[entering] + t : upper_[entering] - t;
 
       if (update_devex) {
+        phase_timer.Reset();
         UpdateDevexWeights(entering, leaving, w[leaving_pos], rho);
+        stats_.pricing_seconds += phase_timer.ElapsedSeconds();
       }
 
+      phase_timer.Reset();
       Status updated = factor_->Update(w, leaving_pos);
+      stats_.factor_seconds += phase_timer.ElapsedSeconds();
       if (!updated.ok() || factor_->eta_count() >= opt_.refactor_interval) {
         Status refactored = Refactorize();
         if (!refactored.ok()) return refactored;
@@ -513,6 +534,7 @@ class RevisedSimplex {
   bool warm_used_ = false;
   int total_iterations_ = 0;
   int phase1_iterations_ = 0;
+  LpStats stats_;
 };
 
 }  // namespace

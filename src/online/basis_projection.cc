@@ -1,0 +1,54 @@
+#include "online/basis_projection.h"
+
+#include <unordered_map>
+
+namespace savg {
+
+LpBasis ProjectCompactBasis(const LpBasis& old_basis,
+                            const CompactLpKeys& old_keys,
+                            const CompactLpKeys& new_keys,
+                            BasisProjectionDelta* delta) {
+  BasisProjectionDelta d;
+  LpBasis projected;
+  projected.structural.assign(new_keys.cols.size(),
+                              VarBasisStatus::kNonbasicLower);
+  projected.logical.assign(new_keys.rows.size(), VarBasisStatus::kBasic);
+
+  std::unordered_map<uint64_t, VarBasisStatus> old_cols;
+  old_cols.reserve(old_keys.cols.size());
+  for (size_t j = 0; j < old_keys.cols.size(); ++j) {
+    old_cols.emplace(old_keys.cols[j], old_basis.structural[j]);
+  }
+  for (size_t j = 0; j < new_keys.cols.size(); ++j) {
+    auto it = old_cols.find(new_keys.cols[j]);
+    if (it == old_cols.end()) {
+      ++d.new_cols;
+      continue;
+    }
+    projected.structural[j] = it->second;
+    ++d.surviving_cols;
+    old_cols.erase(it);
+  }
+  d.dropped_cols = static_cast<int>(old_cols.size());
+
+  std::unordered_map<uint64_t, VarBasisStatus> old_rows;
+  old_rows.reserve(old_keys.rows.size());
+  for (size_t i = 0; i < old_keys.rows.size(); ++i) {
+    old_rows.emplace(old_keys.rows[i], old_basis.logical[i]);
+  }
+  for (size_t i = 0; i < new_keys.rows.size(); ++i) {
+    auto it = old_rows.find(new_keys.rows[i]);
+    if (it == old_rows.end()) {
+      ++d.new_rows;
+      continue;
+    }
+    projected.logical[i] = it->second;
+    old_rows.erase(it);
+  }
+  d.dropped_rows = static_cast<int>(old_rows.size());
+
+  if (delta != nullptr) *delta = d;
+  return projected;
+}
+
+}  // namespace savg

@@ -1,0 +1,90 @@
+// Replayable session event log (TSV).
+//
+// One event per line, '#' comments, fixed header/footer:
+//
+//   svgicevents <version>
+//   pref <u> <c> <value>        set p(u, c) = value
+//   tau <u> <v> <c> <value>     set tau(u, v, c) = value (befriends u, v
+//                               when the edge does not exist yet)
+//   lambda <value>              set the preference/social trade-off
+//   join                        a new user joins (id = current n)
+//   friend <u> <v>              adds the friendship {u, v}
+//   leave <u>                   user u leaves (utilities zeroed)
+//   additem                     a new item appears (id = current m)
+//   retireitem <c>              item c retired (utilities zeroed)
+//   resolve                     re-optimize the configuration
+//   end
+//
+// The same log drives bench_online_sessions, `svgic_cli serve`, and the
+// incremental-vs-cold equivalence tests, so a serving trace captured once
+// replays bit-identically everywhere (all randomness is session-seeded).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace savg {
+
+enum class EventType {
+  kPref,
+  kTau,
+  kLambda,
+  kJoin,
+  kFriend,
+  kLeave,
+  kAddItem,
+  kRetireItem,
+  kResolve,
+};
+
+/// One mutation (or resolve trigger) of a live session.
+struct SessionEvent {
+  EventType type = EventType::kResolve;
+  UserId u = -1;
+  UserId v = -1;
+  ItemId c = -1;
+  double value = 0.0;
+
+  bool operator==(const SessionEvent& o) const {
+    return type == o.type && u == o.u && v == o.v && c == o.c &&
+           value == o.value;
+  }
+};
+
+using EventLog = std::vector<SessionEvent>;
+
+Status WriteEventLog(const EventLog& log, std::ostream* out);
+Status WriteEventLogToFile(const EventLog& log, const std::string& path);
+Result<EventLog> ReadEventLog(std::istream* in);
+Result<EventLog> ReadEventLogFromFile(const std::string& path);
+
+/// Knobs of the synthetic mutation-stream generator used by the bench and
+/// the property tests. Probabilities are relative weights.
+struct EventStreamParams {
+  int num_mutations = 100;
+  /// A resolve event is inserted after every this many mutations (and once
+  /// at the end).
+  int resolve_every = 5;
+  uint64_t seed = 1;
+  double w_pref = 0.55;
+  double w_tau = 0.25;
+  double w_friend = 0.08;
+  double w_join = 0.04;
+  double w_leave = 0.03;
+  double w_lambda = 0.02;
+  double w_add_item = 0.02;
+  double w_retire_item = 0.01;
+};
+
+/// Generates a valid event stream against `instance` (tracking the user /
+/// item counts its own join/additem events grow).
+EventLog GenerateEventStream(const SvgicInstance& instance,
+                             const EventStreamParams& params);
+
+}  // namespace savg

@@ -1,0 +1,298 @@
+#include "online/session.h"
+
+#include <algorithm>
+
+#include "core/csf.h"
+#include "core/objective.h"
+#include "online/basis_projection.h"
+#include "util/logging.h"
+
+namespace savg {
+
+const char* ResolvePathName(ResolvePath path) {
+  switch (path) {
+    case ResolvePath::kCold:
+      return "cold";
+    case ResolvePath::kIncremental:
+      return "incremental";
+    case ResolvePath::kColdFallback:
+      return "cold-fallback";
+  }
+  return "?";
+}
+
+Session::Session(SvgicInstance instance, SessionOptions options)
+    : instance_(std::move(instance)),
+      options_(options),
+      rng_(options.seed),
+      dirty_(instance_.num_users(), 0) {
+  instance_.FinalizePairs();
+}
+
+void Session::MarkDirty(UserId u) {
+  if (u >= 0 && u < static_cast<int>(dirty_.size())) dirty_[u] = 1;
+}
+
+std::vector<UserId> Session::CollectDirtyUsers() const {
+  std::vector<UserId> users;
+  if (all_dirty_) {
+    users.resize(instance_.num_users());
+    for (UserId u = 0; u < instance_.num_users(); ++u) users[u] = u;
+  } else {
+    for (UserId u = 0; u < static_cast<int>(dirty_.size()); ++u) {
+      if (dirty_[u]) users.push_back(u);
+    }
+  }
+  return users;
+}
+
+void Session::ClearDirty() {
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  all_dirty_ = false;
+}
+
+Status Session::PreferenceDelta(UserId u, ItemId c, double value) {
+  if (u < 0 || u >= instance_.num_users()) {
+    return Status::OutOfRange("unknown user");
+  }
+  if (c < 0 || c >= instance_.num_items()) {
+    return Status::OutOfRange("unknown item");
+  }
+  if (value < 0.0) {
+    return Status::InvalidArgument("preference must be >= 0");
+  }
+  instance_.set_p(u, c, value);
+  MarkDirty(u);
+  return Status::OK();
+}
+
+Status Session::TauDelta(UserId u, UserId v, ItemId c, double value) {
+  if (u < 0 || u >= instance_.num_users() || v < 0 ||
+      v >= instance_.num_users() || u == v) {
+    return Status::OutOfRange("invalid user pair");
+  }
+  if (c < 0 || c >= instance_.num_items()) {
+    return Status::OutOfRange("unknown item");
+  }
+  if (value < 0.0) {
+    return Status::InvalidArgument("social utility must be >= 0");
+  }
+  EdgeId e = instance_.graph().FindEdge(u, v);
+  if (e < 0) {
+    SAVG_RETURN_NOT_OK(instance_.AddFriendship(u, v));
+    e = instance_.graph().FindEdge(u, v);
+  }
+  instance_.SetTauValue(e, c, value);
+  MarkDirty(u);
+  MarkDirty(v);
+  return Status::OK();
+}
+
+Status Session::FriendAdded(UserId u, UserId v) {
+  if (u < 0 || u >= instance_.num_users() || v < 0 ||
+      v >= instance_.num_users() || u == v) {
+    return Status::OutOfRange("invalid user pair");
+  }
+  if (instance_.graph().HasEdge(u, v) && instance_.graph().HasEdge(v, u)) {
+    return Status::OK();  // already friends
+  }
+  SAVG_RETURN_NOT_OK(instance_.AddFriendship(u, v));
+  MarkDirty(u);
+  MarkDirty(v);
+  return Status::OK();
+}
+
+Result<UserId> Session::UserJoined() {
+  const UserId u = instance_.AddUser();
+  dirty_.resize(instance_.num_users(), 0);
+  MarkDirty(u);
+  return u;
+}
+
+Status Session::UserLeft(UserId u) {
+  if (u < 0 || u >= instance_.num_users()) {
+    return Status::OutOfRange("unknown user");
+  }
+  instance_.DeactivateUser(u);
+  MarkDirty(u);
+  // Neighbors lose their pair weights with u; their LP region changes and
+  // their units are worth re-rounding.
+  for (UserId v : instance_.graph().OutNeighbors(u)) MarkDirty(v);
+  for (UserId v : instance_.graph().InNeighbors(u)) MarkDirty(v);
+  return Status::OK();
+}
+
+Status Session::SetLambda(double lambda) {
+  if (lambda <= 0.0 || lambda > 1.0) {
+    return Status::InvalidArgument(
+        "session lambda must stay in (0, 1] (the compact LP needs "
+        "lambda > 0)");
+  }
+  instance_.set_lambda(lambda);
+  // Objective coefficients change everywhere: re-round every user. The LP
+  // shape is untouched, so the basis still warm-starts perfectly.
+  MarkAllDirty();
+  return Status::OK();
+}
+
+ItemId Session::ItemAdded() {
+  // A brand-new item has no utility for anyone, so no LP column appears
+  // and no user needs re-rounding until preferences arrive for it.
+  return instance_.AddItem();
+}
+
+Status Session::ItemRetired(ItemId c) {
+  if (c < 0 || c >= instance_.num_items()) {
+    return Status::OutOfRange("unknown item");
+  }
+  // Users who preferred c lose an LP column; users displaying c must be
+  // re-rounded; users with social weight on c are returned by RetireItem.
+  for (UserId u = 0; u < instance_.num_users(); ++u) {
+    if (instance_.p(u, c) > 0.0) MarkDirty(u);
+    // c can exceed the served configuration's item range when the item was
+    // added after the last Resolve; such an item is displayed nowhere.
+    if (HasConfig() && u < config_.num_users() && c < config_.num_items() &&
+        config_.Displays(u, c)) {
+      MarkDirty(u);
+    }
+  }
+  for (UserId u : instance_.RetireItem(c)) MarkDirty(u);
+  return Status::OK();
+}
+
+Status Session::ApplyEvent(const SessionEvent& event, ResolveReport* report) {
+  switch (event.type) {
+    case EventType::kPref:
+      return PreferenceDelta(event.u, event.c, event.value);
+    case EventType::kTau:
+      return TauDelta(event.u, event.v, event.c, event.value);
+    case EventType::kLambda:
+      return SetLambda(event.value);
+    case EventType::kJoin:
+      return UserJoined().status();
+    case EventType::kFriend:
+      return FriendAdded(event.u, event.v);
+    case EventType::kLeave:
+      return UserLeft(event.u);
+    case EventType::kAddItem:
+      ItemAdded();
+      return Status::OK();
+    case EventType::kRetireItem:
+      return ItemRetired(event.c);
+    case EventType::kResolve: {
+      auto resolved = Resolve();
+      if (!resolved.ok()) return resolved.status();
+      if (report != nullptr) *report = *resolved;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown event type");
+}
+
+Result<ResolveReport> Session::Resolve(bool force_cold) {
+  Timer total_timer;
+  const std::vector<UserId> dirty = CollectDirtyUsers();
+  instance_.RefinalizePairs(dirty);
+  SAVG_RETURN_NOT_OK(instance_.Validate());
+
+  const int n = instance_.num_users();
+  const int m = instance_.num_items();
+  const int k = instance_.num_slots();
+
+  CompactLpMap map;
+  auto lp = BuildCompactLp(instance_, &map);
+  if (!lp.ok()) return lp.status();
+  CompactLpKeys keys = BuildCompactLpKeys(instance_, map, *lp);
+
+  ResolveReport report;
+  report.num_dirty_users = static_cast<int>(dirty.size());
+
+  // Path decision: project the cached basis and measure the perturbation.
+  LpBasis projected;
+  if (valid_basis_ && !force_cold) {
+    BasisProjectionDelta delta;
+    projected = ProjectCompactBasis(basis_, keys_, keys, &delta);
+    report.changed_fraction = delta.ChangedFraction();
+    report.path = report.changed_fraction <= options_.cold_fraction_threshold
+                      ? ResolvePath::kIncremental
+                      : ResolvePath::kColdFallback;
+  } else {
+    report.path = ResolvePath::kCold;
+  }
+
+  Timer lp_timer;
+  auto sol = report.path == ResolvePath::kIncremental
+                 ? SolveLp(*lp, options_.simplex, &projected)
+                 : SolveLp(*lp, options_.simplex);
+  if (!sol.ok() && report.path == ResolvePath::kIncremental) {
+    // A numerically unusable projection must not take the session down.
+    report.path = ResolvePath::kColdFallback;
+    sol = SolveLp(*lp, options_.simplex);
+  }
+  if (!sol.ok()) return sol.status();
+  report.lp_seconds = lp_timer.ElapsedSeconds();
+  report.warm_started = sol->warm_started;
+  report.pivots = sol->iterations;
+  report.phase1_pivots = sol->phase1_iterations;
+  report.lp_objective = sol->objective;
+  report.lp_stats = sol->stats;
+
+  // Extract the compact fractional solution.
+  frac_ = FractionalSolution();
+  frac_.num_users = n;
+  frac_.num_items = m;
+  frac_.num_slots = k;
+  frac_.x.assign(static_cast<size_t>(n) * m, 0.0);
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId c = 0; c < m; ++c) {
+      const int var = map.XVar(u, c, m);
+      if (var >= 0) frac_.x[static_cast<size_t>(u) * m + c] = sol->x[var];
+    }
+  }
+  frac_.lp_objective = sol->objective;
+  frac_.exact = true;
+  frac_.simplex_iterations = sol->iterations;
+  frac_.warm_started = sol->warm_started;
+  frac_.lp_stats = sol->stats;
+  frac_.BuildSupporters(options_.prune_tolerance);
+
+  // Re-round: keep the previous configuration's units for clean users (on
+  // the incremental paths), leaving only dirty users' units eligible for
+  // the CSF sampling loop.
+  Timer rounding_timer;
+  std::vector<char> is_dirty(n, 0);
+  for (UserId u : dirty) is_dirty[u] = 1;
+  const bool keep_clean_units =
+      !force_cold && HasConfig() && report.path != ResolvePath::kCold;
+  CsfState state(instance_, frac_, options_.rounding.size_cap);
+  int kept_units = 0;
+  if (keep_clean_units) {
+    for (UserId u = 0; u < std::min(n, config_.num_users()); ++u) {
+      if (is_dirty[u]) continue;
+      for (SlotId s = 0; s < k; ++s) {
+        const ItemId c = config_.At(u, s);
+        if (c == kNoItem || c >= m) continue;
+        if (state.AssignUnit(u, s, c).ok()) ++kept_units;
+      }
+    }
+  }
+  report.rerounded_units = n * k - kept_units;
+
+  AvgOptions rounding = options_.rounding;
+  rounding.seed = rng_.Next();
+  auto rounded = RunCsfSampling(&state, rounding);
+  if (!rounded.ok()) return rounded.status();
+  config_ = std::move(rounded->config);
+  report.rounding_seconds = rounding_timer.ElapsedSeconds();
+  report.scaled_total = Evaluate(instance_, config_).ScaledTotal();
+
+  basis_ = std::move(sol->basis);
+  keys_ = std::move(keys);
+  valid_basis_ = true;
+  ClearDirty();
+  ++num_resolves_;
+  report.total_seconds = total_timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace savg

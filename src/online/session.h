@@ -1,0 +1,148 @@
+// A live SVGIC serving session with incremental warm-started re-solve.
+//
+// The paper's scenario is inherently online: shoppers join a VR store,
+// browse, befriend each other and leave while the co-display configuration
+// must stay near-optimal. A Session owns a mutable SvgicInstance, the
+// currently served k-configuration and the last compact-LP basis. The
+// mutation API marks dirty regions; Resolve() re-optimizes incrementally:
+//
+//   1. RefinalizePairs() updates only the pairs incident to dirty users,
+//   2. the cached simplex basis is projected onto the mutated LP
+//      (online/basis_projection.h) and warm-starts the re-solve — the
+//      composite phase 1 repairs the perturbed region in a few pivots,
+//   3. CSF rounding re-runs only for the dirty users: the previous
+//      configuration's untouched units are pre-assigned, so the sampling
+//      loop (core/avg.h RunCsfSampling) can only fill dirty users' slots,
+//
+// falling back to a cold solve when the perturbation is too large (the
+// changed-column fraction exceeds SessionOptions::cold_fraction_threshold)
+// or the warm solve fails. Each Resolve() reports which path ran plus the
+// pivot counts, so serving telemetry can track warm-start effectiveness.
+//
+// Sessions are not thread-safe; the SessionManager serializes per-session
+// access while running many sessions concurrently.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/avg.h"
+#include "core/configuration.h"
+#include "core/fractional_solution.h"
+#include "core/lp_formulation.h"
+#include "core/problem.h"
+#include "lp/simplex.h"
+#include "online/event_log.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace savg {
+
+struct SessionOptions {
+  SimplexOptions simplex;
+  /// Rounding knobs; the per-resolve seed is derived from `seed`.
+  AvgOptions rounding;
+  uint64_t seed = 1;
+  /// Supporter pruning threshold (as in RelaxationOptions).
+  double prune_tolerance = 1e-9;
+  /// Cold-solve fallback: re-solve from scratch when more than this
+  /// fraction of the compact LP's columns changed identity since the
+  /// cached basis (projection would mostly seed a cold basis anyway).
+  double cold_fraction_threshold = 0.3;
+};
+
+enum class ResolvePath {
+  kCold,          ///< no usable cached basis (first solve / forced)
+  kIncremental,   ///< warm-started from the projected cached basis
+  kColdFallback,  ///< perturbation too large or warm solve failed
+};
+
+const char* ResolvePathName(ResolvePath path);
+
+/// Telemetry of one Resolve() call.
+struct ResolveReport {
+  ResolvePath path = ResolvePath::kCold;
+  /// True when the simplex actually consumed the projected basis.
+  bool warm_started = false;
+  /// Simplex pivots of this re-solve (total / feasibility-repair only).
+  int pivots = 0;
+  int phase1_pivots = 0;
+  /// Fraction of LP columns whose identity changed since the last solve.
+  double changed_fraction = 0.0;
+  int num_dirty_users = 0;
+  /// (user, slot) units freed for re-rounding (k per dirty user).
+  int rerounded_units = 0;
+  double lp_objective = 0.0;
+  /// Scaled total of the served configuration after rounding.
+  double scaled_total = 0.0;
+  double lp_seconds = 0.0;
+  double rounding_seconds = 0.0;
+  double total_seconds = 0.0;
+  LpStats lp_stats;
+};
+
+class Session {
+ public:
+  /// Takes ownership of the instance (pairs are finalized here).
+  explicit Session(SvgicInstance instance, SessionOptions options = {});
+
+  const SvgicInstance& instance() const { return instance_; }
+  /// The currently served configuration (empty before the first Resolve).
+  const Configuration& config() const { return config_; }
+  bool HasConfig() const { return config_.num_users() > 0; }
+  int num_resolves() const { return num_resolves_; }
+
+  // --- Mutations (take effect at the next Resolve) -----------------------
+
+  /// Sets p(u, c) = value (absolute, not additive).
+  Status PreferenceDelta(UserId u, ItemId c, double value);
+  /// Sets tau(u, v, c) = value; befriends u and v when no edge exists.
+  Status TauDelta(UserId u, UserId v, ItemId c, double value);
+  /// Adds the friendship {u, v} with no social utility yet.
+  Status FriendAdded(UserId u, UserId v);
+  /// A new user joins with zero preferences; returns the id.
+  Result<UserId> UserJoined();
+  /// User u leaves: utilities zeroed, id stays valid (dense ids).
+  Status UserLeft(UserId u);
+  /// Sets lambda (must stay in (0, 1]; every user is re-rounded).
+  Status SetLambda(double lambda);
+  /// A new item appears with zero utilities; returns the id.
+  ItemId ItemAdded();
+  /// Item c retired: utilities zeroed, id stays valid.
+  Status ItemRetired(ItemId c);
+
+  /// Applies one replayed event (svgic_cli serve / bench). A kResolve
+  /// event triggers Resolve() and stores the report in `report`.
+  Status ApplyEvent(const SessionEvent& event, ResolveReport* report);
+
+  /// Re-optimizes: incremental warm-started LP + dirty-user re-rounding,
+  /// or a cold solve (see class comment). With `force_cold` the cached
+  /// basis and configuration are ignored (benchmark reference path).
+  Result<ResolveReport> Resolve(bool force_cold = false);
+
+ private:
+  void MarkDirty(UserId u);
+  void MarkAllDirty() { all_dirty_ = true; }
+  /// Dirty flags are only cleared once a Resolve() succeeds: a failed
+  /// re-solve must not lose which users' units are stale.
+  std::vector<UserId> CollectDirtyUsers() const;
+  void ClearDirty();
+
+  SvgicInstance instance_;
+  SessionOptions options_;
+  Rng rng_;
+
+  Configuration config_;
+  FractionalSolution frac_;
+  /// Basis + keys of the last compact-LP solve (valid_basis_ gates use).
+  LpBasis basis_;
+  CompactLpKeys keys_;
+  bool valid_basis_ = false;
+  int num_resolves_ = 0;
+
+  std::vector<char> dirty_;  ///< per-user dirty flag, indexed by id
+  bool all_dirty_ = false;
+};
+
+}  // namespace savg

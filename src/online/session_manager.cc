@@ -1,0 +1,106 @@
+#include "online/session_manager.h"
+
+namespace savg {
+
+SessionManager::SessionManager(int num_workers) : pool_(num_workers) {}
+
+SessionManager::~SessionManager() { Drain(); }
+
+int SessionManager::CreateSession(SvgicInstance instance,
+                                  SessionOptions options) {
+  auto entry = std::make_unique<Entry>();
+  entry->session =
+      std::make_unique<Session>(std::move(instance), options);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+int SessionManager::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(entries_.size());
+}
+
+Status SessionManager::Submit(int session_id, const SessionEvent& event) {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (session_id < 0 ||
+        session_id >= static_cast<int>(entries_.size())) {
+      return Status::OutOfRange("unknown session id");
+    }
+    entry = entries_[session_id].get();
+  }
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->queue.push_back(event);
+    if (!entry->running) {
+      entry->running = true;
+      schedule = true;
+    }
+  }
+  if (schedule) pool_.Submit([this, entry] { DrainEntry(entry); });
+  return Status::OK();
+}
+
+void SessionManager::DrainEntry(Entry* entry) {
+  for (;;) {
+    SessionEvent event;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (entry->queue.empty()) {
+        entry->running = false;
+        return;
+      }
+      event = entry->queue.front();
+      entry->queue.pop_front();
+    }
+    // Apply outside the lock: one drain task owns the session at a time,
+    // so the session itself needs no synchronization.
+    ResolveReport report;
+    const bool is_resolve = event.type == EventType::kResolve;
+    Status st = entry->session->ApplyEvent(event, &report);
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (st.ok() && is_resolve) {
+      entry->reports.push_back(report);
+    } else if (!st.ok() && entry->first_error.ok()) {
+      entry->first_error = st;
+    }
+  }
+}
+
+void SessionManager::Drain() { pool_.Wait(); }
+
+const Session& SessionManager::session(int session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // at(): an unknown id throws instead of reading out of bounds (Submit
+  // returns a Status for the same input; accessors have no error channel).
+  return *entries_.at(session_id)->session;
+}
+
+std::vector<ResolveReport> SessionManager::reports(int session_id) const {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry = entries_.at(session_id).get();
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->reports;
+}
+
+Status SessionManager::FirstError() const {
+  std::vector<Entry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& e : entries_) entries.push_back(e.get());
+  }
+  for (Entry* entry : entries) {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->first_error.ok()) return entry->first_error;
+  }
+  return Status::OK();
+}
+
+}  // namespace savg

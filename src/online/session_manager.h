@@ -1,0 +1,76 @@
+// Multiplexes many live Sessions over one worker pool.
+//
+// Sessions are single-threaded objects; the manager guarantees that the
+// events of one session are applied in submission order by at most one
+// worker at a time (per-session serialization), while distinct sessions
+// run concurrently on util/thread_pool. Submit() never blocks: it enqueues
+// the event and schedules a drain task when the session is idle; a running
+// drain task keeps consuming its session's queue until empty, so each
+// session's event order is exactly its Submit() order regardless of the
+// worker count.
+//
+// Resolve reports are collected per session in event order (the serving
+// telemetry the bench aggregates into p50/p99 latencies).
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "online/event_log.h"
+#include "online/session.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace savg {
+
+class SessionManager {
+ public:
+  /// Starts `num_workers` pool threads (<= 0 = all cores).
+  explicit SessionManager(int num_workers = 0);
+  /// Drains all pending events, then joins the workers.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Registers a live session; returns its id. The session's pairs are
+  /// finalized by the Session constructor.
+  int CreateSession(SvgicInstance instance, SessionOptions options = {});
+
+  int num_sessions() const;
+
+  /// Enqueues one event for `session_id`. Never blocks. Event application
+  /// errors are recorded (see FirstError) without stopping the stream.
+  Status Submit(int session_id, const SessionEvent& event);
+
+  /// Blocks until every submitted event has been applied.
+  void Drain();
+
+  /// Read access; only safe after Drain() (or before any Submit).
+  const Session& session(int session_id) const;
+  /// Resolve reports of the session, in event order.
+  std::vector<ResolveReport> reports(int session_id) const;
+  /// First event-application error across all sessions, or OK.
+  Status FirstError() const;
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::unique_ptr<Session> session;
+    std::deque<SessionEvent> queue;
+    bool running = false;  ///< a drain task owns this session right now
+    std::vector<ResolveReport> reports;
+    Status first_error = Status::OK();
+  };
+
+  void DrainEntry(Entry* entry);
+
+  mutable std::mutex mu_;  ///< guards entries_ growth
+  std::vector<std::unique_ptr<Entry>> entries_;
+  ThreadPool pool_;
+};
+
+}  // namespace savg

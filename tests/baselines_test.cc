@@ -151,6 +151,32 @@ TEST(BaselinesTest, IpUnderNodeLimitStillReturnsIncumbent) {
   EXPECT_GT(ip->scaled_objective, 0.0);
 }
 
+TEST(BaselinesTest, IpRootWarmStartReducesRootPivots) {
+  // IpExactOptions::root_warm_start: the root basis of a previous solve on
+  // the same expanded-LP shape (here: the same instance at another lambda)
+  // warm-starts the next root LP instead of re-solving it cold.
+  SvgicInstance inst = RandomInstance(5, 7, 2, 61);
+  auto cold = SolveIpExact(inst);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->root_warm_started);
+  ASSERT_FALSE(cold->root_basis.Empty());
+  ASSERT_GT(cold->root_simplex_iterations, 0);
+
+  inst.set_lambda(0.65);  // objective changes, LP shape stays
+  IpExactOptions warm_opt;
+  warm_opt.root_warm_start = &cold->root_basis;
+  auto warm = SolveIpExact(inst, warm_opt);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->root_warm_started);
+  EXPECT_LT(warm->root_simplex_iterations, cold->root_simplex_iterations);
+
+  auto reference = SolveIpExact(inst);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_TRUE(warm->proven_optimal);
+  ASSERT_TRUE(reference->proven_optimal);
+  EXPECT_NEAR(warm->scaled_objective, reference->scaled_objective, 1e-6);
+}
+
 TEST(BaselinesTest, BruteForceLimitsReported) {
   SvgicInstance inst = RandomInstance(6, 8, 3, 51);
   BruteForceOptions opt;

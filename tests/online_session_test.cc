@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/lp_formulation.h"
+#include "core/objective.h"
+#include "datagen/datasets.h"
+#include "online/basis_projection.h"
+#include "online/event_log.h"
+#include "online/session.h"
+#include "online/session_manager.h"
+
+namespace savg {
+namespace {
+
+SvgicInstance RandomInstance(int n, int m, int k, double lambda,
+                             uint64_t seed) {
+  DatasetParams params;
+  params.kind = DatasetKind::kTimik;
+  params.num_users = n;
+  params.num_items = m;
+  params.num_slots = k;
+  params.lambda = lambda;
+  params.seed = seed;
+  params.universe_users = 4 * n + 20;
+  auto inst = GenerateDataset(params);
+  EXPECT_TRUE(inst.ok()) << inst.status();
+  return std::move(inst).value();
+}
+
+/// Exact LP objective of the session's current instance, solved cold.
+double ColdLpObjective(const SvgicInstance& instance) {
+  RelaxationOptions options;
+  options.method = RelaxationMethod::kSimplex;
+  auto frac = SolveRelaxation(instance, options);
+  EXPECT_TRUE(frac.ok()) << frac.status();
+  return frac->lp_objective;
+}
+
+TEST(OnlineSessionTest, FirstResolveIsColdAndComplete) {
+  Session session(RandomInstance(12, 20, 3, 0.5, 7));
+  auto report = session.Resolve();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->path, ResolvePath::kCold);
+  EXPECT_FALSE(report->warm_started);
+  EXPECT_TRUE(session.config().IsComplete());
+  EXPECT_TRUE(session.config().CheckValid().ok());
+  EXPECT_GT(report->lp_objective, 0.0);
+  EXPECT_GT(report->scaled_total, 0.0);
+}
+
+TEST(OnlineSessionTest, NoMutationResolveIsFreeIncremental) {
+  Session session(RandomInstance(12, 20, 3, 0.5, 7));
+  ASSERT_TRUE(session.Resolve().ok());
+  auto again = session.Resolve();
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->path, ResolvePath::kIncremental);
+  EXPECT_TRUE(again->warm_started);
+  // Re-solving from the optimal basis of the identical LP does no pivot
+  // (the counter includes the final optimality-detecting pricing pass).
+  EXPECT_LE(again->pivots, 1);
+  EXPECT_EQ(again->rerounded_units, 0);
+}
+
+TEST(OnlineSessionTest, SingleUserMutationPivotsAtLeast40PercentBelowCold) {
+  // The acceptance workload: a bench-sized instance (larger than the
+  // bench_online_sessions stream's n=20), one user's preferences
+  // perturbed, incremental vs cold pivot counts. The m=40 bench shape at
+  // n=24 keeps the cold reference in the thousands of pivots while
+  // staying well inside the ctest timeout under ASan (the two cold
+  // solves dominate the test).
+  SvgicInstance base = RandomInstance(24, 40, 3, 0.5, 11);
+  Session session(base, SessionOptions{});
+  ASSERT_TRUE(session.Resolve().ok());
+
+  ASSERT_TRUE(session.PreferenceDelta(3, 5, 0.9).ok());
+  ASSERT_TRUE(session.PreferenceDelta(3, 17, 0.05).ok());
+  auto warm = session.Resolve();
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(warm->path, ResolvePath::kIncremental);
+  EXPECT_TRUE(warm->warm_started);
+
+  // Cold reference: a fresh session over the mutated instance.
+  Session cold_session(session.instance(), SessionOptions{});
+  auto cold = cold_session.Resolve(/*force_cold=*/true);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(cold->path, ResolvePath::kCold);
+
+  EXPECT_NEAR(warm->lp_objective, cold->lp_objective,
+              1e-6 * std::max(1.0, std::abs(cold->lp_objective)));
+  ASSERT_GT(cold->pivots, 0);
+  EXPECT_LE(warm->pivots, 0.6 * cold->pivots)
+      << "incremental " << warm->pivots << " vs cold " << cold->pivots;
+}
+
+TEST(OnlineSessionTest, ResolveMatchesColdSolveAfterAnyMutationSequence) {
+  // Property: after any mutation sequence, the incremental re-solve
+  // reaches the same LP optimum as a cold solve of the mutated instance,
+  // and the served configuration stays complete and valid.
+  for (uint64_t stream_seed = 1; stream_seed <= 3; ++stream_seed) {
+    SvgicInstance base = RandomInstance(14, 24, 3, 0.5, 100 + stream_seed);
+    EventStreamParams stream;
+    stream.num_mutations = 40;
+    stream.resolve_every = 8;
+    stream.seed = stream_seed;
+    const EventLog log = GenerateEventStream(base, stream);
+
+    Session session(std::move(base));
+    ASSERT_TRUE(session.Resolve().ok());
+    for (const SessionEvent& event : log) {
+      if (event.type != EventType::kResolve) {
+        ASSERT_TRUE(session.ApplyEvent(event, nullptr).ok())
+            << "stream " << stream_seed;
+        continue;
+      }
+      auto report = session.Resolve();
+      ASSERT_TRUE(report.ok()) << report.status();
+      const double cold_obj = ColdLpObjective(session.instance());
+      EXPECT_NEAR(report->lp_objective, cold_obj,
+                  1e-6 * std::max(1.0, std::abs(cold_obj)))
+          << "stream " << stream_seed << " path "
+          << ResolvePathName(report->path);
+      EXPECT_TRUE(session.config().IsComplete());
+      EXPECT_TRUE(session.config().CheckValid().ok());
+      EXPECT_EQ(session.config().num_users(),
+                session.instance().num_users());
+      EXPECT_EQ(session.config().num_items(),
+                session.instance().num_items());
+    }
+  }
+}
+
+TEST(OnlineSessionTest, MutationsDriveStructuralChanges) {
+  Session session(RandomInstance(10, 16, 3, 0.5, 21));
+  ASSERT_TRUE(session.Resolve().ok());
+
+  auto joined = session.UserJoined();
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(*joined, 10);
+  ASSERT_TRUE(session.PreferenceDelta(*joined, 2, 0.8).ok());
+  ASSERT_TRUE(session.TauDelta(*joined, 0, 2, 0.5).ok());
+  const ItemId item = session.ItemAdded();
+  EXPECT_EQ(item, 16);
+  ASSERT_TRUE(session.PreferenceDelta(1, item, 0.7).ok());
+  ASSERT_TRUE(session.ItemRetired(0).ok());
+  ASSERT_TRUE(session.UserLeft(4).ok());
+
+  auto report = session.Resolve();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(session.config().num_users(), 11);
+  EXPECT_EQ(session.config().num_items(), 17);
+  EXPECT_TRUE(session.config().IsComplete());
+  const double cold_obj = ColdLpObjective(session.instance());
+  EXPECT_NEAR(report->lp_objective, cold_obj,
+              1e-6 * std::max(1.0, std::abs(cold_obj)));
+  // A departed user contributes nothing to the objective.
+  for (ItemId c = 0; c < session.instance().num_items(); ++c) {
+    EXPECT_EQ(session.instance().p(4, c), 0.0);
+  }
+}
+
+TEST(OnlineSessionTest, LambdaChangeKeepsShapeAndWarmStarts) {
+  Session session(RandomInstance(16, 24, 3, 0.5, 5));
+  ASSERT_TRUE(session.Resolve().ok());
+  ASSERT_TRUE(session.SetLambda(0.7).ok());
+  auto report = session.Resolve();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->path, ResolvePath::kIncremental);
+  EXPECT_TRUE(report->warm_started);
+  EXPECT_EQ(report->changed_fraction, 0.0);
+  const double cold_obj = ColdLpObjective(session.instance());
+  EXPECT_NEAR(report->lp_objective, cold_obj,
+              1e-6 * std::max(1.0, std::abs(cold_obj)));
+}
+
+TEST(OnlineSessionTest, RetiringItemAddedSinceLastResolveIsSafe) {
+  // Regression: the served configuration predates the added item, so the
+  // retire path must not probe config slots for the new id.
+  Session session(RandomInstance(8, 12, 2, 0.5, 9));
+  ASSERT_TRUE(session.Resolve().ok());
+  const ItemId item = session.ItemAdded();
+  ASSERT_TRUE(session.ItemRetired(item).ok());
+  auto report = session.Resolve();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(session.config().num_items(), 13);
+  EXPECT_TRUE(session.config().IsComplete());
+}
+
+TEST(OnlineSessionTest, RejectsInvalidMutations) {
+  Session session(RandomInstance(8, 12, 2, 0.5, 3));
+  EXPECT_FALSE(session.PreferenceDelta(99, 0, 0.5).ok());
+  EXPECT_FALSE(session.PreferenceDelta(0, 99, 0.5).ok());
+  EXPECT_FALSE(session.PreferenceDelta(0, 0, -0.5).ok());
+  EXPECT_FALSE(session.TauDelta(0, 0, 0, 0.5).ok());  // self pair
+  EXPECT_FALSE(session.SetLambda(0.0).ok());
+  EXPECT_FALSE(session.SetLambda(1.5).ok());
+  EXPECT_FALSE(session.UserLeft(-1).ok());
+  EXPECT_FALSE(session.ItemRetired(99).ok());
+}
+
+TEST(EventLogTest, RoundTripsThroughTsv) {
+  SvgicInstance base = RandomInstance(10, 15, 3, 0.5, 2);
+  EventStreamParams params;
+  params.num_mutations = 60;
+  params.resolve_every = 7;
+  params.seed = 9;
+  const EventLog log = GenerateEventStream(base, params);
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().type, EventType::kResolve);
+
+  std::stringstream stream;
+  ASSERT_TRUE(WriteEventLog(log, &stream).ok());
+  auto parsed = ReadEventLog(&stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), log.size());
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_TRUE((*parsed)[i] == log[i]) << "event " << i;
+  }
+}
+
+TEST(EventLogTest, RejectsMalformedInput) {
+  {
+    std::stringstream s("pref 0 1 0.5\nend\n");
+    EXPECT_FALSE(ReadEventLog(&s).ok());  // missing header
+  }
+  {
+    std::stringstream s("svgicevents 1\npref 0\nend\n");
+    EXPECT_FALSE(ReadEventLog(&s).ok());  // truncated args
+  }
+  {
+    std::stringstream s("svgicevents 1\nwarp 1 2\nend\n");
+    EXPECT_FALSE(ReadEventLog(&s).ok());  // unknown event
+  }
+  {
+    std::stringstream s("svgicevents 1\nresolve\n");
+    EXPECT_FALSE(ReadEventLog(&s).ok());  // missing end
+  }
+}
+
+TEST(BasisProjectionTest, IdentityProjectionIsExact) {
+  SvgicInstance inst = RandomInstance(10, 16, 3, 0.5, 13);
+  CompactLpMap map;
+  auto lp = BuildCompactLp(inst, &map);
+  ASSERT_TRUE(lp.ok());
+  auto sol = SolveLp(*lp);
+  ASSERT_TRUE(sol.ok());
+  const CompactLpKeys keys = BuildCompactLpKeys(inst, map, *lp);
+
+  BasisProjectionDelta delta;
+  const LpBasis projected =
+      ProjectCompactBasis(sol->basis, keys, keys, &delta);
+  EXPECT_EQ(delta.ChangedFraction(), 0.0);
+  EXPECT_EQ(delta.new_cols, 0);
+  EXPECT_EQ(delta.dropped_cols, 0);
+  auto warm = SolveLp(*lp, SimplexOptions{}, &projected);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_started);
+  EXPECT_EQ(warm->iterations, 0);
+  EXPECT_NEAR(warm->objective, sol->objective, 1e-9);
+}
+
+TEST(BasisProjectionTest, ProjectsAcrossAddedUser) {
+  SvgicInstance inst = RandomInstance(12, 18, 3, 0.5, 17);
+  CompactLpMap map;
+  auto lp = BuildCompactLp(inst, &map);
+  ASSERT_TRUE(lp.ok());
+  auto sol = SolveLp(*lp);
+  ASSERT_TRUE(sol.ok());
+  const CompactLpKeys keys = BuildCompactLpKeys(inst, map, *lp);
+
+  // Mutate: a new user joins, befriends user 0 and likes two items.
+  const UserId nu = inst.AddUser();
+  ASSERT_TRUE(inst.AddFriendship(nu, 0).ok());
+  inst.set_p(nu, 1, 0.9);
+  inst.set_p(nu, 2, 0.4);
+  inst.SetTauValue(inst.graph().FindEdge(nu, 0), 1, 0.6);
+  inst.RefinalizePairs({nu, 0});
+  ASSERT_TRUE(inst.Validate().ok());
+
+  CompactLpMap new_map;
+  auto new_lp = BuildCompactLp(inst, &new_map);
+  ASSERT_TRUE(new_lp.ok());
+  const CompactLpKeys new_keys = BuildCompactLpKeys(inst, new_map, *new_lp);
+
+  BasisProjectionDelta delta;
+  const LpBasis projected =
+      ProjectCompactBasis(sol->basis, keys, new_keys, &delta);
+  EXPECT_GT(delta.new_cols, 0);
+  EXPECT_GT(delta.surviving_cols, 0);
+
+  auto cold = SolveLp(*new_lp);
+  auto warm = SolveLp(*new_lp, SimplexOptions{}, &projected);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->warm_started);
+  EXPECT_NEAR(warm->objective, cold->objective, 1e-7);
+  EXPECT_LT(warm->iterations, cold->iterations);
+}
+
+TEST(SessionManagerTest, ConcurrentSessionsMatchSerialReplay) {
+  const int kSessions = 3;
+  std::vector<SvgicInstance> bases;
+  std::vector<EventLog> logs;
+  for (int i = 0; i < kSessions; ++i) {
+    bases.push_back(RandomInstance(10, 16, 2, 0.5, 300 + i));
+    EventStreamParams stream;
+    stream.num_mutations = 20;
+    stream.resolve_every = 5;
+    stream.seed = 40 + i;
+    logs.push_back(GenerateEventStream(bases.back(), stream));
+  }
+
+  // Serial reference.
+  std::vector<double> serial_totals;
+  std::vector<Configuration> serial_configs;
+  for (int i = 0; i < kSessions; ++i) {
+    SessionOptions options;
+    options.seed = 1000 + i;
+    Session session(bases[i], options);
+    ResolveReport last;
+    for (const SessionEvent& event : logs[i]) {
+      ASSERT_TRUE(session.ApplyEvent(event, &last).ok());
+    }
+    serial_totals.push_back(last.scaled_total);
+    serial_configs.push_back(session.config());
+  }
+
+  // Concurrent replay must be bit-identical (per-session serialization +
+  // session-seeded randomness; worker count must not matter).
+  for (int workers : {1, 4}) {
+    SessionManager manager(workers);
+    std::vector<int> ids;
+    for (int i = 0; i < kSessions; ++i) {
+      SessionOptions options;
+      options.seed = 1000 + i;
+      ids.push_back(manager.CreateSession(bases[i], options));
+    }
+    for (int i = 0; i < kSessions; ++i) {
+      for (const SessionEvent& event : logs[i]) {
+        ASSERT_TRUE(manager.Submit(ids[i], event).ok());
+      }
+    }
+    manager.Drain();
+    ASSERT_TRUE(manager.FirstError().ok()) << manager.FirstError();
+    for (int i = 0; i < kSessions; ++i) {
+      const auto reports = manager.reports(ids[i]);
+      ASSERT_FALSE(reports.empty());
+      EXPECT_DOUBLE_EQ(reports.back().scaled_total, serial_totals[i])
+          << "session " << i << " workers " << workers;
+      const Configuration& config = manager.session(ids[i]).config();
+      ASSERT_EQ(config.num_users(), serial_configs[i].num_users());
+      for (UserId u = 0; u < config.num_users(); ++u) {
+        for (SlotId s = 0; s < config.num_slots(); ++s) {
+          EXPECT_EQ(config.At(u, s), serial_configs[i].At(u, s))
+              << "session " << i << " unit (" << u << ", " << s << ")";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace savg

@@ -4,6 +4,8 @@
 Usage:
     perf_compare.py BASELINE.json CURRENT.json [CURRENT2.json ...]
                     [--max-ratio 2.0] [--min-seconds 0.05]
+    perf_compare.py --cold-reference CURRENT.json [CURRENT2.json ...]
+                    [--max-ratio 0.75] [--min-seconds 0.05]
 
 Each file is the {"metrics": [{"name", "seconds"}, ...]} object written by
 bench binaries via --json= (bench/bench_util.h). The gate fails (exit 1)
@@ -12,6 +14,14 @@ than max-ratio x its baseline AND both sides exceed min-seconds in
 absolute terms (the floor keeps sub-50ms timer noise from flapping CI). Metrics missing on
 either side are reported but never fail the gate, so adding or renaming
 benches does not require a lockstep baseline update.
+
+--cold-reference gates without a checked-in baseline: every metric pair
+"X (incremental)" / "X (cold)" measured in the SAME run must satisfy
+incremental <= max-ratio x cold (default 0.75 in this mode). Both sides
+scale with the machine, so hosted-runner speed differences cannot flap the
+gate the way an absolute checked-in baseline can — this is the gate for
+the warm-started online serving path (bench_online_sessions), which is
+only correct if it stays well under the same run's cold re-solves.
 
 Refresh the baseline with a Release build on a quiet machine:
     ./build/bench_fig4_lambda --json=f4.json --benchmark_filter=DISABLED_none
@@ -35,17 +45,73 @@ def load_metrics(path):
     return metrics
 
 
+INCREMENTAL_SUFFIX = " (incremental)"
+COLD_SUFFIX = " (cold)"
+
+
+def compare_cold_reference(metrics, max_ratio, min_seconds):
+    """Gates incremental metrics against their same-run cold partners."""
+    pairs = 0
+    failures = []
+    for name, seconds in sorted(metrics.items()):
+        if not name.endswith(INCREMENTAL_SUFFIX):
+            continue
+        cold_name = name[: -len(INCREMENTAL_SUFFIX)] + COLD_SUFFIX
+        cold = metrics.get(cold_name)
+        if cold is None:
+            print(f"  unpaired incremental metric (no cold partner): {name}")
+            continue
+        pairs += 1
+        ratio = seconds / cold if cold > 0 else float("inf")
+        marker = "ok"
+        # The noise floor only exempts a fast INCREMENTAL side: a tiny
+        # cold reference with a slow incremental is exactly the regression
+        # this gate exists to catch.
+        if ratio > max_ratio and seconds > min_seconds:
+            marker = "REGRESSION"
+            failures.append(name)
+        print(f"  {marker:>10}: {name}: {seconds:.3f}s "
+              f"(cold {cold:.3f}s, ratio {ratio:.2f})")
+    if pairs == 0:
+        # A rename silently disabling the gate must not look green.
+        print("no (incremental)/(cold) metric pairs found")
+        return 1
+    if failures:
+        print(f"\n{len(failures)} incremental metric(s) above "
+              f"{max_ratio}x their same-run cold reference: "
+              f"{', '.join(failures)}")
+        return 1
+    print("\ncold-reference gate ok")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="baseline json (or first file with --merge)")
-    parser.add_argument("current", nargs="+", help="current-run json files")
-    parser.add_argument("--max-ratio", type=float, default=2.0,
-                        help="fail when current > ratio x baseline")
+    parser.add_argument("baseline", help="baseline json (or first file with --merge / --cold-reference)")
+    parser.add_argument("current", nargs="*", help="current-run json files")
+    parser.add_argument("--max-ratio", type=float, default=None,
+                        help="fail when current > ratio x baseline "
+                             "(default 2.0; 0.75 with --cold-reference)")
     parser.add_argument("--min-seconds", type=float, default=0.05,
                         help="ignore metrics below this absolute time")
     parser.add_argument("--merge", action="store_true",
                         help="merge all inputs into one json on stdout")
+    parser.add_argument("--cold-reference", action="store_true",
+                        help="gate (incremental) metrics against the "
+                             "same-run (cold) partner instead of a "
+                             "checked-in baseline")
     args = parser.parse_args()
+
+    if args.cold_reference:
+        metrics = {}
+        for path in [args.baseline] + args.current:
+            metrics.update(load_metrics(path))
+        max_ratio = args.max_ratio if args.max_ratio is not None else 0.75
+        return compare_cold_reference(metrics, max_ratio, args.min_seconds)
+    if args.max_ratio is None:
+        args.max_ratio = 2.0
+    if not args.current:
+        parser.error("need BASELINE.json plus at least one CURRENT.json")
 
     if args.merge:
         merged = {}
