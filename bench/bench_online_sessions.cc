@@ -48,11 +48,15 @@ EventStreamParams ServingStream(uint64_t seed) {
 
 struct ReplayStats {
   std::vector<double> resolve_seconds;
+  /// Served utility after each resolve, aligned across replays of the
+  /// same stream (the drift comparison pairs these up).
+  std::vector<double> resolve_totals;
   int64_t pivots = 0;
   int64_t phase1_pivots = 0;
   int incremental = 0;
   int cold = 0;
   int cold_fallback = 0;
+  int full_rerounds = 0;
   double last_total = 0.0;
 
   double TotalSeconds() const {
@@ -62,12 +66,29 @@ struct ReplayStats {
   }
 };
 
+/// Mean relative utility shortfall vs a reference replay of the same
+/// stream (how much rounding drift the incremental path accumulates).
+double MeanDrift(const ReplayStats& stats, const ReplayStats& reference) {
+  const size_t n =
+      std::min(stats.resolve_totals.size(), reference.resolve_totals.size());
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (reference.resolve_totals[i] > 0.0) {
+      acc += (reference.resolve_totals[i] - stats.resolve_totals[i]) /
+             reference.resolve_totals[i];
+    }
+  }
+  return acc / static_cast<double>(n);
+}
+
 /// Replays `log` through one session; `force_cold` turns every resolve
 /// into the from-scratch reference.
 ReplayStats Replay(const SvgicInstance& base, const EventLog& log,
-                   bool force_cold) {
+                   bool force_cold, int full_reround_period = 0) {
   SessionOptions options;
   options.seed = 7;
+  options.full_reround_period = full_reround_period;
   Session session(base, options);
   ReplayStats stats;
   for (const SessionEvent& event : log) {
@@ -85,8 +106,10 @@ ReplayStats Replay(const SvgicInstance& base, const EventLog& log,
       continue;
     }
     stats.resolve_seconds.push_back(report->total_seconds);
+    stats.resolve_totals.push_back(report->scaled_total);
     stats.pivots += report->pivots;
     stats.phase1_pivots += report->phase1_pivots;
+    if (report->full_reround) ++stats.full_rerounds;
     switch (report->path) {
       case ResolvePath::kIncremental:
         ++stats.incremental;
@@ -130,10 +153,15 @@ void PrintTables() {
   Timer cold_timer;
   const ReplayStats cold = Replay(*inst, log, /*force_cold=*/true);
   const double cold_seconds = cold_timer.ElapsedSeconds();
+  // Periodic full re-round (every 4 resolves): bounds the rounding drift
+  // the incremental path accumulates while keeping the warm LP.
+  const ReplayStats reround =
+      Replay(*inst, log, /*force_cold=*/false, /*full_reround_period=*/4);
 
   Table t({"path", "resolves", "pivots", "p50 (ms)", "p99 (ms)",
            "incremental", "cold", "final utility"});
   PrintReplayRow(&t, "incremental", incr);
+  PrintReplayRow(&t, "incremental+reround", reround);
   PrintReplayRow(&t, "cold", cold);
   t.Print("Online sessions: " + std::to_string(log.size()) +
           "-event stream (n=20, m=40, k=3)");
@@ -141,7 +169,13 @@ void PrintTables() {
             << benchutil::Ratio(static_cast<double>(incr.pivots),
                                 static_cast<double>(cold.pivots))
             << " (phase-1 " << incr.phase1_pivots << " vs "
-            << cold.phase1_pivots << ")\n\n";
+            << cold.phase1_pivots << ")\n";
+  const double drift_plain = MeanDrift(incr, cold);
+  const double drift_reround = MeanDrift(reround, cold);
+  std::cout << "rounding drift vs cold replay: "
+            << FormatPercent(drift_plain) << " without full re-round, "
+            << FormatPercent(drift_reround) << " with period 4 ("
+            << reround.full_rerounds << " full re-rounds)\n\n";
 
   benchutil::RecordMetric("online sessions | stream replay (incremental)",
                           incr_seconds);
@@ -158,6 +192,20 @@ void PrintTables() {
                           Percentile(incr.resolve_seconds, 99));
   benchutil::RecordMetric("online sessions | p99 resolve - cold",
                           Percentile(cold.resolve_seconds, 99));
+  // Which resolve path ran, and the drift numbers, land in the artifact so
+  // regressions in the fallback heuristic (cold_fraction_threshold) or in
+  // rounding drift are visible from CI runs alone. Counts/fractions, not
+  // seconds — never part of a timing gate.
+  benchutil::RecordMetric("online sessions | path count - incremental",
+                          static_cast<double>(incr.incremental));
+  benchutil::RecordMetric("online sessions | path count - cold fallback",
+                          static_cast<double>(incr.cold_fallback));
+  benchutil::RecordMetric("online sessions | path count - cold",
+                          static_cast<double>(incr.cold));
+  benchutil::RecordMetric("online sessions | drift without reround",
+                          drift_plain);
+  benchutil::RecordMetric("online sessions | drift with reround period 4",
+                          drift_reround);
 
   // Multi-session throughput: distinct sessions replay concurrently over
   // the shared pool; per-session serialization keeps each replay

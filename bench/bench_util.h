@@ -56,6 +56,25 @@ inline std::string& JsonPath() {
   return path;
 }
 
+/// --shards= override for the sharded solve paths (0 = plan default).
+inline int& ShardsOverride() {
+  static int shards = 0;
+  return shards;
+}
+
+/// --shard-gap= override for the dual-coordination gap tolerance
+/// (< 0 = option default).
+inline double& ShardGapOverride() {
+  static double gap = -1.0;
+  return gap;
+}
+
+/// Applies the --shards=/--shard-gap= overrides to a ShardSolveOptions.
+inline void ApplyShardOverrides(ShardSolveOptions* options) {
+  if (ShardsOverride() > 0) options->plan.num_shards = ShardsOverride();
+  if (ShardGapOverride() >= 0.0) options->gap_tolerance = ShardGapOverride();
+}
+
 /// One perf-smoke metric: a stable name and its wall-clock seconds.
 struct JsonMetric {
   std::string name;
@@ -143,6 +162,26 @@ inline void ConsumeFlags(int* argc, char** argv) {
         std::exit(2);
       }
       JsonPath() = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      const char* value = argv[i] + 9;
+      char* end = nullptr;
+      const long shards = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || shards < 0) {
+        std::cerr << "--shards expects a non-negative integer, got \""
+                  << value << "\"\n";
+        std::exit(2);
+      }
+      ShardsOverride() = static_cast<int>(shards);
+    } else if (std::strncmp(argv[i], "--shard-gap=", 12) == 0) {
+      const char* value = argv[i] + 12;
+      char* end = nullptr;
+      const double gap = std::strtod(value, &end);
+      if (end == value || *end != '\0' || gap < 0.0) {
+        std::cerr << "--shard-gap expects a non-negative number, got \""
+                  << value << "\"\n";
+        std::exit(2);
+      }
+      ShardGapOverride() = gap;
     } else {
       argv[out++] = argv[i];
     }

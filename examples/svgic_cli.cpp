@@ -14,7 +14,14 @@
 // subsystem (src/online/): each resolve event re-optimizes incrementally
 // from the cached simplex basis and prints which path ran plus the pivot
 // counts.
+//
+// Global flags (anywhere on the command line):
+//   --shards=N      shard count for the sharded paths: the AVG-SHARD
+//                   solver under `run`, and sharded serving under `serve`
+//                   (a sharded session re-solves only dirty shards)
+//   --shard-gap=G   dual-coordination gap tolerance (default 0.01)
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -27,6 +34,7 @@
 #include "metrics/metrics.h"
 #include "online/event_log.h"
 #include "online/session.h"
+#include "shard/shard_solve.h"
 #include "solvers/solver_registry.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -34,6 +42,47 @@
 using namespace savg;
 
 namespace {
+
+/// --shards= override (0 = default plan) and --shard-gap= (< 0 = default).
+int g_shards = 0;
+double g_shard_gap = -1.0;
+
+void ApplyShardFlags(ShardSolveOptions* options) {
+  if (g_shards > 0) options->plan.num_shards = g_shards;
+  if (g_shard_gap >= 0.0) options->gap_tolerance = g_shard_gap;
+}
+
+/// Strips --shards=/--shard-gap= from argv before subcommand parsing.
+/// Malformed values exit 2 (a typo must not silently change the solver).
+void ConsumeShardFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      const char* value = argv[i] + 9;
+      char* end = nullptr;
+      const long shards = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || shards < 0) {
+        std::cerr << "--shards expects a non-negative integer, got \""
+                  << value << "\"\n";
+        std::exit(2);
+      }
+      g_shards = static_cast<int>(shards);
+    } else if (std::strncmp(argv[i], "--shard-gap=", 12) == 0) {
+      const char* value = argv[i] + 12;
+      char* end = nullptr;
+      const double gap = std::strtod(value, &end);
+      if (end == value || *end != '\0' || gap < 0.0) {
+        std::cerr << "--shard-gap expects a non-negative number, got \""
+                  << value << "\"\n";
+        std::exit(2);
+      }
+      g_shard_gap = gap;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
 
 std::string KnownSolvers() {
   std::string names;
@@ -53,6 +102,7 @@ int Usage() {
                "  svgic_cli genevents <instance> <mutations> <resolve_every>"
                " <seed> <out>\n"
                "  svgic_cli serve <instance> <events>\n"
+               "flags: --shards=N (sharded solve/serving), --shard-gap=G\n"
                "solvers: "
             << KnownSolvers() << "|local (AVG-D + local search)\n";
   return 2;
@@ -115,6 +165,7 @@ int Run(int argc, char** argv) {
   }
   const std::string algo = argv[2];
   RunnerConfig config;
+  ApplyShardFlags(&config.shard);
   Configuration result;
   Timer timer;
   if (algo == "local") {
@@ -214,9 +265,14 @@ int Serve(int argc, char** argv) {
     return 1;
   }
 
-  Session session(std::move(inst).value());
+  SessionOptions session_options;
+  if (g_shards > 0) {
+    session_options.use_sharding = true;
+    ApplyShardFlags(&session_options.sharding);
+  }
+  Session session(std::move(inst).value(), session_options);
   Table t({"resolve", "path", "dirty", "pivots", "phase1", "changed",
-           "LP objective", "utility", "ms"});
+           "shards", "LP objective", "utility", "ms"});
   int resolves = 0;
   int64_t incremental_pivots = 0;
   int64_t total_pivots = 0;
@@ -241,6 +297,10 @@ int Serve(int argc, char** argv) {
         .Add(static_cast<int64_t>(report.pivots))
         .Add(static_cast<int64_t>(report.phase1_pivots))
         .Add(FormatPercent(report.changed_fraction))
+        .Add(report.num_shards > 0
+                 ? std::to_string(report.num_dirty_shards) + "/" +
+                       std::to_string(report.num_shards)
+                 : "-")
         .Add(report.lp_objective, 4)
         .Add(report.scaled_total, 4)
         .Add(report.total_seconds * 1000, 2);
@@ -266,6 +326,7 @@ int Serve(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ConsumeShardFlags(&argc, argv);
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "gen") == 0) return Generate(argc, argv);
   if (std::strcmp(argv[1], "run") == 0) return Run(argc, argv);

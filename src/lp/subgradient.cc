@@ -202,6 +202,21 @@ Result<SubgradientSolution> MaximizePairwiseConcave(
       start_f = greedy_f;
     }
   }
+  if (options.initial_x != nullptr && options.initial_x->size() == total) {
+    std::vector<double> warm = *options.initial_x;
+    std::vector<double> block(m);
+    for (int a = 0; a < n; ++a) {
+      const size_t base = static_cast<size_t>(a) * m;
+      std::copy(warm.begin() + base, warm.begin() + base + m, block.begin());
+      ProjectCappedSimplex(&block, problem.k);
+      std::copy(block.begin(), block.end(), warm.begin() + base);
+    }
+    const double warm_f = problem.Evaluate(warm);
+    if (warm_f > start_f) {
+      x = std::move(warm);
+      start_f = warm_f;
+    }
+  }
   std::vector<double> best_x = x;
   double best_f = start_f;
   std::vector<double> g(total);

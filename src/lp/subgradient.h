@@ -57,6 +57,13 @@ struct SubgradientOptions {
   int polish_sweeps = 8;
   double step_scale = 0.5;
   double time_limit_seconds = 1e18;
+  /// Optional warm-start point (row-major num_agents x num_items; blocks
+  /// are re-projected onto D(k), so a stale-but-close point is fine).
+  /// Considered alongside the built-in starting points, best wins. Not
+  /// owned; must outlive the solve. The sharded coordinator hands each
+  /// shard its previous round's solution here, which is what makes many
+  /// dual rounds affordable.
+  const std::vector<double>* initial_x = nullptr;
 };
 
 struct SubgradientSolution {

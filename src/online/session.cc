@@ -190,6 +190,14 @@ Status Session::ApplyEvent(const SessionEvent& event, ResolveReport* report) {
 }
 
 Result<ResolveReport> Session::Resolve(bool force_cold) {
+  if (options_.use_sharding && instance_.lambda() > 0.0 &&
+      instance_.lambda() < 1.0) {
+    return ResolveSharded(force_cold);
+  }
+  return ResolveMonolithic(force_cold);
+}
+
+Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
   Timer total_timer;
   const std::vector<UserId> dirty = CollectDirtyUsers();
   instance_.RefinalizePairs(dirty);
@@ -258,12 +266,16 @@ Result<ResolveReport> Session::Resolve(bool force_cold) {
 
   // Re-round: keep the previous configuration's units for clean users (on
   // the incremental paths), leaving only dirty users' units eligible for
-  // the CSF sampling loop.
+  // the CSF sampling loop. A periodic full re-round frees every unit
+  // instead (the LP above still warm-started), bounding the drift stale
+  // clean units accumulate over long mutation streams.
   Timer rounding_timer;
+  report.full_reround = PeriodicFullReround();
   std::vector<char> is_dirty(n, 0);
   for (UserId u : dirty) is_dirty[u] = 1;
-  const bool keep_clean_units =
-      !force_cold && HasConfig() && report.path != ResolvePath::kCold;
+  const bool keep_clean_units = !force_cold && !report.full_reround &&
+                                HasConfig() &&
+                                report.path != ResolvePath::kCold;
   CsfState state(instance_, frac_, options_.rounding.size_cap);
   int kept_units = 0;
   if (keep_clean_units) {
@@ -289,6 +301,64 @@ Result<ResolveReport> Session::Resolve(bool force_cold) {
   basis_ = std::move(sol->basis);
   keys_ = std::move(keys);
   valid_basis_ = true;
+  ClearDirty();
+  ++num_resolves_;
+  report.total_seconds = total_timer.ElapsedSeconds();
+  return report;
+}
+
+Result<ResolveReport> Session::ResolveSharded(bool force_cold) {
+  Timer total_timer;
+  const std::vector<UserId> dirty = CollectDirtyUsers();
+  instance_.RefinalizePairs(dirty);
+  SAVG_RETURN_NOT_OK(instance_.Validate());
+
+  ResolveReport report;
+  report.num_dirty_users = static_cast<int>(dirty.size());
+  report.full_reround = PeriodicFullReround();
+
+  const bool first_solve = coordinator_ == nullptr;
+  if (first_solve) {
+    ShardSolveOptions sharding = options_.sharding;
+    sharding.rounding = options_.rounding;
+    coordinator_ =
+        std::make_unique<ShardCoordinator>(&instance_, sharding);
+    shard_pool_ = std::make_unique<ThreadPool>(sharding.num_workers);
+    SAVG_RETURN_NOT_OK(coordinator_->Build());
+  } else {
+    SAVG_RETURN_NOT_OK(coordinator_->Refresh(dirty));
+  }
+  if (force_cold || all_dirty_) coordinator_->MarkAllDirty();
+  report.path = first_solve || force_cold
+                    ? ResolvePath::kCold
+                    : ResolvePath::kIncremental;
+
+  ShardSolveStats stats;
+  SAVG_RETURN_NOT_OK(coordinator_->SolveFractional(shard_pool_.get(), &stats));
+  // Re-round the shards whose x rows actually changed: the dirty set plus
+  // anything adaptive widening pulled in.
+  const std::vector<int>& reround_shards = coordinator_->LastResolvedShards();
+  report.num_shards = stats.num_shards;
+  report.num_dirty_shards = stats.dirty_shards;
+  report.dual_rounds = stats.dual_rounds;
+  report.shard_gap = stats.gap;
+  report.pivots = static_cast<int>(stats.lp_pivots);
+  report.lp_objective = stats.primal_objective;
+  report.lp_seconds = stats.lp_seconds;
+
+  const Configuration* previous =
+      !force_cold && !report.full_reround && HasConfig() && !first_solve
+          ? &config_
+          : nullptr;
+  int rerounded = 0;
+  SAVG_ASSIGN_OR_RETURN(
+      config_, coordinator_->Round(previous, reround_shards, rng_.Next(),
+                                   shard_pool_.get(), &stats, &rerounded));
+  report.rerounded_units = rerounded;
+  report.rounding_seconds = stats.rounding_seconds;
+  report.scaled_total = Evaluate(instance_, config_).ScaledTotal();
+  frac_ = coordinator_->frac();
+
   ClearDirty();
   ++num_resolves_;
   report.total_seconds = total_timer.ElapsedSeconds();

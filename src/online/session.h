@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/avg.h"
@@ -34,8 +35,10 @@
 #include "core/problem.h"
 #include "lp/simplex.h"
 #include "online/event_log.h"
+#include "shard/shard_solve.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace savg {
 
@@ -50,6 +53,19 @@ struct SessionOptions {
   /// fraction of the compact LP's columns changed identity since the
   /// cached basis (projection would mostly seed a cold basis anyway).
   double cold_fraction_threshold = 0.3;
+  /// Periodic full re-round: every this many resolves the whole
+  /// configuration is re-rounded (the LP still warm-starts), bounding the
+  /// rounding drift long mutation streams accumulate when clean users
+  /// keep stale units. 0 disables (ROADMAP open item; bench_online_sessions
+  /// reports the drift with and without).
+  int full_reround_period = 0;
+  /// Sharded serving (shard/shard_solve.h): the instance is partitioned by
+  /// community, dirty users map to dirty shards, and Resolve() re-solves
+  /// only the touched shards' LPs — the scaling path for sessions past the
+  /// single-LP practical limit. Requires lambda in (0, 1); the session
+  /// falls back to the monolithic path at the endpoints.
+  bool use_sharding = false;
+  ShardSolveOptions sharding;
 };
 
 enum class ResolvePath {
@@ -73,6 +89,9 @@ struct ResolveReport {
   int num_dirty_users = 0;
   /// (user, slot) units freed for re-rounding (k per dirty user).
   int rerounded_units = 0;
+  /// True when this resolve was a periodic full re-round
+  /// (SessionOptions::full_reround_period).
+  bool full_reround = false;
   double lp_objective = 0.0;
   /// Scaled total of the served configuration after rounding.
   double scaled_total = 0.0;
@@ -80,12 +99,25 @@ struct ResolveReport {
   double rounding_seconds = 0.0;
   double total_seconds = 0.0;
   LpStats lp_stats;
+  // Sharded-mode telemetry (zero on the monolithic path).
+  int num_shards = 0;
+  int num_dirty_shards = 0;
+  int dual_rounds = 0;
+  double shard_gap = 0.0;
 };
 
 class Session {
  public:
   /// Takes ownership of the instance (pairs are finalized here).
   explicit Session(SvgicInstance instance, SessionOptions options = {});
+
+  // Not movable: the sharded-mode coordinator holds a pointer to
+  // instance_, so a moved Session would leave it dangling. Heap-allocate
+  // (as SessionManager does) to store sessions in containers.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&&) = delete;
+  Session& operator=(Session&&) = delete;
 
   const SvgicInstance& instance() const { return instance_; }
   /// The currently served configuration (empty before the first Resolve).
@@ -128,6 +160,16 @@ class Session {
   /// re-solve must not lose which users' units are stale.
   std::vector<UserId> CollectDirtyUsers() const;
   void ClearDirty();
+  /// True when the upcoming resolve (num_resolves_ + 1) is a periodic
+  /// full re-round.
+  bool PeriodicFullReround() const {
+    return options_.full_reround_period > 0 &&
+           (num_resolves_ + 1) % options_.full_reround_period == 0;
+  }
+  Result<ResolveReport> ResolveMonolithic(bool force_cold);
+  /// Sharded path: dirty users map to dirty shards; only those shards
+  /// re-solve and re-round (see SessionOptions::use_sharding).
+  Result<ResolveReport> ResolveSharded(bool force_cold);
 
   SvgicInstance instance_;
   SessionOptions options_;
@@ -143,6 +185,10 @@ class Session {
 
   std::vector<char> dirty_;  ///< per-user dirty flag, indexed by id
   bool all_dirty_ = false;
+
+  /// Sharded-mode state (created on the first sharded resolve).
+  std::unique_ptr<ShardCoordinator> coordinator_;
+  std::unique_ptr<ThreadPool> shard_pool_;
 };
 
 }  // namespace savg

@@ -6,6 +6,7 @@ namespace savg {
 void RegisterBuiltinSolvers(SolverRegistry* registry) {
   // The paper's default comparison order, then the extras.
   RegisterAvgSolvers(registry);
+  RegisterAvgShardSolver(registry);
   RegisterAvgDSolver(registry);
   RegisterPerSolver(registry);
   RegisterFmgSolver(registry);

@@ -12,6 +12,7 @@ namespace savg {
 class SolverRegistry;
 
 void RegisterAvgSolvers(SolverRegistry* registry);       // AVG, AVG+LS
+void RegisterAvgShardSolver(SolverRegistry* registry);   // AVG-SHARD
 void RegisterAvgDSolver(SolverRegistry* registry);       // AVG-D
 void RegisterAvgStSolver(SolverRegistry* registry);      // AVG-ST
 void RegisterIndependentRoundingSolver(SolverRegistry* registry);  // IR

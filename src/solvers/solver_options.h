@@ -17,6 +17,7 @@
 #include "core/avg_st.h"
 #include "core/local_search.h"
 #include "core/lp_formulation.h"
+#include "shard/shard_solve.h"
 
 namespace savg {
 
@@ -37,6 +38,11 @@ struct SolverOptions {
   IpExactOptions ip;
   BruteForceOptions brute_force;
   IndependentRoundingOptions independent_rounding;
+  /// AVG-SHARD knobs (shard/shard_solve.h). The adapter overrides
+  /// shard.relaxation with the top-level `relaxation` and shard.rounding
+  /// with `avg`, so AVG and AVG-SHARD comparisons solve and round alike;
+  /// only the plan / dual-coordination knobs here are shard-specific.
+  ShardSolveOptions shard;
 };
 
 }  // namespace savg

@@ -175,6 +175,31 @@ TEST(OnlineSessionTest, LambdaChangeKeepsShapeAndWarmStarts) {
               1e-6 * std::max(1.0, std::abs(cold_obj)));
 }
 
+TEST(OnlineSessionTest, PeriodicFullReroundFreesEveryUnit) {
+  SessionOptions options;
+  options.full_reround_period = 3;
+  Session session(RandomInstance(14, 20, 3, 0.5, 11), options);
+  const int all_units =
+      session.instance().num_users() * session.instance().num_slots();
+  double value = 0.2;
+  for (int resolve = 1; resolve <= 6; ++resolve) {
+    ASSERT_TRUE(session.PreferenceDelta(resolve % 14, 2, value).ok());
+    value += 0.05;
+    auto report = session.Resolve();
+    ASSERT_TRUE(report.ok()) << report.status();
+    const bool periodic = resolve % 3 == 0;
+    EXPECT_EQ(report->full_reround, periodic) << "resolve " << resolve;
+    if (periodic) {
+      // Every unit re-rounds; the LP still warm-starts incrementally.
+      EXPECT_EQ(report->rerounded_units, all_units);
+      EXPECT_EQ(report->path, ResolvePath::kIncremental);
+    } else if (resolve > 1) {
+      EXPECT_LT(report->rerounded_units, all_units);
+    }
+    EXPECT_TRUE(session.config().IsComplete());
+  }
+}
+
 TEST(OnlineSessionTest, RetiringItemAddedSinceLastResolveIsSafe) {
   // Regression: the served configuration predates the added item, so the
   // retire path must not probe config slots for the new id.

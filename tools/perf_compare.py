@@ -23,6 +23,10 @@ gate the way an absolute checked-in baseline can — this is the gate for
 the warm-started online serving path (bench_online_sessions), which is
 only correct if it stays well under the same run's cold re-solves.
 
+--suffixes NUM DEN renames the pair suffixes of the --cold-reference mode,
+e.g. --suffixes " (sharded)" " (monolithic)" gates the sharded solve
+paths of bench_shard_scale against the same run's monolithic solves.
+
 Refresh the baseline with a Release build on a quiet machine:
     ./build/bench_fig4_lambda --json=f4.json --benchmark_filter=DISABLED_none
     ./build/bench_fig8_scalability --json=f8.json \
@@ -49,14 +53,16 @@ INCREMENTAL_SUFFIX = " (incremental)"
 COLD_SUFFIX = " (cold)"
 
 
-def compare_cold_reference(metrics, max_ratio, min_seconds):
-    """Gates incremental metrics against their same-run cold partners."""
+def compare_cold_reference(metrics, max_ratio, min_seconds,
+                           num_suffix=INCREMENTAL_SUFFIX,
+                           den_suffix=COLD_SUFFIX):
+    """Gates numerator metrics against their same-run reference partners."""
     pairs = 0
     failures = []
     for name, seconds in sorted(metrics.items()):
-        if not name.endswith(INCREMENTAL_SUFFIX):
+        if not name.endswith(num_suffix):
             continue
-        cold_name = name[: -len(INCREMENTAL_SUFFIX)] + COLD_SUFFIX
+        cold_name = name[: -len(num_suffix)] + den_suffix
         cold = metrics.get(cold_name)
         if cold is None:
             print(f"  unpaired incremental metric (no cold partner): {name}")
@@ -64,21 +70,21 @@ def compare_cold_reference(metrics, max_ratio, min_seconds):
         pairs += 1
         ratio = seconds / cold if cold > 0 else float("inf")
         marker = "ok"
-        # The noise floor only exempts a fast INCREMENTAL side: a tiny
-        # cold reference with a slow incremental is exactly the regression
-        # this gate exists to catch.
+        # The noise floor only exempts a fast NUMERATOR side: a tiny
+        # reference with a slow numerator is exactly the regression this
+        # gate exists to catch.
         if ratio > max_ratio and seconds > min_seconds:
             marker = "REGRESSION"
             failures.append(name)
         print(f"  {marker:>10}: {name}: {seconds:.3f}s "
-              f"(cold {cold:.3f}s, ratio {ratio:.2f})")
+              f"(reference {cold:.3f}s, ratio {ratio:.2f})")
     if pairs == 0:
         # A rename silently disabling the gate must not look green.
-        print("no (incremental)/(cold) metric pairs found")
+        print(f"no {num_suffix!r}/{den_suffix!r} metric pairs found")
         return 1
     if failures:
-        print(f"\n{len(failures)} incremental metric(s) above "
-              f"{max_ratio}x their same-run cold reference: "
+        print(f"\n{len(failures)} metric(s) above {max_ratio}x their "
+              f"same-run {den_suffix.strip()} reference: "
               f"{', '.join(failures)}")
         return 1
     print("\ncold-reference gate ok")
@@ -100,6 +106,12 @@ def main():
                         help="gate (incremental) metrics against the "
                              "same-run (cold) partner instead of a "
                              "checked-in baseline")
+    parser.add_argument("--suffixes", nargs=2,
+                        metavar=("NUM", "DEN"),
+                        default=[INCREMENTAL_SUFFIX, COLD_SUFFIX],
+                        help="metric-name suffixes forming the "
+                             "--cold-reference pairs (numerator, "
+                             "denominator)")
     args = parser.parse_args()
 
     if args.cold_reference:
@@ -107,7 +119,8 @@ def main():
         for path in [args.baseline] + args.current:
             metrics.update(load_metrics(path))
         max_ratio = args.max_ratio if args.max_ratio is not None else 0.75
-        return compare_cold_reference(metrics, max_ratio, args.min_seconds)
+        return compare_cold_reference(metrics, max_ratio, args.min_seconds,
+                                      args.suffixes[0], args.suffixes[1])
     if args.max_ratio is None:
         args.max_ratio = 2.0
     if not args.current:
