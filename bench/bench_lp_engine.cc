@@ -1,0 +1,281 @@
+// LP engine microbench: the three hot configurations of the simplex on
+// fig8-scale compact LPs (Yelp n=40, k=10 — the m=10000 point is the
+// largest bench_fig8_scalability instance).
+//
+//  1. Cold pricing — full-Devex (score every column every pivot) vs the
+//     candidate-list partial pricing that is now the default. The
+//     "pricing share" column is LpStats::pricing_seconds over the whole
+//     solve: the quantity the ROADMAP said should decide the partial-
+//     pricing question, reported per mode in the --json= artifact.
+//  2. Warm repair — branch-and-bound-child one-bound changes and
+//     serving-style item bans re-solved from the parent-optimal basis
+//     with warm_start_mode kDual vs kPrimal. Both states are
+//     dual-feasible, so the dual simplex repairs them in a handful of
+//     pivots where composite phase 1 re-walks the feasibility staircase.
+//     The paired "(dual-warm)" / "(primal-warm)" pivot metrics feed the
+//     machine-independent CI gate (tools/perf_compare.py --suffixes,
+//     dual <= 0.75x primal), pivot counts being machine-speed-free.
+//
+// Objectives are cross-checked between every pair of paths; a mismatch
+// prints loudly (the equivalence tests in lp_test.cc enforce it).
+
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/lp_formulation.h"
+
+namespace savg {
+namespace {
+
+DatasetParams EngineParams(int m) {
+  DatasetParams params;
+  params.kind = DatasetKind::kYelp;
+  params.num_users = 40;
+  params.num_items = m;
+  params.num_slots = 10;
+  params.seed = 8;
+  return params;
+}
+
+const char* PricingName(PricingMode mode) {
+  return mode == PricingMode::kPartial ? "partial" : "full devex";
+}
+
+struct ColdRun {
+  LpSolution sol;
+  bool ok = false;
+};
+
+ColdRun SolveCold(const LpModel& lp, PricingMode mode) {
+  SimplexOptions options;
+  options.pricing = mode;
+  ColdRun run;
+  auto sol = SolveLp(lp, options);
+  if (!sol.ok()) {
+    std::cerr << "cold solve (" << PricingName(mode)
+              << ") failed: " << sol.status() << "\n";
+    return run;
+  }
+  run.sol = std::move(sol).value();
+  run.ok = true;
+  return run;
+}
+
+/// Section 1: cold full-Devex vs partial pricing per compact-LP size.
+/// Returns the m=`reuse_m` partial solution for the warm-repair section.
+ColdRun PrintPricingComparison(int reuse_m, LpModel* reuse_lp) {
+  Table t({"m", "mode", "pivots", "solve (s)", "pricing (s)",
+           "pricing share", "cand hits", "full scans"});
+  ColdRun reuse;
+  for (int m : {2000, 10000}) {
+    auto inst = GenerateDataset(EngineParams(m));
+    if (!inst.ok()) {
+      std::cerr << inst.status() << "\n";
+      continue;
+    }
+    CompactLpMap map;
+    auto lp = BuildCompactLp(*inst, &map);
+    if (!lp.ok()) {
+      std::cerr << lp.status() << "\n";
+      continue;
+    }
+    double objectives[2] = {0.0, 0.0};
+    int mode_index = 0;
+    for (PricingMode mode : {PricingMode::kFullDevex, PricingMode::kPartial}) {
+      ColdRun run = SolveCold(*lp, mode);
+      if (!run.ok) continue;
+      const LpSolution& sol = run.sol;
+      const double share =
+          sol.solve_seconds > 0 ? sol.stats.pricing_seconds / sol.solve_seconds
+                                : 0.0;
+      objectives[mode_index++] = sol.objective;
+      t.NewRow()
+          .Add(static_cast<int64_t>(m))
+          .Add(PricingName(mode))
+          .Add(static_cast<int64_t>(sol.iterations))
+          .Add(FormatDouble(sol.solve_seconds, 3))
+          .Add(FormatDouble(sol.stats.pricing_seconds, 3))
+          .Add(FormatPercent(share))
+          .Add(sol.stats.candidate_hits)
+          .Add(sol.stats.full_pricing_scans);
+      const std::string prefix =
+          "lp engine | m=" + std::to_string(m) + " cold ";
+      benchutil::RecordMetric(prefix + "solve seconds - " + PricingName(mode),
+                              sol.solve_seconds);
+      benchutil::RecordMetric(
+          prefix + "pricing seconds - " + PricingName(mode),
+          sol.stats.pricing_seconds);
+      benchutil::RecordMetric(prefix + "pricing share - " + PricingName(mode),
+                              share);
+      if (m == reuse_m && mode == PricingMode::kPartial) {
+        reuse = std::move(run);
+        *reuse_lp = *lp;
+      }
+    }
+    if (std::abs(objectives[0] - objectives[1]) >
+        1e-6 * std::max(1.0, std::abs(objectives[0]))) {
+      std::cerr << "OBJECTIVE MISMATCH at m=" << m << ": full devex "
+                << objectives[0] << " vs partial " << objectives[1] << "\n";
+    }
+  }
+  t.Print("LP engine: cold compact-LP solves, full-Devex vs partial "
+          "pricing (Yelp n=40, k=10)");
+  return reuse;
+}
+
+struct RepairTotals {
+  int64_t pivots = 0;
+  int64_t dual_pivots = 0;
+  double seconds = 0.0;
+  int resolves = 0;
+};
+
+/// Re-solves `child` from `parent_basis` under the given warm-start mode,
+/// accumulating into `totals`. Returns the objective (NaN on failure).
+double RepairChild(const LpModel& child, const LpBasis& parent_basis,
+                   WarmStartMode mode, RepairTotals* totals) {
+  SimplexOptions options;
+  options.warm_start_mode = mode;
+  auto sol = SolveLp(child, options, &parent_basis);
+  if (!sol.ok()) return std::nan("");
+  totals->pivots += sol->iterations;
+  totals->dual_pivots += sol->stats.dual_pivots;
+  totals->seconds += sol->solve_seconds;
+  ++totals->resolves;
+  return sol->objective;
+}
+
+/// Section 2: dual vs primal repair of one-bound-change children. The
+/// children come in two flavors: branch-and-bound branches (x_u^c <= 0 or
+/// >= 1 on a fractional variable) and serving-style bans (every x column
+/// of one user's displayed-ish items forced to 0).
+void PrintWarmRepair(const ColdRun& parent, const LpModel& lp) {
+  if (!parent.ok) return;
+  // Fractional variables of the parent optimum: the B&B branching set.
+  std::vector<int> fractional;
+  for (int j = 0;
+       j < lp.num_vars() && static_cast<int>(fractional.size()) < 12; ++j) {
+    if (parent.sol.x[j] > 0.1 && parent.sol.x[j] < 0.9 &&
+        lp.upper(j) <= 1.0) {
+      fractional.push_back(j);
+    }
+  }
+  Table t({"children", "mode", "resolves", "pivots", "dual pivots",
+           "pivots/resolve"});
+  struct Flavor {
+    const char* label;
+    const char* metric;
+  };
+  for (const Flavor& flavor :
+       {Flavor{"b&b child (one bound)", "b&b child resolve pivots"},
+        Flavor{"serving ban (user's columns to 0)",
+               "serving ban resolve pivots"}}) {
+    const bool bans = flavor.metric[0] == 's';
+    RepairTotals dual_totals, primal_totals;
+    LpModel child = lp;
+    for (size_t i = 0; i < fractional.size(); ++i) {
+      // Build the child: one tightened bound (B&B) or one user's columns
+      // zeroed (ban) — both leave the parent basis dual-feasible.
+      child = lp;
+      if (bans) {
+        const int banned = fractional[i];
+        child.SetBounds(banned, 0.0, 0.0);
+        // Ban two neighbors in the same user's column block as well, the
+        // "item pulled from a storefront" shape.
+        if (banned + 1 < lp.num_vars() && lp.upper(banned + 1) <= 1.0) {
+          child.SetBounds(banned + 1, 0.0, 0.0);
+        }
+      } else if (i % 2 == 0) {
+        child.SetBounds(fractional[i], lp.lower(fractional[i]), 0.0);
+      } else {
+        child.SetBounds(fractional[i], 1.0, lp.upper(fractional[i]));
+      }
+      const double dual_obj =
+          RepairChild(child, parent.sol.basis, WarmStartMode::kDual,
+                      &dual_totals);
+      const double primal_obj =
+          RepairChild(child, parent.sol.basis, WarmStartMode::kPrimal,
+                      &primal_totals);
+      if (std::isfinite(dual_obj) != std::isfinite(primal_obj) ||
+          (std::isfinite(dual_obj) &&
+           std::abs(dual_obj - primal_obj) >
+               1e-6 * std::max(1.0, std::abs(primal_obj)))) {
+        std::cerr << "OBJECTIVE MISMATCH on child " << i << " ("
+                  << flavor.label << "): dual " << dual_obj << " vs primal "
+                  << primal_obj << "\n";
+      }
+    }
+    for (const bool is_dual : {true, false}) {
+      const RepairTotals& totals = is_dual ? dual_totals : primal_totals;
+      t.NewRow()
+          .Add(flavor.label)
+          .Add(is_dual ? "dual-warm" : "primal-warm")
+          .Add(static_cast<int64_t>(totals.resolves))
+          .Add(totals.pivots)
+          .Add(totals.dual_pivots)
+          .Add(totals.resolves > 0 ? FormatDouble(static_cast<double>(
+                                                      totals.pivots) /
+                                                      totals.resolves,
+                                                  1)
+                                   : std::string("-"));
+      benchutil::RecordMetric(
+          std::string("lp engine | ") + flavor.metric +
+              (is_dual ? " (dual-warm)" : " (primal-warm)"),
+          static_cast<double>(totals.pivots));
+    }
+  }
+  t.Print("LP engine: warm-basis repair after a bound change, dual vs "
+          "composite-phase-1 primal (m=2000 compact LP)");
+}
+
+void PrintTables() {
+  LpModel reuse_lp;
+  ColdRun parent = PrintPricingComparison(2000, &reuse_lp);
+  PrintWarmRepair(parent, reuse_lp);
+}
+
+void BM_ColdCompactSolve(benchmark::State& state) {
+  auto inst = GenerateDataset(EngineParams(static_cast<int>(state.range(0))));
+  CompactLpMap map;
+  auto lp = BuildCompactLp(*inst, &map);
+  SimplexOptions options;
+  options.pricing =
+      state.range(1) != 0 ? PricingMode::kPartial : PricingMode::kFullDevex;
+  for (auto _ : state) {
+    auto sol = SolveLp(*lp, options);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_ColdCompactSolve)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DualChildResolve(benchmark::State& state) {
+  auto inst = GenerateDataset(EngineParams(2000));
+  CompactLpMap map;
+  auto lp = BuildCompactLp(*inst, &map);
+  auto parent = SolveLp(*lp);
+  int branch = 0;
+  for (int j = 0; j < lp->num_vars(); ++j) {
+    if (parent->x[j] > 0.1 && parent->x[j] < 0.9 && lp->upper(j) <= 1.0) {
+      branch = j;
+      break;
+    }
+  }
+  LpModel child = *lp;
+  child.SetBounds(branch, lp->lower(branch), 0.0);
+  SimplexOptions options;
+  options.warm_start_mode = WarmStartMode::kDual;
+  for (auto _ : state) {
+    auto sol = SolveLp(child, options, &parent->basis);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_DualChildResolve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace savg
+
+SAVG_BENCH_MAIN(savg::PrintTables)

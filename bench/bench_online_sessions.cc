@@ -57,6 +57,9 @@ struct ReplayStats {
   int cold = 0;
   int cold_fallback = 0;
   int full_rerounds = 0;
+  int drift_rerounds = 0;
+  /// Min kept-unit utility share observed (1.0 when the policy is off).
+  double min_kept_share = 1.0;
   double last_total = 0.0;
 
   double TotalSeconds() const {
@@ -83,12 +86,16 @@ double MeanDrift(const ReplayStats& stats, const ReplayStats& reference) {
 }
 
 /// Replays `log` through one session; `force_cold` turns every resolve
-/// into the from-scratch reference.
+/// into the from-scratch reference. The two re-round policies
+/// (fixed-period and drift-threshold) are both exposed so the drift table
+/// can compare them on the identical stream.
 ReplayStats Replay(const SvgicInstance& base, const EventLog& log,
-                   bool force_cold, int full_reround_period = 0) {
+                   bool force_cold, int full_reround_period = 0,
+                   double reround_utility_threshold = 0.0) {
   SessionOptions options;
   options.seed = 7;
   options.full_reround_period = full_reround_period;
+  options.reround_utility_threshold = reround_utility_threshold;
   Session session(base, options);
   ReplayStats stats;
   for (const SessionEvent& event : log) {
@@ -110,6 +117,9 @@ ReplayStats Replay(const SvgicInstance& base, const EventLog& log,
     stats.pivots += report->pivots;
     stats.phase1_pivots += report->phase1_pivots;
     if (report->full_reround) ++stats.full_rerounds;
+    if (report->drift_reround) ++stats.drift_rerounds;
+    stats.min_kept_share =
+        std::min(stats.min_kept_share, report->kept_utility_share);
     switch (report->path) {
       case ResolvePath::kIncremental:
         ++stats.incremental;
@@ -157,11 +167,18 @@ void PrintTables() {
   // the incremental path accumulates while keeping the warm LP.
   const ReplayStats reround =
       Replay(*inst, log, /*force_cold=*/false, /*full_reround_period=*/4);
+  // Drift-triggered full re-round: fires exactly when the fresh LP stops
+  // backing the kept units, instead of on a fixed clock.
+  constexpr double kShareThreshold = 0.97;
+  const ReplayStats drift_trig =
+      Replay(*inst, log, /*force_cold=*/false, /*full_reround_period=*/0,
+             /*reround_utility_threshold=*/kShareThreshold);
 
   Table t({"path", "resolves", "pivots", "p50 (ms)", "p99 (ms)",
            "incremental", "cold", "final utility"});
   PrintReplayRow(&t, "incremental", incr);
   PrintReplayRow(&t, "incremental+reround", reround);
+  PrintReplayRow(&t, "incremental+drift-trigger", drift_trig);
   PrintReplayRow(&t, "cold", cold);
   t.Print("Online sessions: " + std::to_string(log.size()) +
           "-event stream (n=20, m=40, k=3)");
@@ -172,10 +189,15 @@ void PrintTables() {
             << cold.phase1_pivots << ")\n";
   const double drift_plain = MeanDrift(incr, cold);
   const double drift_reround = MeanDrift(reround, cold);
+  const double drift_threshold = MeanDrift(drift_trig, cold);
   std::cout << "rounding drift vs cold replay: "
             << FormatPercent(drift_plain) << " without full re-round, "
             << FormatPercent(drift_reround) << " with period 4 ("
-            << reround.full_rerounds << " full re-rounds)\n\n";
+            << reround.full_rerounds << " full re-rounds), "
+            << FormatPercent(drift_threshold) << " with share threshold "
+            << kShareThreshold << " (" << drift_trig.drift_rerounds
+            << " drift-triggered re-rounds, min share "
+            << FormatDouble(drift_trig.min_kept_share, 2) << ")\n\n";
 
   benchutil::RecordMetric("online sessions | stream replay (incremental)",
                           incr_seconds);
@@ -206,6 +228,10 @@ void PrintTables() {
                           drift_plain);
   benchutil::RecordMetric("online sessions | drift with reround period 4",
                           drift_reround);
+  benchutil::RecordMetric("online sessions | drift with share threshold",
+                          drift_threshold);
+  benchutil::RecordMetric("online sessions | drift-triggered rerounds",
+                          static_cast<double>(drift_trig.drift_rerounds));
 
   // Multi-session throughput: distinct sessions replay concurrently over
   // the shared pool; per-session serialization keeps each replay

@@ -252,6 +252,14 @@ inline std::vector<std::vector<AggregateRow>> PrintSweep(
   RecordMetric(title + " | lp_ftran_seconds", warm.lp_stats.ftran_seconds);
   RecordMetric(title + " | lp_btran_seconds", warm.lp_stats.btran_seconds);
   RecordMetric(title + " | lp_factor_seconds", warm.lp_stats.factor_seconds);
+  // Pivot-mix / candidate-list counters (PR 5): how much of the pricing
+  // ran off the candidate list, and whether warm starts repaired dually.
+  RecordMetric(title + " | lp_candidate_hits",
+               static_cast<double>(warm.lp_stats.candidate_hits));
+  RecordMetric(title + " | lp_full_pricing_scans",
+               static_cast<double>(warm.lp_stats.full_pricing_scans));
+  RecordMetric(title + " | lp_dual_pivots",
+               static_cast<double>(warm.lp_stats.dual_pivots));
   return all_rows;
 }
 

@@ -162,6 +162,7 @@ Result<MipSolution> SolveMip(const LpModel& model,
     auto lp = SolveLp(work, lp_opt, warm);
     if (lp.ok()) {
       result.simplex_iterations += lp->iterations;
+      result.lp_stats += lp->stats;
       if (is_root) {
         result.root_simplex_iterations = lp->iterations;
         result.root_warm_started = lp->warm_started;

@@ -43,9 +43,12 @@ struct MipOptions {
   /// Stop when (best_bound - incumbent) / max(1, |incumbent|) < gap.
   double relative_gap = 1e-9;
   NodeSelection node_selection = NodeSelection::kHybrid;
-  /// Warm-start each node's LP from the parent's optimal basis (the child
-  /// differs only in one variable bound, so a few dual-repair pivots
-  /// replace a from-scratch solve). Disable to force cold starts.
+  /// Warm-start each node's LP from the parent's optimal basis. The child
+  /// differs only in one variable bound, which keeps the parent basis
+  /// dual-feasible, so lp_options.warm_start_mode = kAuto repairs it with
+  /// the dual simplex in a handful of pivots instead of composite phase 1
+  /// (LpStats::dual_pivots in `lp_stats` counts them). Disable to force
+  /// cold starts.
   bool warm_start_nodes = true;
   /// Optional warm start for the ROOT LP (not owned, must outlive the
   /// solve): typically MipSolution::root_basis of a previous SolveMip on a
@@ -64,6 +67,9 @@ struct MipSolution {
   /// Total simplex pivots across every node LP (warm-start effectiveness
   /// counter, compare warm_start_nodes on/off).
   int64_t simplex_iterations = 0;
+  /// Per-phase time and pivot-mix counters summed over every node LP
+  /// (dual_pivots / candidate_hits feed the --json= perf artifacts).
+  LpStats lp_stats;
   /// Pivots spent on the root LP alone (root warm-start effectiveness).
   int root_simplex_iterations = 0;
   /// True when the root LP reused MipOptions::root_warm_start.

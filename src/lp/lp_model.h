@@ -106,22 +106,37 @@ struct LpBasis {
   }
 };
 
-/// Per-phase wall-time breakdown of a simplex solve. Pricing dominating
-/// these numbers on the large compact LPs is the signal that would justify
-/// partial/candidate-list pricing (ROADMAP open item); the counters flow
-/// into the --json= perf artifacts so the question is decided from data.
+/// Per-phase wall-time breakdown and pivot-mix counters of a simplex
+/// solve. The PR 3 timers showed pricing dominating on the large compact
+/// LPs, which is what justified candidate-list pricing and the dual
+/// method; the counters flow into the --json= perf artifacts so pricing
+/// and warm-start regressions stay visible from CI runs alone.
 struct LpStats {
   double pricing_seconds = 0.0;     ///< reduced-cost scan + Devex scoring
   double ratio_test_seconds = 0.0;  ///< leaving-variable selection
   double ftran_seconds = 0.0;       ///< B^-1 a_q solves (+ basic values)
   double btran_seconds = 0.0;       ///< B^-T solves (pricing y, Devex rho)
   double factor_seconds = 0.0;      ///< (re)factorizations + eta updates
+  // Pivot mix: how the solve's iterations were produced.
+  int64_t primal_pivots = 0;    ///< primal pivots + bound flips (phases 1+2)
+  int64_t dual_pivots = 0;      ///< dual-simplex pivots
+  int64_t dual_bound_flips = 0; ///< bound flips of the dual ratio test
+  int64_t bland_pivots = 0;     ///< pivots taken under the Bland fallback
+  // Candidate-list pricing effectiveness (PricingMode::kPartial).
+  int64_t candidate_hits = 0;       ///< pivots priced from the list alone
+  int64_t full_pricing_scans = 0;   ///< full scans (rebuilds + optimality)
   LpStats& operator+=(const LpStats& o) {
     pricing_seconds += o.pricing_seconds;
     ratio_test_seconds += o.ratio_test_seconds;
     ftran_seconds += o.ftran_seconds;
     btran_seconds += o.btran_seconds;
     factor_seconds += o.factor_seconds;
+    primal_pivots += o.primal_pivots;
+    dual_pivots += o.dual_pivots;
+    dual_bound_flips += o.dual_bound_flips;
+    bland_pivots += o.bland_pivots;
+    candidate_hits += o.candidate_hits;
+    full_pricing_scans += o.full_pricing_scans;
     return *this;
   }
 };
@@ -138,6 +153,9 @@ struct LpSolution {
   int factorizations = 0;
   /// True when a caller-supplied starting basis was actually used.
   bool warm_started = false;
+  /// True when the dual simplex repaired the warm basis all the way to
+  /// optimality (the primal phases then only verified, pivoting 0 times).
+  bool dual_simplex_used = false;
   double solve_seconds = 0.0;
   /// Per-phase time breakdown (pricing vs ratio test vs ftran/btran).
   LpStats stats;

@@ -1,4 +1,5 @@
-// Sparse revised primal simplex for bounded-variable linear programs.
+// Sparse revised primal + dual simplex for bounded-variable linear
+// programs.
 //
 // This is the in-repo replacement for the commercial LP solvers (Gurobi /
 // CPLEX) the paper uses to obtain the optimal fractional solution X* of the
@@ -15,6 +16,18 @@
 //    branch-and-bound parent, the previous lambda of a sweep) and the
 //    solver re-establishes feasibility in a few pivots instead of
 //    re-crashing from scratch,
+//  * candidate-list (partial) pricing: phase 2 prices a short Devex-scored
+//    list of promising nonbasic columns whose reduced costs are updated
+//    incrementally across pivots, falling back to a full scan only when
+//    the list runs dry — optimality is still only ever declared after a
+//    full scan, so the final objective is the full-Devex one; the full
+//    scan-every-column path stays selectable via SimplexOptions::pricing,
+//  * a dual simplex (SolveDual inside the engine) with a bound-flipping
+//    ratio test, used when a warm basis is dual-feasible but
+//    primal-infeasible — the exact state after a one-bound change in a
+//    branch-and-bound child or a rhs-side perturbation — repairing such a
+//    basis in far fewer pivots than the composite primal phase 1
+//    (SimplexOptions::warm_start_mode picks auto/primal/dual),
 //  * Devex (steepest-edge-flavoured) pricing with the existing Bland's-rule
 //    fallback for anti-cycling.
 //
@@ -37,6 +50,35 @@ enum class SimplexBasisType {
   kDense,     ///< legacy explicit dense inverse (reference path)
 };
 
+/// How phase 2 prices entering columns.
+enum class PricingMode {
+  /// Score every nonbasic column every iteration (the PR 2 reference
+  /// path). O(nnz) per pivot in the pricing scan AND the Devex update.
+  kFullDevex,
+  /// Candidate-list pricing: keep the top-scored eligible columns from the
+  /// last full scan, update their reduced costs incrementally per pivot
+  /// (one Btran of the pivot row + a sparse dot per list member), and
+  /// rescan everything only when the list runs dry. Optimality is still
+  /// only declared after a full scan, so the final objective matches
+  /// kFullDevex exactly (up to degenerate-tie vertex choice).
+  kPartial,
+};
+
+/// Which method repairs the starting basis. kAuto and kPrimal leave cold
+/// solves unchanged (composite phase 1 + primal phase 2); kDual attempts
+/// the dual method from ANY dual-feasible start basis, warm or cold.
+enum class WarmStartMode {
+  /// Dual simplex when the warm basis prices dual-feasible but is primal
+  /// infeasible (the branch-and-bound child / bound-perturbation state);
+  /// composite primal phase 1 otherwise.
+  kAuto,
+  /// Always composite phase 1 + primal phase 2 (the PR 2/3 behavior).
+  kPrimal,
+  /// Dual simplex whenever the start basis is dual-feasible, regardless
+  /// of primal state; falls back to the primal path when it is not.
+  kDual,
+};
+
 struct SimplexOptions {
   int max_iterations = 200000;
   /// Wall-clock budget, checked on every pivot when finite.
@@ -56,6 +98,15 @@ struct SimplexOptions {
   SimplexBasisType basis = SimplexBasisType::kSparseLu;
   /// Devex pricing; false = Dantzig (largest reduced cost).
   bool devex_pricing = true;
+  /// Phase-2 pricing strategy (see PricingMode). Partial pricing is the
+  /// default: on the m=10000 compact LPs the full per-pivot column scan
+  /// dominates LpStats::pricing_seconds (ROADMAP open item).
+  PricingMode pricing = PricingMode::kPartial;
+  /// Candidate-list capacity for PricingMode::kPartial; <= 0 picks
+  /// clamp(2 * sqrt(num_cols), 64, 1024).
+  int candidate_list_size = 0;
+  /// Warm-basis repair method (see WarmStartMode).
+  WarmStartMode warm_start_mode = WarmStartMode::kAuto;
 };
 
 /// Solves `model` to optimality. Returns kInfeasible / kUnbounded /

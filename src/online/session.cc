@@ -197,6 +197,26 @@ Result<ResolveReport> Session::Resolve(bool force_cold) {
   return ResolveMonolithic(force_cold);
 }
 
+double Session::KeptUtilityShare(const FractionalSolution& frac,
+                                 const std::vector<char>& keep) const {
+  if (!HasConfig()) return 1.0;
+  const int n = std::min(frac.num_users, config_.num_users());
+  const int m = frac.num_items;
+  const int k = std::min(frac.num_slots, config_.num_slots());
+  double mass = 0.0;
+  int units = 0;
+  for (UserId u = 0; u < n; ++u) {
+    if (u < static_cast<int>(keep.size()) && !keep[u]) continue;
+    for (SlotId s = 0; s < k; ++s) {
+      const ItemId c = config_.At(u, s);
+      if (c == kNoItem || c >= m) continue;
+      mass += frac.x[static_cast<size_t>(u) * m + c];
+      ++units;
+    }
+  }
+  return units > 0 ? mass / units : 1.0;
+}
+
 Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
   Timer total_timer;
   const std::vector<UserId> dirty = CollectDirtyUsers();
@@ -273,9 +293,21 @@ Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
   report.full_reround = PeriodicFullReround();
   std::vector<char> is_dirty(n, 0);
   for (UserId u : dirty) is_dirty[u] = 1;
-  const bool keep_clean_units = !force_cold && !report.full_reround &&
-                                HasConfig() &&
-                                report.path != ResolvePath::kCold;
+  bool keep_clean_units = !force_cold && !report.full_reround &&
+                          HasConfig() &&
+                          report.path != ResolvePath::kCold;
+  // Drift trigger: when the fresh LP no longer backs the clean users'
+  // stale units, a full re-round now beats waiting for the periodic one.
+  if (keep_clean_units && options_.reround_utility_threshold > 0.0) {
+    std::vector<char> keep(n, 1);
+    for (UserId u : dirty) keep[u] = 0;
+    report.kept_utility_share = KeptUtilityShare(frac_, keep);
+    if (report.kept_utility_share < options_.reround_utility_threshold) {
+      report.drift_reround = true;
+      report.full_reround = true;
+      keep_clean_units = false;
+    }
+  }
   CsfState state(instance_, frac_, options_.rounding.size_cap);
   int kept_units = 0;
   if (keep_clean_units) {
@@ -346,6 +378,26 @@ Result<ResolveReport> Session::ResolveSharded(bool force_cold) {
   report.lp_objective = stats.primal_objective;
   report.lp_seconds = stats.lp_seconds;
 
+  // Drift trigger (same policy as the monolithic path): clean shards'
+  // users keep their units only while the fresh stitched relaxation still
+  // backs them.
+  if (!force_cold && !report.full_reround && HasConfig() && !first_solve &&
+      options_.reround_utility_threshold > 0.0) {
+    std::vector<char> keep(instance_.num_users(), 1);
+    const std::vector<int>& shard_of = coordinator_->plan().shard_of;
+    std::vector<char> rerounds(coordinator_->num_shards(), 0);
+    for (int shard : reround_shards) rerounds[shard] = 1;
+    for (UserId u = 0; u < instance_.num_users(); ++u) {
+      if (u < static_cast<int>(shard_of.size()) && rerounds[shard_of[u]]) {
+        keep[u] = 0;
+      }
+    }
+    report.kept_utility_share = KeptUtilityShare(coordinator_->frac(), keep);
+    if (report.kept_utility_share < options_.reround_utility_threshold) {
+      report.drift_reround = true;
+      report.full_reround = true;
+    }
+  }
   const Configuration* previous =
       !force_cold && !report.full_reround && HasConfig() && !first_solve
           ? &config_

@@ -59,6 +59,18 @@ struct SessionOptions {
   /// keep stale units. 0 disables (ROADMAP open item; bench_online_sessions
   /// reports the drift with and without).
   int full_reround_period = 0;
+  /// Drift-triggered full re-round: before re-rounding an incremental
+  /// resolve, the kept (clean) units' utility share of the fresh LP is
+  /// measured as mean_{kept (u,s,c)} x_u^c over the just-solved
+  /// relaxation — how much fractional mass the new optimum still puts on
+  /// the items those stale units display. Stale units chasing old tau /
+  /// preference values pull the share toward 0; when it drops below this
+  /// threshold every unit is re-rounded on THIS resolve (the LP still
+  /// warm-starts), catching drift the moment it appears instead of on the
+  /// fixed full_reround_period (whose drift re-accumulates within 2-3
+  /// resolves — ROADMAP note). <= 0 disables; the two policies compose
+  /// (either trigger forces the full re-round).
+  double reround_utility_threshold = 0.0;
   /// Sharded serving (shard/shard_solve.h): the instance is partitioned by
   /// community, dirty users map to dirty shards, and Resolve() re-solves
   /// only the touched shards' LPs — the scaling path for sessions past the
@@ -89,9 +101,16 @@ struct ResolveReport {
   int num_dirty_users = 0;
   /// (user, slot) units freed for re-rounding (k per dirty user).
   int rerounded_units = 0;
-  /// True when this resolve was a periodic full re-round
-  /// (SessionOptions::full_reround_period).
+  /// True when this resolve re-rounded every unit — periodic
+  /// (SessionOptions::full_reround_period) or drift-triggered
+  /// (SessionOptions::reround_utility_threshold).
   bool full_reround = false;
+  /// True when the full re-round was forced by the kept-unit utility
+  /// share dropping below reround_utility_threshold.
+  bool drift_reround = false;
+  /// Mean fresh-LP fractional mass on the kept units' items (1.0 when
+  /// nothing was kept / the threshold policy is off — see the option).
+  double kept_utility_share = 1.0;
   double lp_objective = 0.0;
   /// Scaled total of the served configuration after rounding.
   double scaled_total = 0.0;
@@ -166,6 +185,11 @@ class Session {
     return options_.full_reround_period > 0 &&
            (num_resolves_ + 1) % options_.full_reround_period == 0;
   }
+  /// Mean fractional mass `frac` puts on the previously served units of
+  /// users with keep[u] != 0 (the kept-unit utility share; 1.0 when no
+  /// unit qualifies). See SessionOptions::reround_utility_threshold.
+  double KeptUtilityShare(const FractionalSolution& frac,
+                          const std::vector<char>& keep) const;
   Result<ResolveReport> ResolveMonolithic(bool force_cold);
   /// Sharded path: dirty users map to dirty shards; only those shards
   /// re-solve and re-round (see SessionOptions::use_sharding).

@@ -2,12 +2,14 @@
 
 #include <cmath>
 
+#include "core/lp_formulation.h"
 #include "lp/branch_and_bound.h"
 #include "lp/capped_simplex.h"
 #include "lp/dense_matrix.h"
 #include "lp/lp_model.h"
 #include "lp/simplex.h"
 #include "lp/subgradient.h"
+#include "paper_example.h"
 #include "util/random.h"
 
 namespace savg {
@@ -275,6 +277,201 @@ TEST(SimplexEquivalenceTest, DantzigMatchesDevexPricing) {
     ASSERT_EQ(a.ok(), b.ok());
     if (a.ok()) EXPECT_NEAR(a->objective, b->objective, 1e-6);
   }
+}
+
+// --- Partial / candidate-list pricing ------------------------------------
+
+TEST(SimplexPricingTest, PartialMatchesFullDevexOnRandomLps) {
+  // Same optimal objective whichever pricing strategy ran: optimality is
+  // only declared after a full scan in both modes.
+  Rng rng(321);
+  int solved = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    LpModel m = RandomLp(&rng, 5 + trial % 10, 3 + trial % 6);
+    SimplexOptions full;
+    full.pricing = PricingMode::kFullDevex;
+    SimplexOptions partial;
+    partial.pricing = PricingMode::kPartial;
+    // A tiny list maximizes rebuild churn — the stress case.
+    partial.candidate_list_size = 2;
+    auto a = SolveLp(m, full);
+    auto b = SolveLp(m, partial);
+    ASSERT_EQ(a.ok(), b.ok()) << "trial " << trial << ": full " << a.status()
+                              << " partial " << b.status();
+    if (!a.ok()) continue;
+    ++solved;
+    EXPECT_NEAR(a->objective, b->objective, 1e-6) << "trial " << trial;
+    EXPECT_NEAR(m.MaxViolation(b->x), 0.0, 1e-6);
+    EXPECT_GT(b->stats.full_pricing_scans, 0);  // optimality proof ran
+  }
+  EXPECT_GE(solved, 15);
+}
+
+TEST(SimplexPricingTest, PartialMatchesFullDevexOnPaperExample) {
+  // The paper's running example, through the real compact formulation.
+  for (double lambda : {0.3, 0.5, 0.7}) {
+    SvgicInstance inst = MakePaperExample(lambda);
+    inst.FinalizePairs();
+    CompactLpMap map;
+    auto lp = BuildCompactLp(inst, &map);
+    ASSERT_TRUE(lp.ok()) << lp.status();
+    SimplexOptions full;
+    full.pricing = PricingMode::kFullDevex;
+    SimplexOptions partial;
+    partial.pricing = PricingMode::kPartial;
+    auto a = SolveLp(*lp, full);
+    auto b = SolveLp(*lp, partial);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_NEAR(a->objective, b->objective, 1e-8) << "lambda " << lambda;
+  }
+}
+
+// --- Dual simplex ---------------------------------------------------------
+
+TEST(DualSimplexTest, BoundChangeRepairMatchesPrimalWithFewerPivots) {
+  // The branch-and-bound child state: the parent-optimal basis is dual
+  // feasible, one bound change makes it primal infeasible. The dual
+  // repair must reach the same optimum as the composite primal phase 1,
+  // in strictly fewer pivots in aggregate.
+  Rng rng(555);
+  int64_t dual_total = 0, primal_total = 0;
+  int dual_ran = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    LpModel m = RandomLp(&rng, 10, 8);
+    auto parent = SolveLp(m);
+    if (!parent.ok()) continue;
+    // Tighten the bound of a variable sitting strictly inside its range
+    // (necessarily basic), so the parent basis is primal infeasible for
+    // the child and a real repair must run.
+    int branch = -1;
+    for (int j = 0; j < m.num_vars(); ++j) {
+      if (parent->x[j] > m.lower(j) + 0.25) {
+        branch = j;
+        break;
+      }
+    }
+    if (branch < 0) continue;
+    m.SetBounds(branch, m.lower(branch), parent->x[branch] - 0.2);
+    SimplexOptions dual_opt;
+    dual_opt.warm_start_mode = WarmStartMode::kDual;
+    SimplexOptions primal_opt;
+    primal_opt.warm_start_mode = WarmStartMode::kPrimal;
+    auto dual = SolveLp(m, dual_opt, &parent->basis);
+    auto primal = SolveLp(m, primal_opt, &parent->basis);
+    ASSERT_EQ(dual.ok(), primal.ok())
+        << "trial " << trial << ": dual " << dual.status() << " primal "
+        << primal.status();
+    if (!dual.ok()) continue;
+    EXPECT_TRUE(dual->warm_started);
+    EXPECT_NEAR(dual->objective, primal->objective, 1e-6)
+        << "trial " << trial;
+    dual_total += dual->iterations;
+    primal_total += primal->iterations;
+    if (dual->dual_simplex_used) ++dual_ran;
+  }
+  EXPECT_GT(dual_ran, 5);  // the dual path must actually engage
+  EXPECT_LT(dual_total, primal_total);
+}
+
+TEST(DualSimplexTest, AutoModePicksDualOnBoundChange) {
+  Rng rng(2718);
+  int dual_used = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel m = RandomLp(&rng, 10, 8);
+    auto parent = SolveLp(m);
+    if (!parent.ok()) continue;
+    // Tighten the bound of a basic fractional variable so the warm basis
+    // is primal infeasible (nonbasic variables keep the basis feasible).
+    int branch = -1;
+    for (int j = 0; j < m.num_vars(); ++j) {
+      const double x = parent->x[j];
+      if (x > m.lower(j) + 0.25 && std::isfinite(x)) {
+        branch = j;
+        break;
+      }
+    }
+    if (branch < 0) continue;
+    m.SetBounds(branch, m.lower(branch),
+                std::max(m.lower(branch), parent->x[branch] - 0.2));
+    auto warm = SolveLp(m, {}, &parent->basis);  // default kAuto
+    auto cold = SolveLp(m);
+    ASSERT_EQ(warm.ok(), cold.ok());
+    if (!warm.ok()) continue;
+    EXPECT_NEAR(warm->objective, cold->objective, 1e-6) << "trial " << trial;
+    if (warm->dual_simplex_used) ++dual_used;
+  }
+  EXPECT_GT(dual_used, 0);
+}
+
+TEST(DualSimplexTest, FallsBackCleanlyWhenStartBasisDualInfeasible) {
+  // Flipping objective signs makes the parent basis dual infeasible;
+  // kDual must detect that, skip the dual method and still land on the
+  // cold optimum through the primal phases.
+  Rng rng(777);
+  int checked = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    LpModel m = RandomLp(&rng, 8, 6);
+    auto parent = SolveLp(m);
+    if (!parent.ok()) continue;
+    for (int j = 0; j < m.num_vars(); ++j) {
+      m.SetObjectiveCoefficient(j, -m.objective(j) + 0.5);
+    }
+    // Also break primal feasibility so the solve cannot shortcut.
+    m.SetBounds(0, m.lower(0),
+                std::max(m.lower(0), std::floor(parent->x[0])));
+    auto cold = SolveLp(m);
+    SimplexOptions opt;
+    opt.warm_start_mode = WarmStartMode::kDual;
+    auto warm = SolveLp(m, opt, &parent->basis);
+    ASSERT_EQ(cold.ok(), warm.ok())
+        << "trial " << trial << ": cold " << cold.status() << " warm "
+        << warm.status();
+    if (!cold.ok()) continue;
+    ++checked;
+    EXPECT_NEAR(warm->objective, cold->objective, 1e-6) << "trial " << trial;
+    if (!warm->dual_simplex_used) {
+      EXPECT_EQ(warm->stats.dual_pivots, 0) << "trial " << trial;
+    }
+  }
+  EXPECT_GE(checked, 5);
+}
+
+// --- Stall / Bland fallback -----------------------------------------------
+
+TEST(SimplexStallTest, BlandFallbackStillReachesOptimumOnPlateau) {
+  // Regression for the hard-coded 1e-12 stall slack: with the slack now
+  // derived from `tolerance`, a zero stall threshold must trip Bland on
+  // the very first degenerate pivot and still finish at the optimum.
+  // Beale's cycling example: every early pivot at the origin is
+  // degenerate (both <= 0 rows are tight), so the plateau is guaranteed.
+  // Stated as maximization; the known optimum is x = (1/25, 0, 1, 0) with
+  // value 1/20.
+  LpModel m;
+  int x1 = m.AddVariable(0, kLpInfinity, 0.75);
+  int x2 = m.AddVariable(0, kLpInfinity, -150.0);
+  int x3 = m.AddVariable(0, kLpInfinity, 0.02);
+  int x4 = m.AddVariable(0, kLpInfinity, -6.0);
+  m.AddRow(RowType::kLessEqual, 0,
+           {{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}});
+  m.AddRow(RowType::kLessEqual, 0,
+           {{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}});
+  m.AddRow(RowType::kLessEqual, 1, {{x3, 1.0}});
+  SimplexOptions opt;
+  opt.stall_threshold = 0;  // every non-improving pivot trips Bland
+  auto bland = SolveLp(m, opt);
+  ASSERT_TRUE(bland.ok()) << bland.status();
+  EXPECT_NEAR(bland->objective, 0.05, 1e-8);
+  EXPECT_GT(bland->stats.bland_pivots, 0);
+  // And a loosened tolerance must not mask the plateau either.
+  opt.tolerance = 1e-6;
+  auto loose = SolveLp(m, opt);
+  ASSERT_TRUE(loose.ok()) << loose.status();
+  EXPECT_NEAR(loose->objective, 0.05, 1e-6);
+  // The default threshold reaches the same optimum Devex-only.
+  auto devex = SolveLp(m);
+  ASSERT_TRUE(devex.ok()) << devex.status();
+  EXPECT_NEAR(devex->objective, 0.05, 1e-8);
 }
 
 // --- Warm starts ----------------------------------------------------------

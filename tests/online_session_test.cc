@@ -200,6 +200,44 @@ TEST(OnlineSessionTest, PeriodicFullReroundFreesEveryUnit) {
   }
 }
 
+TEST(OnlineSessionTest, DriftTriggeredReroundFreesEveryUnit) {
+  // A threshold above 1 makes every incremental resolve's kept-unit share
+  // fall "below" it: the drift trigger must then free every unit, while a
+  // near-zero threshold must never fire.
+  SessionOptions eager;
+  eager.reround_utility_threshold = 2.0;
+  Session session(RandomInstance(14, 20, 3, 0.5, 11), eager);
+  const int all_units =
+      session.instance().num_users() * session.instance().num_slots();
+  auto first = session.Resolve();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->drift_reround);  // cold resolves keep nothing anyway
+  double value = 0.2;
+  for (int resolve = 0; resolve < 4; ++resolve) {
+    ASSERT_TRUE(session.PreferenceDelta(resolve % 14, 2, value).ok());
+    value += 0.05;
+    auto report = session.Resolve();
+    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_EQ(report->path, ResolvePath::kIncremental);
+    EXPECT_TRUE(report->drift_reround);
+    EXPECT_TRUE(report->full_reround);
+    EXPECT_EQ(report->rerounded_units, all_units);
+    EXPECT_GT(report->kept_utility_share, 0.0);
+    EXPECT_LE(report->kept_utility_share, 1.0);
+    EXPECT_TRUE(session.config().IsComplete());
+  }
+
+  SessionOptions off;
+  off.reround_utility_threshold = 1e-9;
+  Session calm(RandomInstance(14, 20, 3, 0.5, 11), off);
+  ASSERT_TRUE(calm.Resolve().ok());
+  ASSERT_TRUE(calm.PreferenceDelta(3, 2, 0.9).ok());
+  auto report = calm.Resolve();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->drift_reround);
+  EXPECT_LT(report->rerounded_units, all_units);
+}
+
 TEST(OnlineSessionTest, RetiringItemAddedSinceLastResolveIsSafe) {
   // Regression: the served configuration predates the added item, so the
   // retire path must not probe config slots for the new id.
