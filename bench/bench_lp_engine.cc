@@ -1,4 +1,4 @@
-// LP engine microbench: the three hot configurations of the simplex on
+// LP engine microbench: the hot configurations of the simplex on
 // fig8-scale compact LPs (Yelp n=40, k=10 — the m=10000 point is the
 // largest bench_fig8_scalability instance).
 //
@@ -7,7 +7,13 @@
 //     "pricing share" column is LpStats::pricing_seconds over the whole
 //     solve: the quantity the ROADMAP said should decide the partial-
 //     pricing question, reported per mode in the --json= artifact.
-//  2. Warm repair — branch-and-bound-child one-bound changes and
+//  2. Presolve — the same cold solves with lp/presolve.h on vs off. The
+//     compact LP's per-user social-free columns form large parallel
+//     groups, so the parallel-column reduction removes most of them
+//     (over half the columns at m=10000); the postsolve re-derives the
+//     exact primal/dual/basis, so the objective is cross-checked
+//     bit-tight against the unreduced solve.
+//  3. Warm repair — branch-and-bound-child one-bound changes and
 //     serving-style item bans re-solved from the parent-optimal basis
 //     with warm_start_mode kDual vs kPrimal. Both states are
 //     dual-feasible, so the dual simplex repairs them in a handful of
@@ -15,15 +21,32 @@
 //     The paired "(dual-warm)" / "(primal-warm)" pivot metrics feed the
 //     machine-independent CI gate (tools/perf_compare.py --suffixes,
 //     dual <= 0.75x primal), pivot counts being machine-speed-free.
+//  4. Dual row pricing — the same dual repairs under ban *waves* (eight
+//     items pulled at once, the storefront-refresh shape) with the
+//     leaving row picked by dual Devex vs plain max-violation. Devex
+//     weighs each violation by the steepness of the dual edge removing
+//     it, so multi-bound repairs take fewer pivots; the paired
+//     "(devex-rows)" / "(maxviol-rows)" metrics feed a second pivot-count
+//     CI gate (devex <= 0.85x max-violation).
+//  5. Eta-file management — a long serving-style mutation stream
+//     (>= 2000 warm resolves with periodic cold re-solves) under the
+//     adaptive refactorization policy vs a fixed interval vs no
+//     refactorization at all. The adaptive policy's work counters keep
+//     the eta chain — and with it the ftran/btran cost per pivot —
+//     bounded, where the unmanaged chain grows with the solve length.
 //
 // Objectives are cross-checked between every pair of paths; a mismatch
 // prints loudly (the equivalence tests in lp_test.cc enforce it).
 
 #include <cmath>
+#include <deque>
+#include <map>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/lp_formulation.h"
+#include "lp/presolve.h"
+#include "util/random.h"
 
 namespace savg {
 namespace {
@@ -36,6 +59,17 @@ DatasetParams EngineParams(int m) {
   params.num_slots = 10;
   params.seed = 8;
   return params;
+}
+
+/// The two compact-LP sizes every section runs on.
+constexpr int kSmallM = 2000;
+constexpr int kLargeM = 10000;
+
+Result<LpModel> BuildEngineLp(int m) {
+  auto inst = GenerateDataset(EngineParams(m));
+  if (!inst.ok()) return inst.status();
+  CompactLpMap map;
+  return BuildCompactLp(*inst, &map);
 }
 
 const char* PricingName(PricingMode mode) {
@@ -62,28 +96,23 @@ ColdRun SolveCold(const LpModel& lp, PricingMode mode) {
   return run;
 }
 
+bool ObjectivesMatch(double a, double b) {
+  return std::abs(a - b) <= 1e-6 * std::max(1.0, std::abs(a));
+}
+
 /// Section 1: cold full-Devex vs partial pricing per compact-LP size.
-/// Returns the m=`reuse_m` partial solution for the warm-repair section.
-ColdRun PrintPricingComparison(int reuse_m, LpModel* reuse_lp) {
+/// Returns the per-m partial-pricing solutions (reused by the other
+/// sections as the no-presolve reference and the warm-repair parent).
+std::map<int, ColdRun> PrintPricingComparison(
+    const std::map<int, LpModel>& lps) {
   Table t({"m", "mode", "pivots", "solve (s)", "pricing (s)",
            "pricing share", "cand hits", "full scans"});
-  ColdRun reuse;
-  for (int m : {2000, 10000}) {
-    auto inst = GenerateDataset(EngineParams(m));
-    if (!inst.ok()) {
-      std::cerr << inst.status() << "\n";
-      continue;
-    }
-    CompactLpMap map;
-    auto lp = BuildCompactLp(*inst, &map);
-    if (!lp.ok()) {
-      std::cerr << lp.status() << "\n";
-      continue;
-    }
+  std::map<int, ColdRun> partial_runs;
+  for (const auto& [m, lp] : lps) {
     double objectives[2] = {0.0, 0.0};
     int mode_index = 0;
     for (PricingMode mode : {PricingMode::kFullDevex, PricingMode::kPartial}) {
-      ColdRun run = SolveCold(*lp, mode);
+      ColdRun run = SolveCold(lp, mode);
       if (!run.ok) continue;
       const LpSolution& sol = run.sol;
       const double share =
@@ -108,20 +137,70 @@ ColdRun PrintPricingComparison(int reuse_m, LpModel* reuse_lp) {
           sol.stats.pricing_seconds);
       benchutil::RecordMetric(prefix + "pricing share - " + PricingName(mode),
                               share);
-      if (m == reuse_m && mode == PricingMode::kPartial) {
-        reuse = std::move(run);
-        *reuse_lp = *lp;
-      }
+      if (mode == PricingMode::kPartial) partial_runs[m] = std::move(run);
     }
-    if (std::abs(objectives[0] - objectives[1]) >
-        1e-6 * std::max(1.0, std::abs(objectives[0]))) {
+    if (!ObjectivesMatch(objectives[0], objectives[1])) {
       std::cerr << "OBJECTIVE MISMATCH at m=" << m << ": full devex "
                 << objectives[0] << " vs partial " << objectives[1] << "\n";
     }
   }
   t.Print("LP engine: cold compact-LP solves, full-Devex vs partial "
           "pricing (Yelp n=40, k=10)");
-  return reuse;
+  return partial_runs;
+}
+
+/// Section 2: cold solves with the presolve pipeline on vs off. The "off"
+/// rows reuse section 1's partial-pricing solves; the "on" rows run
+/// SolveLp with SimplexOptions::presolve, whose postsolve maps the reduced
+/// optimum back exactly (objective cross-checked).
+void PrintPresolve(const std::map<int, LpModel>& lps,
+                   const std::map<int, ColdRun>& cold_runs) {
+  Table t({"m", "presolve", "cols", "cols removed", "presolve (s)", "pivots",
+           "solve (s)"});
+  for (const auto& [m, lp] : lps) {
+    auto cold_it = cold_runs.find(m);
+    if (cold_it == cold_runs.end() || !cold_it->second.ok) continue;
+    const LpSolution& off = cold_it->second.sol;
+    SimplexOptions options;
+    options.presolve = true;
+    auto on = SolveLp(lp, options);
+    if (!on.ok()) {
+      std::cerr << "presolved cold solve failed at m=" << m << ": "
+                << on.status() << "\n";
+      continue;
+    }
+    t.NewRow()
+        .Add(static_cast<int64_t>(m))
+        .Add("off")
+        .Add(static_cast<int64_t>(lp.num_vars()))
+        .Add(static_cast<int64_t>(0))
+        .Add("-")
+        .Add(static_cast<int64_t>(off.iterations))
+        .Add(FormatDouble(off.solve_seconds, 3));
+    t.NewRow()
+        .Add(static_cast<int64_t>(m))
+        .Add("on")
+        .Add(static_cast<int64_t>(lp.num_vars() -
+                                  on->stats.presolve_cols_removed))
+        .Add(on->stats.presolve_cols_removed)
+        .Add(FormatDouble(on->stats.presolve_seconds, 4))
+        .Add(static_cast<int64_t>(on->iterations))
+        .Add(FormatDouble(on->solve_seconds, 3));
+    if (!ObjectivesMatch(off.objective, on->objective)) {
+      std::cerr << "OBJECTIVE MISMATCH at m=" << m << ": no presolve "
+                << off.objective << " vs presolve " << on->objective << "\n";
+    }
+    const std::string prefix = "lp engine | m=" + std::to_string(m) + " ";
+    benchutil::RecordMetric(prefix + "presolve cold solve seconds",
+                            on->solve_seconds);
+    benchutil::RecordMetric(prefix + "presolve seconds",
+                            on->stats.presolve_seconds);
+    benchutil::RecordMetric(
+        prefix + "presolve cols removed",
+        static_cast<double>(on->stats.presolve_cols_removed));
+  }
+  t.Print("LP engine: presolve pipeline on cold compact-LP solves "
+          "(parallel social-free columns dominate the reduction)");
 }
 
 struct RepairTotals {
@@ -134,9 +213,11 @@ struct RepairTotals {
 /// Re-solves `child` from `parent_basis` under the given warm-start mode,
 /// accumulating into `totals`. Returns the objective (NaN on failure).
 double RepairChild(const LpModel& child, const LpBasis& parent_basis,
-                   WarmStartMode mode, RepairTotals* totals) {
+                   WarmStartMode mode, RepairTotals* totals,
+                   DualRowPricing row_pricing = DualRowPricing::kDevex) {
   SimplexOptions options;
   options.warm_start_mode = mode;
+  options.dual_row_pricing = row_pricing;
   auto sol = SolveLp(child, options, &parent_basis);
   if (!sol.ok()) return std::nan("");
   totals->pivots += sol->iterations;
@@ -146,7 +227,7 @@ double RepairChild(const LpModel& child, const LpBasis& parent_basis,
   return sol->objective;
 }
 
-/// Section 2: dual vs primal repair of one-bound-change children. The
+/// Section 3: dual vs primal repair of one-bound-change children. The
 /// children come in two flavors: branch-and-bound branches (x_u^c <= 0 or
 /// >= 1 on a fractional variable) and serving-style bans (every x column
 /// of one user's displayed-ish items forced to 0).
@@ -199,8 +280,7 @@ void PrintWarmRepair(const ColdRun& parent, const LpModel& lp) {
                       &primal_totals);
       if (std::isfinite(dual_obj) != std::isfinite(primal_obj) ||
           (std::isfinite(dual_obj) &&
-           std::abs(dual_obj - primal_obj) >
-               1e-6 * std::max(1.0, std::abs(primal_obj)))) {
+           !ObjectivesMatch(dual_obj, primal_obj))) {
         std::cerr << "OBJECTIVE MISMATCH on child " << i << " ("
                   << flavor.label << "): dual " << dual_obj << " vs primal "
                   << primal_obj << "\n";
@@ -229,10 +309,209 @@ void PrintWarmRepair(const ColdRun& parent, const LpModel& lp) {
           "composite-phase-1 primal (m=2000 compact LP)");
 }
 
+/// Section 4: dual-simplex leaving-row rule under ban waves. Each wave
+/// pulls eight well-displayed items at once (x columns with parent value
+/// > 0.5 forced to 0) and the dual simplex repairs the parent basis —
+/// the many-violation state where the row rule matters. Dual Devex and
+/// max-violation must reach the same optimum; Devex should get there in
+/// fewer pivots (the "(devex-rows)" / "(maxviol-rows)" CI gate).
+void PrintDualRowPricing(const ColdRun& parent, const LpModel& lp) {
+  if (!parent.ok) return;
+  constexpr int kWaves = 12;
+  constexpr int kBansPerWave = 8;
+  // Eligible bans: structural columns the parent optimum actually serves.
+  std::vector<int> served;
+  for (int j = 0; j < lp.num_vars(); ++j) {
+    if (parent.sol.x[j] > 0.5 && lp.lower(j) == 0.0 && lp.upper(j) <= 1.0) {
+      served.push_back(j);
+    }
+  }
+  struct ModeTotals {
+    RepairTotals totals;
+    std::vector<double> objectives;
+  };
+  ModeTotals devex, maxviol;
+  Rng rng(99);
+  for (int wave = 0; wave < kWaves; ++wave) {
+    rng.Shuffle(&served);
+    LpModel child = lp;
+    for (int b = 0; b < kBansPerWave && b < static_cast<int>(served.size());
+         ++b) {
+      child.SetBounds(served[b], 0.0, 0.0);
+    }
+    devex.objectives.push_back(RepairChild(child, parent.sol.basis,
+                                           WarmStartMode::kDual,
+                                           &devex.totals,
+                                           DualRowPricing::kDevex));
+    maxviol.objectives.push_back(RepairChild(child, parent.sol.basis,
+                                             WarmStartMode::kDual,
+                                             &maxviol.totals,
+                                             DualRowPricing::kMaxViolation));
+    const double a = devex.objectives.back();
+    const double b = maxviol.objectives.back();
+    if (std::isfinite(a) != std::isfinite(b) ||
+        (std::isfinite(a) && !ObjectivesMatch(a, b))) {
+      std::cerr << "OBJECTIVE MISMATCH on ban wave " << wave
+                << ": devex rows " << a << " vs max violation " << b << "\n";
+    }
+  }
+  Table t({"row rule", "waves", "bans/wave", "repaired", "pivots",
+           "dual pivots", "pivots/wave", "seconds"});
+  struct Row {
+    const char* label;
+    const char* suffix;
+    const ModeTotals* mode;
+  };
+  for (const Row& row : {Row{"dual devex", " (devex-rows)", &devex},
+                         Row{"max violation", " (maxviol-rows)", &maxviol}}) {
+    const RepairTotals& totals = row.mode->totals;
+    t.NewRow()
+        .Add(row.label)
+        .Add(static_cast<int64_t>(kWaves))
+        .Add(static_cast<int64_t>(kBansPerWave))
+        .Add(static_cast<int64_t>(totals.resolves))
+        .Add(totals.pivots)
+        .Add(totals.dual_pivots)
+        .Add(totals.resolves > 0
+                 ? FormatDouble(
+                       static_cast<double>(totals.pivots) / totals.resolves, 1)
+                 : std::string("-"))
+        .Add(FormatDouble(totals.seconds, 3));
+    benchutil::RecordMetric(
+        std::string("lp engine | ban-wave repair pivots") + row.suffix,
+        static_cast<double>(totals.pivots));
+    benchutil::RecordMetric(
+        std::string("lp engine | ban-wave repair seconds") + row.suffix,
+        totals.seconds);
+  }
+  t.Print("LP engine: dual-simplex row pricing under 8-item ban waves, "
+          "dual Devex vs max violation (m=2000 compact LP)");
+}
+
+/// Section 5: eta-file management over a serving-style stream. The stream
+/// bans a random served item per step (restoring the oldest ban past a
+/// window, so the LP keeps its shape) and warm-resolves from the previous
+/// basis; every 250th resolve is forced cold, the serving fallback where
+/// a solve runs thousands of pivots and an unmanaged eta chain hurts.
+/// Policies compared: adaptive (the default triggers), fixed interval 256
+/// (the PR 2-5 behavior), and unmanaged (interval 2^30: the eta chain only
+/// dies at the start-of-solve factorization). Kernel us/pivot is the
+/// bounded-vs-growing observable.
+void PrintServingStream(const LpModel& lp) {
+  constexpr int kResolves = 2000;
+  constexpr int kColdEvery = 250;
+  constexpr int kBanWindow = 40;
+  std::vector<int> bannable;
+  for (int j = 0; j < lp.num_vars(); ++j) {
+    if (lp.lower(j) == 0.0 && lp.upper(j) == 1.0) bannable.push_back(j);
+  }
+  struct Policy {
+    const char* label;
+    RefactorPolicy policy;
+    int interval;
+  };
+  const Policy policies[] = {
+      {"adaptive", RefactorPolicy::kAdaptive, 256},
+      {"fixed-256", RefactorPolicy::kFixedInterval, 256},
+      {"unmanaged", RefactorPolicy::kFixedInterval, 1 << 30},
+  };
+  Table t({"policy", "resolves", "pivots", "refactors", "max eta chain",
+           "kernel (s)", "kernel us/pivot", "total (s)"});
+  std::vector<double> reference_objectives;
+  for (const Policy& policy : policies) {
+    SimplexOptions options;
+    options.refactor_policy = policy.policy;
+    options.refactor_interval = policy.interval;
+    Rng rng(7);  // same seed per policy: identical mutation streams
+    LpModel work = lp;
+    std::deque<int> banned;
+    LpBasis basis;
+    bool have_basis = false;
+    int64_t pivots = 0, refactors = 0, max_eta = 0;
+    int resolves = 0, mismatches = 0;
+    double kernel_seconds = 0.0;
+    Timer stream_timer;
+    for (int step = 0; step < kResolves; ++step) {
+      const int j = bannable[rng.UniformInt(
+          static_cast<uint64_t>(bannable.size()))];
+      work.SetBounds(j, 0.0, 0.0);
+      banned.push_back(j);
+      if (static_cast<int>(banned.size()) > kBanWindow) {
+        work.SetBounds(banned.front(), 0.0, 1.0);
+        banned.pop_front();
+      }
+      const bool cold = step % kColdEvery == 0;
+      auto sol = SolveLp(work, options,
+                         have_basis && !cold ? &basis : nullptr);
+      if (!sol.ok()) {
+        have_basis = false;
+        continue;
+      }
+      basis = sol->basis;
+      have_basis = true;
+      pivots += sol->iterations;
+      refactors += sol->stats.refactorizations;
+      max_eta = std::max(max_eta, sol->stats.eta_count);
+      kernel_seconds += sol->stats.ftran_seconds + sol->stats.btran_seconds;
+      ++resolves;
+      if (&policy == &policies[0]) {
+        reference_objectives.push_back(sol->objective);
+      } else if (step < static_cast<int>(reference_objectives.size()) &&
+                 !ObjectivesMatch(reference_objectives[step],
+                                  sol->objective)) {
+        ++mismatches;
+      }
+    }
+    if (mismatches > 0) {
+      std::cerr << "OBJECTIVE MISMATCH on serving stream (" << policy.label
+                << "): " << mismatches << " steps differ from adaptive\n";
+    }
+    const double total_seconds = stream_timer.ElapsedSeconds();
+    t.NewRow()
+        .Add(policy.label)
+        .Add(static_cast<int64_t>(resolves))
+        .Add(pivots)
+        .Add(refactors)
+        .Add(max_eta)
+        .Add(FormatDouble(kernel_seconds, 3))
+        .Add(pivots > 0
+                 ? FormatDouble(1e6 * kernel_seconds / pivots, 2)
+                 : std::string("-"))
+        .Add(FormatDouble(total_seconds, 3));
+    const std::string prefix =
+        std::string("lp engine | serving stream ");
+    benchutil::RecordMetric(prefix + "kernel seconds - " + policy.label,
+                            kernel_seconds);
+    benchutil::RecordMetric(prefix + "max eta chain - " + policy.label,
+                            static_cast<double>(max_eta));
+    benchutil::RecordMetric(prefix + "refactorizations - " + policy.label,
+                            static_cast<double>(refactors));
+    benchutil::RecordMetric(prefix + "total seconds - " + policy.label,
+                            total_seconds);
+  }
+  t.Print("LP engine: eta-file management over a 2000-resolve serving "
+          "stream, adaptive vs fixed vs unmanaged refactorization "
+          "(m=10000 compact LP, cold resolve every 250)");
+}
+
 void PrintTables() {
-  LpModel reuse_lp;
-  ColdRun parent = PrintPricingComparison(2000, &reuse_lp);
-  PrintWarmRepair(parent, reuse_lp);
+  std::map<int, LpModel> lps;
+  for (int m : {kSmallM, kLargeM}) {
+    auto lp = BuildEngineLp(m);
+    if (!lp.ok()) {
+      std::cerr << "m=" << m << ": " << lp.status() << "\n";
+      continue;
+    }
+    lps.emplace(m, std::move(lp).value());
+  }
+  std::map<int, ColdRun> partial_runs = PrintPricingComparison(lps);
+  PrintPresolve(lps, partial_runs);
+  const auto small = partial_runs.find(kSmallM);
+  if (small != partial_runs.end() && lps.count(kSmallM) > 0) {
+    PrintWarmRepair(small->second, lps.at(kSmallM));
+    PrintDualRowPricing(small->second, lps.at(kSmallM));
+  }
+  if (lps.count(kLargeM) > 0) PrintServingStream(lps.at(kLargeM));
 }
 
 void BM_ColdCompactSolve(benchmark::State& state) {
@@ -252,6 +531,22 @@ BENCHMARK(BM_ColdCompactSolve)
     ->Args({2000, 1})
     ->Unit(benchmark::kMillisecond);
 
+void BM_PresolvedColdSolve(benchmark::State& state) {
+  auto inst = GenerateDataset(EngineParams(10000));
+  CompactLpMap map;
+  auto lp = BuildCompactLp(*inst, &map);
+  SimplexOptions options;
+  options.presolve = state.range(0) != 0;
+  for (auto _ : state) {
+    auto sol = SolveLp(*lp, options);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_PresolvedColdSolve)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DualChildResolve(benchmark::State& state) {
   auto inst = GenerateDataset(EngineParams(2000));
   CompactLpMap map;
@@ -268,12 +563,18 @@ void BM_DualChildResolve(benchmark::State& state) {
   child.SetBounds(branch, lp->lower(branch), 0.0);
   SimplexOptions options;
   options.warm_start_mode = WarmStartMode::kDual;
+  options.dual_row_pricing = state.range(0) != 0
+                                 ? DualRowPricing::kDevex
+                                 : DualRowPricing::kMaxViolation;
   for (auto _ : state) {
     auto sol = SolveLp(child, options, &parent->basis);
     benchmark::DoNotOptimize(sol);
   }
 }
-BENCHMARK(BM_DualChildResolve)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DualChildResolve)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace savg

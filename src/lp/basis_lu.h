@@ -11,15 +11,28 @@
 //  * LuBasisFactorization — sparse left-looking LU (Gilbert-Peierls style)
 //    with threshold partial pivoting and a static fill-reducing column
 //    order (ascending nonzero count). Pivots append eta terms to a
-//    product-form eta file; the simplex refactorizes when the file grows
-//    past SimplexOptions::refactor_interval or an update pivot is unsafe.
+//    product-form eta file. All factors and the eta file are stored as
+//    flat contiguous (index, value) streams with sorted indices, so the
+//    Ftran/Btran kernels are single forward passes over cache-resident
+//    arrays; past LuKernelOptions::dense_switch_density the kernels drop
+//    the per-element zero tests and run the branch-lean dense-scatter
+//    flavor (same arithmetic on every nonzero, so both flavors return
+//    exactly equal results).
 //  * DenseBasisFactorization — the legacy explicit dense inverse
 //    (Gauss-Jordan refactorization, dense eta row operations). O(n^2) per
 //    solve and O(n^3) per refactorization; kept as the reference path for
 //    the sparse/dense equivalence test suite and for debugging.
+//
+// When to refactorize is the caller's policy decision; the backend exports
+// the deterministic work counters that policy needs (eta_nonzeros,
+// factor_nonzeros, factor_ops, eta_ops_since_factor). The simplex's
+// adaptive policy (SimplexOptions::refactor_policy) is built on these
+// counters rather than wall-clock measurements so that solve paths stay
+// bit-reproducible across machines and thread counts.
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -58,10 +71,43 @@ class BasisFactorization {
 
   /// Total factorizations performed over the lifetime.
   virtual int factorizations() const = 0;
+
+  // --- deterministic work counters for adaptive refactorization ---------
+
+  /// Nonzeros currently stored in the product-form eta file. The direct
+  /// measure of eta density: every Ftran/Btran pays one multiply-add per
+  /// eta nonzero on top of the factor solve.
+  virtual int64_t eta_nonzeros() const = 0;
+
+  /// Nonzeros of the L and U factors (plus diagonal): the per-solve cost
+  /// of a freshly factorized basis, the baseline eta growth is judged
+  /// against.
+  virtual int64_t factor_nonzeros() const = 0;
+
+  /// Work (term visits) of the most recent Factorize() — what one
+  /// refactorization costs in the same unit as eta_ops_since_factor().
+  virtual int64_t factor_ops() const = 0;
+
+  /// Accumulated eta-file work performed by Ftran/Btran calls since the
+  /// last Factorize(): the extra solve cost the eta chain has already
+  /// charged. Once this exceeds factor_ops(), refactorizing earlier would
+  /// have been cheaper (the rent-or-buy trigger of the adaptive policy).
+  virtual int64_t eta_ops_since_factor() const = 0;
+};
+
+/// Kernel tuning knobs of the sparse LU backend.
+struct LuKernelOptions {
+  /// Input vectors whose nonzero fraction exceeds this run the dense
+  /// (branch-lean, no per-element zero test) kernel flavor; sparser inputs
+  /// keep the zero-skipping flavor. 0 forces dense, > 1 forces sparse.
+  /// Both flavors perform the same arithmetic on every nonzero, so the
+  /// results are exactly equal — the switch is purely a speed knob.
+  double dense_switch_density = 0.3;
 };
 
 /// Sparse LU backend (the default).
-std::unique_ptr<BasisFactorization> MakeLuFactorization();
+std::unique_ptr<BasisFactorization> MakeLuFactorization(
+    const LuKernelOptions& kernel = {});
 
 /// Legacy dense-inverse backend (reference/equivalence path).
 std::unique_ptr<BasisFactorization> MakeDenseFactorization();

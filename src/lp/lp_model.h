@@ -117,6 +117,7 @@ struct LpStats {
   double ftran_seconds = 0.0;       ///< B^-1 a_q solves (+ basic values)
   double btran_seconds = 0.0;       ///< B^-T solves (pricing y, Devex rho)
   double factor_seconds = 0.0;      ///< (re)factorizations + eta updates
+  double presolve_seconds = 0.0;    ///< presolve + postsolve passes
   // Pivot mix: how the solve's iterations were produced.
   int64_t primal_pivots = 0;    ///< primal pivots + bound flips (phases 1+2)
   int64_t dual_pivots = 0;      ///< dual-simplex pivots
@@ -125,18 +126,34 @@ struct LpStats {
   // Candidate-list pricing effectiveness (PricingMode::kPartial).
   int64_t candidate_hits = 0;       ///< pivots priced from the list alone
   int64_t full_pricing_scans = 0;   ///< full scans (rebuilds + optimality)
+  // Presolve reductions (zero unless SimplexOptions::presolve enabled).
+  int64_t presolve_cols_removed = 0;  ///< fixed + dominated + parallel
+  int64_t presolve_rows_removed = 0;  ///< empty + singleton/redundant
+  // Eta-file state at solve end, the observable the adaptive
+  // refactorization policy acts on (ROADMAP: eta chains in long serving
+  // sessions). Summing across solves gives totals; divide by solves for
+  // the mean chain length.
+  int64_t eta_count = 0;      ///< product-form etas pending at solve end
+  int64_t eta_nonzeros = 0;   ///< their stored nonzeros at solve end
+  int64_t refactorizations = 0;  ///< basis (re)factorizations performed
   LpStats& operator+=(const LpStats& o) {
     pricing_seconds += o.pricing_seconds;
     ratio_test_seconds += o.ratio_test_seconds;
     ftran_seconds += o.ftran_seconds;
     btran_seconds += o.btran_seconds;
     factor_seconds += o.factor_seconds;
+    presolve_seconds += o.presolve_seconds;
     primal_pivots += o.primal_pivots;
     dual_pivots += o.dual_pivots;
     dual_bound_flips += o.dual_bound_flips;
     bland_pivots += o.bland_pivots;
     candidate_hits += o.candidate_hits;
     full_pricing_scans += o.full_pricing_scans;
+    presolve_cols_removed += o.presolve_cols_removed;
+    presolve_rows_removed += o.presolve_rows_removed;
+    eta_count += o.eta_count;
+    eta_nonzeros += o.eta_nonzeros;
+    refactorizations += o.refactorizations;
     return *this;
   }
 };
@@ -144,6 +161,12 @@ struct LpStats {
 /// Outcome of an LP solve.
 struct LpSolution {
   std::vector<double> x;
+  /// Row duals, signed so that c_j - sum_i dual_values[i] a_ij is the
+  /// reduced cost of structural j in the model's own objective sense. At
+  /// optimality: 0 for basic variables, <= 0 at lower / >= 0 at upper for
+  /// a maximization (reversed for minimization). Presolve reconstructs
+  /// these exactly for removed rows (lp/presolve.h postsolve).
+  std::vector<double> dual_values;
   double objective = 0.0;
   /// Total simplex pivots/bound-flips (phase 1 + phase 2).
   int iterations = 0;

@@ -1,0 +1,140 @@
+// LP presolve: shrink an LpModel before the simplex sees it, with exact
+// postsolve back to the original space.
+//
+// The compact SVGIC LPs carry a lot of structurally removable material:
+// per-user column blocks are parallel (identical constraint columns that
+// differ only in objective), retired items and frozen users produce fixed
+// columns, and serving mutations leave behind empty and singleton rows.
+// Presolve removes what provably cannot matter and hands the simplex a
+// smaller model; postsolve reconstructs the primal point, the row duals
+// AND the simplex basis of the original model exactly, so warm-start
+// chains (branch-and-bound children, serving sessions, shard solves) pass
+// through presolve unchanged — a postsolved optimal basis re-solves the
+// original model in zero pivots.
+//
+// Reductions (each is exact for the optimal objective value):
+//
+//  * fixed columns    — upper == lower: substitute into the rhs.
+//  * empty rows       — no terms left: feasibility-check and drop
+//                       (slack basic, dual 0 on postsolve).
+//  * singleton rows   — one term left: converted to a variable bound.
+//                       Postsolve re-derives the row dual from the
+//                       variable's reduced cost when the implied bound is
+//                       active (and re-activates the row in the basis).
+//  * dominated columns — sign test: a column whose objective cannot pay
+//                       and whose every coefficient relaxes its rows when
+//                       the variable moves to one bound is fixed there.
+//                       Any feasible dual prices such a column dual-
+//                       feasible at that bound, so the 0-pivot guarantee
+//                       is unconditional.
+//  * parallel columns — columns with identical constraint columns (the
+//                       per-user x_u^c blocks of the compact LP) compete
+//                       for the same row capacity M; once the strictly
+//                       better twins' combined capacity covers M, the
+//                       rest are fixed at lower. This is what turns the
+//                       m=10000 compact LP into a k-sized one per user.
+//  * scaling          — power-of-two row/column equilibration. Powers of
+//                       two make the scaling bit-lossless to undo; the
+//                       all-±1 compact LPs are left untouched (factor 1).
+//
+// Usage (SolveLp does this internally when SimplexOptions::presolve is
+// enabled):
+//
+//   auto pre = PresolveLp(model);            // may prove infeasibility
+//   auto sol = SolveLp(pre->reduced(), ...); // solve the small model
+//   LpSolution full = pre->Postsolve(*sol);  // exact original solution
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "lp/lp_model.h"
+#include "util/status.h"
+
+namespace savg {
+
+struct PresolveOptions {
+  bool remove_fixed_columns = true;
+  bool remove_dominated_columns = true;
+  bool remove_parallel_columns = true;
+  bool remove_rows = true;  ///< empty + singleton rows
+  bool scale = true;        ///< power-of-two equilibration
+  /// Reduction passes repeat until a fixpoint or this cap (removals
+  /// cascade: a dominated column can empty a row, an emptied row can
+  /// free a column).
+  int max_passes = 4;
+  double tolerance = 1e-9;
+};
+
+/// What presolve removed (flows into LpStats for the --json artifacts).
+struct PresolveStats {
+  int fixed_cols = 0;
+  int dominated_cols = 0;
+  int parallel_cols = 0;
+  int empty_rows = 0;
+  int singleton_rows = 0;
+  bool scaled = false;
+  int cols_removed() const {
+    return fixed_cols + dominated_cols + parallel_cols;
+  }
+  int rows_removed() const { return empty_rows + singleton_rows; }
+};
+
+/// A presolved model plus everything postsolve needs. Holds a pointer to
+/// the original model: the PresolvedLp must not outlive it.
+class PresolvedLp {
+ public:
+  const LpModel& reduced() const { return reduced_; }
+  const PresolveStats& stats() const { return stats_; }
+
+  /// Maps a warm-start basis of the ORIGINAL model onto the reduced
+  /// model (removed entities are dropped; the simplex's warm-basis repair
+  /// absorbs the count drift). Returns an empty basis when `original` is
+  /// incompatible with the original model's shape.
+  LpBasis MapBasis(const LpBasis& original) const;
+
+  /// Expands a solution of reduced() into the original space: primal
+  /// point (fixed values reinserted, scaling undone), row duals (removed
+  /// rows get their exact duals re-derived), objective, and a valid basis
+  /// of the original model. Stats/iteration counters are carried over.
+  LpSolution Postsolve(const LpSolution& reduced_sol) const;
+
+ private:
+  friend Result<PresolvedLp> PresolveLp(const LpModel& model,
+                                        const PresolveOptions& options);
+
+  /// Why a row was removed — drives its postsolve dual reconstruction.
+  struct RemovedRow {
+    int row = -1;          ///< original row index
+    int var = -1;          ///< singleton variable (-1: empty/redundant)
+    double coef = 0.0;     ///< its coefficient in this row
+    double bound = 0.0;    ///< the bound the row implied on `var`
+    bool bound_is_upper = false;
+  };
+
+  const LpModel* original_ = nullptr;
+  LpModel reduced_;
+  PresolveStats stats_;
+  double tol_ = 1e-9;
+  std::vector<int> col_map_;          ///< original col -> reduced col / -1
+  std::vector<int> row_map_;          ///< original row -> reduced row / -1
+  std::vector<double> fixed_value_;   ///< removed col -> its value
+  std::vector<uint8_t> fixed_at_upper_;  ///< removed col -> basis side
+  std::vector<RemovedRow> removed_rows_;
+  /// Original-model column occurrences of every variable a removed
+  /// singleton row references (postsolve re-derives those rows' duals
+  /// from the variable's reduced cost).
+  std::unordered_map<int, std::vector<std::pair<int, double>>>
+      singleton_var_cols_;
+  std::vector<double> row_scale_, col_scale_;  ///< powers of two (or 1)
+};
+
+/// Runs presolve. Returns kInfeasible when a reduction proves the model
+/// infeasible (empty row with impossible rhs, crossing singleton bounds).
+Result<PresolvedLp> PresolveLp(const LpModel& model,
+                               const PresolveOptions& options = {});
+
+}  // namespace savg

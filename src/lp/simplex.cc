@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "lp/basis_lu.h"
+#include "lp/presolve.h"
 #include "util/logging.h"
 
 namespace savg {
@@ -87,6 +88,10 @@ class RevisedSimplex {
     sol.x.resize(model_.num_vars());
     for (int j = 0; j < model_.num_vars(); ++j) sol.x[j] = Value(j);
     sol.objective = model_.ObjectiveValue(sol.x);
+    sol.dual_values = ExportDuals();
+    stats_.eta_count = factor_->eta_count();
+    stats_.eta_nonzeros = factor_->eta_nonzeros();
+    stats_.refactorizations = factor_->factorizations();
     sol.iterations = total_iterations_;
     sol.phase1_iterations = phase1_iterations_;
     sol.factorizations = factor_->factorizations();
@@ -237,6 +242,31 @@ class RevisedSimplex {
     return true;
   }
 
+  /// Row duals in the model's own sense: y solves B' y = c_B under the
+  /// phase-2 internal cost, mapped back through the internal
+  /// sign-normalizations (objective sense s, >=-row negation s_i) so that
+  /// c_j - sum_i y_i a_ij is structural j's reduced cost in the original
+  /// model. Called at the end of Run(), when cost_ is the phase-2 vector.
+  std::vector<double> ExportDuals() const {
+    std::vector<double> y(num_rows_, 0.0);
+    bool any = false;
+    for (int pos = 0; pos < num_rows_; ++pos) {
+      const double cb = cost_[basis_[pos]];
+      if (cb != 0.0) {
+        y[pos] = cb;
+        any = true;
+      }
+    }
+    if (any) factor_->Btran(&y);
+    const double sense = model_.maximize() ? 1.0 : -1.0;
+    for (int i = 0; i < num_rows_; ++i) {
+      const double row_sign =
+          model_.row(i).type == RowType::kGreaterEqual ? -1.0 : 1.0;
+      y[i] *= sense * row_sign;
+    }
+    return y;
+  }
+
   LpBasis ExportBasis() const {
     LpBasis basis;
     auto map = [](VarStatus s) {
@@ -293,6 +323,27 @@ class RevisedSimplex {
     cand_.clear();
     cand_score_.clear();
     return Status::OK();
+  }
+
+  /// Adaptive refactorization trigger (RefactorPolicy::kAdaptive): fold
+  /// the eta file back into a fresh LU when it outgrew the factors
+  /// (density) or has already charged more Ftran/Btran work than a
+  /// refactorization costs (rent-or-buy). refactor_interval stays as the
+  /// hard cap under both policies. Every input is a deterministic work
+  /// counter — no wall clock — so the decision replays identically across
+  /// machines and worker counts.
+  bool ShouldRefactor() const {
+    const int etas = factor_->eta_count();
+    if (etas == 0) return false;
+    if (etas >= opt_.refactor_interval) return true;
+    if (opt_.refactor_policy != RefactorPolicy::kAdaptive) return false;
+    if (static_cast<double>(factor_->eta_nonzeros()) >
+        opt_.eta_density_limit *
+            static_cast<double>(factor_->factor_nonzeros())) {
+      return true;
+    }
+    return static_cast<double>(factor_->eta_ops_since_factor()) >
+           opt_.eta_ops_multiplier * static_cast<double>(factor_->factor_ops());
   }
 
   void ComputeBasicValues() {
@@ -391,6 +442,11 @@ class RevisedSimplex {
   Status SolveDual(Timer* timer, bool* optimal) {
     *optimal = false;
     const bool timed = opt_.time_limit_seconds < kNoTimeLimit;
+    const bool devex_rows = opt_.dual_row_pricing == DualRowPricing::kDevex;
+    // Dual Devex reference weights, one per basis position. Like the
+    // primal framework they start the reference frame at 1 and only ever
+    // grow until a reset.
+    dual_gamma_.assign(num_rows_, 1.0);
     int stall = 0;
     // Finite sentinel: StallSlack(inf) would poison the comparison.
     double best_infeas = 1e300;
@@ -406,10 +462,15 @@ class RevisedSimplex {
     std::vector<int> flips;
 
     for (;;) {
-      // Leaving row: the basic variable with the largest bound violation.
+      // Leaving row. kMaxViolation takes the basic variable with the
+      // largest bound violation; kDevex weighs each violation by its
+      // reference weight (score viol^2 / gamma_r) so rows whose dual edge
+      // is steep — large true infeasibility per unit of |B^-T e_r| — win,
+      // mirroring primal Devex's d^2 / gamma column rule.
       int r = -1;
-      double viol = kFeasTolerance;
+      double viol = 0.0;
       bool below = false;
+      double best_score = 0.0;
       double total_infeas = 0.0;
       for (int pos = 0; pos < num_rows_; ++pos) {
         const int bj = basis_[pos];
@@ -419,15 +480,16 @@ class RevisedSimplex {
                                                       : -kLpInfinity;
         if (under > 0.0) total_infeas += under;
         if (over > 0.0) total_infeas += over;
-        if (under > viol) {
-          viol = under;
+        const bool is_below = under > over;
+        const double infeas = is_below ? under : over;
+        if (infeas <= kFeasTolerance) continue;
+        const double score =
+            devex_rows ? infeas * infeas / dual_gamma_[pos] : infeas;
+        if (score > best_score) {
+          best_score = score;
+          viol = infeas;
           r = pos;
-          below = true;
-        }
-        if (over > viol) {
-          viol = over;
-          r = pos;
-          below = false;
+          below = is_below;
         }
       }
       if (r < 0) {
@@ -575,6 +637,28 @@ class RevisedSimplex {
       }
       stats_.pricing_seconds += phase_timer.ElapsedSeconds();
 
+      // Dual Devex weight update, free off the entering column's Ftran
+      // image w (w_i = alpha-row entry of basic position i against the
+      // entering column): gamma_i = max(gamma_i, (w_i / alpha_rq)^2 *
+      // gamma_r) for i != r, and the position r weight restarts at
+      // max(gamma_r / alpha_rq^2, 1) for its new basic variable. Reset
+      // the reference framework when weights blow up, as in the primal.
+      if (devex_rows) {
+        const double gamma_r = dual_gamma_[r];
+        const double inv_rq2 = 1.0 / (alpha_rq * alpha_rq);
+        double max_gamma = 1.0;
+        for (int pos = 0; pos < num_rows_; ++pos) {
+          if (pos == r || w[pos] == 0.0) continue;
+          const double cand = w[pos] * w[pos] * inv_rq2 * gamma_r;
+          if (cand > dual_gamma_[pos]) dual_gamma_[pos] = cand;
+          if (dual_gamma_[pos] > max_gamma) max_gamma = dual_gamma_[pos];
+        }
+        dual_gamma_[r] = std::max(gamma_r * inv_rq2, 1.0);
+        if (std::max(max_gamma, dual_gamma_[r]) > 1e10) {
+          dual_gamma_.assign(num_rows_, 1.0);
+        }
+      }
+
       // Pivot: entering becomes basic in row r; leaving lands on the bound
       // it violated.
       const double x_q_old = Value(entering);
@@ -597,7 +681,7 @@ class RevisedSimplex {
       phase_timer.Reset();
       Status updated = factor_->Update(w, r);
       stats_.factor_seconds += phase_timer.ElapsedSeconds();
-      if (!updated.ok() || factor_->eta_count() >= opt_.refactor_interval) {
+      if (!updated.ok() || ShouldRefactor()) {
         Status refactored = Refactorize();
         if (!refactored.ok()) return refactored;
         RecomputeReducedCosts();
@@ -961,7 +1045,7 @@ class RevisedSimplex {
       phase_timer.Reset();
       Status updated = factor_->Update(w, leaving_pos);
       stats_.factor_seconds += phase_timer.ElapsedSeconds();
-      if (!updated.ok() || factor_->eta_count() >= opt_.refactor_interval) {
+      if (!updated.ok() || ShouldRefactor()) {
         Status refactored = Refactorize();
         if (!refactored.ok()) return refactored;
         // Re-anchor the incrementally tracked objective at the same
@@ -1063,6 +1147,7 @@ class RevisedSimplex {
   std::vector<double> basic_value_;  ///< position -> value of its basic var
   std::vector<double> devex_;        ///< Devex reference weights
   std::vector<double> d_;            ///< dual simplex: nonbasic reduced costs
+  std::vector<double> dual_gamma_;   ///< dual Devex row weights (per position)
 
   /// Partial-pricing candidate list (+ scores during a rebuild scan).
   std::vector<PricingCandidate> cand_;
@@ -1080,6 +1165,37 @@ class RevisedSimplex {
 
 Result<LpSolution> SolveLp(const LpModel& model, const SimplexOptions& options,
                            const LpBasis* warm_start) {
+  if (options.presolve) {
+    // Presolve -> solve the reduced model -> postsolve back. The warm
+    // basis (if any) is mapped through the reduction; the postsolved
+    // solution carries an exact basis/dual/primal of the original model.
+    Timer pre_timer;
+    PresolveOptions popt;
+    popt.tolerance = options.tolerance;
+    Result<PresolvedLp> pre = PresolveLp(model, popt);
+    if (!pre.ok()) return pre.status();
+    const double presolve_seconds = pre_timer.ElapsedSeconds();
+
+    SimplexOptions inner = options;
+    inner.presolve = false;
+    LpBasis mapped;
+    const LpBasis* inner_warm = nullptr;
+    if (warm_start != nullptr && !warm_start->Empty()) {
+      mapped = pre->MapBasis(*warm_start);
+      if (!mapped.Empty()) inner_warm = &mapped;
+    }
+    RevisedSimplex worker(pre->reduced(), inner, inner_warm);
+    Result<LpSolution> reduced_sol = worker.Run();
+    if (!reduced_sol.ok()) return reduced_sol.status();
+
+    pre_timer.Reset();
+    LpSolution full = pre->Postsolve(*reduced_sol);
+    full.stats.presolve_seconds =
+        presolve_seconds + pre_timer.ElapsedSeconds();
+    full.stats.presolve_cols_removed = pre->stats().cols_removed();
+    full.stats.presolve_rows_removed = pre->stats().rows_removed();
+    return full;
+  }
   RevisedSimplex worker(model, options, warm_start);
   return worker.Run();
 }

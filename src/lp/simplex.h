@@ -64,6 +64,35 @@ enum class PricingMode {
   kPartial,
 };
 
+/// How the dual simplex (SolveDual) picks its leaving row.
+enum class DualRowPricing {
+  /// Dual Devex: pick the row maximizing violation^2 / gamma_r over a
+  /// reference framework of row weights, updated incrementally from the
+  /// entering column's Ftran image (no extra Btran per pivot). The dual
+  /// mirror of primal Devex: it weighs each violation by the steepness of
+  /// the dual edge that removes it, which is what cuts the pivot count on
+  /// warm-basis repair (the CI gate holds it at <= 0.85x max-violation).
+  kDevex,
+  /// Pick the row with the largest bound violation (the PR 5 reference
+  /// path — textbook, but blind to edge steepness).
+  kMaxViolation,
+};
+
+/// When the engine folds the product-form eta file back into a fresh LU
+/// factorization.
+enum class RefactorPolicy {
+  /// Adaptive (default): refactorize when the eta file outgrows the
+  /// factors (eta_nonzeros > eta_density_limit * factor_nonzeros) or when
+  /// the accumulated eta work since the last factorization exceeds what a
+  /// refactorization costs (eta_ops > eta_ops_multiplier * factor_ops —
+  /// the rent-or-buy rule), with refactor_interval as a hard cap. All
+  /// triggers are deterministic work counters (lp/basis_lu.h), never
+  /// wall-clock, so solves stay bit-reproducible across machines.
+  kAdaptive,
+  /// Refactorize every refactor_interval updates (the PR 2-5 behavior).
+  kFixedInterval,
+};
+
 /// Which method repairs the starting basis. kAuto and kPrimal leave cold
 /// solves unchanged (composite phase 1 + primal phase 2); kDual attempts
 /// the dual method from ANY dual-feasible start basis, warm or cold.
@@ -85,8 +114,19 @@ struct SimplexOptions {
   double time_limit_seconds = 1e18;
   /// Feasibility / reduced-cost tolerance.
   double tolerance = 1e-9;
-  /// Refactorize after this many eta updates (numerical hygiene).
+  /// Hard cap on eta updates between refactorizations (numerical
+  /// hygiene); the adaptive policy usually refactorizes earlier.
   int refactor_interval = 256;
+  /// Refactorization trigger policy (see RefactorPolicy).
+  RefactorPolicy refactor_policy = RefactorPolicy::kAdaptive;
+  /// kAdaptive: refactorize once eta_nonzeros exceeds this multiple of
+  /// the LU factor nonzeros (every solve then pays more for the eta file
+  /// than for a fresh factorization's triangles).
+  double eta_density_limit = 1.0;
+  /// kAdaptive: refactorize once the eta work Ftran/Btran already spent
+  /// since the last factorization exceeds this multiple of one
+  /// factorization's cost (rent-or-buy amortization).
+  double eta_ops_multiplier = 1.0;
   /// Switch to Bland's rule after this many non-improving iterations.
   /// Deliberately high: the compact SVGIC LPs walk degenerate plateaus
   /// thousands of pivots long that Devex crosses fine but Bland crawls
@@ -107,6 +147,13 @@ struct SimplexOptions {
   int candidate_list_size = 0;
   /// Warm-basis repair method (see WarmStartMode).
   WarmStartMode warm_start_mode = WarmStartMode::kAuto;
+  /// Dual-simplex leaving-row rule (see DualRowPricing).
+  DualRowPricing dual_row_pricing = DualRowPricing::kDevex;
+  /// Run lp/presolve.h before the simplex and postsolve the result back
+  /// to the original space (primal, duals, basis — exactly). Off by
+  /// default: callers opt in per solve; warm bases are mapped through the
+  /// reduction automatically.
+  bool presolve = false;
 };
 
 /// Solves `model` to optimality. Returns kInfeasible / kUnbounded /

@@ -264,6 +264,8 @@ Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
   report.phase1_pivots = sol->phase1_iterations;
   report.lp_objective = sol->objective;
   report.lp_stats = sol->stats;
+  report.eta_chain_length = sol->stats.eta_count;
+  report.refactorizations = sol->stats.refactorizations;
 
   // Extract the compact fractional solution.
   frac_ = FractionalSolution();

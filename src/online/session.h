@@ -117,6 +117,18 @@ struct ResolveReport {
   double lp_seconds = 0.0;
   double rounding_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Product-form etas left pending when this resolve's LP finished —
+  /// the eta-chain length the next warm resolve would inherit if the
+  /// basis were kept hot. The adaptive refactorization policy
+  /// (SessionOptions::simplex.refactor_policy, on by default) keeps this
+  /// bounded over long mutation streams; under
+  /// RefactorPolicy::kFixedInterval with a large refactor_interval it
+  /// grows with the per-resolve pivot count (bench_online_sessions shows
+  /// the divergence). Monolithic path only (zero on the sharded path,
+  /// whose per-shard solves refactorize independently).
+  int64_t eta_chain_length = 0;
+  /// Basis (re)factorizations this resolve's LP performed.
+  int64_t refactorizations = 0;
   LpStats lp_stats;
   // Sharded-mode telemetry (zero on the monolithic path).
   int num_shards = 0;
