@@ -98,12 +98,11 @@ ReplayStats Replay(const SvgicInstance& base, const EventLog& log,
   options.reround_utility_threshold = reround_utility_threshold;
   Session session(base, options);
   ReplayStats stats;
-  for (const SessionEvent& event : log) {
-    if (event.type != EventType::kResolve) {
-      Status applied = session.ApplyEvent(event, nullptr);
+  for (const SessionCommand& event : log) {
+    if (event.type != CommandType::kResolve) {
+      auto applied = session.Apply(event);
       if (!applied.ok()) {
-        std::cerr << "event failed: " << applied << "\n";
-        continue;
+        std::cerr << "event failed: " << applied.status() << "\n";
       }
       continue;
     }
@@ -288,7 +287,7 @@ void BM_IncrementalResolve(benchmark::State& state) {
   double value = 0.1;
   for (auto _ : state) {
     value = value < 0.9 ? value + 0.05 : 0.1;
-    if (!session.PreferenceDelta(3, 5, value).ok()) break;
+    if (!session.Apply(MakePref(3, 5, value)).ok()) break;
     auto report = session.Resolve();
     if (!report.ok()) break;
     benchmark::DoNotOptimize(report->pivots);
@@ -303,7 +302,7 @@ void BM_ColdResolve(benchmark::State& state) {
   double value = 0.1;
   for (auto _ : state) {
     value = value < 0.9 ? value + 0.05 : 0.1;
-    if (!session.PreferenceDelta(3, 5, value).ok()) break;
+    if (!session.Apply(MakePref(3, 5, value)).ok()) break;
     auto report = session.Resolve(/*force_cold=*/true);
     if (!report.ok()) break;
     benchmark::DoNotOptimize(report->pivots);

@@ -1,0 +1,410 @@
+// Closed/open-loop load generator for the serving front-end
+// (svgic_serverd / ServeServer), driving the framed binary protocol
+// through ServeClient.
+//
+// Three phases against one server:
+//  * uncoalesced — each client owns one session and runs a strict closed
+//    loop (one resolve in flight at a time), so every resolve request
+//    pays its own Resolve(); the per-request reference cost.
+//  * coalesced   — the same clients pipeline bursts of resolve requests,
+//    which the server folds into one Resolve() per burst (request
+//    coalescing); same request count, a fraction of the solves.
+//  * flash crowd — open loop: every client blasts an interleaved
+//    mutation/resolve burst without reading responses, far past the
+//    admission bound, and counts the kOverloaded shed responses.
+//
+// The paired "(coalesced)" / "(uncoalesced)" --json metrics feed the
+// machine-speed-independent CI gate (tools/perf_compare.py
+// --cold-reference --suffixes): coalesced wall time must stay well under
+// the same run's uncoalesced wall time.
+//
+// By default the server runs in-process on an ephemeral port; --port=
+// targets an external svgic_serverd instead (the CI e2e demo), and
+// --shutdown-server ends that server's lifecycle with a kShutdown frame.
+//
+//   bench_serve_load [--port=P] [--host=H] [--clients=C] [--rounds=R]
+//                    [--mutations=M] [--resolves=B] [--burst=N]
+//                    [--users=U] [--items=I] [--queue-depth=D]
+//                    [--json=path] [--shutdown-server]
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/datasets.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/stats.h"
+
+namespace savg {
+namespace {
+
+struct LoadConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = start an in-process ServeServer
+  int clients = 4;
+  int rounds = 6;
+  int mutations_per_round = 8;
+  int resolves_per_round = 8;
+  /// Flash-crowd commands per client (0 disables the phase).
+  int burst = 512;
+  /// Mutation id ranges (must match the served instance; the in-process
+  /// server overwrites them from the generated dataset).
+  int users = 20;
+  int items = 40;
+  int64_t queue_depth = 256;  ///< in-process server only
+  bool shutdown_server = false;
+  uint64_t seed = 17;
+};
+
+/// Per-client tallies, merged after the threads join.
+struct ClientStats {
+  std::vector<double> resolve_latencies;
+  std::vector<double> mutation_latencies;
+  int64_t requests = 0;
+  int64_t overloaded = 0;
+  int64_t errors = 0;
+};
+
+SessionCommand RandomMutation(const LoadConfig& config, std::mt19937_64* rng) {
+  std::uniform_int_distribution<int> user(0, config.users - 1);
+  std::uniform_int_distribution<int> item(0, config.items - 1);
+  std::uniform_real_distribution<double> value(0.05, 0.95);
+  return MakePref(user(*rng), item(*rng), value(*rng));
+}
+
+/// Reads one response, charging its latency to the send timer in `sent`.
+Status Receive(ServeClient* client,
+               std::unordered_map<uint64_t, Timer>* sent,
+               std::vector<double>* latencies, ClientStats* stats) {
+  auto response = client->ReadResponse();
+  SAVG_RETURN_NOT_OK(response.status());
+  auto it = sent->find(response->request_id);
+  if (it != sent->end()) {
+    latencies->push_back(it->second.ElapsedSeconds());
+    sent->erase(it);
+  }
+  if (response->kind == FrameKind::kOverloaded) {
+    ++stats->overloaded;
+  } else if (response->kind != FrameKind::kOk) {
+    ++stats->errors;
+  }
+  return Status::OK();
+}
+
+/// One client's share of a measured phase: closed-loop mutations, then
+/// either closed-loop (`pipeline=false`) or pipelined resolves.
+Status RunClient(const LoadConfig& config, int client_index, bool pipeline,
+                 ClientStats* stats) {
+  ServeClient client;
+  SAVG_RETURN_NOT_OK(client.Connect(config.host, config.port));
+  const uint32_t session = static_cast<uint32_t>(client_index);
+  std::mt19937_64 rng(config.seed + 1000 + client_index);
+  std::unordered_map<uint64_t, Timer> sent;
+  for (int round = 0; round < config.rounds; ++round) {
+    for (int i = 0; i < config.mutations_per_round; ++i) {
+      auto id = client.SendApply(session, RandomMutation(config, &rng));
+      SAVG_RETURN_NOT_OK(id.status());
+      sent.emplace(*id, Timer());
+      ++stats->requests;
+      SAVG_RETURN_NOT_OK(
+          Receive(&client, &sent, &stats->mutation_latencies, stats));
+    }
+    int outstanding = 0;
+    for (int i = 0; i < config.resolves_per_round; ++i) {
+      auto id = client.SendApply(session, MakeResolve());
+      SAVG_RETURN_NOT_OK(id.status());
+      sent.emplace(*id, Timer());
+      ++stats->requests;
+      if (pipeline) {
+        ++outstanding;
+      } else {
+        SAVG_RETURN_NOT_OK(
+            Receive(&client, &sent, &stats->resolve_latencies, stats));
+      }
+    }
+    for (; outstanding > 0; --outstanding) {
+      SAVG_RETURN_NOT_OK(
+          Receive(&client, &sent, &stats->resolve_latencies, stats));
+    }
+  }
+  return Status::OK();
+}
+
+/// One client's share of the flash crowd: blast the whole burst at
+/// session 0 (every client piles onto the same session), then drain.
+Status RunFlashClient(const LoadConfig& config, int client_index,
+                      ClientStats* stats) {
+  ServeClient client;
+  SAVG_RETURN_NOT_OK(client.Connect(config.host, config.port));
+  std::mt19937_64 rng(config.seed + 5000 + client_index);
+  std::unordered_map<uint64_t, Timer> sent;
+  for (int i = 0; i < config.burst; ++i) {
+    const SessionCommand command =
+        i % 2 == 0 ? RandomMutation(config, &rng) : MakeResolve();
+    SAVG_RETURN_NOT_OK(client.SendApply(0, command).status());
+    ++stats->requests;
+  }
+  std::vector<double> ignored;
+  for (int i = 0; i < config.burst; ++i) {
+    SAVG_RETURN_NOT_OK(Receive(&client, &sent, &ignored, stats));
+  }
+  return Status::OK();
+}
+
+/// Fans `fn` out over config.clients threads and merges the tallies.
+/// Returns the phase wall-clock seconds.
+template <typename Fn>
+double RunPhase(const LoadConfig& config, Fn fn, ClientStats* merged) {
+  std::vector<ClientStats> stats(config.clients);
+  std::vector<std::thread> threads;
+  Timer timer;
+  threads.reserve(config.clients);
+  for (int i = 0; i < config.clients; ++i) {
+    threads.emplace_back([&, i] {
+      Status status = fn(i, &stats[i]);
+      if (!status.ok()) std::cerr << "client " << i << ": " << status << "\n";
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall = timer.ElapsedSeconds();
+  for (const ClientStats& s : stats) {
+    merged->resolve_latencies.insert(merged->resolve_latencies.end(),
+                                     s.resolve_latencies.begin(),
+                                     s.resolve_latencies.end());
+    merged->mutation_latencies.insert(merged->mutation_latencies.end(),
+                                      s.mutation_latencies.begin(),
+                                      s.mutation_latencies.end());
+    merged->requests += s.requests;
+    merged->overloaded += s.overloaded;
+    merged->errors += s.errors;
+  }
+  return wall;
+}
+
+/// Crude numeric-field extraction from the status JSON (the bench only
+/// reports a couple of scalar fields; no JSON parser in the repo).
+double FindJsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+void AddPhaseRow(Table* t, const std::string& name, double wall,
+                 const ClientStats& stats) {
+  t->NewRow()
+      .Add(name)
+      .Add(stats.requests)
+      .Add(FormatDouble(wall, 3))
+      .Add(FormatDouble(static_cast<double>(stats.requests) / wall, 0))
+      .Add(FormatDouble(Percentile(stats.resolve_latencies, 50) * 1000, 2))
+      .Add(FormatDouble(Percentile(stats.resolve_latencies, 99) * 1000, 2))
+      .Add(stats.overloaded)
+      .Add(stats.errors);
+}
+
+int RunLoad(LoadConfig config) {
+  // In-process server unless --port= points at an external svgic_serverd.
+  std::unique_ptr<ServeServer> local;
+  if (config.port == 0) {
+    DatasetParams params;
+    params.kind = DatasetKind::kTimik;
+    params.num_users = config.users;
+    params.num_items = config.items;
+    params.num_slots = 3;
+    params.lambda = 0.5;
+    params.seed = config.seed;
+    auto inst = GenerateDataset(params);
+    if (!inst.ok()) {
+      std::cerr << inst.status() << "\n";
+      return 1;
+    }
+    ServerOptions options;
+    options.admission.max_queue_depth = config.queue_depth;
+    local = std::make_unique<ServeServer>(options);
+    for (int i = 0; i < config.clients; ++i) {
+      SessionOptions session_options;
+      session_options.seed = config.seed + i;
+      local->CreateSession(*inst, session_options);
+    }
+    Status started = local->Start();
+    if (!started.ok()) {
+      std::cerr << started << "\n";
+      return 1;
+    }
+    config.port = local->port();
+  }
+
+  // Warm-up: first resolve per session is the cold LP solve; keep it out
+  // of the measured phases so they compare incremental resolves only.
+  {
+    ServeClient client;
+    Status connected = client.Connect(config.host, config.port);
+    if (!connected.ok()) {
+      std::cerr << connected << "\n";
+      return 1;
+    }
+    for (int i = 0; i < config.clients; ++i) {
+      auto response = client.Apply(static_cast<uint32_t>(i), MakeResolve());
+      if (!response.ok()) {
+        std::cerr << "warm-up resolve failed: " << response.status() << "\n";
+        return 1;
+      }
+    }
+  }
+
+  ClientStats uncoalesced, coalesced, flash;
+  const double uncoalesced_wall = RunPhase(
+      config,
+      [&](int i, ClientStats* s) {
+        return RunClient(config, i, /*pipeline=*/false, s);
+      },
+      &uncoalesced);
+  const double coalesced_wall = RunPhase(
+      config,
+      [&](int i, ClientStats* s) {
+        return RunClient(config, i, /*pipeline=*/true, s);
+      },
+      &coalesced);
+  double flash_wall = 0.0;
+  if (config.burst > 0) {
+    flash_wall = RunPhase(
+        config,
+        [&](int i, ClientStats* s) { return RunFlashClient(config, i, s); },
+        &flash);
+  }
+
+  // Server-side counters (coalesce ratio, shed count) from the status
+  // command; fetched before the shutdown frame.
+  double coalesce_ratio = -1.0;
+  double server_shed = -1.0;
+  {
+    ServeClient client;
+    if (client.Connect(config.host, config.port).ok()) {
+      auto status_json = client.FetchStatus();
+      if (status_json.ok()) {
+        coalesce_ratio = FindJsonNumber(*status_json, "coalesce_ratio");
+        server_shed = FindJsonNumber(*status_json, "shed");
+      }
+      if (config.shutdown_server) {
+        if (client.SendShutdown().ok()) client.ReadResponse();
+      }
+    }
+  }
+
+  Table t({"phase", "requests", "wall (s)", "req/s", "p50 resolve (ms)",
+           "p99 resolve (ms)", "overloaded", "errors"});
+  AddPhaseRow(&t, "uncoalesced (closed loop)", uncoalesced_wall, uncoalesced);
+  AddPhaseRow(&t, "coalesced (pipelined)", coalesced_wall, coalesced);
+  if (config.burst > 0) AddPhaseRow(&t, "flash crowd", flash_wall, flash);
+  t.Print("Serve load: " + std::to_string(config.clients) + " clients x " +
+          std::to_string(config.rounds) + " rounds (" +
+          std::to_string(config.mutations_per_round) + " mutations + " +
+          std::to_string(config.resolves_per_round) + " resolves)");
+  std::cout << "server coalesce ratio "
+            << (coalesce_ratio >= 0 ? FormatDouble(coalesce_ratio, 3) : "n/a")
+            << ", server shed count "
+            << (server_shed >= 0
+                    ? std::to_string(static_cast<int64_t>(server_shed))
+                    : "n/a")
+            << "\n";
+
+  benchutil::RecordMetric("serve load | resolve phase (coalesced)",
+                          coalesced_wall);
+  benchutil::RecordMetric("serve load | resolve phase (uncoalesced)",
+                          uncoalesced_wall);
+  benchutil::RecordMetric("serve load | p50 resolve - coalesced",
+                          Percentile(coalesced.resolve_latencies, 50));
+  benchutil::RecordMetric("serve load | p99 resolve - coalesced",
+                          Percentile(coalesced.resolve_latencies, 99));
+  benchutil::RecordMetric("serve load | p50 resolve - uncoalesced",
+                          Percentile(uncoalesced.resolve_latencies, 50));
+  benchutil::RecordMetric("serve load | p99 resolve - uncoalesced",
+                          Percentile(uncoalesced.resolve_latencies, 99));
+  benchutil::RecordMetric("serve load | flash crowd shed responses",
+                          static_cast<double>(flash.overloaded));
+  benchutil::RecordMetric("serve load | coalesce ratio", coalesce_ratio);
+  benchutil::WriteJsonMetrics();
+
+  if (local != nullptr) local->Shutdown();
+  // A flash crowd that never sheds means the admission bound was not
+  // exercised — fail loudly so CI notices a broken demo, not a green run.
+  if (config.burst > 0 && flash.overloaded == 0) {
+    std::cerr << "flash crowd produced no kOverloaded responses; raise "
+                 "--burst or lower --queue-depth\n";
+    return 1;
+  }
+  return 0;
+}
+
+long ParseLong(const char* flag, const char* value) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0) {
+    std::cerr << flag << " expects a non-negative integer, got \"" << value
+              << "\"\n";
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace
+}  // namespace savg
+
+int main(int argc, char** argv) {
+  savg::LoadConfig config;
+  struct IntFlag {
+    const char* name;
+    int* value;
+  };
+  const IntFlag int_flags[] = {
+      {"--port=", &config.port},
+      {"--clients=", &config.clients},
+      {"--rounds=", &config.rounds},
+      {"--mutations=", &config.mutations_per_round},
+      {"--resolves=", &config.resolves_per_round},
+      {"--burst=", &config.burst},
+      {"--users=", &config.users},
+      {"--items=", &config.items},
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    bool matched = false;
+    for (const IntFlag& flag : int_flags) {
+      const size_t len = std::strlen(flag.name);
+      if (std::strncmp(arg, flag.name, len) == 0) {
+        *flag.value =
+            static_cast<int>(savg::ParseLong(flag.name, arg + len));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      config.host = arg + 7;
+    } else if (std::strncmp(arg, "--queue-depth=", 14) == 0) {
+      config.queue_depth = savg::ParseLong("--queue-depth", arg + 14);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed =
+          static_cast<uint64_t>(savg::ParseLong("--seed", arg + 7));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      savg::benchutil::JsonPath() = arg + 7;
+    } else if (std::strcmp(arg, "--shutdown-server") == 0) {
+      config.shutdown_server = true;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (config.clients < 1 || config.rounds < 1 ||
+      config.resolves_per_round < 1) {
+    std::cerr << "--clients/--rounds/--resolves must be >= 1\n";
+    return 2;
+  }
+  return savg::RunLoad(config);
+}

@@ -219,14 +219,14 @@ OnlineReplay ReplayOnline(const SvgicInstance& base, const EventLog& log,
   OnlineReplay replay;
   double dirty_fraction_sum = 0.0;
   int incremental = 0;
-  for (const SessionEvent& event : log) {
-    ResolveReport report;
-    Status applied = session.ApplyEvent(event, &report);
-    if (!applied.ok()) {
-      std::cerr << "event failed: " << applied << "\n";
+  for (const SessionCommand& event : log) {
+    auto outcome = session.Apply(event);
+    if (!outcome.ok()) {
+      std::cerr << "event failed: " << outcome.status() << "\n";
       continue;
     }
-    if (event.type != EventType::kResolve) continue;
+    if (!outcome->resolved) continue;
+    const ResolveReport& report = outcome->report;
     ++replay.resolves;
     replay.pivots += report.pivots;
     replay.final_total = report.scaled_total;

@@ -4,16 +4,21 @@
 //   svgic_cli run  <solver> <instance.tsv> [out_config.tsv]  solve it
 //   svgic_cli eval <instance.tsv> <config.tsv>            score a config
 //   svgic_cli genevents <instance.tsv> <mutations> <resolve_every> <seed>
-//                       <out.events>                      make an event log
-//   svgic_cli serve <instance.tsv> <events>               replay a live
+//                       <out.cmds>                       make a command log
+//   svgic_cli convertevents <in> <out>                    legacy TSV event
+//                                                         log -> binary
+//   svgic_cli serve <instance.tsv> <commands>             replay a live
 //                                                         serving session
 //
 // <kind> in {timik, epinions, yelp}; <solver> is any registry name
 // (case-insensitive; `svgic_cli run help` lists them), plus "local" =
 // AVG-D followed by local-search polish. `serve` drives the online
-// subsystem (src/online/): each resolve event re-optimizes incrementally
-// from the cached simplex basis and prints which path ran plus the pivot
-// counts.
+// subsystem (src/online/) through Session::Apply(SessionCommand): each
+// resolve command re-optimizes incrementally from the cached simplex basis
+// and prints which path ran plus the pivot counts. Command logs are the
+// binary format of serve/session_command.h; `serve` also accepts legacy
+// TSV event logs via the import shim, and `convertevents` rewrites one as
+// binary.
 //
 // Global flags (anywhere on the command line):
 //   --shards=N      shard count for the sharded paths: the AVG-SHARD
@@ -101,7 +106,8 @@ int Usage() {
                "  svgic_cli eval <instance> <config>\n"
                "  svgic_cli genevents <instance> <mutations> <resolve_every>"
                " <seed> <out>\n"
-               "  svgic_cli serve <instance> <events>\n"
+               "  svgic_cli convertevents <in_events> <out_commands>\n"
+               "  svgic_cli serve <instance> <commands>\n"
                "flags: --shards=N (sharded solve/serving), --shard-gap=G\n"
                "solvers: "
             << KnownSolvers() << "|local (AVG-D + local search)\n";
@@ -242,13 +248,32 @@ int GenerateEvents(int argc, char** argv) {
     std::cerr << "mutations must be > 0\n";
     return 1;
   }
-  const EventLog log = GenerateEventStream(*inst, params);
-  Status st = WriteEventLogToFile(log, argv[6]);
+  const CommandLog log = GenerateEventStream(*inst, params);
+  Status st = WriteCommandLogToFile(log, argv[6]);
   if (!st.ok()) {
     std::cerr << st << "\n";
     return 1;
   }
-  std::cout << "wrote " << log.size() << " events to " << argv[6] << "\n";
+  std::cout << "wrote " << log.size() << " commands to " << argv[6] << "\n";
+  return 0;
+}
+
+int ConvertEvents(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  // ReadCommandLogFromFile sniffs the magic, so this also re-canonicalizes
+  // a binary log; the common use is TSV -> binary migration.
+  auto log = ReadCommandLogFromFile(argv[2]);
+  if (!log.ok()) {
+    std::cerr << log.status() << "\n";
+    return 1;
+  }
+  Status st = WriteCommandLogToFile(*log, argv[3]);
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "converted " << log->size() << " commands to binary at "
+            << argv[3] << "\n";
   return 0;
 }
 
@@ -259,7 +284,7 @@ int Serve(int argc, char** argv) {
     std::cerr << inst.status() << "\n";
     return 1;
   }
-  auto log = ReadEventLogFromFile(argv[3]);
+  auto log = ReadCommandLogFromFile(argv[3]);
   if (!log.ok()) {
     std::cerr << log.status() << "\n";
     return 1;
@@ -277,14 +302,14 @@ int Serve(int argc, char** argv) {
   int64_t incremental_pivots = 0;
   int64_t total_pivots = 0;
   for (size_t i = 0; i < log->size(); ++i) {
-    const SessionEvent& event = (*log)[i];
-    ResolveReport report;
-    Status applied = session.ApplyEvent(event, &report);
-    if (!applied.ok()) {
-      std::cerr << "event " << i << " failed: " << applied << "\n";
+    const SessionCommand& command = (*log)[i];
+    auto outcome = session.Apply(command);
+    if (!outcome.ok()) {
+      std::cerr << "command " << i << " failed: " << outcome.status() << "\n";
       return 1;
     }
-    if (event.type != EventType::kResolve) continue;
+    if (!outcome->resolved) continue;
+    const ResolveReport& report = outcome->report;
     ++resolves;
     total_pivots += report.pivots;
     if (report.path == ResolvePath::kIncremental) {
@@ -305,7 +330,7 @@ int Serve(int argc, char** argv) {
         .Add(report.scaled_total, 4)
         .Add(report.total_seconds * 1000, 2);
   }
-  t.Print("serve: " + std::to_string(log->size()) + " events, " +
+  t.Print("serve: " + std::to_string(log->size()) + " commands, " +
           std::to_string(resolves) + " resolves");
   std::cout << "total pivots " << total_pivots << " (incremental path "
             << incremental_pivots << ")\n";
@@ -332,6 +357,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "run") == 0) return Run(argc, argv);
   if (std::strcmp(argv[1], "eval") == 0) return Eval(argc, argv);
   if (std::strcmp(argv[1], "genevents") == 0) return GenerateEvents(argc, argv);
+  if (std::strcmp(argv[1], "convertevents") == 0) {
+    return ConvertEvents(argc, argv);
+  }
   if (std::strcmp(argv[1], "serve") == 0) return Serve(argc, argv);
   return Usage();
 }

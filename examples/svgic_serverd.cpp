@@ -1,0 +1,129 @@
+// svgic_serverd: the network serving daemon.
+//
+//   svgic_serverd <instance.tsv> [flags]
+//
+// Loads one instance, registers --sessions= independent serving sessions
+// over it, and serves the framed binary protocol (src/serve/wire.h) plus
+// the HTTP/JSON status fallback on one listener until a kShutdown frame
+// arrives (bench_serve_load --shutdown-server sends one) or SIGINT/SIGTERM.
+//
+// Flags:
+//   --port=P         listen port (default 0 = ephemeral; the bound port is
+//                    printed as "listening on 127.0.0.1:P" either way)
+//   --sessions=K     serving sessions sharing the worker pool (default 1)
+//   --workers=W      SessionManager worker threads (default 0 = all cores)
+//   --queue-depth=D  admission-queue bound before shedding (default 256)
+//   --no-coalesce    disable resolve coalescing (A/B for the load gen)
+//   --seed=S         per-session RNG seed base (default 7)
+//
+// On shutdown the final MetricsRegistry dump goes to stdout, so a scripted
+// run captures per-command latency, queue depth, coalesce ratio, and shed
+// counts without scraping /metrics.
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/io.h"
+#include "serve/server.h"
+
+using namespace savg;
+
+namespace {
+
+ServeServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+int Usage() {
+  std::cerr
+      << "usage: svgic_serverd <instance.tsv> [--port=P] [--sessions=K]\n"
+         "                     [--workers=W] [--queue-depth=D]\n"
+         "                     [--no-coalesce] [--seed=S]\n";
+  return 2;
+}
+
+/// Strict long parse for --flag=value (a typo must not silently change
+/// the serving configuration).
+long ParseLong(const char* flag, const char* value) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0) {
+    std::cerr << flag << " expects a non-negative integer, got \"" << value
+              << "\"\n";
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string instance_path;
+  ServerOptions options;
+  int num_sessions = 1;
+  uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      options.port = static_cast<int>(ParseLong("--port", arg + 7));
+    } else if (std::strncmp(arg, "--sessions=", 11) == 0) {
+      num_sessions = static_cast<int>(ParseLong("--sessions", arg + 11));
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      options.num_workers =
+          static_cast<int>(ParseLong("--workers", arg + 10));
+    } else if (std::strncmp(arg, "--queue-depth=", 14) == 0) {
+      options.admission.max_queue_depth =
+          ParseLong("--queue-depth", arg + 14);
+    } else if (std::strcmp(arg, "--no-coalesce") == 0) {
+      options.coalesce_resolves = false;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = static_cast<uint64_t>(ParseLong("--seed", arg + 7));
+    } else if (arg[0] == '-') {
+      std::cerr << "unknown flag " << arg << "\n";
+      return Usage();
+    } else if (instance_path.empty()) {
+      instance_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (instance_path.empty() || num_sessions < 1) return Usage();
+
+  auto inst = ReadInstanceFromFile(instance_path);
+  if (!inst.ok()) {
+    std::cerr << inst.status() << "\n";
+    return 1;
+  }
+
+  ServeServer server(options);
+  for (int i = 0; i < num_sessions; ++i) {
+    SessionOptions session_options;
+    session_options.seed = seed + static_cast<uint64_t>(i);
+    server.CreateSession(*inst, session_options);
+  }
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started << "\n";
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::cout << "listening on 127.0.0.1:" << server.port() << " ("
+            << num_sessions << " sessions over " << inst->DebugString()
+            << ", queue depth " << options.admission.max_queue_depth
+            << ", coalescing "
+            << (options.coalesce_resolves ? "on" : "off") << ")"
+            << std::endl;
+
+  server.WaitForShutdown();
+  server.Shutdown();
+  g_server = nullptr;
+  std::cout << server.metrics().TextDump();
+  return 0;
+}

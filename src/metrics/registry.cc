@@ -1,0 +1,157 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace savg {
+
+namespace {
+
+/// log(kMax / kMin) — the histogram's geometric span.
+const double kLogSpan = std::log(Histogram::kMax / Histogram::kMin);
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBuckets) {}
+
+int Histogram::BucketIndex(double seconds) const {
+  if (!(seconds > kMin)) return 0;
+  if (seconds >= kMax) return kBuckets - 1;
+  const double t = std::log(seconds / kMin) / kLogSpan;
+  const int index = static_cast<int>(t * kBuckets);
+  return std::min(std::max(index, 0), kBuckets - 1);
+}
+
+double Histogram::BucketLower(int index) const {
+  return kMin * std::exp(kLogSpan * index / kBuckets);
+}
+
+double Histogram::BucketUpper(int index) const {
+  return kMin * std::exp(kLogSpan * (index + 1) / kBuckets);
+}
+
+void Histogram::Observe(double seconds) {
+  buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<int64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double Histogram::mean() const {
+  const int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  const int64_t n = count();
+  if (n <= 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-quantile among the n observations (1-based).
+  const double rank = q * static_cast<double>(n - 1) + 1.0;
+  double below = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const double in_bucket = static_cast<double>(
+        buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket <= 0.0) continue;
+    if (below + in_bucket >= rank) {
+      // Interpolate inside the bucket's geometric bounds.
+      const double frac = (rank - below) / in_bucket;
+      return BucketLower(i) + frac * (BucketUpper(i) - BucketLower(i));
+    }
+    below += in_bucket;
+  }
+  return BucketUpper(kBuckets - 1);
+}
+
+namespace {
+
+template <typename T>
+T* FindOrCreate(std::vector<std::pair<std::string, std::unique_ptr<T>>>* v,
+                const std::string& name) {
+  for (auto& entry : *v) {
+    if (entry.first == name) return entry.second.get();
+  }
+  v->emplace_back(name, std::make_unique<T>());
+  return v->back().second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&gauges_, name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&histograms_, name);
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : counters_) {
+      samples.push_back(
+          {entry.first, static_cast<double>(entry.second->value())});
+    }
+    for (const auto& entry : gauges_) {
+      samples.push_back(
+          {entry.first, static_cast<double>(entry.second->value())});
+    }
+    for (const auto& entry : histograms_) {
+      const Histogram& h = *entry.second;
+      samples.push_back(
+          {entry.first + ".count", static_cast<double>(h.count())});
+      samples.push_back({entry.first + ".mean", h.mean()});
+      samples.push_back({entry.first + ".p50", h.Quantile(0.5)});
+      samples.push_back({entry.first + ".p99", h.Quantile(0.99)});
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return samples;
+}
+
+std::string MetricsRegistry::TextDump() const {
+  std::ostringstream out;
+  out.precision(9);
+  for (const MetricSample& sample : Snapshot()) {
+    out << sample.name << " " << sample.value << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonDump() const {
+  std::ostringstream out;
+  out.precision(9);
+  out << "{\"metrics\": [";
+  bool first = true;
+  for (const MetricSample& sample : Snapshot()) {
+    if (!first) out << ", ";
+    first = false;
+    std::string name = sample.name;
+    for (char& ch : name) {
+      if (ch == '"' || ch == '\\') ch = '\'';
+    }
+    out << "{\"name\": \"" << name << "\", \"value\": " << sample.value
+        << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace savg

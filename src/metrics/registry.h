@@ -1,0 +1,132 @@
+// Central serving-metrics registry: counters, gauges, and streaming
+// latency histograms with p50/p99 readout.
+//
+// The serving front-end (src/serve/) records per-command latency, queue
+// depth, coalesce ratio and shed counts here; `svgic_serverd` exposes the
+// whole registry through the wire status command and the HTTP /metrics
+// endpoint. Everything is lock-free on the hot path: counters/gauges are
+// single atomics, histograms are fixed geometric bucket arrays of atomics
+// (an Observe() is one increment — no allocation, no lock), so recording
+// a metric costs nanoseconds even under heavy multi-worker traffic.
+//
+// Histogram quantiles are streaming estimates: values are bucketed
+// geometrically between kHistogramMin and kHistogramMax seconds with
+// ~7% resolution per bucket (plenty for p50/p99 latency telemetry; the
+// paper-accuracy percentiles in bench tables still use util/stats.h over
+// raw samples).
+//
+// Name lookup (GetCounter/GetGauge/GetHistogram) takes a registry mutex —
+// do it once at setup and keep the pointer; handles stay valid for the
+// registry's lifetime.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace savg {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, live connections).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Decrement(int64_t delta = 1) {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Streaming latency histogram (geometric buckets, see file comment).
+class Histogram {
+ public:
+  static constexpr double kMin = 1e-7;   ///< 100 ns
+  static constexpr double kMax = 100.0;  ///< 100 s
+  static constexpr int kBuckets = 300;
+
+  Histogram();
+
+  /// Records one observation (seconds). Values outside [kMin, kMax] land
+  /// in the boundary buckets.
+  void Observe(double seconds);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of all observations (seconds); mean() = sum/count.
+  double sum() const;
+  double mean() const;
+
+  /// Streaming quantile estimate, q in [0, 1] (0.5 = p50, 0.99 = p99).
+  /// Linear interpolation inside the hit bucket; 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  int BucketIndex(double seconds) const;
+  double BucketLower(int index) const;
+  double BucketUpper(int index) const;
+
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  /// Seconds accumulated as integer nanoseconds so Observe() stays a pure
+  /// atomic add (no CAS loop for a double).
+  std::atomic<int64_t> sum_nanos_{0};
+};
+
+/// One exported metric row (TextDump/JsonDump flatten histograms into
+/// count/mean/p50/p99 pseudo-metrics).
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; the returned handle lives as long as the registry.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Flat snapshot: counters/gauges as-is; each histogram H expands to
+  /// "H.count", "H.mean", "H.p50", "H.p99" (seconds).
+  std::vector<MetricSample> Snapshot() const;
+
+  /// "name value" lines, sorted by name.
+  std::string TextDump() const;
+  /// {"metrics": [{"name": ..., "value": ...}, ...]} (the same shape the
+  /// bench --json artifacts use, so tooling can share parsers).
+  std::string JsonDump() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Deques-of-unique_ptr keep handles stable across growth.
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>>
+      histograms_;
+};
+
+}  // namespace savg

@@ -11,30 +11,6 @@ namespace {
 
 constexpr int kFormatVersion = 1;
 
-const char* TypeName(EventType type) {
-  switch (type) {
-    case EventType::kPref:
-      return "pref";
-    case EventType::kTau:
-      return "tau";
-    case EventType::kLambda:
-      return "lambda";
-    case EventType::kJoin:
-      return "join";
-    case EventType::kFriend:
-      return "friend";
-    case EventType::kLeave:
-      return "leave";
-    case EventType::kAddItem:
-      return "additem";
-    case EventType::kRetireItem:
-      return "retireitem";
-    case EventType::kResolve:
-      return "resolve";
-  }
-  return "?";
-}
-
 }  // namespace
 
 Status WriteEventLog(const EventLog& log, std::ostream* out) {
@@ -44,7 +20,7 @@ Status WriteEventLog(const EventLog& log, std::ostream* out) {
       out->precision(std::numeric_limits<double>::max_digits10);
   *out << "svgicevents " << kFormatVersion << "\n";
   for (const SessionEvent& e : log) {
-    *out << TypeName(e.type);
+    *out << CommandTypeName(e.type);
     switch (e.type) {
       case EventType::kPref:
         *out << "\t" << e.u << "\t" << e.c << "\t" << e.value;

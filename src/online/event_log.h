@@ -1,6 +1,13 @@
-// Replayable session event log (TSV).
+// Replayable session event log: legacy TSV format + the stream generator.
 //
-// One event per line, '#' comments, fixed header/footer:
+// The event type itself is the unified SessionCommand tagged variant
+// (serve/session_command.h); SessionEvent/EventType survive as aliases so
+// pre-codec call sites keep compiling. New logs are written in the binary
+// command format (WriteCommandLog); the TSV writer/reader below remain as
+// the import shim for logs captured before the codec existed and as the
+// human-readable debug format.
+//
+// TSV layout — one event per line, '#' comments, fixed header/footer:
 //
 //   svgicevents <version>
 //   pref <u> <c> <value>        set p(u, c) = value
@@ -26,38 +33,15 @@
 #include <vector>
 
 #include "core/problem.h"
+#include "serve/session_command.h"
 #include "util/random.h"
 #include "util/status.h"
 
 namespace savg {
 
-enum class EventType {
-  kPref,
-  kTau,
-  kLambda,
-  kJoin,
-  kFriend,
-  kLeave,
-  kAddItem,
-  kRetireItem,
-  kResolve,
-};
-
-/// One mutation (or resolve trigger) of a live session.
-struct SessionEvent {
-  EventType type = EventType::kResolve;
-  UserId u = -1;
-  UserId v = -1;
-  ItemId c = -1;
-  double value = 0.0;
-
-  bool operator==(const SessionEvent& o) const {
-    return type == o.type && u == o.u && v == o.v && c == o.c &&
-           value == o.value;
-  }
-};
-
-using EventLog = std::vector<SessionEvent>;
+using EventType = CommandType;
+using SessionEvent = SessionCommand;
+using EventLog = CommandLog;
 
 Status WriteEventLog(const EventLog& log, std::ostream* out);
 Status WriteEventLogToFile(const EventLog& log, const std::string& path);

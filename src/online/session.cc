@@ -51,7 +51,7 @@ void Session::ClearDirty() {
   all_dirty_ = false;
 }
 
-Status Session::PreferenceDelta(UserId u, ItemId c, double value) {
+Status Session::ApplyPref(UserId u, ItemId c, double value) {
   if (u < 0 || u >= instance_.num_users()) {
     return Status::OutOfRange("unknown user");
   }
@@ -66,7 +66,8 @@ Status Session::PreferenceDelta(UserId u, ItemId c, double value) {
   return Status::OK();
 }
 
-Status Session::TauDelta(UserId u, UserId v, ItemId c, double value) {
+Status Session::ApplyTau(UserId u, UserId v, ItemId c,
+                         double value) {
   if (u < 0 || u >= instance_.num_users() || v < 0 ||
       v >= instance_.num_users() || u == v) {
     return Status::OutOfRange("invalid user pair");
@@ -88,7 +89,7 @@ Status Session::TauDelta(UserId u, UserId v, ItemId c, double value) {
   return Status::OK();
 }
 
-Status Session::FriendAdded(UserId u, UserId v) {
+Status Session::ApplyFriend(UserId u, UserId v) {
   if (u < 0 || u >= instance_.num_users() || v < 0 ||
       v >= instance_.num_users() || u == v) {
     return Status::OutOfRange("invalid user pair");
@@ -102,14 +103,14 @@ Status Session::FriendAdded(UserId u, UserId v) {
   return Status::OK();
 }
 
-Result<UserId> Session::UserJoined() {
+UserId Session::ApplyJoin() {
   const UserId u = instance_.AddUser();
   dirty_.resize(instance_.num_users(), 0);
   MarkDirty(u);
   return u;
 }
 
-Status Session::UserLeft(UserId u) {
+Status Session::ApplyLeave(UserId u) {
   if (u < 0 || u >= instance_.num_users()) {
     return Status::OutOfRange("unknown user");
   }
@@ -122,7 +123,7 @@ Status Session::UserLeft(UserId u) {
   return Status::OK();
 }
 
-Status Session::SetLambda(double lambda) {
+Status Session::ApplyLambda(double lambda) {
   if (lambda <= 0.0 || lambda > 1.0) {
     return Status::InvalidArgument(
         "session lambda must stay in (0, 1] (the compact LP needs "
@@ -135,13 +136,13 @@ Status Session::SetLambda(double lambda) {
   return Status::OK();
 }
 
-ItemId Session::ItemAdded() {
+ItemId Session::ApplyAddItem() {
   // A brand-new item has no utility for anyone, so no LP column appears
   // and no user needs re-rounding until preferences arrive for it.
   return instance_.AddItem();
 }
 
-Status Session::ItemRetired(ItemId c) {
+Status Session::ApplyRetireItem(ItemId c) {
   if (c < 0 || c >= instance_.num_items()) {
     return Status::OutOfRange("unknown item");
   }
@@ -160,33 +161,50 @@ Status Session::ItemRetired(ItemId c) {
   return Status::OK();
 }
 
-Status Session::ApplyEvent(const SessionEvent& event, ResolveReport* report) {
-  switch (event.type) {
-    case EventType::kPref:
-      return PreferenceDelta(event.u, event.c, event.value);
-    case EventType::kTau:
-      return TauDelta(event.u, event.v, event.c, event.value);
-    case EventType::kLambda:
-      return SetLambda(event.value);
-    case EventType::kJoin:
-      return UserJoined().status();
-    case EventType::kFriend:
-      return FriendAdded(event.u, event.v);
-    case EventType::kLeave:
-      return UserLeft(event.u);
-    case EventType::kAddItem:
-      ItemAdded();
-      return Status::OK();
-    case EventType::kRetireItem:
-      return ItemRetired(event.c);
-    case EventType::kResolve: {
+Result<CommandOutcome> Session::Apply(const SessionCommand& command) {
+  CommandOutcome outcome;
+  switch (command.type) {
+    case CommandType::kPref:
+      SAVG_RETURN_NOT_OK(ApplyPref(command.u, command.c, command.value));
+      return outcome;
+    case CommandType::kTau:
+      SAVG_RETURN_NOT_OK(
+          ApplyTau(command.u, command.v, command.c, command.value));
+      return outcome;
+    case CommandType::kLambda:
+      SAVG_RETURN_NOT_OK(ApplyLambda(command.value));
+      return outcome;
+    case CommandType::kJoin:
+      outcome.assigned_id = ApplyJoin();
+      return outcome;
+    case CommandType::kFriend:
+      SAVG_RETURN_NOT_OK(ApplyFriend(command.u, command.v));
+      return outcome;
+    case CommandType::kLeave:
+      SAVG_RETURN_NOT_OK(ApplyLeave(command.u));
+      return outcome;
+    case CommandType::kAddItem:
+      outcome.assigned_id = ApplyAddItem();
+      return outcome;
+    case CommandType::kRetireItem:
+      SAVG_RETURN_NOT_OK(ApplyRetireItem(command.c));
+      return outcome;
+    case CommandType::kResolve: {
       auto resolved = Resolve();
       if (!resolved.ok()) return resolved.status();
-      if (report != nullptr) *report = *resolved;
-      return Status::OK();
+      outcome.resolved = true;
+      outcome.report = *resolved;
+      return outcome;
     }
   }
-  return Status::InvalidArgument("unknown event type");
+  return Status::InvalidArgument("unknown command type");
+}
+
+Status Session::ApplyEvent(const SessionEvent& event, ResolveReport* report) {
+  auto outcome = Apply(event);
+  if (!outcome.ok()) return outcome.status();
+  if (outcome->resolved && report != nullptr) *report = outcome->report;
+  return Status::OK();
 }
 
 Result<ResolveReport> Session::Resolve(bool force_cold) {

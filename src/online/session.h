@@ -137,6 +137,22 @@ struct ResolveReport {
   double shard_gap = 0.0;
 };
 
+/// What one Apply(SessionCommand) did. `assigned_id` carries the id a
+/// kJoin/kAddItem command allocated; `report` is valid iff `resolved`.
+struct CommandOutcome {
+  int64_t assigned_id = -1;
+  bool resolved = false;
+  /// Resolve requests folded into this one's Resolve() beyond itself
+  /// (set by SessionManager when coalescing; 0 on the in-process path).
+  int coalesced = 0;
+  /// True when this resolve request was answered by ANOTHER request's
+  /// Resolve() (it shares the group's report; exactly one request per
+  /// coalesced group has this false — the metrics layer counts actual
+  /// solves vs folded requests from it).
+  bool coalesced_away = false;
+  ResolveReport report;
+};
+
 class Session {
  public:
   /// Takes ownership of the instance (pairs are finalized here).
@@ -156,26 +172,51 @@ class Session {
   bool HasConfig() const { return config_.num_users() > 0; }
   int num_resolves() const { return num_resolves_; }
 
-  // --- Mutations (take effect at the next Resolve) -----------------------
+  // --- The unified command entry point -----------------------------------
+
+  /// Applies one SessionCommand — THE mutation/resolve path every caller
+  /// (wire protocol, event-log replay, CLI, benches) goes through. A
+  /// kResolve command runs Resolve() and returns the report in the
+  /// outcome; kJoin/kAddItem return the allocated id. Mutations take
+  /// effect at the next resolve.
+  Result<CommandOutcome> Apply(const SessionCommand& command);
+
+  // --- Legacy per-mutation entry points -----------------------------------
+  // Thin wrappers over Apply(); kept for tests and call-site readability.
 
   /// Sets p(u, c) = value (absolute, not additive).
-  Status PreferenceDelta(UserId u, ItemId c, double value);
+  Status PreferenceDelta(UserId u, ItemId c, double value) {
+    return Apply(MakePref(u, c, value)).status();
+  }
   /// Sets tau(u, v, c) = value; befriends u and v when no edge exists.
-  Status TauDelta(UserId u, UserId v, ItemId c, double value);
+  Status TauDelta(UserId u, UserId v, ItemId c, double value) {
+    return Apply(MakeTau(u, v, c, value)).status();
+  }
   /// Adds the friendship {u, v} with no social utility yet.
-  Status FriendAdded(UserId u, UserId v);
+  Status FriendAdded(UserId u, UserId v) {
+    return Apply(MakeFriend(u, v)).status();
+  }
   /// A new user joins with zero preferences; returns the id.
-  Result<UserId> UserJoined();
+  Result<UserId> UserJoined() {
+    auto outcome = Apply(MakeJoin());
+    if (!outcome.ok()) return outcome.status();
+    return static_cast<UserId>(outcome->assigned_id);
+  }
   /// User u leaves: utilities zeroed, id stays valid (dense ids).
-  Status UserLeft(UserId u);
+  Status UserLeft(UserId u) { return Apply(MakeLeave(u)).status(); }
   /// Sets lambda (must stay in (0, 1]; every user is re-rounded).
-  Status SetLambda(double lambda);
+  Status SetLambda(double lambda) {
+    return Apply(MakeLambda(lambda)).status();
+  }
   /// A new item appears with zero utilities; returns the id.
-  ItemId ItemAdded();
+  ItemId ItemAdded() {
+    auto outcome = Apply(MakeAddItem());
+    return outcome.ok() ? static_cast<ItemId>(outcome->assigned_id) : -1;
+  }
   /// Item c retired: utilities zeroed, id stays valid.
-  Status ItemRetired(ItemId c);
+  Status ItemRetired(ItemId c) { return Apply(MakeRetireItem(c)).status(); }
 
-  /// Applies one replayed event (svgic_cli serve / bench). A kResolve
+  /// Applies one replayed event (compat shim over Apply). A kResolve
   /// event triggers Resolve() and stores the report in `report`.
   Status ApplyEvent(const SessionEvent& event, ResolveReport* report);
 
@@ -185,6 +226,16 @@ class Session {
   Result<ResolveReport> Resolve(bool force_cold = false);
 
  private:
+  // Per-command mutation implementations behind Apply()'s dispatch.
+  Status ApplyPref(UserId u, ItemId c, double value);
+  Status ApplyTau(UserId u, UserId v, ItemId c, double value);
+  Status ApplyFriend(UserId u, UserId v);
+  UserId ApplyJoin();
+  Status ApplyLeave(UserId u);
+  Status ApplyLambda(double lambda);
+  ItemId ApplyAddItem();
+  Status ApplyRetireItem(ItemId c);
+
   void MarkDirty(UserId u);
   void MarkAllDirty() { all_dirty_ = true; }
   /// Dirty flags are only cleared once a Resolve() succeeds: a failed

@@ -1,19 +1,25 @@
 #include "online/session_manager.h"
 
+#include <utility>
+
 namespace savg {
 
-SessionManager::SessionManager(int num_workers) : pool_(num_workers) {}
+SessionManager::SessionManager(SessionManagerOptions options)
+    : options_(options), pool_(options.num_workers) {}
 
 SessionManager::~SessionManager() { Drain(); }
 
 int SessionManager::CreateSession(SvgicInstance instance,
                                   SessionOptions options) {
   auto entry = std::make_unique<Entry>();
-  entry->session =
-      std::make_unique<Session>(std::move(instance), options);
+  entry->session = std::make_unique<Session>(std::move(instance), options);
+  entry->stats.num_users = entry->session->instance().num_users();
+  entry->stats.num_items = entry->session->instance().num_items();
   std::lock_guard<std::mutex> lock(mu_);
+  const int id = static_cast<int>(entries_.size());
+  entry->stats.session_id = id;
   entries_.push_back(std::move(entry));
-  return static_cast<int>(entries_.size()) - 1;
+  return id;
 }
 
 int SessionManager::num_sessions() const {
@@ -21,12 +27,35 @@ int SessionManager::num_sessions() const {
   return static_cast<int>(entries_.size());
 }
 
-Status SessionManager::Submit(int session_id, const SessionEvent& event) {
+std::vector<int> SessionManager::ListSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> ids(entries_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  return ids;
+}
+
+Result<SessionStats> SessionManager::GetStats(int session_id) const {
   Entry* entry = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (session_id < 0 ||
-        session_id >= static_cast<int>(entries_.size())) {
+    if (session_id < 0 || session_id >= static_cast<int>(entries_.size())) {
+      return Status::OutOfRange("unknown session id " +
+                                std::to_string(session_id));
+    }
+    entry = entries_[session_id].get();
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  SessionStats stats = entry->stats;
+  stats.queue_depth = entry->queue.size();
+  return stats;
+}
+
+Status SessionManager::Submit(int session_id, const SessionCommand& command,
+                              ApplyCallback done) {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (session_id < 0 || session_id >= static_cast<int>(entries_.size())) {
       return Status::OutOfRange("unknown session id");
     }
     entry = entries_[session_id].get();
@@ -34,7 +63,7 @@ Status SessionManager::Submit(int session_id, const SessionEvent& event) {
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(entry->mu);
-    entry->queue.push_back(event);
+    entry->queue.push_back({command, std::move(done)});
     if (!entry->running) {
       entry->running = true;
       schedule = true;
@@ -44,29 +73,92 @@ Status SessionManager::Submit(int session_id, const SessionEvent& event) {
   return Status::OK();
 }
 
+void SessionManager::RunResolve(Entry* entry,
+                                std::vector<ApplyCallback>* waiters) {
+  // One Resolve() answers every deferred resolve request: each waiter
+  // receives the same outcome, with `coalesced` recording how many
+  // requests shared the solve beyond the first.
+  auto outcome = entry->session->Apply(MakeResolve());
+  const Status status = outcome.status();
+  CommandOutcome result;
+  if (outcome.ok()) {
+    result = std::move(outcome).value();
+    result.coalesced = static_cast<int>(waiters->size()) - 1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->stats.commands_applied +=
+        static_cast<int64_t>(waiters->size());
+    if (status.ok()) {
+      entry->reports.push_back(result.report);
+      entry->stats.resolves += 1;
+      entry->stats.resolves_coalesced += result.coalesced;
+      entry->stats.last_scaled_total = result.report.scaled_total;
+    } else if (entry->stats.first_error.ok()) {
+      entry->stats.first_error = status;
+    }
+  }
+  for (size_t i = 0; i < waiters->size(); ++i) {
+    if (!(*waiters)[i]) continue;
+    result.coalesced_away = i > 0;
+    (*waiters)[i](status, result);
+  }
+  waiters->clear();
+}
+
 void SessionManager::DrainEntry(Entry* entry) {
+  // Resolve requests deferred behind still-pending commands (coalescing);
+  // flushed before the drain task gives the session up.
+  std::vector<ApplyCallback> pending_resolves;
   for (;;) {
-    SessionEvent event;
+    Pending item;
+    bool more_pending = false;
     {
       std::lock_guard<std::mutex> lock(entry->mu);
       if (entry->queue.empty()) {
-        entry->running = false;
-        return;
+        if (!pending_resolves.empty()) {
+          // Flush outside the lock, then re-check: the resolve may take a
+          // while and new commands can arrive meanwhile.
+          more_pending = true;
+        } else {
+          entry->running = false;
+          return;
+        }
+      } else {
+        item = std::move(entry->queue.front());
+        entry->queue.pop_front();
       }
-      event = entry->queue.front();
-      entry->queue.pop_front();
+    }
+    if (more_pending) {
+      RunResolve(entry, &pending_resolves);
+      continue;
+    }
+    if (item.command.type == CommandType::kResolve) {
+      pending_resolves.push_back(std::move(item.done));
+      bool defer = false;
+      if (options_.coalesce_resolves) {
+        std::lock_guard<std::mutex> lock(entry->mu);
+        defer = !entry->queue.empty();
+      }
+      if (!defer) RunResolve(entry, &pending_resolves);
+      continue;
     }
     // Apply outside the lock: one drain task owns the session at a time,
     // so the session itself needs no synchronization.
-    ResolveReport report;
-    const bool is_resolve = event.type == EventType::kResolve;
-    Status st = entry->session->ApplyEvent(event, &report);
-    std::lock_guard<std::mutex> lock(entry->mu);
-    if (st.ok() && is_resolve) {
-      entry->reports.push_back(report);
-    } else if (!st.ok() && entry->first_error.ok()) {
-      entry->first_error = st;
+    auto outcome = entry->session->Apply(item.command);
+    const Status status = outcome.status();
+    CommandOutcome result;
+    if (outcome.ok()) result = std::move(outcome).value();
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      entry->stats.commands_applied += 1;
+      entry->stats.num_users = entry->session->instance().num_users();
+      entry->stats.num_items = entry->session->instance().num_items();
+      if (!status.ok() && entry->stats.first_error.ok()) {
+        entry->stats.first_error = status;
+      }
     }
+    if (item.done) item.done(status, result);
   }
 }
 
@@ -98,7 +190,7 @@ Status SessionManager::FirstError() const {
   }
   for (Entry* entry : entries) {
     std::lock_guard<std::mutex> lock(entry->mu);
-    if (!entry->first_error.ok()) return entry->first_error;
+    if (!entry->stats.first_error.ok()) return entry->stats.first_error;
   }
   return Status::OK();
 }

@@ -1,13 +1,28 @@
 // Multiplexes many live Sessions over one worker pool.
 //
 // Sessions are single-threaded objects; the manager guarantees that the
-// events of one session are applied in submission order by at most one
+// commands of one session are applied in submission order by at most one
 // worker at a time (per-session serialization), while distinct sessions
 // run concurrently on util/thread_pool. Submit() never blocks: it enqueues
-// the event and schedules a drain task when the session is idle; a running
-// drain task keeps consuming its session's queue until empty, so each
-// session's event order is exactly its Submit() order regardless of the
-// worker count.
+// the command and schedules a drain task when the session is idle; a
+// running drain task keeps consuming its session's queue until empty, so
+// each session's command order is exactly its Submit() order regardless of
+// the worker count.
+//
+// Submit() optionally takes a completion callback invoked (on the worker
+// thread) with the command's Status and CommandOutcome — the serving
+// front-end (src/serve/) uses this to answer wire requests.
+//
+// Coalescing (SessionManagerOptions::coalesce_resolves): when a kResolve
+// command is popped while more commands are still pending for the same
+// session, the resolve is deferred — the pending mutations are applied
+// first and ONE Resolve() then answers every deferred resolve request with
+// the same report (CommandOutcome::coalesced counts the folded requests).
+// Each answered request therefore sees a configuration at least as fresh
+// as the state it asked about. Final session state is identical to the
+// uncoalesced order because mutations commute with resolve deferral: the
+// folded resolves see the union of the mutations they would have seen
+// one-by-one.
 //
 // Resolve reports are collected per session in event order (the serving
 // telemetry the bench aggregates into p50/p99 latencies).
@@ -15,6 +30,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -26,11 +42,47 @@
 
 namespace savg {
 
+struct SessionManagerOptions {
+  /// Pool threads (<= 0 = all cores).
+  int num_workers = 0;
+  /// Fold pending resolves of one session into a single Resolve() (see
+  /// class comment). Off by default: library users expect one Resolve per
+  /// submitted kResolve; the serving front-end turns it on.
+  bool coalesce_resolves = false;
+};
+
+/// Point-in-time view of one live session (the server's status command).
+/// All fields are maintained under the per-session lock, so a snapshot is
+/// consistent even while a drain task is mutating the session.
+struct SessionStats {
+  int session_id = -1;
+  int num_users = 0;
+  int num_items = 0;
+  /// Commands applied so far (including resolves).
+  int64_t commands_applied = 0;
+  /// Resolve() calls actually performed.
+  int64_t resolves = 0;
+  /// Resolve requests answered by another request's Resolve() (coalesced
+  /// away; 0 unless coalesce_resolves is on).
+  int64_t resolves_coalesced = 0;
+  /// Commands waiting in this session's queue right now.
+  size_t queue_depth = 0;
+  /// Scaled total utility of the last successful resolve.
+  double last_scaled_total = 0.0;
+  Status first_error = Status::OK();
+};
+
+/// Completion of one submitted command, invoked on the worker thread.
+using ApplyCallback =
+    std::function<void(const Status&, const CommandOutcome&)>;
+
 class SessionManager {
  public:
   /// Starts `num_workers` pool threads (<= 0 = all cores).
-  explicit SessionManager(int num_workers = 0);
-  /// Drains all pending events, then joins the workers.
+  explicit SessionManager(int num_workers = 0)
+      : SessionManager(SessionManagerOptions{num_workers, false}) {}
+  explicit SessionManager(SessionManagerOptions options);
+  /// Drains all pending commands, then joins the workers.
   ~SessionManager();
 
   SessionManager(const SessionManager&) = delete;
@@ -41,33 +93,49 @@ class SessionManager {
   int CreateSession(SvgicInstance instance, SessionOptions options = {});
 
   int num_sessions() const;
+  /// Ids of every live session (dense, in creation order).
+  std::vector<int> ListSessions() const;
+  /// Stats snapshot of one session; safe to call while commands run.
+  Result<SessionStats> GetStats(int session_id) const;
 
-  /// Enqueues one event for `session_id`. Never blocks. Event application
-  /// errors are recorded (see FirstError) without stopping the stream.
-  Status Submit(int session_id, const SessionEvent& event);
+  /// Enqueues one command for `session_id`. Never blocks. Application
+  /// errors are recorded (see FirstError) without stopping the stream;
+  /// `done`, when given, is invoked on the worker thread once the command
+  /// (or the resolve that coalesced it) completes.
+  Status Submit(int session_id, const SessionCommand& command,
+                ApplyCallback done = nullptr);
 
-  /// Blocks until every submitted event has been applied.
+  /// Blocks until every submitted command has been applied.
   void Drain();
 
   /// Read access; only safe after Drain() (or before any Submit).
   const Session& session(int session_id) const;
   /// Resolve reports of the session, in event order.
   std::vector<ResolveReport> reports(int session_id) const;
-  /// First event-application error across all sessions, or OK.
+  /// First command-application error across all sessions, or OK.
   Status FirstError() const;
 
  private:
+  struct Pending {
+    SessionCommand command;
+    ApplyCallback done;
+  };
+
   struct Entry {
     std::mutex mu;
     std::unique_ptr<Session> session;
-    std::deque<SessionEvent> queue;
+    std::deque<Pending> queue;
     bool running = false;  ///< a drain task owns this session right now
     std::vector<ResolveReport> reports;
-    Status first_error = Status::OK();
+    SessionStats stats;
   };
 
   void DrainEntry(Entry* entry);
+  /// Runs one Resolve() answering `waiters` deferred resolve requests
+  /// plus stats/report bookkeeping. Called with no locks held.
+  void RunResolve(Entry* entry, std::vector<ApplyCallback>* waiters);
 
+  SessionManagerOptions options_;
   mutable std::mutex mu_;  ///< guards entries_ growth
   std::vector<std::unique_ptr<Entry>> entries_;
   ThreadPool pool_;

@@ -1,0 +1,70 @@
+// Admission control in front of SessionManager: bounded queue + shedding.
+//
+// Every command admitted to the serving back-end occupies one slot of a
+// global bounded queue until its completion callback fires. When the queue
+// is full, Submit() sheds the request synchronously (ResourceExhausted →
+// the server answers kOverloaded) instead of letting a flash crowd grow
+// the backlog — and the tail latency — without bound. Per-session
+// serialization and resolve coalescing live in the SessionManager below;
+// this layer only decides *whether* a request gets in, and meters
+// everything into the MetricsRegistry:
+//
+//   serve.admitted / serve.shed / serve.errors   counters
+//   serve.resolves / serve.resolves_coalesced    counters
+//   serve.queue_depth                            gauge (live slots)
+//   serve.latency.resolve                        histogram (admit → done)
+//   serve.latency.mutation                       histogram (admit → done)
+//
+// The coalesce ratio reported by the status command is
+// resolves_coalesced / (resolves + resolves_coalesced): the fraction of
+// resolve requests that were answered by another request's Resolve().
+
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/registry.h"
+#include "online/session_manager.h"
+#include "util/status.h"
+
+namespace savg {
+
+struct AdmissionOptions {
+  /// Commands in flight (queued or running) across all sessions before
+  /// Submit() starts shedding.
+  int64_t max_queue_depth = 256;
+};
+
+class AdmissionQueue {
+ public:
+  /// `manager` and `metrics` must outlive the queue.
+  AdmissionQueue(SessionManager* manager, MetricsRegistry* metrics,
+                 AdmissionOptions options = {});
+
+  /// Admits one command, or sheds it: ResourceExhausted means the queue
+  /// was full and `done` will never be called; any other non-OK status is
+  /// a submission error (unknown session). On success `done` (optional)
+  /// fires on a worker thread after the command — or the resolve that
+  /// coalesced it — completes.
+  Status Submit(int session_id, const SessionCommand& command,
+                ApplyCallback done = nullptr);
+
+  /// Commands currently holding a queue slot.
+  int64_t depth() const { return depth_gauge_->value(); }
+  int64_t shed_count() const { return shed_->value(); }
+  int64_t admitted_count() const { return admitted_->value(); }
+
+ private:
+  SessionManager* manager_;
+  AdmissionOptions options_;
+  Gauge* depth_gauge_;
+  Counter* admitted_;
+  Counter* shed_;
+  Counter* errors_;
+  Counter* resolves_;
+  Counter* resolves_coalesced_;
+  Histogram* resolve_latency_;
+  Histogram* mutation_latency_;
+};
+
+}  // namespace savg

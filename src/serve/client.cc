@@ -1,0 +1,153 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace savg {
+namespace {
+
+Status SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unknown(std::string("send failed: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ServeClient::~ServeClient() { Close(); }
+
+Status ServeClient::Connect(const std::string& host, int port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unknown(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Unknown("connect to " + host + ":" +
+                               std::to_string(port) + " failed: " + err);
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  reader_ = FrameReader();
+  return Status::OK();
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<uint64_t> ServeClient::SendFrame(FrameKind kind, uint32_t session_id,
+                                        const std::string& payload) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  const uint64_t id = next_request_id_++;
+  std::string frame;
+  AppendFrame(kind, id, session_id, payload, &frame);
+  SAVG_RETURN_NOT_OK(SendAll(fd_, frame.data(), frame.size()));
+  return id;
+}
+
+Result<uint64_t> ServeClient::SendApply(uint32_t session_id,
+                                        const SessionCommand& command) {
+  std::string payload;
+  EncodeCommand(command, &payload);
+  return SendFrame(FrameKind::kApply, session_id, payload);
+}
+
+Result<uint64_t> ServeClient::SendStatus() {
+  return SendFrame(FrameKind::kStatus, 0, "");
+}
+
+Result<uint64_t> ServeClient::SendPing() {
+  return SendFrame(FrameKind::kPing, 0, "");
+}
+
+Result<uint64_t> ServeClient::SendShutdown() {
+  return SendFrame(FrameKind::kShutdown, 0, "");
+}
+
+Result<ServeResponse> ServeClient::ReadResponse() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  FrameHeader header;
+  std::string payload;
+  for (;;) {
+    auto next = reader_.Next(&header, &payload);
+    SAVG_RETURN_NOT_OK(next.status());
+    if (*next) break;
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unknown(std::string("recv failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) return Status::Unknown("server closed the connection");
+    reader_.Feed(buf, static_cast<size_t>(n));
+  }
+  ServeResponse response;
+  response.kind = header.kind;
+  response.request_id = header.request_id;
+  response.payload = std::move(payload);
+  const bool apply_kind = header.kind == FrameKind::kOverloaded ||
+                          header.kind == FrameKind::kBadRequest ||
+                          header.kind == FrameKind::kError ||
+                          header.kind == FrameKind::kOk;
+  if (apply_kind && !response.payload.empty() &&
+      response.payload[0] != '{') {
+    auto decoded = DecodeApplyResult(response.payload.data(),
+                                     response.payload.size());
+    if (decoded.ok()) {
+      response.result = std::move(decoded).value();
+      response.has_result = true;
+    }
+  }
+  return response;
+}
+
+Result<ServeResponse> ServeClient::Apply(uint32_t session_id,
+                                         const SessionCommand& command) {
+  SAVG_RETURN_NOT_OK(SendApply(session_id, command).status());
+  return ReadResponse();
+}
+
+Result<std::string> ServeClient::FetchStatus() {
+  SAVG_RETURN_NOT_OK(SendStatus().status());
+  auto response = ReadResponse();
+  SAVG_RETURN_NOT_OK(response.status());
+  if (response->kind != FrameKind::kOk) {
+    return Status::Unknown(std::string("status request failed: ") +
+                            FrameKindName(response->kind));
+  }
+  return std::move(response->payload);
+}
+
+}  // namespace savg

@@ -1,0 +1,73 @@
+// Minimal blocking client for the framed wire protocol (serve/wire.h).
+//
+// One ServeClient owns one TCP connection. Requests and responses are
+// explicit so callers can pipeline: Send*() writes a frame and returns
+// the request id; ReadResponse() blocks for the next response frame in
+// arrival order (the server may reorder across sessions — match on
+// ServeResponse::request_id). The convenience Apply() does one
+// send + receive round trip.
+//
+// Used by bench_serve_load, the serve tests, and svgic_cli.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace savg {
+
+/// One response frame, with the apply payload decoded when present.
+struct ServeResponse {
+  FrameKind kind = FrameKind::kOk;
+  uint64_t request_id = 0;
+  /// Raw payload (status JSON for kStatus responses).
+  std::string payload;
+  /// Decoded payload for apply responses (kOk/kOverloaded/kBadRequest/
+  /// kError with a non-empty payload).
+  ApplyResult result;
+  bool has_result = false;
+};
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Each Send* writes one request frame and returns its request id.
+  Result<uint64_t> SendApply(uint32_t session_id,
+                             const SessionCommand& command);
+  Result<uint64_t> SendStatus();
+  Result<uint64_t> SendPing();
+  Result<uint64_t> SendShutdown();
+
+  /// Blocks until the next response frame arrives.
+  Result<ServeResponse> ReadResponse();
+
+  /// Send + receive one apply (no pipelining).
+  Result<ServeResponse> Apply(uint32_t session_id,
+                              const SessionCommand& command);
+
+  /// Fetches the server's status JSON (send + receive).
+  Result<std::string> FetchStatus();
+
+ private:
+  Result<uint64_t> SendFrame(FrameKind kind, uint32_t session_id,
+                             const std::string& payload);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace savg

@@ -1,0 +1,411 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace savg {
+
+namespace {
+
+constexpr size_t kRecvChunk = 64 * 1024;
+/// An HTTP request line + headers larger than this is not our tiny
+/// status front-end talking.
+constexpr size_t kMaxHttpRequestBytes = 16 * 1024;
+
+/// send() the whole buffer (MSG_NOSIGNAL: a vanished peer must surface as
+/// EPIPE, not kill the process).
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void AppendJsonEscaped(const std::string& text, std::ostream* out) {
+  for (char ch : text) {
+    if (ch == '"' || ch == '\\') {
+      *out << '\'';
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      *out << ' ';
+    } else {
+      *out << ch;
+    }
+  }
+}
+
+}  // namespace
+
+ServeServer::ServeServer(ServerOptions options)
+    : options_(options),
+      manager_(SessionManagerOptions{options.num_workers,
+                                     options.coalesce_resolves}),
+      admission_(&manager_, &metrics_, options.admission) {}
+
+ServeServer::~ServeServer() { Shutdown(); }
+
+int ServeServer::CreateSession(SvgicInstance instance,
+                               SessionOptions options) {
+  return manager_.CreateSession(std::move(instance), options);
+}
+
+Status ServeServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unknown(std::string("socket(): ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unknown("bind(127.0.0.1:" +
+                           std::to_string(options_.port) + "): " + err);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unknown("listen(): " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ServeServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Shutdown()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      return;
+    }
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn] { ServeConnection(conn); });
+  }
+}
+
+void ServeServer::SendFrame(const std::shared_ptr<Connection>& conn,
+                            FrameKind kind, uint64_t request_id,
+                            uint32_t session_id,
+                            const std::string& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(kind, request_id, session_id, payload, &frame);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->open.load()) return;
+  if (!SendAll(conn->fd, frame.data(), frame.size())) {
+    conn->open.store(false);
+  }
+}
+
+void ServeServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                              const FrameHeader& header,
+                              const std::string& payload) {
+  const uint64_t request_id = header.request_id;
+  const uint32_t session_id = header.session_id;
+  switch (header.kind) {
+    case FrameKind::kApply: {
+      size_t consumed = 0;
+      auto command =
+          DecodeCommand(payload.data(), payload.size(), &consumed);
+      if (!command.ok() || consumed != payload.size()) {
+        ApplyResult bad;
+        bad.code = StatusCode::kInvalidArgument;
+        bad.message = command.ok() ? "trailing bytes after command"
+                                   : command.status().message();
+        std::string body;
+        EncodeApplyResult(bad, &body);
+        SendFrame(conn, FrameKind::kBadRequest, request_id, session_id,
+                  body);
+        return;
+      }
+      Status admitted = admission_.Submit(
+          static_cast<int>(session_id), *command,
+          [this, conn, request_id, session_id](
+              const Status& status, const CommandOutcome& outcome) {
+            ApplyResult result;
+            result.code = status.code();
+            result.message = status.message();
+            result.assigned_id = outcome.assigned_id;
+            result.resolved = outcome.resolved;
+            result.coalesced = static_cast<uint32_t>(outcome.coalesced);
+            if (outcome.resolved) {
+              result.lp_objective = outcome.report.lp_objective;
+              result.scaled_total = outcome.report.scaled_total;
+              result.resolve_seconds = outcome.report.total_seconds;
+              result.pivots = outcome.report.pivots;
+            }
+            std::string body;
+            EncodeApplyResult(result, &body);
+            SendFrame(conn,
+                      status.ok() ? FrameKind::kOk : FrameKind::kError,
+                      request_id, session_id, body);
+          });
+      if (!admitted.ok()) {
+        ApplyResult rejected;
+        rejected.code = admitted.code();
+        rejected.message = admitted.message();
+        std::string body;
+        EncodeApplyResult(rejected, &body);
+        const FrameKind kind =
+            admitted.code() == StatusCode::kResourceExhausted
+                ? FrameKind::kOverloaded
+                : FrameKind::kError;
+        SendFrame(conn, kind, request_id, session_id, body);
+      }
+      return;
+    }
+    case FrameKind::kStatus:
+      SendFrame(conn, FrameKind::kOk, request_id, 0, StatusJson());
+      return;
+    case FrameKind::kPing:
+      SendFrame(conn, FrameKind::kOk, request_id, 0, "");
+      return;
+    case FrameKind::kShutdown:
+      SendFrame(conn, FrameKind::kOk, request_id, 0, "");
+      RequestShutdown();
+      return;
+    case FrameKind::kOk:
+    case FrameKind::kOverloaded:
+    case FrameKind::kBadRequest:
+    case FrameKind::kError:
+      break;  // response kinds are not valid requests
+  }
+  ApplyResult bad;
+  bad.code = StatusCode::kInvalidArgument;
+  bad.message = std::string("frame kind '") + FrameKindName(header.kind) +
+                "' is not a request";
+  std::string body;
+  EncodeApplyResult(bad, &body);
+  SendFrame(conn, FrameKind::kBadRequest, request_id, session_id, body);
+}
+
+void ServeServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
+  metrics_.GetGauge("serve.connections")->Increment();
+  std::string sniff;
+  char chunk[kRecvChunk];
+  bool is_http = false;
+  // Sniff the first four bytes: frame magic = binary protocol, anything
+  // else = the HTTP/JSON status front-end.
+  while (sniff.size() < sizeof(kFrameMagic)) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    sniff.append(chunk, static_cast<size_t>(n));
+  }
+  if (sniff.size() >= sizeof(kFrameMagic)) {
+    is_http = std::memcmp(sniff.data(), kFrameMagic,
+                          sizeof(kFrameMagic)) != 0;
+    if (is_http) {
+      ServeHttp(conn, std::move(sniff));
+    } else {
+      FrameReader reader;
+      reader.Feed(sniff.data(), sniff.size());
+      bool alive = true;
+      while (alive && conn->open.load()) {
+        FrameHeader header;
+        std::string payload;
+        for (;;) {
+          auto next = reader.Next(&header, &payload);
+          if (!next.ok()) {
+            // Framing lost: answer once, then drop the connection.
+            ApplyResult bad;
+            bad.code = StatusCode::kInvalidArgument;
+            bad.message = next.status().message();
+            std::string body;
+            EncodeApplyResult(bad, &body);
+            SendFrame(conn, FrameKind::kBadRequest, 0, 0, body);
+            alive = false;
+            break;
+          }
+          if (!*next) break;  // need more bytes
+          HandleFrame(conn, header, payload);
+        }
+        if (!alive) break;
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          break;
+        }
+        reader.Feed(chunk, static_cast<size_t>(n));
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    conn->open.store(false);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  metrics_.GetGauge("serve.connections")->Decrement();
+}
+
+void ServeServer::ServeHttp(const std::shared_ptr<Connection>& conn,
+                            std::string buffered) {
+  char chunk[kRecvChunk];
+  while (buffered.find("\r\n\r\n") == std::string::npos &&
+         buffered.size() < kMaxHttpRequestBytes) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    buffered.append(chunk, static_cast<size_t>(n));
+  }
+  std::istringstream request(buffered);
+  std::string method, path;
+  request >> method >> path;
+  std::string body;
+  std::string status_line = "HTTP/1.0 200 OK";
+  if (method != "GET") {
+    status_line = "HTTP/1.0 405 Method Not Allowed";
+    body = "{\"error\": \"only GET is served here\"}";
+  } else if (path == "/metrics") {
+    body = metrics_.JsonDump();
+  } else if (path == "/status" || path == "/" || path == "/sessions") {
+    body = StatusJson();
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "{\"error\": \"try /status or /metrics\"}";
+  }
+  std::ostringstream response;
+  response << status_line << "\r\n"
+           << "Content-Type: application/json\r\n"
+           << "Content-Length: " << body.size() << "\r\n"
+           << "Connection: close\r\n\r\n"
+           << body;
+  const std::string text = response.str();
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->open.load()) SendAll(conn->fd, text.data(), text.size());
+}
+
+std::string ServeServer::StatusJson() {
+  std::ostringstream out;
+  out.precision(9);
+  out << "{\"sessions\": [";
+  bool first = true;
+  for (int id : manager_.ListSessions()) {
+    auto stats = manager_.GetStats(id);
+    if (!stats.ok()) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"id\": " << stats->session_id
+        << ", \"users\": " << stats->num_users
+        << ", \"items\": " << stats->num_items
+        << ", \"commands\": " << stats->commands_applied
+        << ", \"resolves\": " << stats->resolves
+        << ", \"resolves_coalesced\": " << stats->resolves_coalesced
+        << ", \"queue_depth\": " << stats->queue_depth
+        << ", \"last_scaled_total\": " << stats->last_scaled_total
+        << ", \"error\": \"";
+    AppendJsonEscaped(stats->first_error.ok()
+                          ? ""
+                          : stats->first_error.ToString(),
+                      &out);
+    out << "\"}";
+  }
+  const double resolves = static_cast<double>(
+      metrics_.GetCounter("serve.resolves")->value());
+  const double coalesced = static_cast<double>(
+      metrics_.GetCounter("serve.resolves_coalesced")->value());
+  const double total = resolves + coalesced;
+  out << "], \"admission\": {\"queue_depth\": " << admission_.depth()
+      << ", \"admitted\": " << admission_.admitted_count()
+      << ", \"shed\": " << admission_.shed_count()
+      << ", \"coalesce_ratio\": " << (total > 0 ? coalesced / total : 0.0)
+      << "}, " << metrics_.JsonDump().substr(1);
+  return out.str();
+}
+
+void ServeServer::RequestShutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  shutdown_requested_ = true;
+  shutdown_cv_.notify_all();
+}
+
+void ServeServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void ServeServer::Shutdown() {
+  RequestShutdown();
+  if (!running_.exchange(false)) {
+    // Never started (or already shut down): nothing to unwind.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    manager_.Drain();
+    return;
+  }
+  // Break the accept loop, then every reader loop, then wait for all
+  // pending commands so completion callbacks fire before teardown.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->open.load() && conn->fd >= 0) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  for (;;) {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conn_threads_.empty()) break;
+      t = std::move(conn_threads_.back());
+      conn_threads_.pop_back();
+    }
+    if (t.joinable()) t.join();
+  }
+  manager_.Drain();
+}
+
+}  // namespace savg

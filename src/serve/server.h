@@ -1,0 +1,126 @@
+// The network serving front-end: a TCP server speaking the framed binary
+// protocol (serve/wire.h) over a SessionManager, with admission control
+// (serve/admission.h) and central metrics (metrics/registry.h).
+//
+// Request flow, one line per layer:
+//
+//   socket -> FrameReader -> decode SessionCommand   (reader thread)
+//          -> AdmissionQueue (bounded; sheds kOverloaded when full)
+//          -> SessionManager (per-session serialization + coalescing)
+//          -> Session::Apply(command)                (worker thread)
+//          -> completion callback -> response frame  (worker thread)
+//
+// Responses can therefore interleave arbitrarily with requests on one
+// connection; the request id echoes back so clients can pipeline.
+//
+// A minimal HTTP/JSON front-end rides on the same dispatch: a connection
+// whose first bytes are not the frame magic is treated as HTTP/1.0 and
+// can GET /status (sessions + admission stats + metrics JSON) or
+// /metrics (MetricsRegistry dump) — handy for curl / dashboards while
+// the binary protocol carries the traffic.
+//
+// Lifecycle: CreateSession() (before or after Start()), Start(),
+// WaitForShutdown() (returns once a kShutdown frame arrives or
+// Shutdown() is called), Shutdown(). The listener binds 127.0.0.1 only —
+// this is a benchmark/serving harness, not a hardened public endpoint.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/registry.h"
+#include "online/session_manager.h"
+#include "serve/admission.h"
+#include "serve/wire.h"
+
+namespace savg {
+
+struct ServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// SessionManager worker threads (<= 0 = all cores).
+  int num_workers = 0;
+  /// Fold pending resolves per session into one Resolve() (the serving
+  /// default; see SessionManagerOptions::coalesce_resolves).
+  bool coalesce_resolves = true;
+  AdmissionOptions admission;
+};
+
+class ServeServer {
+ public:
+  explicit ServeServer(ServerOptions options = {});
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Registers a serving session (callable before or after Start()).
+  int CreateSession(SvgicInstance instance, SessionOptions options = {});
+
+  /// Binds + listens + starts the accept thread.
+  Status Start();
+  /// The bound port (valid after Start()).
+  int port() const { return port_; }
+
+  /// Blocks until a kShutdown frame arrives or Shutdown() is called.
+  void WaitForShutdown();
+  /// Stops accepting, drops connections, drains pending commands.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  SessionManager& manager() { return manager_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  AdmissionQueue& admission() { return admission_; }
+
+  /// The status command's JSON: per-session stats + admission counters +
+  /// a full metrics snapshot.
+  std::string StatusJson();
+
+ private:
+  /// One client connection; shared with in-flight completion callbacks,
+  /// so a response races neither the reader loop nor a disconnect.
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(const std::shared_ptr<Connection>& conn);
+  /// HTTP fallback for non-magic first bytes; `buffered` holds what the
+  /// sniffer already consumed.
+  void ServeHttp(const std::shared_ptr<Connection>& conn,
+                 std::string buffered);
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   const FrameHeader& header, const std::string& payload);
+  void SendFrame(const std::shared_ptr<Connection>& conn, FrameKind kind,
+                 uint64_t request_id, uint32_t session_id,
+                 const std::string& payload);
+  void RequestShutdown();
+
+  ServerOptions options_;
+  MetricsRegistry metrics_;
+  SessionManager manager_;
+  AdmissionQueue admission_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace savg

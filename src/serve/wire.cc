@@ -1,0 +1,216 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+namespace savg {
+
+namespace {
+
+void AppendU8(uint8_t x, std::string* out) {
+  out->push_back(static_cast<char>(x));
+}
+
+void AppendU16(uint16_t x, std::string* out) {
+  for (int i = 0; i < 2; ++i) {
+    out->push_back(static_cast<char>((x >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU32(uint32_t x, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((x >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(uint64_t x, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((x >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendDouble(double x, std::string* out) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &x, sizeof(bits));
+  AppendU64(bits, out);
+}
+
+uint16_t ReadU16(const char* p) {
+  uint16_t x = 0;
+  for (int i = 0; i < 2; ++i) {
+    x = static_cast<uint16_t>(
+        x | static_cast<uint16_t>(static_cast<uint8_t>(p[i])) << (8 * i));
+  }
+  return x;
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t x = 0;
+  for (int i = 0; i < 4; ++i) {
+    x |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return x;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) {
+    x |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return x;
+}
+
+double ReadDouble(const char* p) {
+  const uint64_t bits = ReadU64(p);
+  double x = 0.0;
+  std::memcpy(&x, &bits, sizeof(x));
+  return x;
+}
+
+bool KnownFrameKind(uint8_t kind) {
+  switch (static_cast<FrameKind>(kind)) {
+    case FrameKind::kApply:
+    case FrameKind::kStatus:
+    case FrameKind::kPing:
+    case FrameKind::kShutdown:
+    case FrameKind::kOk:
+    case FrameKind::kOverloaded:
+    case FrameKind::kBadRequest:
+    case FrameKind::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* FrameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kApply:
+      return "apply";
+    case FrameKind::kStatus:
+      return "status";
+    case FrameKind::kPing:
+      return "ping";
+    case FrameKind::kShutdown:
+      return "shutdown";
+    case FrameKind::kOk:
+      return "ok";
+    case FrameKind::kOverloaded:
+      return "overloaded";
+    case FrameKind::kBadRequest:
+      return "bad-request";
+    case FrameKind::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void AppendFrame(FrameKind kind, uint64_t request_id, uint32_t session_id,
+                 const std::string& payload, std::string* out) {
+  out->append(kFrameMagic, sizeof(kFrameMagic));
+  AppendU8(kWireVersion, out);
+  AppendU8(static_cast<uint8_t>(kind), out);
+  AppendU16(0, out);  // reserved
+  AppendU64(request_id, out);
+  AppendU32(session_id, out);
+  AppendU32(static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+}
+
+Result<FrameHeader> ParseFrameHeader(const char* data, size_t size) {
+  if (size < kFrameHeaderBytes) {
+    return Status::InvalidArgument("frame header needs " +
+                                   std::to_string(kFrameHeaderBytes) +
+                                   " bytes, have " + std::to_string(size));
+  }
+  if (std::memcmp(data, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  FrameHeader header;
+  header.version = static_cast<uint8_t>(data[4]);
+  if (header.version != kWireVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(header.version));
+  }
+  const uint8_t kind = static_cast<uint8_t>(data[5]);
+  if (!KnownFrameKind(kind)) {
+    return Status::InvalidArgument("unknown frame kind " +
+                                   std::to_string(kind));
+  }
+  header.kind = static_cast<FrameKind>(kind);
+  if (ReadU16(data + 6) != 0) {
+    return Status::InvalidArgument("nonzero reserved frame bytes");
+  }
+  header.request_id = ReadU64(data + 8);
+  header.session_id = ReadU32(data + 16);
+  header.payload_size = ReadU32(data + 20);
+  if (header.payload_size > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "frame payload length " + std::to_string(header.payload_size) +
+        " exceeds the " + std::to_string(kMaxPayloadBytes) + "-byte limit");
+  }
+  return header;
+}
+
+void FrameReader::Feed(const char* data, size_t size) {
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection cannot grow the buffer without bound.
+  if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+Result<bool> FrameReader::Next(FrameHeader* header, std::string* payload) {
+  const size_t available = buffer_.size() - offset_;
+  if (available < kFrameHeaderBytes) return false;
+  auto parsed = ParseFrameHeader(buffer_.data() + offset_, available);
+  if (!parsed.ok()) return parsed.status();
+  if (available < kFrameHeaderBytes + parsed->payload_size) return false;
+  *header = *parsed;
+  payload->assign(buffer_.data() + offset_ + kFrameHeaderBytes,
+                  parsed->payload_size);
+  offset_ += kFrameHeaderBytes + parsed->payload_size;
+  return true;
+}
+
+void EncodeApplyResult(const ApplyResult& result, std::string* out) {
+  AppendU8(static_cast<uint8_t>(result.code), out);
+  AppendU32(static_cast<uint32_t>(result.message.size()), out);
+  out->append(result.message);
+  AppendU64(static_cast<uint64_t>(result.assigned_id), out);
+  AppendU8(result.resolved ? 1 : 0, out);
+  AppendU32(result.coalesced, out);
+  AppendDouble(result.lp_objective, out);
+  AppendDouble(result.scaled_total, out);
+  AppendDouble(result.resolve_seconds, out);
+  AppendU32(static_cast<uint32_t>(result.pivots), out);
+}
+
+Result<ApplyResult> DecodeApplyResult(const char* data, size_t size) {
+  // Fixed part before/after the variable-length message.
+  constexpr size_t kPrefix = 1 + 4;
+  constexpr size_t kSuffix = 8 + 1 + 4 + 8 + 8 + 8 + 4;
+  if (size < kPrefix + kSuffix) {
+    return Status::InvalidArgument("apply-result payload truncated");
+  }
+  ApplyResult result;
+  result.code = static_cast<StatusCode>(static_cast<uint8_t>(data[0]));
+  const uint32_t msg_len = ReadU32(data + 1);
+  if (size != kPrefix + msg_len + kSuffix) {
+    return Status::InvalidArgument("apply-result length mismatch");
+  }
+  result.message.assign(data + kPrefix, msg_len);
+  const char* p = data + kPrefix + msg_len;
+  result.assigned_id = static_cast<int64_t>(ReadU64(p));
+  result.resolved = static_cast<uint8_t>(p[8]) != 0;
+  result.coalesced = ReadU32(p + 9);
+  result.lp_objective = ReadDouble(p + 13);
+  result.scaled_total = ReadDouble(p + 21);
+  result.resolve_seconds = ReadDouble(p + 29);
+  result.pivots = static_cast<int32_t>(ReadU32(p + 37));
+  return result;
+}
+
+}  // namespace savg

@@ -1,0 +1,127 @@
+// Tests of the central serving-metrics registry (src/metrics/registry.h):
+// concurrent counter/gauge updates, streaming histogram quantile
+// accuracy, handle stability across growth, and the dump formats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/registry.h"
+
+namespace savg {
+namespace {
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("a");
+  a->Increment(3);
+  // Creating many more metrics must not invalidate the first handle.
+  for (int i = 0; i < 200; ++i) {
+    registry.GetCounter("c" + std::to_string(i));
+    registry.GetGauge("g" + std::to_string(i));
+    registry.GetHistogram("h" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("a"), a);
+  EXPECT_EQ(a->value(), 3);
+  // Same name, different kind: distinct metric objects.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("a")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hits");
+  Gauge* gauge = registry.GetGauge("depth");
+  Histogram* histogram = registry.GetHistogram("latency");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        gauge->Increment();
+        gauge->Decrement();
+        histogram->Observe(1e-3);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->count(), kThreads * kPerThread);
+  EXPECT_NEAR(histogram->mean(), 1e-3, 1e-6);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantilesTrackUniformSample) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("latency");
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> sample(0.001, 0.101);
+  for (int i = 0; i < 200000; ++i) histogram->Observe(sample(rng));
+  // Geometric buckets give ~7% relative resolution; allow 15%.
+  const double p50 = histogram->Quantile(0.5);
+  const double p99 = histogram->Quantile(0.99);
+  EXPECT_NEAR(p50, 0.051, 0.15 * 0.051);
+  EXPECT_NEAR(p99, 0.100, 0.15 * 0.100);
+  EXPECT_LT(p50, p99);
+  EXPECT_NEAR(histogram->mean(), 0.051, 0.002);
+}
+
+TEST(MetricsRegistryTest, HistogramClampsOutOfRangeObservations) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("latency");
+  histogram->Observe(0.0);       // below kMin
+  histogram->Observe(1e9);       // above kMax
+  histogram->Observe(-1.0);      // nonsense input
+  EXPECT_EQ(histogram->count(), 3);
+  const double p99 = histogram->Quantile(0.99);
+  EXPECT_GE(p99, 0.0);
+  EXPECT_LE(p99, 2.0 * Histogram::kMax);
+}
+
+TEST(MetricsRegistryTest, SnapshotExpandsHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.admitted")->Increment(5);
+  registry.GetGauge("serve.queue_depth")->Set(2);
+  Histogram* histogram = registry.GetHistogram("serve.latency.resolve");
+  for (int i = 0; i < 100; ++i) histogram->Observe(0.01);
+
+  bool saw_counter = false, saw_gauge = false;
+  bool saw_count = false, saw_p50 = false, saw_p99 = false, saw_mean = false;
+  for (const MetricSample& sample : registry.Snapshot()) {
+    if (sample.name == "serve.admitted") {
+      saw_counter = true;
+      EXPECT_EQ(sample.value, 5.0);
+    } else if (sample.name == "serve.queue_depth") {
+      saw_gauge = true;
+      EXPECT_EQ(sample.value, 2.0);
+    } else if (sample.name == "serve.latency.resolve.count") {
+      saw_count = true;
+      EXPECT_EQ(sample.value, 100.0);
+    } else if (sample.name == "serve.latency.resolve.p50") {
+      saw_p50 = true;
+      EXPECT_NEAR(sample.value, 0.01, 0.0015);
+    } else if (sample.name == "serve.latency.resolve.p99") {
+      saw_p99 = true;
+    } else if (sample.name == "serve.latency.resolve.mean") {
+      saw_mean = true;
+      EXPECT_NEAR(sample.value, 0.01, 1e-5);
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge);
+  EXPECT_TRUE(saw_count && saw_p50 && saw_p99 && saw_mean);
+
+  const std::string text = registry.TextDump();
+  EXPECT_NE(text.find("serve.admitted"), std::string::npos);
+  const std::string json = registry.JsonDump();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("serve.latency.resolve.p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace savg

@@ -1,0 +1,666 @@
+// Tests of the serving front-end (src/serve/): frame codec + fuzzed
+// decoding, admission-control shedding, resolve coalescing equivalence,
+// SessionManager introspection, and an end-to-end socket round trip
+// against an in-process ServeServer (binary protocol and HTTP fallback).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "datagen/datasets.h"
+#include "online/session.h"
+#include "online/session_manager.h"
+#include "serve/admission.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace savg {
+namespace {
+
+SvgicInstance RandomInstance(int n, int m, int k, double lambda,
+                             uint64_t seed) {
+  DatasetParams params;
+  params.kind = DatasetKind::kTimik;
+  params.num_users = n;
+  params.num_items = m;
+  params.num_slots = k;
+  params.lambda = lambda;
+  params.seed = seed;
+  params.universe_users = 4 * n + 20;
+  auto inst = GenerateDataset(params);
+  EXPECT_TRUE(inst.ok()) << inst.status();
+  return std::move(inst).value();
+}
+
+// --- Frame codec -----------------------------------------------------------
+
+TEST(WireTest, FrameRoundTripByteAtATime) {
+  std::string stream;
+  std::string payload;
+  EncodeCommand(MakePref(3, 5, 0.25), &payload);
+  AppendFrame(FrameKind::kApply, 42, 7, payload, &stream);
+  AppendFrame(FrameKind::kPing, 43, 0, "", &stream);
+  AppendFrame(FrameKind::kStatus, 44, 0, "", &stream);
+
+  FrameReader reader;
+  std::vector<FrameHeader> headers;
+  std::vector<std::string> payloads;
+  for (char byte : stream) {
+    reader.Feed(&byte, 1);
+    for (;;) {
+      FrameHeader header;
+      std::string body;
+      auto next = reader.Next(&header, &body);
+      ASSERT_TRUE(next.ok()) << next.status();
+      if (!*next) break;
+      headers.push_back(header);
+      payloads.push_back(body);
+    }
+  }
+  ASSERT_EQ(headers.size(), 3u);
+  EXPECT_EQ(headers[0].kind, FrameKind::kApply);
+  EXPECT_EQ(headers[0].request_id, 42u);
+  EXPECT_EQ(headers[0].session_id, 7u);
+  EXPECT_EQ(payloads[0], payload);
+  EXPECT_EQ(headers[1].kind, FrameKind::kPing);
+  EXPECT_EQ(headers[2].request_id, 44u);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+
+  size_t consumed = 0;
+  auto decoded = DecodeCommand(payloads[0].data(), payloads[0].size(),
+                               &consumed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, MakePref(3, 5, 0.25));
+}
+
+TEST(WireTest, HeaderRejectsMalformedFields) {
+  std::string frame;
+  AppendFrame(FrameKind::kPing, 1, 0, "", &frame);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes);
+
+  {  // Bad magic.
+    std::string bad = frame;
+    bad[0] = 'X';
+    EXPECT_FALSE(ParseFrameHeader(bad.data(), bad.size()).ok());
+  }
+  {  // Unknown version.
+    std::string bad = frame;
+    bad[4] = 9;
+    EXPECT_FALSE(ParseFrameHeader(bad.data(), bad.size()).ok());
+  }
+  {  // Unknown kind.
+    std::string bad = frame;
+    bad[5] = 77;
+    EXPECT_FALSE(ParseFrameHeader(bad.data(), bad.size()).ok());
+  }
+  {  // Nonzero reserved bytes.
+    std::string bad = frame;
+    bad[6] = 1;
+    EXPECT_FALSE(ParseFrameHeader(bad.data(), bad.size()).ok());
+  }
+  {  // Oversized payload length (4 GB).
+    std::string bad = frame;
+    bad[20] = bad[21] = bad[22] = bad[23] = static_cast<char>(0xFF);
+    EXPECT_FALSE(ParseFrameHeader(bad.data(), bad.size()).ok());
+  }
+  // Too short to be a header at all.
+  EXPECT_FALSE(ParseFrameHeader(frame.data(), 10).ok());
+}
+
+TEST(WireTest, FuzzedStreamsNeverCrashTheReader) {
+  // Random corruption, truncation and garbage injection over valid frame
+  // streams: the reader must always either produce frames, ask for more
+  // bytes, or fail with a Status — never crash or read out of bounds
+  // (the ASan CI job enforces the latter).
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string stream;
+    const int frames = 1 + trial % 4;
+    for (int i = 0; i < frames; ++i) {
+      std::string payload;
+      if (i % 2 == 0) EncodeCommand(MakePref(1, 2, 0.5), &payload);
+      AppendFrame(i % 2 == 0 ? FrameKind::kApply : FrameKind::kPing,
+                  trial, i, payload, &stream);
+    }
+    // Corrupt ~3 random bytes, sometimes truncate, sometimes inject.
+    for (int i = 0; i < 3; ++i) {
+      if (coin(rng) < 0.7 && !stream.empty()) {
+        stream[rng() % stream.size()] = static_cast<char>(byte(rng));
+      }
+    }
+    if (coin(rng) < 0.3) stream.resize(rng() % (stream.size() + 1));
+    if (coin(rng) < 0.3) {
+      stream.insert(rng() % (stream.size() + 1), 1,
+                    static_cast<char>(byte(rng)));
+    }
+
+    FrameReader reader;
+    size_t offset = 0;
+    bool dead = false;
+    int extracted = 0;
+    while (offset < stream.size() && !dead && extracted < 100) {
+      const size_t chunk =
+          std::min<size_t>(1 + rng() % 7, stream.size() - offset);
+      reader.Feed(stream.data() + offset, chunk);
+      offset += chunk;
+      for (;;) {
+        FrameHeader header;
+        std::string body;
+        auto next = reader.Next(&header, &body);
+        if (!next.ok()) {
+          dead = true;  // drop the connection — corrupt framing
+          break;
+        }
+        if (!*next) break;
+        ++extracted;
+        EXPECT_LE(body.size(), kMaxPayloadBytes);
+      }
+    }
+  }
+}
+
+TEST(WireTest, ApplyResultRoundTrip) {
+  ApplyResult result;
+  result.code = StatusCode::kResourceExhausted;
+  result.message = "queue full";
+  result.assigned_id = 12;
+  result.resolved = true;
+  result.coalesced = 3;
+  result.lp_objective = 41.5;
+  result.scaled_total = 39.25;
+  result.resolve_seconds = 0.0125;
+  result.pivots = 77;
+  std::string bytes;
+  EncodeApplyResult(result, &bytes);
+  auto decoded = DecodeApplyResult(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->code, result.code);
+  EXPECT_EQ(decoded->message, result.message);
+  EXPECT_EQ(decoded->assigned_id, result.assigned_id);
+  EXPECT_EQ(decoded->resolved, result.resolved);
+  EXPECT_EQ(decoded->coalesced, result.coalesced);
+  EXPECT_EQ(decoded->lp_objective, result.lp_objective);
+  EXPECT_EQ(decoded->scaled_total, result.scaled_total);
+  EXPECT_EQ(decoded->resolve_seconds, result.resolve_seconds);
+  EXPECT_EQ(decoded->pivots, result.pivots);
+  // Truncations fail cleanly.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeApplyResult(bytes.data(), len).ok()) << len;
+  }
+}
+
+// --- SessionManager introspection ------------------------------------------
+
+TEST(SessionManagerTest, ListSessionsAndGetStats) {
+  SessionManager manager(1);
+  const int a = manager.CreateSession(RandomInstance(8, 12, 2, 0.5, 3));
+  const int b = manager.CreateSession(RandomInstance(10, 14, 2, 0.5, 4));
+  EXPECT_EQ(manager.ListSessions(), (std::vector<int>{a, b}));
+
+  ASSERT_TRUE(manager.Submit(b, MakePref(0, 1, 0.7)).ok());
+  ASSERT_TRUE(manager.Submit(b, MakeJoin()).ok());
+  ASSERT_TRUE(manager.Submit(b, MakeResolve()).ok());
+  manager.Drain();
+
+  auto stats_a = manager.GetStats(a);
+  ASSERT_TRUE(stats_a.ok());
+  EXPECT_EQ(stats_a->session_id, a);
+  EXPECT_EQ(stats_a->num_users, 8);
+  EXPECT_EQ(stats_a->commands_applied, 0);
+
+  auto stats_b = manager.GetStats(b);
+  ASSERT_TRUE(stats_b.ok());
+  EXPECT_EQ(stats_b->num_users, 11);  // 10 + join
+  EXPECT_EQ(stats_b->commands_applied, 3);
+  EXPECT_EQ(stats_b->resolves, 1);
+  EXPECT_GT(stats_b->last_scaled_total, 0.0);
+  EXPECT_TRUE(stats_b->first_error.ok());
+  EXPECT_EQ(stats_b->queue_depth, 0u);
+
+  EXPECT_FALSE(manager.GetStats(99).ok());
+  EXPECT_FALSE(manager.GetStats(-1).ok());
+}
+
+// --- Admission control -----------------------------------------------------
+
+TEST(AdmissionTest, ShedsWhenQueueIsFull) {
+  // One worker pinned inside a completion callback makes the depth
+  // deterministic: nothing completes until we release, so the Nth submit
+  // past the bound must shed.
+  SessionManagerOptions options;
+  options.num_workers = 1;
+  SessionManager manager(options);
+  const int session = manager.CreateSession(RandomInstance(8, 12, 2, 0.5, 5));
+  MetricsRegistry metrics;
+  AdmissionOptions admission_options;
+  admission_options.max_queue_depth = 3;
+  AdmissionQueue admission(&manager, &metrics, admission_options);
+
+  std::promise<void> entered, release;
+  auto entered_future = entered.get_future();
+  std::shared_future<void> release_future(release.get_future());
+  Status first = admission.Submit(
+      session, MakePref(0, 0, 0.5),
+      [&entered, release_future](const Status&, const CommandOutcome&) {
+        entered.set_value();
+        release_future.wait();
+      });
+  ASSERT_TRUE(first.ok());
+  entered_future.wait();  // the only worker is now pinned; depth stays 1
+
+  EXPECT_TRUE(admission.Submit(session, MakePref(1, 1, 0.5)).ok());
+  EXPECT_TRUE(admission.Submit(session, MakePref(2, 2, 0.5)).ok());
+  Status shed = admission.Submit(session, MakePref(3, 3, 0.5));
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.shed_count(), 1);
+  EXPECT_EQ(admission.admitted_count(), 3);
+  EXPECT_EQ(admission.depth(), 3);
+
+  release.set_value();
+  manager.Drain();
+  EXPECT_EQ(admission.depth(), 0);
+  EXPECT_EQ(metrics.GetCounter("serve.shed")->value(), 1);
+  EXPECT_TRUE(manager.FirstError().ok());
+  // Unknown session (queue has room): submission error, not a shed, and
+  // the reserved slot is returned.
+  EXPECT_EQ(admission.Submit(99, MakeResolve()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(admission.depth(), 0);
+  EXPECT_EQ(admission.shed_count(), 1);
+}
+
+// --- Resolve coalescing ----------------------------------------------------
+
+TEST(CoalescingTest, PendingResolvesFoldIntoOneSolve) {
+  // Pin the single worker, enqueue pref/resolve interleavings, release:
+  // coalescing must fold the three resolves into ONE Resolve() whose
+  // report answers all three, and the final configuration must equal a
+  // serial session that applied the same mutations with a single resolve
+  // (same seed + same resolve count => bit-identical rounding).
+  const SvgicInstance base = RandomInstance(10, 16, 3, 0.5, 21);
+  SessionOptions session_options;
+  session_options.seed = 5;
+
+  SessionManagerOptions options;
+  options.num_workers = 1;
+  options.coalesce_resolves = true;
+  SessionManager manager(options);
+  const int id = manager.CreateSession(base, session_options);
+
+  std::promise<void> entered, release;
+  auto entered_future = entered.get_future();
+  std::shared_future<void> release_future(release.get_future());
+  ASSERT_TRUE(manager
+                  .Submit(id, MakePref(9, 0, 0.9),
+                          [&entered, release_future](const Status&,
+                                                     const CommandOutcome&) {
+                            entered.set_value();
+                            release_future.wait();
+                          })
+                  .ok());
+  entered_future.wait();
+
+  std::mutex mu;
+  std::vector<CommandOutcome> outcomes;
+  std::vector<Status> statuses;
+  auto collect = [&mu, &outcomes, &statuses](const Status& status,
+                                             const CommandOutcome& outcome) {
+    std::lock_guard<std::mutex> lock(mu);
+    statuses.push_back(status);
+    outcomes.push_back(outcome);
+  };
+  ASSERT_TRUE(manager.Submit(id, MakePref(0, 1, 0.8)).ok());
+  ASSERT_TRUE(manager.Submit(id, MakeResolve(), collect).ok());
+  ASSERT_TRUE(manager.Submit(id, MakePref(1, 2, 0.7)).ok());
+  ASSERT_TRUE(manager.Submit(id, MakeResolve(), collect).ok());
+  ASSERT_TRUE(manager.Submit(id, MakePref(2, 3, 0.6)).ok());
+  ASSERT_TRUE(manager.Submit(id, MakeResolve(), collect).ok());
+  release.set_value();
+  manager.Drain();
+
+  ASSERT_EQ(outcomes.size(), 3u);
+  int performed = 0, folded = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << statuses[i];
+    EXPECT_TRUE(outcomes[i].resolved);
+    EXPECT_EQ(outcomes[i].coalesced, 2);
+    EXPECT_EQ(outcomes[i].report.scaled_total,
+              outcomes[0].report.scaled_total);
+    outcomes[i].coalesced_away ? ++folded : ++performed;
+  }
+  EXPECT_EQ(performed, 1);  // exactly one request paid the solve
+  EXPECT_EQ(folded, 2);
+
+  auto stats = manager.GetStats(id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->resolves, 1);
+  EXPECT_EQ(stats->resolves_coalesced, 2);
+
+  // Serial reference: same mutations, ONE resolve, same seed.
+  Session reference(base, session_options);
+  ASSERT_TRUE(reference.Apply(MakePref(9, 0, 0.9)).ok());
+  ASSERT_TRUE(reference.Apply(MakePref(0, 1, 0.8)).ok());
+  ASSERT_TRUE(reference.Apply(MakePref(1, 2, 0.7)).ok());
+  ASSERT_TRUE(reference.Apply(MakePref(2, 3, 0.6)).ok());
+  auto ref_outcome = reference.Apply(MakeResolve());
+  ASSERT_TRUE(ref_outcome.ok()) << ref_outcome.status();
+
+  const Configuration& coalesced_config = manager.session(id).config();
+  const Configuration& reference_config = reference.config();
+  ASSERT_EQ(coalesced_config.num_users(), reference_config.num_users());
+  for (UserId u = 0; u < reference_config.num_users(); ++u) {
+    EXPECT_EQ(coalesced_config.ItemsOf(u), reference_config.ItemsOf(u))
+        << "user " << u;
+  }
+  EXPECT_EQ(outcomes[0].report.scaled_total,
+            ref_outcome->report.scaled_total);
+
+  // And N individual resolves (no coalescing) reach the same LP optimum:
+  // the configurations may differ (different per-resolve RNG streams) but
+  // the final objective is the optimum of the same mutated instance.
+  Session individual(base, session_options);
+  ASSERT_TRUE(individual.Apply(MakePref(9, 0, 0.9)).ok());
+  ASSERT_TRUE(individual.Apply(MakePref(0, 1, 0.8)).ok());
+  ASSERT_TRUE(individual.Apply(MakeResolve()).ok());
+  ASSERT_TRUE(individual.Apply(MakePref(1, 2, 0.7)).ok());
+  ASSERT_TRUE(individual.Apply(MakeResolve()).ok());
+  ASSERT_TRUE(individual.Apply(MakePref(2, 3, 0.6)).ok());
+  auto last = individual.Apply(MakeResolve());
+  ASSERT_TRUE(last.ok());
+  EXPECT_NEAR(last->report.lp_objective, outcomes[0].report.lp_objective,
+              1e-6 * std::max(1.0, std::abs(last->report.lp_objective)));
+}
+
+TEST(CoalescingTest, DisabledCoalescingRunsEverySolve) {
+  SessionManagerOptions options;
+  options.num_workers = 1;
+  options.coalesce_resolves = false;
+  SessionManager manager(options);
+  const int id = manager.CreateSession(RandomInstance(8, 12, 2, 0.5, 23));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(manager.Submit(id, MakePref(i, i, 0.5 + 0.1 * i)).ok());
+    ASSERT_TRUE(manager.Submit(id, MakeResolve()).ok());
+  }
+  manager.Drain();
+  auto stats = manager.GetStats(id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->resolves, 3);
+  EXPECT_EQ(stats->resolves_coalesced, 0);
+}
+
+// --- End-to-end over a real socket -----------------------------------------
+
+/// Raw TCP helper for malformed-bytes tests (ServeClient only speaks
+/// well-formed frames).
+class RawConnection {
+ public:
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+  bool Send(const std::string& bytes) {
+    return ::send(fd_, bytes.data(), bytes.size(), 0) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+  ssize_t Recv(char* buf, size_t size) { return ::recv(fd_, buf, size, 0); }
+  /// Reads until EOF (the server drops bad-frame connections).
+  std::string ReadAll() {
+    std::string all;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      all.append(buf, static_cast<size_t>(n));
+    }
+    return all;
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServeServerTest, EndToEndApplyResolveAndStatus) {
+  ServerOptions options;
+  options.num_workers = 2;
+  ServeServer server(options);
+  const int session =
+      server.CreateSession(RandomInstance(10, 16, 3, 0.5, 31));
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  auto pong = client.SendPing();
+  ASSERT_TRUE(pong.ok());
+  auto pong_response = client.ReadResponse();
+  ASSERT_TRUE(pong_response.ok()) << pong_response.status();
+  EXPECT_EQ(pong_response->kind, FrameKind::kOk);
+  EXPECT_EQ(pong_response->request_id, *pong);
+
+  auto mutation = client.Apply(session, MakePref(0, 1, 0.8));
+  ASSERT_TRUE(mutation.ok()) << mutation.status();
+  EXPECT_EQ(mutation->kind, FrameKind::kOk);
+
+  auto join = client.Apply(session, MakeJoin());
+  ASSERT_TRUE(join.ok());
+  ASSERT_TRUE(join->has_result);
+  EXPECT_EQ(join->result.assigned_id, 10);  // n was 10
+
+  auto resolve = client.Apply(session, MakeResolve());
+  ASSERT_TRUE(resolve.ok()) << resolve.status();
+  ASSERT_EQ(resolve->kind, FrameKind::kOk);
+  ASSERT_TRUE(resolve->has_result);
+  EXPECT_TRUE(resolve->result.resolved);
+  EXPECT_GT(resolve->result.lp_objective, 0.0);
+  EXPECT_GT(resolve->result.scaled_total, 0.0);
+  EXPECT_GT(resolve->result.resolve_seconds, 0.0);
+
+  // A command against an unknown session answers kError, not a drop.
+  auto bad_session = client.Apply(99, MakeResolve());
+  ASSERT_TRUE(bad_session.ok());
+  EXPECT_EQ(bad_session->kind, FrameKind::kError);
+
+  // An invalid mutation (out-of-range user) answers kError too.
+  auto bad_mutation = client.Apply(session, MakePref(500, 0, 0.5));
+  ASSERT_TRUE(bad_mutation.ok());
+  EXPECT_EQ(bad_mutation->kind, FrameKind::kError);
+
+  auto status_json = client.FetchStatus();
+  ASSERT_TRUE(status_json.ok()) << status_json.status();
+  EXPECT_NE(status_json->find("\"sessions\""), std::string::npos);
+  EXPECT_NE(status_json->find("\"coalesce_ratio\""), std::string::npos);
+  EXPECT_NE(status_json->find("\"admitted\""), std::string::npos);
+
+  // Pipelined mutations: all answered, ids echoed.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto id = client.SendApply(session, MakePref(i % 10, i % 16, 0.5));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  std::vector<uint64_t> answered;
+  for (int i = 0; i < 10; ++i) {
+    auto response = client.ReadResponse();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->kind, FrameKind::kOk);
+    answered.push_back(response->request_id);
+  }
+  std::sort(answered.begin(), answered.end());
+  EXPECT_EQ(answered, ids);
+
+  server.Shutdown();
+}
+
+TEST(ServeServerTest, MalformedFramesGetBadRequestAndDrop) {
+  ServeServer server;
+  server.CreateSession(RandomInstance(8, 12, 2, 0.5, 33));
+  ASSERT_TRUE(server.Start().ok());
+
+  {  // Good magic, bad version: one kBadRequest response, then EOF.
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    std::string frame;
+    AppendFrame(FrameKind::kPing, 1, 0, "", &frame);
+    frame[4] = 9;  // unsupported version
+    ASSERT_TRUE(conn.Send(frame));
+    const std::string response = conn.ReadAll();
+    ASSERT_GE(response.size(), kFrameHeaderBytes);
+    EXPECT_EQ(response.compare(0, 4, "SVGF"), 0);
+    EXPECT_EQ(static_cast<FrameKind>(
+                  static_cast<uint8_t>(response[5])),
+              FrameKind::kBadRequest);
+  }
+  {  // Oversized payload length: rejected without allocating 4 GB.
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    std::string frame;
+    AppendFrame(FrameKind::kApply, 2, 0, "", &frame);
+    frame[20] = frame[21] = frame[22] = frame[23] = static_cast<char>(0xFF);
+    ASSERT_TRUE(conn.Send(frame));
+    const std::string response = conn.ReadAll();
+    ASSERT_GE(response.size(), kFrameHeaderBytes);
+    EXPECT_EQ(static_cast<FrameKind>(
+                  static_cast<uint8_t>(response[5])),
+              FrameKind::kBadRequest);
+  }
+  {  // Valid frame, garbage command payload: kBadRequest, stream survives.
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    std::string frame;
+    AppendFrame(FrameKind::kApply, 3, 0, std::string(5, '\xEE'), &frame);
+    AppendFrame(FrameKind::kPing, 4, 0, "", &frame);
+    ASSERT_TRUE(conn.Send(frame));
+    // Two responses arrive (kBadRequest for the garbage command, then the
+    // ping's kOk — the framing stayed intact, so the connection survives).
+    FrameReader reader;
+    int seen = 0;
+    FrameKind kinds[2] = {FrameKind::kOk, FrameKind::kOk};
+    while (seen < 2) {
+      char buf[1024];
+      const ssize_t n = conn.Recv(buf, sizeof(buf));
+      if (n <= 0) break;
+      reader.Feed(buf, static_cast<size_t>(n));
+      for (;;) {
+        FrameHeader header;
+        std::string body;
+        auto next = reader.Next(&header, &body);
+        ASSERT_TRUE(next.ok());
+        if (!*next) break;
+        ASSERT_LT(seen, 2);
+        kinds[seen++] = header.kind;
+      }
+    }
+    ASSERT_EQ(seen, 2);
+    EXPECT_EQ(kinds[0], FrameKind::kBadRequest);
+    EXPECT_EQ(kinds[1], FrameKind::kOk);
+  }
+  server.Shutdown();
+}
+
+TEST(ServeServerTest, FlashCrowdShedsOverloadedResponses) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.admission.max_queue_depth = 4;
+  ServeServer server(options);
+  const int session =
+      server.CreateSession(RandomInstance(10, 16, 3, 0.5, 35));
+  ASSERT_TRUE(server.Start().ok());
+
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // Open loop: blast resolves far past the admission bound, then drain.
+  constexpr int kBurst = 64;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.SendApply(session, MakeResolve()).ok());
+  }
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto response = client.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status();
+    if (response->kind == FrameKind::kOverloaded) {
+      ++overloaded;
+    } else if (response->kind == FrameKind::kOk) {
+      ++ok;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kBurst);
+  EXPECT_GT(overloaded, 0) << "no shedding under a 16x overload burst";
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(server.admission().shed_count(), overloaded);
+  server.Shutdown();
+}
+
+TEST(ServeServerTest, HttpFallbackServesStatusAndMetrics) {
+  ServeServer server;
+  server.CreateSession(RandomInstance(8, 12, 2, 0.5, 37));
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /metrics HTTP/1.0\r\n\r\n"));
+    const std::string response = conn.ReadAll();
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("application/json"), std::string::npos);
+    EXPECT_NE(response.find("serve.queue_depth"), std::string::npos);
+  }
+  {
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /status HTTP/1.0\r\n\r\n"));
+    const std::string response = conn.ReadAll();
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("\"sessions\""), std::string::npos);
+  }
+  {
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /nope HTTP/1.0\r\n\r\n"));
+    const std::string response = conn.ReadAll();
+    EXPECT_NE(response.find("404"), std::string::npos);
+  }
+  server.Shutdown();
+}
+
+TEST(ServeServerTest, ShutdownFrameStopsTheServer) {
+  ServeServer server;
+  server.CreateSession(RandomInstance(8, 12, 2, 0.5, 39));
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.SendShutdown().ok());
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->kind, FrameKind::kOk);
+  server.WaitForShutdown();  // must return promptly after the frame
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace savg
