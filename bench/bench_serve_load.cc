@@ -12,11 +12,24 @@
 //  * flash crowd — open loop: every client blasts an interleaved
 //    mutation/resolve burst without reading responses, far past the
 //    admission bound, and counts the kOverloaded shed responses.
+//  * untraced / traced — a closed-loop phase in which every client
+//    alternates the wire trace flag REQUEST BY REQUEST, so the traced
+//    arm (full span tree per request, src/obs/) and the untraced arm
+//    (zero tracing: the server runs with sampling and the slow log off)
+//    interleave at millisecond granularity and sample identical machine
+//    conditions. Each arm's cost is its sum of closed-loop request
+//    latencies; a scheduler stall spans both arms and cancels out of
+//    the ratio. The phase repeats --ab-reps times (flipping parity each
+//    rep) and the reported pair is the rep with the MEDIAN
+//    traced/untraced ratio, so no single noisy rep can masquerade as
+//    tracing overhead.
 //
 // The paired "(coalesced)" / "(uncoalesced)" --json metrics feed the
 // machine-speed-independent CI gate (tools/perf_compare.py
 // --cold-reference --suffixes): coalesced wall time must stay well under
-// the same run's uncoalesced wall time.
+// the same run's uncoalesced wall time. The paired "(traced)" /
+// "(untraced)" metrics gate tracing overhead the same way: always-on
+// tracing must stay within a few percent of the untraced wall.
 //
 // By default the server runs in-process on an ephemeral port; --port=
 // targets an external svgic_serverd instead (the CI e2e demo), and
@@ -25,8 +38,9 @@
 //   bench_serve_load [--port=P] [--host=H] [--clients=C] [--rounds=R]
 //                    [--mutations=M] [--resolves=B] [--burst=N]
 //                    [--users=U] [--items=I] [--queue-depth=D]
-//                    [--json=path] [--shutdown-server]
+//                    [--ab-reps=K] [--json=path] [--shutdown-server]
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <random>
@@ -52,6 +66,8 @@ struct LoadConfig {
   int resolves_per_round = 8;
   /// Flash-crowd commands per client (0 disables the phase).
   int burst = 512;
+  /// Alternating untraced/traced repetitions for the overhead A/B.
+  int ab_reps = 5;
   /// Mutation id ranges (must match the served instance; the in-process
   /// server overwrites them from the generated dataset).
   int users = 20;
@@ -97,9 +113,10 @@ Status Receive(ServeClient* client,
 }
 
 /// One client's share of a measured phase: closed-loop mutations, then
-/// either closed-loop (`pipeline=false`) or pipelined resolves.
+/// either closed-loop (`pipeline=false`) or pipelined resolves. `trace`
+/// forces the wire trace flag on every request.
 Status RunClient(const LoadConfig& config, int client_index, bool pipeline,
-                 ClientStats* stats) {
+                 bool trace, ClientStats* stats) {
   ServeClient client;
   SAVG_RETURN_NOT_OK(client.Connect(config.host, config.port));
   const uint32_t session = static_cast<uint32_t>(client_index);
@@ -107,7 +124,8 @@ Status RunClient(const LoadConfig& config, int client_index, bool pipeline,
   std::unordered_map<uint64_t, Timer> sent;
   for (int round = 0; round < config.rounds; ++round) {
     for (int i = 0; i < config.mutations_per_round; ++i) {
-      auto id = client.SendApply(session, RandomMutation(config, &rng));
+      auto id =
+          client.SendApply(session, RandomMutation(config, &rng), trace);
       SAVG_RETURN_NOT_OK(id.status());
       sent.emplace(*id, Timer());
       ++stats->requests;
@@ -116,7 +134,7 @@ Status RunClient(const LoadConfig& config, int client_index, bool pipeline,
     }
     int outstanding = 0;
     for (int i = 0; i < config.resolves_per_round; ++i) {
-      auto id = client.SendApply(session, MakeResolve());
+      auto id = client.SendApply(session, MakeResolve(), trace);
       SAVG_RETURN_NOT_OK(id.status());
       sent.emplace(*id, Timer());
       ++stats->requests;
@@ -128,6 +146,45 @@ Status RunClient(const LoadConfig& config, int client_index, bool pipeline,
       }
     }
     for (; outstanding > 0; --outstanding) {
+      SAVG_RETURN_NOT_OK(
+          Receive(&client, &sent, &stats->resolve_latencies, stats));
+    }
+  }
+  return Status::OK();
+}
+
+/// One client's share of the tracing A/B: a closed loop in which the
+/// wire trace flag alternates request by request, so both arms sample
+/// the same machine conditions. `parity` flips which arm goes first;
+/// the round index shifts the pattern too, so the expensive first
+/// resolve after each mutation burst alternates arms across rounds.
+/// Each request's latency is charged to the arm that issued it.
+Status RunAbClient(const LoadConfig& config, int client_index, int parity,
+                   ClientStats* untraced_stats, ClientStats* traced_stats) {
+  ServeClient client;
+  SAVG_RETURN_NOT_OK(client.Connect(config.host, config.port));
+  const uint32_t session = static_cast<uint32_t>(client_index);
+  std::mt19937_64 rng(config.seed + 9000 + client_index);
+  std::unordered_map<uint64_t, Timer> sent;
+  for (int round = 0; round < config.rounds; ++round) {
+    for (int i = 0; i < config.mutations_per_round; ++i) {
+      const bool trace = ((i + round + parity) & 1) != 0;
+      ClientStats* stats = trace ? traced_stats : untraced_stats;
+      auto id =
+          client.SendApply(session, RandomMutation(config, &rng), trace);
+      SAVG_RETURN_NOT_OK(id.status());
+      sent.emplace(*id, Timer());
+      ++stats->requests;
+      SAVG_RETURN_NOT_OK(
+          Receive(&client, &sent, &stats->mutation_latencies, stats));
+    }
+    for (int i = 0; i < config.resolves_per_round; ++i) {
+      const bool trace = ((i + round + parity) & 1) != 0;
+      ClientStats* stats = trace ? traced_stats : untraced_stats;
+      auto id = client.SendApply(session, MakeResolve(), trace);
+      SAVG_RETURN_NOT_OK(id.status());
+      sent.emplace(*id, Timer());
+      ++stats->requests;
       SAVG_RETURN_NOT_OK(
           Receive(&client, &sent, &stats->resolve_latencies, stats));
     }
@@ -156,6 +213,40 @@ Status RunFlashClient(const LoadConfig& config, int client_index,
   return Status::OK();
 }
 
+void MergeStats(const ClientStats& s, ClientStats* merged) {
+  merged->resolve_latencies.insert(merged->resolve_latencies.end(),
+                                   s.resolve_latencies.begin(),
+                                   s.resolve_latencies.end());
+  merged->mutation_latencies.insert(merged->mutation_latencies.end(),
+                                    s.mutation_latencies.begin(),
+                                    s.mutation_latencies.end());
+  merged->requests += s.requests;
+  merged->overloaded += s.overloaded;
+  merged->errors += s.errors;
+}
+
+/// Closed-loop seconds this arm's requests spent in flight, excluding
+/// the slowest 10% — the per-arm cost measure for the interleaved
+/// tracing A/B (a phase wall cannot be split between the interleaved
+/// arms). The trim matters: the LP engine's periodic refactorizations
+/// make a few resolves 30-80x the median, and which ARM such a spike
+/// lands on is an accident of request position, so untrimmed sums
+/// measure spike placement instead of tracing overhead.
+double TrimmedLatencySum(const ClientStats& stats) {
+  std::vector<double> all;
+  all.reserve(stats.resolve_latencies.size() +
+              stats.mutation_latencies.size());
+  all.insert(all.end(), stats.resolve_latencies.begin(),
+             stats.resolve_latencies.end());
+  all.insert(all.end(), stats.mutation_latencies.begin(),
+             stats.mutation_latencies.end());
+  std::sort(all.begin(), all.end());
+  const size_t keep = all.size() - all.size() / 10;
+  double total = 0.0;
+  for (size_t i = 0; i < keep; ++i) total += all[i];
+  return total;
+}
+
 /// Fans `fn` out over config.clients threads and merges the tallies.
 /// Returns the phase wall-clock seconds.
 template <typename Fn>
@@ -172,17 +263,7 @@ double RunPhase(const LoadConfig& config, Fn fn, ClientStats* merged) {
   }
   for (auto& thread : threads) thread.join();
   const double wall = timer.ElapsedSeconds();
-  for (const ClientStats& s : stats) {
-    merged->resolve_latencies.insert(merged->resolve_latencies.end(),
-                                     s.resolve_latencies.begin(),
-                                     s.resolve_latencies.end());
-    merged->mutation_latencies.insert(merged->mutation_latencies.end(),
-                                      s.mutation_latencies.begin(),
-                                      s.mutation_latencies.end());
-    merged->requests += s.requests;
-    merged->overloaded += s.overloaded;
-    merged->errors += s.errors;
-  }
+  for (const ClientStats& s : stats) MergeStats(s, merged);
   return wall;
 }
 
@@ -226,6 +307,11 @@ int RunLoad(LoadConfig config) {
     }
     ServerOptions options;
     options.admission.max_queue_depth = config.queue_depth;
+    // Zero tracing unless a request forces it via the wire flag: the
+    // untraced phases are then a true no-tracing baseline, and the traced
+    // phase measures the full (every-request) tracing cost.
+    options.trace.sample_every = 0;
+    options.trace.slow_seconds = 0.0;
     local = std::make_unique<ServeServer>(options);
     for (int i = 0; i < config.clients; ++i) {
       SessionOptions session_options;
@@ -258,19 +344,69 @@ int RunLoad(LoadConfig config) {
     }
   }
 
-  ClientStats uncoalesced, coalesced, flash;
+  ClientStats uncoalesced, coalesced, untraced, traced, flash;
   const double uncoalesced_wall = RunPhase(
       config,
       [&](int i, ClientStats* s) {
-        return RunClient(config, i, /*pipeline=*/false, s);
+        return RunClient(config, i, /*pipeline=*/false, /*trace=*/false, s);
       },
       &uncoalesced);
   const double coalesced_wall = RunPhase(
       config,
       [&](int i, ClientStats* s) {
-        return RunClient(config, i, /*pipeline=*/true, s);
+        return RunClient(config, i, /*pipeline=*/true, /*trace=*/false, s);
       },
       &coalesced);
+  // Tracing-overhead A/B: closed-loop reps in which each client flips
+  // the wire trace flag request by request, so the two arms interleave
+  // at millisecond granularity and a scheduler stall lands on both.
+  // Each arm's cost is its closed-loop latency sum; the reported pair
+  // is the rep with the MEDIAN traced/untraced ratio, which no single
+  // noisy rep can drag over the CI gate. The parity flips every rep so
+  // neither arm systematically gets the even-numbered requests.
+  std::vector<ClientStats> rep_untraced(config.ab_reps);
+  std::vector<ClientStats> rep_traced(config.ab_reps);
+  std::vector<double> rep_untraced_wall(config.ab_reps);
+  std::vector<double> rep_traced_wall(config.ab_reps);
+  for (int rep = 0; rep < config.ab_reps; ++rep) {
+    std::vector<ClientStats> u(config.clients), tr(config.clients);
+    std::vector<std::thread> threads;
+    threads.reserve(config.clients);
+    for (int i = 0; i < config.clients; ++i) {
+      threads.emplace_back([&, i] {
+        Status status = RunAbClient(config, i, rep & 1, &u[i], &tr[i]);
+        if (!status.ok()) {
+          std::cerr << "ab client " << i << ": " << status << "\n";
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (int i = 0; i < config.clients; ++i) {
+      MergeStats(u[i], &rep_untraced[rep]);
+      MergeStats(tr[i], &rep_traced[rep]);
+    }
+    rep_untraced_wall[rep] = TrimmedLatencySum(rep_untraced[rep]);
+    rep_traced_wall[rep] = TrimmedLatencySum(rep_traced[rep]);
+    // Per-rep sums on stderr: when the CI overhead gate flaps, this is
+    // the first thing to look at (noise shows as rep-to-rep spread).
+    std::cerr << "ab rep " << rep << ": untraced "
+              << FormatDouble(rep_untraced_wall[rep], 3) << "s, traced "
+              << FormatDouble(rep_traced_wall[rep], 3) << "s (ratio "
+              << FormatDouble(rep_traced_wall[rep] / rep_untraced_wall[rep],
+                              3)
+              << ")\n";
+  }
+  std::vector<int> by_ratio(config.ab_reps);
+  for (int rep = 0; rep < config.ab_reps; ++rep) by_ratio[rep] = rep;
+  std::sort(by_ratio.begin(), by_ratio.end(), [&](int a, int b) {
+    return rep_traced_wall[a] * rep_untraced_wall[b] <
+           rep_traced_wall[b] * rep_untraced_wall[a];
+  });
+  const int median_rep = by_ratio[by_ratio.size() / 2];
+  const double untraced_wall = rep_untraced_wall[median_rep];
+  const double traced_wall = rep_traced_wall[median_rep];
+  untraced = std::move(rep_untraced[median_rep]);
+  traced = std::move(rep_traced[median_rep]);
   double flash_wall = 0.0;
   if (config.burst > 0) {
     flash_wall = RunPhase(
@@ -301,6 +437,10 @@ int RunLoad(LoadConfig config) {
            "p99 resolve (ms)", "overloaded", "errors"});
   AddPhaseRow(&t, "uncoalesced (closed loop)", uncoalesced_wall, uncoalesced);
   AddPhaseRow(&t, "coalesced (pipelined)", coalesced_wall, coalesced);
+  // For the interleaved A/B rows, "wall" is the arm's closed-loop
+  // latency sum (the two arms share one phase wall).
+  AddPhaseRow(&t, "untraced (interleaved)", untraced_wall, untraced);
+  AddPhaseRow(&t, "traced (interleaved)", traced_wall, traced);
   if (config.burst > 0) AddPhaseRow(&t, "flash crowd", flash_wall, flash);
   t.Print("Serve load: " + std::to_string(config.clients) + " clients x " +
           std::to_string(config.rounds) + " rounds (" +
@@ -326,6 +466,11 @@ int RunLoad(LoadConfig config) {
                           Percentile(uncoalesced.resolve_latencies, 50));
   benchutil::RecordMetric("serve load | p99 resolve - uncoalesced",
                           Percentile(uncoalesced.resolve_latencies, 99));
+  benchutil::RecordMetric("serve load | closed loop (untraced)",
+                          untraced_wall);
+  benchutil::RecordMetric("serve load | closed loop (traced)", traced_wall);
+  benchutil::RecordMetric("serve load | p99 resolve - traced",
+                          Percentile(traced.resolve_latencies, 99));
   benchutil::RecordMetric("serve load | flash crowd shed responses",
                           static_cast<double>(flash.overloaded));
   benchutil::RecordMetric("serve load | coalesce ratio", coalesce_ratio);
@@ -387,6 +532,9 @@ int main(int argc, char** argv) {
     if (matched) continue;
     if (std::strncmp(arg, "--host=", 7) == 0) {
       config.host = arg + 7;
+    } else if (std::strncmp(arg, "--ab-reps=", 10) == 0) {
+      config.ab_reps =
+          static_cast<int>(savg::ParseLong("--ab-reps", arg + 10));
     } else if (std::strncmp(arg, "--queue-depth=", 14) == 0) {
       config.queue_depth = savg::ParseLong("--queue-depth", arg + 14);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
@@ -402,8 +550,8 @@ int main(int argc, char** argv) {
     }
   }
   if (config.clients < 1 || config.rounds < 1 ||
-      config.resolves_per_round < 1) {
-    std::cerr << "--clients/--rounds/--resolves must be >= 1\n";
+      config.resolves_per_round < 1 || config.ab_reps < 1) {
+    std::cerr << "--clients/--rounds/--resolves/--ab-reps must be >= 1\n";
     return 2;
   }
   return savg::RunLoad(config);

@@ -9,6 +9,10 @@
 //                                                         log -> binary
 //   svgic_cli serve <instance.tsv> <commands>             replay a live
 //                                                         serving session
+//   svgic_cli trace <host> <port> [last] [--json]         fetch recent
+//                                                         request traces
+//                                                         from a serverd
+//   svgic_cli shutdown <host> <port>                      stop a serverd
 //
 // <kind> in {timik, epinions, yelp}; <solver> is any registry name
 // (case-insensitive; `svgic_cli run help` lists them), plus "local" =
@@ -33,6 +37,7 @@
 
 #include "core/io.h"
 #include "core/local_search.h"
+#include "serve/client.h"
 #include "core/objective.h"
 #include "datagen/datasets.h"
 #include "experiments/runner.h"
@@ -108,6 +113,8 @@ int Usage() {
                " <seed> <out>\n"
                "  svgic_cli convertevents <in_events> <out_commands>\n"
                "  svgic_cli serve <instance> <commands>\n"
+               "  svgic_cli trace <host> <port> [last] [--json]\n"
+               "  svgic_cli shutdown <host> <port>\n"
                "flags: --shards=N (sharded solve/serving), --shard-gap=G\n"
                "solvers: "
             << KnownSolvers() << "|local (AVG-D + local search)\n";
@@ -348,6 +355,60 @@ int Serve(int argc, char** argv) {
   return 0;
 }
 
+// `trace <host> <port> [last] [--json]`: fetches the serverd's recent
+// request traces over its HTTP front-end. Default output is the
+// human-readable span tree; --json prints the raw Chrome trace-event JSON
+// (pipe to a file and load in Perfetto / chrome://tracing).
+int FetchTrace(int argc, char** argv) {
+  if (argc < 4 || argc > 6) return Usage();
+  const std::string host = argv[2];
+  const int port = std::atoi(argv[3]);
+  int last = 32;
+  bool json = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      last = std::atoi(argv[i]);
+      if (last <= 0) return Usage();
+    }
+  }
+  const std::string path = "/trace?last=" + std::to_string(last) +
+                           (json ? "" : "&format=text");
+  auto body = HttpGet(host, port, path);
+  if (!body.ok()) {
+    std::cerr << body.status() << "\n";
+    return 1;
+  }
+  std::cout << *body;
+  if (!body->empty() && body->back() != '\n') std::cout << "\n";
+  return 0;
+}
+
+// `shutdown <host> <port>`: sends a kShutdown frame (what bench_serve_load
+// --shutdown-server does), so scripts can stop a serverd they started.
+int ShutdownServer(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  ServeClient client;
+  Status st = client.Connect(argv[2], std::atoi(argv[3]));
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  auto sent = client.SendShutdown();
+  if (!sent.ok()) {
+    std::cerr << sent.status() << "\n";
+    return 1;
+  }
+  auto response = client.ReadResponse();
+  if (!response.ok()) {
+    std::cerr << response.status() << "\n";
+    return 1;
+  }
+  std::cout << "server acknowledged shutdown\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -361,5 +422,9 @@ int main(int argc, char** argv) {
     return ConvertEvents(argc, argv);
   }
   if (std::strcmp(argv[1], "serve") == 0) return Serve(argc, argv);
+  if (std::strcmp(argv[1], "trace") == 0) return FetchTrace(argc, argv);
+  if (std::strcmp(argv[1], "shutdown") == 0) {
+    return ShutdownServer(argc, argv);
+  }
   return Usage();
 }

@@ -15,10 +15,17 @@
 //   --queue-depth=D  admission-queue bound before shedding (default 256)
 //   --no-coalesce    disable resolve coalescing (A/B for the load gen)
 //   --seed=S         per-session RNG seed base (default 7)
+//   --trace_sample=N trace 1 in N apply requests (default 16; 0 = only
+//                    requests carrying the wire trace flag)
+//   --slow_ms=T      slow-query threshold in milliseconds (default 250;
+//                    0 disables the slow-query log)
+//   --trace_buffer=B finished traces kept for GET /trace (default 256)
+//   --slow_log=PATH  rotating slow-query JSONL file (default: none)
 //
 // On shutdown the final MetricsRegistry dump goes to stdout, so a scripted
 // run captures per-command latency, queue depth, coalesce ratio, and shed
-// counts without scraping /metrics.
+// counts without scraping /metrics. Traces are served live at
+// GET /trace?last=N (Chrome trace-event JSON; &format=text for a tree).
 
 #include <csignal>
 #include <cstdlib>
@@ -28,6 +35,7 @@
 
 #include "core/io.h"
 #include "serve/server.h"
+#include "util/logging.h"
 
 using namespace savg;
 
@@ -43,7 +51,9 @@ int Usage() {
   std::cerr
       << "usage: svgic_serverd <instance.tsv> [--port=P] [--sessions=K]\n"
          "                     [--workers=W] [--queue-depth=D]\n"
-         "                     [--no-coalesce] [--seed=S]\n";
+         "                     [--no-coalesce] [--seed=S]\n"
+         "                     [--trace_sample=N] [--slow_ms=T]\n"
+         "                     [--trace_buffer=B] [--slow_log=PATH]\n";
   return 2;
 }
 
@@ -83,6 +93,17 @@ int main(int argc, char** argv) {
       options.coalesce_resolves = false;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       seed = static_cast<uint64_t>(ParseLong("--seed", arg + 7));
+    } else if (std::strncmp(arg, "--trace_sample=", 15) == 0) {
+      options.trace.sample_every =
+          static_cast<int>(ParseLong("--trace_sample", arg + 15));
+    } else if (std::strncmp(arg, "--slow_ms=", 10) == 0) {
+      options.trace.slow_seconds =
+          static_cast<double>(ParseLong("--slow_ms", arg + 10)) / 1000.0;
+    } else if (std::strncmp(arg, "--trace_buffer=", 15) == 0) {
+      options.trace.buffer_traces =
+          static_cast<size_t>(ParseLong("--trace_buffer", arg + 15));
+    } else if (std::strncmp(arg, "--slow_log=", 11) == 0) {
+      options.trace.slow_log_path = arg + 11;
     } else if (arg[0] == '-') {
       std::cerr << "unknown flag " << arg << "\n";
       return Usage();
@@ -100,6 +121,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The serve path logs structured key=value lines (serve.listen,
+  // serve.shed, serve.slow, serve.shutdown) at info level.
+  SetLogLevel(LogLevel::kInfo);
   ServeServer server(options);
   for (int i = 0; i < num_sessions; ++i) {
     SessionOptions session_options;

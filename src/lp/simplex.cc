@@ -6,6 +6,7 @@
 
 #include "lp/basis_lu.h"
 #include "lp/presolve.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace savg {
@@ -1163,8 +1164,33 @@ class RevisedSimplex {
 
 }  // namespace
 
+namespace {
+
+/// Bridges the solve's LpStats onto the active "lp.solve" trace span:
+/// deterministic pivot counters plus one stat-bridged child per phase.
+/// Always the same six children (zero-duration included) so the span
+/// structure stays bit-stable across runs.
+void AttachLpTrace(TraceScope* span, const LpSolution& sol) {
+  if (!span->active()) return;
+  span->Counter("pivots", sol.iterations);
+  span->Counter("phase1_pivots", sol.phase1_iterations);
+  span->Counter("warm_started", sol.warm_started ? 1 : 0);
+  span->Counter("dual_simplex", sol.dual_simplex_used ? 1 : 0);
+  span->Counter("eta_count", sol.stats.eta_count);
+  span->Counter("refactorizations", sol.stats.refactorizations);
+  span->BridgeChild("lp.presolve", sol.stats.presolve_seconds);
+  span->BridgeChild("lp.pricing", sol.stats.pricing_seconds);
+  span->BridgeChild("lp.ratio_test", sol.stats.ratio_test_seconds);
+  span->BridgeChild("lp.ftran", sol.stats.ftran_seconds);
+  span->BridgeChild("lp.btran", sol.stats.btran_seconds);
+  span->BridgeChild("lp.factor", sol.stats.factor_seconds);
+}
+
+}  // namespace
+
 Result<LpSolution> SolveLp(const LpModel& model, const SimplexOptions& options,
                            const LpBasis* warm_start) {
+  TraceScope lp_span("lp.solve");
   if (options.presolve) {
     // Presolve -> solve the reduced model -> postsolve back. The warm
     // basis (if any) is mapped through the reduction; the postsolved
@@ -1194,10 +1220,13 @@ Result<LpSolution> SolveLp(const LpModel& model, const SimplexOptions& options,
         presolve_seconds + pre_timer.ElapsedSeconds();
     full.stats.presolve_cols_removed = pre->stats().cols_removed();
     full.stats.presolve_rows_removed = pre->stats().rows_removed();
+    AttachLpTrace(&lp_span, full);
     return full;
   }
   RevisedSimplex worker(model, options, warm_start);
-  return worker.Run();
+  Result<LpSolution> sol = worker.Run();
+  if (sol.ok()) AttachLpTrace(&lp_span, *sol);
+  return sol;
 }
 
 }  // namespace savg

@@ -13,22 +13,30 @@ const double kLogSpan = std::log(Histogram::kMax / Histogram::kMin);
 
 }  // namespace
 
-Histogram::Histogram() : buckets_(kBuckets) {}
+// Internal layout: slot 0 is a dedicated underflow bucket [0, kMin];
+// slots 1..kBuckets are the kBuckets geometric buckets. Without the
+// underflow slot, sub-kMin observations (nanosecond-scale stage timings)
+// landed in the first geometric bucket, whose lower bound is kMin — which
+// pushed interpolated quantiles up to >= kMin no matter how small the
+// samples actually were.
+Histogram::Histogram() : buckets_(kBuckets + 1) {}
 
 int Histogram::BucketIndex(double seconds) const {
   if (!(seconds > kMin)) return 0;
-  if (seconds >= kMax) return kBuckets - 1;
+  if (seconds >= kMax) return kBuckets;
   const double t = std::log(seconds / kMin) / kLogSpan;
-  const int index = static_cast<int>(t * kBuckets);
-  return std::min(std::max(index, 0), kBuckets - 1);
+  const int index = 1 + static_cast<int>(t * kBuckets);
+  return std::min(std::max(index, 1), kBuckets);
 }
 
 double Histogram::BucketLower(int index) const {
-  return kMin * std::exp(kLogSpan * index / kBuckets);
+  if (index <= 0) return 0.0;
+  return kMin * std::exp(kLogSpan * (index - 1) / kBuckets);
 }
 
 double Histogram::BucketUpper(int index) const {
-  return kMin * std::exp(kLogSpan * (index + 1) / kBuckets);
+  if (index <= 0) return kMin;
+  return kMin * std::exp(kLogSpan * index / kBuckets);
 }
 
 void Histogram::Observe(double seconds) {
@@ -55,18 +63,19 @@ double Histogram::Quantile(double q) const {
   // Rank of the q-quantile among the n observations (1-based).
   const double rank = q * static_cast<double>(n - 1) + 1.0;
   double below = 0.0;
-  for (int i = 0; i < kBuckets; ++i) {
+  for (int i = 0; i < static_cast<int>(buckets_.size()); ++i) {
     const double in_bucket = static_cast<double>(
         buckets_[i].load(std::memory_order_relaxed));
     if (in_bucket <= 0.0) continue;
     if (below + in_bucket >= rank) {
-      // Interpolate inside the bucket's geometric bounds.
+      // Interpolate inside the bucket's bounds (the underflow bucket
+      // interpolates linearly over [0, kMin]).
       const double frac = (rank - below) / in_bucket;
       return BucketLower(i) + frac * (BucketUpper(i) - BucketLower(i));
     }
     below += in_bucket;
   }
-  return BucketUpper(kBuckets - 1);
+  return BucketUpper(kBuckets);
 }
 
 namespace {

@@ -67,8 +67,10 @@ class Histogram {
 
   Histogram();
 
-  /// Records one observation (seconds). Values outside [kMin, kMax] land
-  /// in the boundary buckets.
+  /// Records one observation (seconds). Values at or below kMin land in a
+  /// dedicated underflow bucket spanning [0, kMin] (so sub-microsecond
+  /// samples don't inflate interpolated quantiles to >= kMin); values at
+  /// or above kMax land in the last geometric bucket.
   void Observe(double seconds);
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }

@@ -1,0 +1,80 @@
+#include "obs/structured_log.h"
+
+#include <cstdio>
+
+namespace savg {
+
+namespace {
+
+bool NeedsQuoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (char ch : value) {
+    if (ch == ' ' || ch == '=' || ch == '"' || ch == '\t' || ch == '\n') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string QuoteValue(const std::string& value) {
+  if (!NeedsQuoting(value)) return value;
+  std::string out = "\"";
+  for (char ch : value) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    if (ch == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+LogFields& LogFields::Append(const char* key, const std::string& raw) {
+  if (!text_.empty()) text_ += ' ';
+  text_ += key;
+  text_ += '=';
+  text_ += raw;
+  return *this;
+}
+
+LogFields& LogFields::Add(const char* key, const std::string& value) {
+  return Append(key, QuoteValue(value));
+}
+
+LogFields& LogFields::Add(const char* key, const char* value) {
+  return Add(key, std::string(value));
+}
+
+LogFields& LogFields::Add(const char* key, int64_t value) {
+  return Append(key, std::to_string(value));
+}
+
+LogFields& LogFields::Add(const char* key, uint64_t value) {
+  return Append(key, std::to_string(value));
+}
+
+LogFields& LogFields::Add(const char* key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return Append(key, buf);
+}
+
+std::string FormatEvent(const char* event, const LogFields& fields) {
+  std::string line = "event=";
+  line += event;
+  if (!fields.text().empty()) {
+    line += ' ';
+    line += fields.text();
+  }
+  return line;
+}
+
+void LogEvent(LogLevel level, const char* event, const LogFields& fields) {
+  internal::LogMessage(level, "serve", 0) << FormatEvent(event, fields);
+}
+
+}  // namespace savg

@@ -1,0 +1,49 @@
+// Structured key=value log lines for the serve path.
+//
+// Every server-side event of interest (listen, shed, bad request, slow
+// request, shutdown) is logged as one machine-parsable line:
+//
+//   event=serve.shed trace_id=42 session=3 request_id=17
+//
+// stamped with the request's trace id whenever one exists, so server logs
+// join against the slow-query JSONL log (obs/tracer.h) on trace_id.
+// Values containing spaces, '=' or quotes are double-quoted with inner
+// quotes backslash-escaped; everything else is emitted bare.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/logging.h"
+
+namespace savg {
+
+/// Ordered key=value field list (append-only builder).
+class LogFields {
+ public:
+  LogFields& Add(const char* key, const std::string& value);
+  LogFields& Add(const char* key, const char* value);
+  LogFields& Add(const char* key, int64_t value);
+  LogFields& Add(const char* key, uint64_t value);
+  LogFields& Add(const char* key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+  LogFields& Add(const char* key, double value);
+
+  const std::string& text() const { return text_; }
+
+ private:
+  LogFields& Append(const char* key, const std::string& raw);
+
+  std::string text_;
+};
+
+/// "event=<name> key=value ..." — the canonical structured line.
+std::string FormatEvent(const char* event, const LogFields& fields);
+
+/// Emits a structured line through util/logging at `level`.
+void LogEvent(LogLevel level, const char* event,
+              const LogFields& fields = LogFields());
+
+}  // namespace savg

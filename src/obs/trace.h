@@ -1,0 +1,148 @@
+// Request-scoped hierarchical tracing for the serving stack.
+//
+// A TraceContext collects the timed spans of ONE request as it moves
+// through the serve path: admission-queue wait, coalesce defer, the
+// session apply, LP build/solve (with per-phase children bridged from
+// LpStats), per-shard solves, and the CSF re-round. Span offsets are
+// monotonic-clock nanoseconds relative to the trace start; attributes
+// split into deterministic integer `counters` (pivots, dirty users, ...)
+// and string `labels` (resolve path, command type, ...).
+//
+// Determinism contract: the span *structure* — names, nesting, order, and
+// counter attributes — is bit-stable across runs and worker counts for a
+// fixed command stream; only the timings vary. Two rules keep it that way:
+//   1. Spans of one trace are always recorded by a single thread (the
+//      serve path hands each request to one worker at a time).
+//   2. Parallel regions (the shard pool) never record spans from worker
+//      threads; they bridge their per-shard stats in afterwards, in shard
+//      index order (TraceScope::BridgeChild).
+//
+// Deep layers (SolveLp, ShardCoordinator) attach spans through the
+// thread-local CurrentTrace() set by the SessionManager around
+// Session::Apply, so the hot call signatures stay trace-free. TraceScope
+// is a no-op costing one thread-local read when no trace is active, which
+// is what makes always-on sampling affordable.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace savg {
+
+/// One timed region inside a trace. Spans form a tree via `parent` (index
+/// into Trace::spans, -1 = top level).
+struct TraceSpan {
+  std::string name;
+  int parent = -1;
+  int64_t start_nanos = 0;
+  int64_t duration_nanos = 0;
+  /// Bridged from aggregate stats (LpStats, ShardSolveStats) rather than
+  /// measured live: bridged children are laid end-to-end from the parent's
+  /// start, so they show the parent's time split, not true intervals.
+  bool bridged = false;
+  /// Deterministic integer attributes — part of the bit-stable structure.
+  std::vector<std::pair<std::string, int64_t>> counters;
+  /// Deterministic string attributes.
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// A finished (or in-flight) request trace.
+struct Trace {
+  uint64_t trace_id = 0;
+  uint64_t request_id = 0;
+  uint32_t session_id = 0;
+  /// Root label, normally the command type ("resolve", "set_preference").
+  std::string name;
+  /// "ok", "error", "shed", ... (stamped when the trace finishes).
+  std::string status = "ok";
+  /// The client set the trace flag in the frame header (vs 1-in-N sample).
+  bool forced = false;
+  /// Wall clock at trace start (export timeline placement only; all span
+  /// offsets are monotonic).
+  int64_t start_unix_micros = 0;
+  /// Total request nanoseconds, stamped by Tracer::Finish.
+  int64_t total_nanos = 0;
+  std::vector<TraceSpan> spans;
+};
+
+/// Mutable collection state for one request's trace. Not thread-safe; see
+/// the determinism contract in the file comment.
+class TraceContext {
+ public:
+  TraceContext(uint64_t trace_id, uint64_t request_id, uint32_t session_id,
+               std::string name);
+
+  /// Nanoseconds since the trace started (monotonic clock).
+  int64_t NowNanos() const;
+
+  /// Opens a span nested under the innermost open span; returns its index.
+  int StartSpan(const std::string& name);
+  /// Closes `span`, recording its duration (must be the innermost open).
+  void EndSpan(int span);
+  /// Records an already-timed span [start_nanos, start_nanos + duration).
+  int AddSpan(const std::string& name, int parent, int64_t start_nanos,
+              int64_t duration_nanos, bool bridged = false);
+
+  /// Attaches a deterministic attribute to `span` (-1 = innermost open;
+  /// dropped when no span is open).
+  void AddCounter(int span, const std::string& key, int64_t value);
+  void AddLabel(int span, const std::string& key, std::string value);
+
+  /// Innermost open span index, or -1 at top level.
+  int CurrentSpan() const { return stack_.empty() ? -1 : stack_.back(); }
+
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  Trace trace_;
+  std::vector<int> stack_;  ///< open span indices, outermost first
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// The trace the current thread is collecting into, or nullptr.
+TraceContext* CurrentTrace();
+
+/// RAII setter for CurrentTrace() (restores the previous value).
+class ScopedCurrentTrace {
+ public:
+  explicit ScopedCurrentTrace(TraceContext* trace);
+  ~ScopedCurrentTrace();
+  ScopedCurrentTrace(const ScopedCurrentTrace&) = delete;
+  ScopedCurrentTrace& operator=(const ScopedCurrentTrace&) = delete;
+
+ private:
+  TraceContext* prev_;
+};
+
+/// RAII span on CurrentTrace(); a no-op when no trace is active, so hot
+/// paths instrument unconditionally.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  void Counter(const char* key, int64_t value);
+  void Label(const char* key, std::string value);
+  /// Adds a stat-bridged child laid end-to-end after earlier bridged
+  /// children of this scope; returns the child's span index (-1 when not
+  /// tracing) so callers can attach counters to it. Call sites must
+  /// record a deterministic set of children (zero-duration phases
+  /// included) so the span structure stays bit-stable across runs.
+  int BridgeChild(const char* name, double seconds);
+
+  bool active() const { return trace_ != nullptr; }
+
+ private:
+  TraceContext* trace_ = nullptr;
+  int span_ = -1;
+  int64_t bridge_cursor_nanos_ = 0;
+};
+
+}  // namespace savg

@@ -1,0 +1,75 @@
+#include "obs/trace_sink.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace savg {
+
+TraceSink::TraceSink(TraceSinkOptions options)
+    : options_(std::move(options)) {
+  if (options_.max_files < 1) options_.max_files = 1;
+}
+
+Status TraceSink::EnsureOpenLocked() {
+  if (out_.is_open()) return Status::OK();
+  out_.open(options_.path, std::ios::app);
+  if (!out_) {
+    return Status::Unknown("cannot open slow-query log " + options_.path);
+  }
+  // Resume size accounting across reopen (append position = current size).
+  out_.seekp(0, std::ios::end);
+  const auto pos = out_.tellp();
+  bytes_ = pos > 0 ? static_cast<size_t>(pos) : 0;
+  return Status::OK();
+}
+
+void TraceSink::RotateLocked() {
+  out_.close();
+  // Shift generations oldest-first: path.(n-1) is dropped, path -> path.1.
+  const std::string oldest =
+      options_.path + "." + std::to_string(options_.max_files - 1);
+  std::remove(oldest.c_str());
+  for (int i = options_.max_files - 1; i >= 2; --i) {
+    const std::string from = options_.path + "." + std::to_string(i - 1);
+    const std::string to = options_.path + "." + std::to_string(i);
+    std::rename(from.c_str(), to.c_str());
+  }
+  if (options_.max_files > 1) {
+    const std::string first = options_.path + ".1";
+    std::rename(options_.path.c_str(), first.c_str());
+  } else {
+    std::remove(options_.path.c_str());
+  }
+  bytes_ = 0;
+  rotations_ += 1;
+}
+
+Status TraceSink::WriteLine(const std::string& line) {
+  if (!enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  Status open = EnsureOpenLocked();
+  if (!open.ok()) return open;
+  if (bytes_ > 0 && bytes_ + line.size() + 1 > options_.max_bytes) {
+    RotateLocked();
+    open = EnsureOpenLocked();
+    if (!open.ok()) return open;
+  }
+  out_ << line << "\n";
+  out_.flush();
+  if (!out_) return Status::Unknown("slow-query log write failed");
+  bytes_ += line.size() + 1;
+  lines_ += 1;
+  return Status::OK();
+}
+
+int64_t TraceSink::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+int64_t TraceSink::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+}  // namespace savg

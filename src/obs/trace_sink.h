@@ -1,0 +1,51 @@
+// Rotating line sink for the slow-query log.
+//
+// The Tracer writes one JSONL line per slow request (TraceJsonLine in
+// obs/tracer.h); this class owns the file handling: append with a
+// newline, and when the file would grow past `max_bytes`, rotate
+// path -> path.1 -> path.2 -> ... keeping `max_files` generations.
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace savg {
+
+struct TraceSinkOptions {
+  /// Target file; "" disables the sink (WriteLine becomes a no-op).
+  std::string path;
+  /// Rotate before an append would push the file past this size.
+  size_t max_bytes = 8 * 1024 * 1024;
+  /// Generations kept: path, path.1, ..., path.(max_files - 1).
+  int max_files = 3;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(TraceSinkOptions options);
+
+  /// Appends one line (newline added). Thread-safe.
+  Status WriteLine(const std::string& line);
+
+  bool enabled() const { return !options_.path.empty(); }
+  int64_t lines_written() const;
+  int64_t rotations() const;
+
+ private:
+  Status EnsureOpenLocked();
+  void RotateLocked();
+
+  TraceSinkOptions options_;
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  size_t bytes_ = 0;
+  int64_t lines_ = 0;
+  int64_t rotations_ = 0;
+};
+
+}  // namespace savg

@@ -4,6 +4,7 @@
 
 #include "core/csf.h"
 #include "core/objective.h"
+#include "obs/trace.h"
 #include "online/basis_projection.h"
 #include "util/logging.h"
 
@@ -237,6 +238,7 @@ double Session::KeptUtilityShare(const FractionalSolution& frac,
 
 Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
   Timer total_timer;
+  TraceContext* trace = CurrentTrace();
   const std::vector<UserId> dirty = CollectDirtyUsers();
   instance_.RefinalizePairs(dirty);
   SAVG_RETURN_NOT_OK(instance_.Validate());
@@ -245,10 +247,15 @@ Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
   const int m = instance_.num_items();
   const int k = instance_.num_slots();
 
+  const int64_t build_start = trace != nullptr ? trace->NowNanos() : 0;
   CompactLpMap map;
   auto lp = BuildCompactLp(instance_, &map);
   if (!lp.ok()) return lp.status();
   CompactLpKeys keys = BuildCompactLpKeys(instance_, map, *lp);
+  if (trace != nullptr) {
+    trace->AddSpan("lp.build", trace->CurrentSpan(), build_start,
+                   trace->NowNanos() - build_start);
+  }
 
   ResolveReport report;
   report.num_dirty_users = static_cast<int>(dirty.size());
@@ -284,6 +291,16 @@ Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
   report.lp_stats = sol->stats;
   report.eta_chain_length = sol->stats.eta_count;
   report.refactorizations = sol->stats.refactorizations;
+  if (trace != nullptr) {
+    // Deterministic solve attributes on the enclosing session.apply span
+    // (timings live on the child spans; these are bit-stable counters).
+    const int span = trace->CurrentSpan();
+    trace->AddCounter(span, "pivots", report.pivots);
+    trace->AddCounter(span, "phase1_pivots", report.phase1_pivots);
+    trace->AddCounter(span, "dirty_users", report.num_dirty_users);
+    trace->AddCounter(span, "eta_chain", report.eta_chain_length);
+    trace->AddLabel(span, "path", ResolvePathName(report.path));
+  }
 
   // Extract the compact fractional solution.
   frac_ = FractionalSolution();
@@ -310,43 +327,48 @@ Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
   // instead (the LP above still warm-started), bounding the drift stale
   // clean units accumulate over long mutation streams.
   Timer rounding_timer;
-  report.full_reround = PeriodicFullReround();
-  std::vector<char> is_dirty(n, 0);
-  for (UserId u : dirty) is_dirty[u] = 1;
-  bool keep_clean_units = !force_cold && !report.full_reround &&
-                          HasConfig() &&
-                          report.path != ResolvePath::kCold;
-  // Drift trigger: when the fresh LP no longer backs the clean users'
-  // stale units, a full re-round now beats waiting for the periodic one.
-  if (keep_clean_units && options_.reround_utility_threshold > 0.0) {
-    std::vector<char> keep(n, 1);
-    for (UserId u : dirty) keep[u] = 0;
-    report.kept_utility_share = KeptUtilityShare(frac_, keep);
-    if (report.kept_utility_share < options_.reround_utility_threshold) {
-      report.drift_reround = true;
-      report.full_reround = true;
-      keep_clean_units = false;
-    }
-  }
-  CsfState state(instance_, frac_, options_.rounding.size_cap);
-  int kept_units = 0;
-  if (keep_clean_units) {
-    for (UserId u = 0; u < std::min(n, config_.num_users()); ++u) {
-      if (is_dirty[u]) continue;
-      for (SlotId s = 0; s < k; ++s) {
-        const ItemId c = config_.At(u, s);
-        if (c == kNoItem || c >= m) continue;
-        if (state.AssignUnit(u, s, c).ok()) ++kept_units;
+  {
+    TraceScope round_span("csf.round");
+    report.full_reround = PeriodicFullReround();
+    std::vector<char> is_dirty(n, 0);
+    for (UserId u : dirty) is_dirty[u] = 1;
+    bool keep_clean_units = !force_cold && !report.full_reround &&
+                            HasConfig() &&
+                            report.path != ResolvePath::kCold;
+    // Drift trigger: when the fresh LP no longer backs the clean users'
+    // stale units, a full re-round now beats waiting for the periodic one.
+    if (keep_clean_units && options_.reround_utility_threshold > 0.0) {
+      std::vector<char> keep(n, 1);
+      for (UserId u : dirty) keep[u] = 0;
+      report.kept_utility_share = KeptUtilityShare(frac_, keep);
+      if (report.kept_utility_share < options_.reround_utility_threshold) {
+        report.drift_reround = true;
+        report.full_reround = true;
+        keep_clean_units = false;
       }
     }
-  }
-  report.rerounded_units = n * k - kept_units;
+    CsfState state(instance_, frac_, options_.rounding.size_cap);
+    int kept_units = 0;
+    if (keep_clean_units) {
+      for (UserId u = 0; u < std::min(n, config_.num_users()); ++u) {
+        if (is_dirty[u]) continue;
+        for (SlotId s = 0; s < k; ++s) {
+          const ItemId c = config_.At(u, s);
+          if (c == kNoItem || c >= m) continue;
+          if (state.AssignUnit(u, s, c).ok()) ++kept_units;
+        }
+      }
+    }
+    report.rerounded_units = n * k - kept_units;
 
-  AvgOptions rounding = options_.rounding;
-  rounding.seed = rng_.Next();
-  auto rounded = RunCsfSampling(&state, rounding);
-  if (!rounded.ok()) return rounded.status();
-  config_ = std::move(rounded->config);
+    AvgOptions rounding = options_.rounding;
+    rounding.seed = rng_.Next();
+    auto rounded = RunCsfSampling(&state, rounding);
+    if (!rounded.ok()) return rounded.status();
+    config_ = std::move(rounded->config);
+    round_span.Counter("rerounded_units", report.rerounded_units);
+    round_span.Counter("full_reround", report.full_reround ? 1 : 0);
+  }
   report.rounding_seconds = rounding_timer.ElapsedSeconds();
   report.scaled_total = Evaluate(instance_, config_).ScaledTotal();
 
@@ -397,6 +419,15 @@ Result<ResolveReport> Session::ResolveSharded(bool force_cold) {
   report.pivots = static_cast<int>(stats.lp_pivots);
   report.lp_objective = stats.primal_objective;
   report.lp_seconds = stats.lp_seconds;
+  if (TraceContext* trace = CurrentTrace()) {
+    const int span = trace->CurrentSpan();
+    trace->AddCounter(span, "pivots", report.pivots);
+    trace->AddCounter(span, "dirty_users", report.num_dirty_users);
+    trace->AddCounter(span, "shards", report.num_shards);
+    trace->AddCounter(span, "dirty_shards", report.num_dirty_shards);
+    trace->AddCounter(span, "dual_rounds", report.dual_rounds);
+    trace->AddLabel(span, "path", ResolvePathName(report.path));
+  }
 
   // Drift trigger (same policy as the monolithic path): clean shards'
   // users keep their units only while the fresh stitched relaxation still

@@ -51,7 +51,8 @@ Result<SessionStats> SessionManager::GetStats(int session_id) const {
 }
 
 Status SessionManager::Submit(int session_id, const SessionCommand& command,
-                              ApplyCallback done) {
+                              ApplyCallback done,
+                              std::shared_ptr<TraceContext> trace) {
   Entry* entry = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -60,10 +61,14 @@ Status SessionManager::Submit(int session_id, const SessionCommand& command,
     }
     entry = entries_[session_id].get();
   }
+  Pending pending{command, std::move(done), std::move(trace), 0};
+  if (pending.trace != nullptr) {
+    pending.enqueue_nanos = pending.trace->NowNanos();
+  }
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(entry->mu);
-    entry->queue.push_back({command, std::move(done)});
+    entry->queue.push_back(std::move(pending));
     if (!entry->running) {
       entry->running = true;
       schedule = true;
@@ -74,16 +79,35 @@ Status SessionManager::Submit(int session_id, const SessionCommand& command,
 }
 
 void SessionManager::RunResolve(Entry* entry,
-                                std::vector<ApplyCallback>* waiters) {
+                                std::vector<ResolveWaiter>* waiters) {
+  // Close the defer window on every trace that waited; the session/LP
+  // spans of the shared solve land on the first waiter's trace (the
+  // request that actually runs it).
+  for (ResolveWaiter& waiter : *waiters) {
+    if (waiter.trace == nullptr || !waiter.deferred) continue;
+    waiter.trace->AddSpan(
+        "coalesce.defer", -1, waiter.defer_start_nanos,
+        waiter.trace->NowNanos() - waiter.defer_start_nanos);
+  }
   // One Resolve() answers every deferred resolve request: each waiter
   // receives the same outcome, with `coalesced` recording how many
   // requests shared the solve beyond the first.
-  auto outcome = entry->session->Apply(MakeResolve());
-  const Status status = outcome.status();
+  Status status = Status::OK();
   CommandOutcome result;
-  if (outcome.ok()) {
-    result = std::move(outcome).value();
-    result.coalesced = static_cast<int>(waiters->size()) - 1;
+  {
+    TraceContext* primary =
+        waiters->empty() ? nullptr : waiters->front().trace.get();
+    ScopedCurrentTrace current(primary);
+    TraceScope apply_span("session.apply");
+    apply_span.Label("command", "resolve");
+    apply_span.Counter("coalesced",
+                       static_cast<int64_t>(waiters->size()) - 1);
+    auto outcome = entry->session->Apply(MakeResolve());
+    status = outcome.status();
+    if (outcome.ok()) {
+      result = std::move(outcome).value();
+      result.coalesced = static_cast<int>(waiters->size()) - 1;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(entry->mu);
@@ -99,9 +123,9 @@ void SessionManager::RunResolve(Entry* entry,
     }
   }
   for (size_t i = 0; i < waiters->size(); ++i) {
-    if (!(*waiters)[i]) continue;
+    if (!(*waiters)[i].done) continue;
     result.coalesced_away = i > 0;
-    (*waiters)[i](status, result);
+    (*waiters)[i].done(status, result);
   }
   waiters->clear();
 }
@@ -109,7 +133,7 @@ void SessionManager::RunResolve(Entry* entry,
 void SessionManager::DrainEntry(Entry* entry) {
   // Resolve requests deferred behind still-pending commands (coalescing);
   // flushed before the drain task gives the session up.
-  std::vector<ApplyCallback> pending_resolves;
+  std::vector<ResolveWaiter> pending_resolves;
   for (;;) {
     Pending item;
     bool more_pending = false;
@@ -133,22 +157,42 @@ void SessionManager::DrainEntry(Entry* entry) {
       RunResolve(entry, &pending_resolves);
       continue;
     }
+    // Queue wait: Submit() -> this worker picking the command up.
+    if (item.trace != nullptr) {
+      item.trace->AddSpan("admission.wait", -1, item.enqueue_nanos,
+                          item.trace->NowNanos() - item.enqueue_nanos);
+    }
     if (item.command.type == CommandType::kResolve) {
-      pending_resolves.push_back(std::move(item.done));
+      ResolveWaiter waiter{std::move(item.done), std::move(item.trace), 0,
+                           false};
+      if (waiter.trace != nullptr) {
+        waiter.defer_start_nanos = waiter.trace->NowNanos();
+      }
+      pending_resolves.push_back(std::move(waiter));
       bool defer = false;
       if (options_.coalesce_resolves) {
         std::lock_guard<std::mutex> lock(entry->mu);
         defer = !entry->queue.empty();
       }
-      if (!defer) RunResolve(entry, &pending_resolves);
+      if (defer) {
+        pending_resolves.back().deferred = true;
+      } else {
+        RunResolve(entry, &pending_resolves);
+      }
       continue;
     }
     // Apply outside the lock: one drain task owns the session at a time,
     // so the session itself needs no synchronization.
-    auto outcome = entry->session->Apply(item.command);
-    const Status status = outcome.status();
+    Status status = Status::OK();
     CommandOutcome result;
-    if (outcome.ok()) result = std::move(outcome).value();
+    {
+      ScopedCurrentTrace current(item.trace.get());
+      TraceScope apply_span("session.apply");
+      apply_span.Label("command", CommandTypeName(item.command.type));
+      auto outcome = entry->session->Apply(item.command);
+      status = outcome.status();
+      if (outcome.ok()) result = std::move(outcome).value();
+    }
     {
       std::lock_guard<std::mutex> lock(entry->mu);
       entry->stats.commands_applied += 1;

@@ -35,6 +35,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace.h"
 #include "online/event_log.h"
 #include "online/session.h"
 #include "util/status.h"
@@ -101,9 +102,15 @@ class SessionManager {
   /// Enqueues one command for `session_id`. Never blocks. Application
   /// errors are recorded (see FirstError) without stopping the stream;
   /// `done`, when given, is invoked on the worker thread once the command
-  /// (or the resolve that coalesced it) completes.
+  /// (or the resolve that coalesced it) completes. `trace`, when given,
+  /// collects the request's spans: queue wait ("admission.wait"),
+  /// coalesce defer, and — via the thread-local CurrentTrace() set around
+  /// Session::Apply — the session/LP/rounding spans underneath
+  /// "session.apply". A coalesced-away resolve keeps its own trace (defer
+  /// span only); the solve's spans land on the request that ran it.
   Status Submit(int session_id, const SessionCommand& command,
-                ApplyCallback done = nullptr);
+                ApplyCallback done = nullptr,
+                std::shared_ptr<TraceContext> trace = nullptr);
 
   /// Blocks until every submitted command has been applied.
   void Drain();
@@ -119,6 +126,19 @@ class SessionManager {
   struct Pending {
     SessionCommand command;
     ApplyCallback done;
+    std::shared_ptr<TraceContext> trace;
+    /// Trace offset at Submit (start of the "admission.wait" span).
+    int64_t enqueue_nanos = 0;
+  };
+
+  /// One resolve request awaiting RunResolve (deferred by coalescing, or
+  /// about to run immediately).
+  struct ResolveWaiter {
+    ApplyCallback done;
+    std::shared_ptr<TraceContext> trace;
+    /// Trace offset when the request was popped (start of the defer span).
+    int64_t defer_start_nanos = 0;
+    bool deferred = false;
   };
 
   struct Entry {
@@ -133,7 +153,7 @@ class SessionManager {
   void DrainEntry(Entry* entry);
   /// Runs one Resolve() answering `waiters` deferred resolve requests
   /// plus stats/report bookkeeping. Called with no locks held.
-  void RunResolve(Entry* entry, std::vector<ApplyCallback>* waiters);
+  void RunResolve(Entry* entry, std::vector<ResolveWaiter>* waiters);
 
   SessionManagerOptions options_;
   mutable std::mutex mu_;  ///< guards entries_ growth

@@ -21,7 +21,8 @@ AdmissionQueue::AdmissionQueue(SessionManager* manager,
       mutation_latency_(metrics->GetHistogram("serve.latency.mutation")) {}
 
 Status AdmissionQueue::Submit(int session_id, const SessionCommand& command,
-                              ApplyCallback done) {
+                              ApplyCallback done,
+                              std::shared_ptr<TraceContext> trace) {
   // Reserve the slot first (increment-then-check keeps the bound exact
   // under concurrent submitters: whoever lands past the limit backs out).
   depth_gauge_->Increment();
@@ -55,8 +56,8 @@ Status AdmissionQueue::Submit(int session_id, const SessionCommand& command,
     // the response frame) finishes — in-flight means admit-to-answered.
     depth_gauge_->Decrement();
   };
-  Status submitted =
-      manager_->Submit(session_id, command, std::move(wrapped));
+  Status submitted = manager_->Submit(session_id, command,
+                                      std::move(wrapped), std::move(trace));
   if (!submitted.ok()) {
     // Rejected before entering any queue: give the slot back.
     depth_gauge_->Decrement();

@@ -45,9 +45,11 @@ class AdmissionQueue {
   /// was full and `done` will never be called; any other non-OK status is
   /// a submission error (unknown session). On success `done` (optional)
   /// fires on a worker thread after the command — or the resolve that
-  /// coalesced it — completes.
+  /// coalesced it — completes. `trace`, when given, is handed through to
+  /// the SessionManager, which records the request's spans into it.
   Status Submit(int session_id, const SessionCommand& command,
-                ApplyCallback done = nullptr);
+                ApplyCallback done = nullptr,
+                std::shared_ptr<TraceContext> trace = nullptr);
 
   /// Commands currently holding a queue slot.
   int64_t depth() const { return depth_gauge_->value(); }

@@ -67,20 +67,23 @@ void ServeClient::Close() {
 }
 
 Result<uint64_t> ServeClient::SendFrame(FrameKind kind, uint32_t session_id,
-                                        const std::string& payload) {
+                                        const std::string& payload,
+                                        uint8_t flags) {
   if (fd_ < 0) return Status::InvalidArgument("not connected");
   const uint64_t id = next_request_id_++;
   std::string frame;
-  AppendFrame(kind, id, session_id, payload, &frame);
+  AppendFrame(kind, id, session_id, payload, &frame, flags);
   SAVG_RETURN_NOT_OK(SendAll(fd_, frame.data(), frame.size()));
   return id;
 }
 
 Result<uint64_t> ServeClient::SendApply(uint32_t session_id,
-                                        const SessionCommand& command) {
+                                        const SessionCommand& command,
+                                        bool trace) {
   std::string payload;
   EncodeCommand(command, &payload);
-  return SendFrame(FrameKind::kApply, session_id, payload);
+  return SendFrame(FrameKind::kApply, session_id, payload,
+                   trace ? kFrameFlagTrace : 0);
 }
 
 Result<uint64_t> ServeClient::SendStatus() {
@@ -134,9 +137,64 @@ Result<ServeResponse> ServeClient::ReadResponse() {
 }
 
 Result<ServeResponse> ServeClient::Apply(uint32_t session_id,
-                                         const SessionCommand& command) {
-  SAVG_RETURN_NOT_OK(SendApply(session_id, command).status());
+                                         const SessionCommand& command,
+                                         bool trace) {
+  SAVG_RETURN_NOT_OK(SendApply(session_id, command, trace).status());
   return ReadResponse();
+}
+
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unknown(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Unknown("connect to " + host + ":" +
+                           std::to_string(port) + " failed: " + err);
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  Status sent = SendAll(fd, request.data(), request.size());
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Unknown("recv failed: " + err);
+    }
+    if (n == 0) break;  // server closes after one response (HTTP/1.0)
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Unknown("malformed HTTP response");
+  }
+  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+      response.rfind("HTTP/1.1 200", 0) != 0) {
+    return Status::Unknown("HTTP error: " +
+                           response.substr(0, response.find("\r\n")));
+  }
+  return response.substr(header_end + 4);
 }
 
 Result<std::string> ServeClient::FetchStatus() {

@@ -45,8 +45,11 @@ class ServeClient {
   bool connected() const { return fd_ >= 0; }
 
   /// Each Send* writes one request frame and returns its request id.
+  /// `trace` sets kFrameFlagTrace: the server then traces this request
+  /// regardless of its sampling rate (GET /trace, slow-query log).
   Result<uint64_t> SendApply(uint32_t session_id,
-                             const SessionCommand& command);
+                             const SessionCommand& command,
+                             bool trace = false);
   Result<uint64_t> SendStatus();
   Result<uint64_t> SendPing();
   Result<uint64_t> SendShutdown();
@@ -56,18 +59,25 @@ class ServeClient {
 
   /// Send + receive one apply (no pipelining).
   Result<ServeResponse> Apply(uint32_t session_id,
-                              const SessionCommand& command);
+                              const SessionCommand& command,
+                              bool trace = false);
 
   /// Fetches the server's status JSON (send + receive).
   Result<std::string> FetchStatus();
 
  private:
   Result<uint64_t> SendFrame(FrameKind kind, uint32_t session_id,
-                             const std::string& payload);
+                             const std::string& payload, uint8_t flags = 0);
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   FrameReader reader_;
 };
+
+/// One-shot HTTP/1.0 GET against the server's HTTP front-end (the same
+/// port as the binary protocol); returns the response body. Used by
+/// `svgic_cli trace` and the CI trace-export step.
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& path);
 
 }  // namespace savg

@@ -7,10 +7,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <utility>
 
+#include "obs/structured_log.h"
 #include "util/logging.h"
 
 namespace savg {
@@ -56,7 +58,8 @@ ServeServer::ServeServer(ServerOptions options)
     : options_(options),
       manager_(SessionManagerOptions{options.num_workers,
                                      options.coalesce_resolves}),
-      admission_(&manager_, &metrics_, options.admission) {}
+      admission_(&manager_, &metrics_, options.admission),
+      tracer_(&metrics_, options.trace) {}
 
 ServeServer::~ServeServer() { Shutdown(); }
 
@@ -99,6 +102,11 @@ Status ServeServer::Start() {
   }
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  LogEvent(LogLevel::kInfo, "serve.listen",
+           LogFields()
+               .Add("port", port_)
+               .Add("trace_sample", options_.trace.sample_every)
+               .Add("slow_ms", options_.trace.slow_seconds * 1000.0));
   return Status::OK();
 }
 
@@ -159,10 +167,19 @@ void ServeServer::HandleFrame(const std::shared_ptr<Connection>& conn,
                   body);
         return;
       }
+      // Trace if the client set the wire flag, or the sampler picked
+      // this request; unsampled requests still get slow-log coverage via
+      // FinishUntraced.
+      const char* command_name = CommandTypeName(command->type);
+      std::shared_ptr<TraceContext> trace =
+          tracer_.Sample((header.flags & kFrameFlagTrace) != 0, request_id,
+                         session_id, command_name);
+      Timer request_timer;
       Status admitted = admission_.Submit(
           static_cast<int>(session_id), *command,
-          [this, conn, request_id, session_id](
-              const Status& status, const CommandOutcome& outcome) {
+          [this, conn, request_id, session_id, trace, request_timer,
+           command_name](const Status& status,
+                         const CommandOutcome& outcome) {
             ApplyResult result;
             result.code = status.code();
             result.message = status.message();
@@ -177,21 +194,46 @@ void ServeServer::HandleFrame(const std::shared_ptr<Connection>& conn,
             }
             std::string body;
             EncodeApplyResult(result, &body);
+            // Finish the trace BEFORE answering: once the client has the
+            // response, the trace is visible at /trace and in the slow
+            // log (the CI export step relies on this ordering).
+            const char* verdict = status.ok() ? "ok" : "error";
+            if (trace != nullptr) {
+              tracer_.Finish(trace, verdict);
+            } else {
+              tracer_.FinishUntraced(request_id, session_id, command_name,
+                                     request_timer.ElapsedSeconds(),
+                                     verdict);
+            }
             SendFrame(conn,
                       status.ok() ? FrameKind::kOk : FrameKind::kError,
                       request_id, session_id, body);
-          });
+          },
+          trace);
       if (!admitted.ok()) {
         ApplyResult rejected;
         rejected.code = admitted.code();
         rejected.message = admitted.message();
         std::string body;
         EncodeApplyResult(rejected, &body);
-        const FrameKind kind =
-            admitted.code() == StatusCode::kResourceExhausted
-                ? FrameKind::kOverloaded
-                : FrameKind::kError;
-        SendFrame(conn, kind, request_id, session_id, body);
+        const bool overloaded =
+            admitted.code() == StatusCode::kResourceExhausted;
+        SendFrame(conn,
+                  overloaded ? FrameKind::kOverloaded : FrameKind::kError,
+                  request_id, session_id, body);
+        if (overloaded) {
+          LogEvent(LogLevel::kInfo, "serve.shed",
+                   LogFields()
+                       .Add("trace_id",
+                            trace != nullptr ? trace->trace().trace_id
+                                             : uint64_t{0})
+                       .Add("request_id", request_id)
+                       .Add("session", uint64_t{session_id})
+                       .Add("command", command_name));
+        }
+        if (trace != nullptr) {
+          tracer_.Finish(trace, overloaded ? "shed" : "error");
+        }
       }
       return;
     }
@@ -251,6 +293,8 @@ void ServeServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
           auto next = reader.Next(&header, &payload);
           if (!next.ok()) {
             // Framing lost: answer once, then drop the connection.
+            LogEvent(LogLevel::kInfo, "serve.bad_request",
+                     LogFields().Add("reason", next.status().message()));
             ApplyResult bad;
             bad.code = StatusCode::kInvalidArgument;
             bad.message = next.status().message();
@@ -297,22 +341,51 @@ void ServeServer::ServeHttp(const std::shared_ptr<Connection>& conn,
   std::istringstream request(buffered);
   std::string method, path;
   request >> method >> path;
+  std::string query;
+  const size_t question = path.find('?');
+  if (question != std::string::npos) {
+    query = path.substr(question + 1);
+    path.resize(question);
+  }
   std::string body;
   std::string status_line = "HTTP/1.0 200 OK";
+  std::string content_type = "application/json";
   if (method != "GET") {
     status_line = "HTTP/1.0 405 Method Not Allowed";
     body = "{\"error\": \"only GET is served here\"}";
   } else if (path == "/metrics") {
     body = metrics_.JsonDump();
+  } else if (path == "/trace") {
+    // GET /trace?last=N[&format=text]: the N most recent finished traces,
+    // as Chrome trace-event JSON (Perfetto-loadable) or an indented tree.
+    size_t last = 32;
+    bool text = false;
+    std::istringstream params(query);
+    std::string param;
+    while (std::getline(params, param, '&')) {
+      if (param.rfind("last=", 0) == 0) {
+        const long parsed = std::atol(param.c_str() + 5);
+        if (parsed > 0) last = static_cast<size_t>(parsed);
+      } else if (param == "format=text") {
+        text = true;
+      }
+    }
+    const std::vector<Trace> traces = tracer_.LastTraces(last);
+    if (text) {
+      content_type = "text/plain";
+      body = TraceTextTree(traces);
+    } else {
+      body = ChromeTraceJson(traces);
+    }
   } else if (path == "/status" || path == "/" || path == "/sessions") {
     body = StatusJson();
   } else {
     status_line = "HTTP/1.0 404 Not Found";
-    body = "{\"error\": \"try /status or /metrics\"}";
+    body = "{\"error\": \"try /status, /metrics or /trace\"}";
   }
   std::ostringstream response;
   response << status_line << "\r\n"
-           << "Content-Type: application/json\r\n"
+           << "Content-Type: " << content_type << "\r\n"
            << "Content-Length: " << body.size() << "\r\n"
            << "Connection: close\r\n\r\n"
            << body;
@@ -361,6 +434,10 @@ std::string ServeServer::StatusJson() {
 
 void ServeServer::RequestShutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (!shutdown_requested_) {
+    LogEvent(LogLevel::kInfo, "serve.shutdown",
+             LogFields().Add("port", port_));
+  }
   shutdown_requested_ = true;
   shutdown_cv_.notify_all();
 }

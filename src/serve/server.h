@@ -15,9 +15,16 @@
 //
 // A minimal HTTP/JSON front-end rides on the same dispatch: a connection
 // whose first bytes are not the frame magic is treated as HTTP/1.0 and
-// can GET /status (sessions + admission stats + metrics JSON) or
-// /metrics (MetricsRegistry dump) — handy for curl / dashboards while
-// the binary protocol carries the traffic.
+// can GET /status (sessions + admission stats + metrics JSON), /metrics
+// (MetricsRegistry dump), or /trace?last=N (recent request traces as
+// Chrome trace-event JSON; &format=text renders a span tree) — handy for
+// curl / dashboards while the binary protocol carries the traffic.
+//
+// Observability: every apply request can carry the kFrameFlagTrace wire
+// flag (or land in the Tracer's 1-in-N sample) and then collects a
+// hierarchical trace — admission wait, coalesce defer, session apply, LP
+// phases, rounding — exported via /trace, the slow-query JSONL log, and
+// serve.stage.* histograms (see src/obs/).
 //
 // Lifecycle: CreateSession() (before or after Start()), Start(),
 // WaitForShutdown() (returns once a kShutdown frame arrives or
@@ -35,6 +42,7 @@
 #include <vector>
 
 #include "metrics/registry.h"
+#include "obs/tracer.h"
 #include "online/session_manager.h"
 #include "serve/admission.h"
 #include "serve/wire.h"
@@ -50,6 +58,8 @@ struct ServerOptions {
   /// default; see SessionManagerOptions::coalesce_resolves).
   bool coalesce_resolves = true;
   AdmissionOptions admission;
+  /// Request tracing: sampling, slow-query log, /trace ring buffer.
+  TracerOptions trace;
 };
 
 class ServeServer {
@@ -77,6 +87,7 @@ class ServeServer {
   SessionManager& manager() { return manager_; }
   MetricsRegistry& metrics() { return metrics_; }
   AdmissionQueue& admission() { return admission_; }
+  Tracer& tracer() { return tracer_; }
 
   /// The status command's JSON: per-session stats + admission counters +
   /// a full metrics snapshot.
@@ -108,6 +119,7 @@ class ServeServer {
   MetricsRegistry metrics_;
   SessionManager manager_;
   AdmissionQueue admission_;
+  Tracer tracer_;
 
   int listen_fd_ = -1;
   int port_ = 0;

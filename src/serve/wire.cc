@@ -10,12 +10,6 @@ void AppendU8(uint8_t x, std::string* out) {
   out->push_back(static_cast<char>(x));
 }
 
-void AppendU16(uint16_t x, std::string* out) {
-  for (int i = 0; i < 2; ++i) {
-    out->push_back(static_cast<char>((x >> (8 * i)) & 0xff));
-  }
-}
-
 void AppendU32(uint32_t x, std::string* out) {
   for (int i = 0; i < 4; ++i) {
     out->push_back(static_cast<char>((x >> (8 * i)) & 0xff));
@@ -32,15 +26,6 @@ void AppendDouble(double x, std::string* out) {
   uint64_t bits = 0;
   std::memcpy(&bits, &x, sizeof(bits));
   AppendU64(bits, out);
-}
-
-uint16_t ReadU16(const char* p) {
-  uint16_t x = 0;
-  for (int i = 0; i < 2; ++i) {
-    x = static_cast<uint16_t>(
-        x | static_cast<uint16_t>(static_cast<uint8_t>(p[i])) << (8 * i));
-  }
-  return x;
 }
 
 uint32_t ReadU32(const char* p) {
@@ -106,11 +91,13 @@ const char* FrameKindName(FrameKind kind) {
 }
 
 void AppendFrame(FrameKind kind, uint64_t request_id, uint32_t session_id,
-                 const std::string& payload, std::string* out) {
+                 const std::string& payload, std::string* out,
+                 uint8_t flags) {
   out->append(kFrameMagic, sizeof(kFrameMagic));
   AppendU8(kWireVersion, out);
   AppendU8(static_cast<uint8_t>(kind), out);
-  AppendU16(0, out);  // reserved
+  AppendU8(flags, out);
+  AppendU8(0, out);  // reserved
   AppendU64(request_id, out);
   AppendU32(session_id, out);
   AppendU32(static_cast<uint32_t>(payload.size()), out);
@@ -138,7 +125,11 @@ Result<FrameHeader> ParseFrameHeader(const char* data, size_t size) {
                                    std::to_string(kind));
   }
   header.kind = static_cast<FrameKind>(kind);
-  if (ReadU16(data + 6) != 0) {
+  header.flags = static_cast<uint8_t>(data[6]);
+  if ((header.flags & ~kKnownFrameFlags) != 0) {
+    return Status::InvalidArgument("unknown frame flag bits");
+  }
+  if (data[7] != 0) {
     return Status::InvalidArgument("nonzero reserved frame bytes");
   }
   header.request_id = ReadU64(data + 8);

@@ -6,11 +6,18 @@
 //   0      4     magic "SVGF"
 //   4      1     protocol version (1)
 //   5      1     kind (FrameKind)
-//   6      2     reserved (must be 0)
+//   6      1     flags (kFrameFlag*; unknown bits rejected)
+//   7      1     reserved (must be 0)
 //   8      8     request id (u64, echoed verbatim in the response)
 //   16     4     session id (u32; kApply requests only, else 0)
 //   20     4     payload length (u32, <= kMaxPayloadBytes)
 //   24     ...   payload
+//
+// Byte 6 was a reserved must-be-zero byte through protocol version 1's
+// first deployment; it now carries per-request flags. Old clients send 0
+// (no flags) and old servers reject any nonzero bit, so the repurposing
+// is compatible in both directions. kFrameFlagTrace asks the server to
+// force-collect a request trace (src/obs/) regardless of its sample rate.
 //
 // all little-endian. Request payloads: kApply carries exactly one encoded
 // SessionCommand (serve/session_command.h — the same canonical bytes the
@@ -58,9 +65,14 @@ enum class FrameKind : uint8_t {
 
 const char* FrameKindName(FrameKind kind);
 
+/// Frame flag bits (header byte 6).
+constexpr uint8_t kFrameFlagTrace = 0x01;  ///< force-trace this request
+constexpr uint8_t kKnownFrameFlags = kFrameFlagTrace;
+
 struct FrameHeader {
   uint8_t version = kWireVersion;
   FrameKind kind = FrameKind::kPing;
+  uint8_t flags = 0;
   uint64_t request_id = 0;
   uint32_t session_id = 0;
   uint32_t payload_size = 0;
@@ -68,11 +80,12 @@ struct FrameHeader {
 
 /// Appends one complete frame (header + payload) to `out`.
 void AppendFrame(FrameKind kind, uint64_t request_id, uint32_t session_id,
-                 const std::string& payload, std::string* out);
+                 const std::string& payload, std::string* out,
+                 uint8_t flags = 0);
 
 /// Parses a header from exactly kFrameHeaderBytes bytes. Rejects bad
-/// magic, unknown version, nonzero reserved bytes, and oversized payload
-/// lengths.
+/// magic, unknown version, unknown flag bits, a nonzero reserved byte,
+/// and oversized payload lengths.
 Result<FrameHeader> ParseFrameHeader(const char* data, size_t size);
 
 /// Incremental frame extractor (see file comment).

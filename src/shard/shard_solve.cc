@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/objective.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace savg {
@@ -326,8 +327,11 @@ Status ShardCoordinator::SolveFractional(ThreadPool* pool,
   if (!built_) {
     return Status::InvalidArgument("ShardCoordinator::Build not called");
   }
+  TraceScope solve_span("shard.solve");
   Timer lp_timer;
   std::vector<int> dirty = DirtyShards();
+  std::vector<int64_t> pivots_by_shard(plan_.num_shards(), 0);
+  std::vector<int> solves_by_shard(plan_.num_shards(), 0);
   stats->num_shards = plan_.num_shards();
   stats->dirty_shards = static_cast<int>(dirty.size());
   stats->cut_pairs = plan_.stats.cut_pairs;
@@ -396,6 +400,8 @@ Status ShardCoordinator::SolveFractional(ThreadPool* pool,
       if (!slots[i].ok()) return slots[i].status();
       Shard& s = *shards_[i];
       stats->lp_pivots += slots[i]->simplex_iterations;
+      pivots_by_shard[i] += slots[i]->simplex_iterations;
+      solves_by_shard[i] += 1;
       s.frac = std::move(slots[i]).value();
       s.lp_objective = s.frac.lp_objective;
       s.intra_value = IntraObjective(*instance_, s.globals, s.sub, s.frac.x);
@@ -502,6 +508,34 @@ Status ShardCoordinator::SolveFractional(ThreadPool* pool,
   frac_.BuildSupporters(options_.relaxation.prune_tolerance);
   for (auto& shard : shards_) shard->dirty = false;
   stats->lp_seconds += lp_timer.ElapsedSeconds();
+  // Per-shard detail in shard index order: recorded here, after the
+  // parallel region, so traces are identical for any worker count.
+  stats->shard_details.clear();
+  for (int i = 0; i < plan_.num_shards(); ++i) {
+    if (solves_by_shard[i] == 0) continue;
+    stats->shard_details.push_back({i, solves_by_shard[i],
+                                    pivots_by_shard[i]});
+  }
+  if (solve_span.active()) {
+    solve_span.Counter("dirty_shards", stats->dirty_shards);
+    solve_span.Counter("dual_rounds", stats->dual_rounds);
+    solve_span.Counter("widened_shards", stats->widened_shards);
+    solve_span.Counter("pivots", stats->lp_pivots);
+    // Bridged children show each shard's share of the (parallel) solve
+    // wall, apportioned by pivots — a time split, not true intervals.
+    const double total_pivots =
+        std::max<double>(1.0, static_cast<double>(stats->lp_pivots));
+    TraceContext* trace = CurrentTrace();
+    for (const ShardSolveStats::ShardDetail& detail :
+         stats->shard_details) {
+      const int child = solve_span.BridgeChild(
+          "shard", stats->lp_seconds *
+                       static_cast<double>(detail.pivots) / total_pivots);
+      trace->AddCounter(child, "shard", detail.shard);
+      trace->AddCounter(child, "solves", detail.solves);
+      trace->AddCounter(child, "pivots", detail.pivots);
+    }
+  }
   return Status::OK();
 }
 
@@ -512,6 +546,7 @@ Result<Configuration> ShardCoordinator::Round(
   if (!built_) {
     return Status::InvalidArgument("ShardCoordinator::Build not called");
   }
+  TraceScope round_span("csf.round");
   Timer timer;
   const int n = instance_->num_users();
   const int m = instance_->num_items();
@@ -541,6 +576,8 @@ Result<Configuration> ShardCoordinator::Round(
     stats->csf_iterations += rounded->csf_iterations;
     stats->rounding_seconds += timer.ElapsedSeconds();
     if (rerounded_units != nullptr) *rerounded_units = n * k;
+    round_span.Label("mode", "global");
+    round_span.Counter("rerounded_units", n * k);
     return std::move(rounded->config);
   }
 
@@ -620,6 +657,8 @@ Result<Configuration> ShardCoordinator::Round(
   if (!rounded.ok()) return rounded.status();
   stats->csf_iterations += rounded->csf_iterations;
   stats->rounding_seconds += timer.ElapsedSeconds();
+  round_span.Label("mode", "phased");
+  round_span.Counter("rerounded_units", n * k - kept_units);
   return std::move(rounded->config);
 }
 

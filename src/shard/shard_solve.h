@@ -147,6 +147,17 @@ struct ShardSolveStats {
   int widened_shards = 0;
   /// Simplex pivots across all shard re-solves of this call.
   int64_t lp_pivots = 0;
+  /// Per-shard solve detail of this call, in shard index order (only
+  /// shards that re-solved appear). `pivots`/`solves` accumulate across
+  /// the dual rounds. Deterministic for a fixed command stream — the
+  /// trace layer (src/obs/) bridges per-shard spans from it after the
+  /// parallel region, never from worker threads.
+  struct ShardDetail {
+    int shard = 0;
+    int solves = 0;
+    int64_t pivots = 0;
+  };
+  std::vector<ShardDetail> shard_details;
   /// Accepted CSF applications across per-shard and boundary rounding.
   int64_t csf_iterations = 0;
   int cut_pairs = 0;

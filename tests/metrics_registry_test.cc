@@ -84,6 +84,24 @@ TEST(MetricsRegistryTest, HistogramClampsOutOfRangeObservations) {
   EXPECT_LE(p99, 2.0 * Histogram::kMax);
 }
 
+// Regression: sub-microsecond observations used to land in the first
+// geometric bucket [kMin, ~1.07 kMin) — indistinguishable from real
+// 100 ns samples, they dragged quantiles of all-fast histograms up to
+// kMin's bucket upper bound. They now go to a dedicated underflow bucket
+// whose upper bound is kMin itself.
+TEST(MetricsRegistryTest, HistogramUnderflowBucketKeepsFastQuantilesLow) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("latency");
+  for (int i = 0; i < 1000; ++i) histogram->Observe(1e-9);  // ~1 ns
+  EXPECT_EQ(histogram->count(), 1000);
+  EXPECT_LE(histogram->Quantile(0.5), Histogram::kMin);
+  EXPECT_LE(histogram->Quantile(0.99), Histogram::kMin);
+  // A mixed stream still ranks underflow below genuine samples.
+  for (int i = 0; i < 3000; ++i) histogram->Observe(1e-3);
+  EXPECT_NEAR(histogram->Quantile(0.9), 1e-3, 0.15 * 1e-3);
+  EXPECT_LE(histogram->Quantile(0.1), Histogram::kMin);
+}
+
 TEST(MetricsRegistryTest, SnapshotExpandsHistograms) {
   MetricsRegistry registry;
   registry.GetCounter("serve.admitted")->Increment(5);

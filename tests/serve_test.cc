@@ -106,9 +106,21 @@ TEST(WireTest, HeaderRejectsMalformedFields) {
     bad[5] = 77;
     EXPECT_FALSE(ParseFrameHeader(bad.data(), bad.size()).ok());
   }
-  {  // Nonzero reserved bytes.
+  {  // Byte 6 is the flags byte now: the trace flag parses...
+    std::string flagged = frame;
+    flagged[6] = static_cast<char>(kFrameFlagTrace);
+    auto header = ParseFrameHeader(flagged.data(), flagged.size());
+    ASSERT_TRUE(header.ok()) << header.status();
+    EXPECT_EQ(header->flags, kFrameFlagTrace);
+  }
+  {  // ...but unknown flag bits are still rejected (forward compat).
     std::string bad = frame;
-    bad[6] = 1;
+    bad[6] = 0x02;
+    EXPECT_FALSE(ParseFrameHeader(bad.data(), bad.size()).ok());
+  }
+  {  // Nonzero reserved byte.
+    std::string bad = frame;
+    bad[7] = 1;
     EXPECT_FALSE(ParseFrameHeader(bad.data(), bad.size()).ok());
   }
   {  // Oversized payload length (4 GB).
@@ -646,6 +658,183 @@ TEST(ServeServerTest, HttpFallbackServesStatusAndMetrics) {
     EXPECT_NE(response.find("404"), std::string::npos);
   }
   server.Shutdown();
+}
+
+// --- Request tracing -------------------------------------------------------
+
+int FindSpan(const Trace& trace, const std::string& name) {
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    if (trace.spans[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int64_t FindCounter(const TraceSpan& span, const std::string& key) {
+  for (const auto& kv : span.counters) {
+    if (kv.first == key) return kv.second;
+  }
+  return -1;
+}
+
+/// The determinism-relevant view of a trace: names, nesting, counters and
+/// labels — everything except ids and timings (the contract of
+/// src/obs/trace.h).
+std::string StructureString(const Trace& trace) {
+  std::string out = trace.name + "|" + trace.status;
+  for (const TraceSpan& span : trace.spans) {
+    out += ";" + span.name + "(";
+    out += span.parent >= 0 ? trace.spans[span.parent].name : "-";
+    out += ")";
+    for (const auto& kv : span.counters) {
+      out += " " + kv.first + "=" + std::to_string(kv.second);
+    }
+    for (const auto& kv : span.labels) {
+      out += " " + kv.first + "=" + kv.second;
+    }
+  }
+  return out;
+}
+
+TEST(ServeTraceTest, ForcedResolveCollectsNestedSpans) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.trace.sample_every = 0;  // trace only wire-flagged requests
+  ServeServer server(options);
+  const int session =
+      server.CreateSession(RandomInstance(10, 16, 3, 0.5, 41));
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  auto mutation = client.Apply(session, MakePref(0, 1, 0.8), /*trace=*/true);
+  ASSERT_TRUE(mutation.ok()) << mutation.status();
+  auto resolve = client.Apply(session, MakeResolve(), /*trace=*/true);
+  ASSERT_TRUE(resolve.ok()) << resolve.status();
+  ASSERT_TRUE(resolve->has_result);
+
+  const std::vector<Trace> traces = server.tracer().LastTraces(8);
+  ASSERT_EQ(traces.size(), 2u);  // exactly the two flagged requests
+  const Trace& mutation_trace = traces.front();
+  EXPECT_TRUE(mutation_trace.forced);
+  EXPECT_GE(FindSpan(mutation_trace, "session.apply"), 0);
+
+  const Trace& trace = traces.back();
+  EXPECT_EQ(trace.name, "resolve");
+  EXPECT_EQ(trace.status, "ok");
+  EXPECT_GT(trace.total_nanos, 0);
+
+  // The span tree nests admission -> session -> lp -> phases, plus the
+  // rounding stage.
+  const int wait = FindSpan(trace, "admission.wait");
+  const int apply = FindSpan(trace, "session.apply");
+  const int build = FindSpan(trace, "lp.build");
+  const int solve = FindSpan(trace, "lp.solve");
+  const int presolve = FindSpan(trace, "lp.presolve");
+  const int round = FindSpan(trace, "csf.round");
+  ASSERT_GE(wait, 0);
+  ASSERT_GE(apply, 0);
+  ASSERT_GE(build, 0);
+  ASSERT_GE(solve, 0);
+  ASSERT_GE(presolve, 0);
+  ASSERT_GE(round, 0);
+  EXPECT_EQ(trace.spans[wait].parent, -1);
+  EXPECT_EQ(trace.spans[apply].parent, -1);
+  EXPECT_EQ(trace.spans[build].parent, apply);
+  EXPECT_EQ(trace.spans[solve].parent, apply);
+  EXPECT_EQ(trace.spans[presolve].parent, solve);
+  EXPECT_TRUE(trace.spans[presolve].bridged);
+  EXPECT_EQ(trace.spans[round].parent, apply);
+  // Every LP phase child is present even when a phase did no work.
+  for (const char* phase : {"lp.pricing", "lp.ratio_test", "lp.ftran",
+                            "lp.btran", "lp.factor"}) {
+    EXPECT_GE(FindSpan(trace, phase), 0) << phase;
+  }
+
+  // The span counters agree with what the wire reported back.
+  EXPECT_EQ(FindCounter(trace.spans[apply], "pivots"),
+            resolve->result.pivots);
+  EXPECT_GE(FindCounter(trace.spans[round], "rerounded_units"), 0);
+
+  // Stage histograms got folded.
+  EXPECT_GT(server.metrics().GetHistogram("serve.stage.solve")->count(), 0);
+  EXPECT_GT(
+      server.metrics().GetHistogram("serve.stage.admission")->count(), 0);
+  server.Shutdown();
+}
+
+TEST(ServeTraceTest, HttpTraceEndpointServesChromeJsonAndText) {
+  ServerOptions options;
+  options.trace.sample_every = 0;
+  ServeServer server(options);
+  const int session =
+      server.CreateSession(RandomInstance(8, 12, 2, 0.5, 42));
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto resolve = client.Apply(session, MakeResolve(), /*trace=*/true);
+  ASSERT_TRUE(resolve.ok());
+
+  {  // Chrome trace-event JSON (Perfetto-loadable).
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /trace?last=8 HTTP/1.0\r\n\r\n"));
+    const std::string response = conn.ReadAll();
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(response.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(response.find("lp.solve"), std::string::npos);
+  }
+  {  // Human-readable tree.
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /trace?last=8&format=text HTTP/1.0\r\n\r\n"));
+    const std::string response = conn.ReadAll();
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("text/plain"), std::string::npos);
+    EXPECT_NE(response.find("session.apply"), std::string::npos);
+  }
+  server.Shutdown();
+}
+
+/// Replays a fixed traced command stream against a server with `workers`
+/// worker threads and returns every trace's structure string.
+std::vector<std::string> RunTracedStream(int workers) {
+  ServerOptions options;
+  options.num_workers = workers;
+  options.trace.sample_every = 0;
+  ServeServer server(options);
+  const int session =
+      server.CreateSession(RandomInstance(12, 18, 3, 0.5, 43));
+  EXPECT_TRUE(server.Start().ok());
+  ServeClient client;
+  EXPECT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      auto r = client.Apply(session,
+                            MakePref((round * 4 + i) % 12, (round + i) % 18,
+                                     0.3 + 0.05 * i),
+                            /*trace=*/true);
+      EXPECT_TRUE(r.ok()) << r.status();
+    }
+    auto resolve = client.Apply(session, MakeResolve(), /*trace=*/true);
+    EXPECT_TRUE(resolve.ok()) << resolve.status();
+  }
+  std::vector<std::string> structures;
+  for (const Trace& trace : server.tracer().LastTraces(64)) {
+    structures.push_back(StructureString(trace));
+  }
+  server.Shutdown();
+  return structures;
+}
+
+TEST(ServeTraceTest, SpanStructureIsIdenticalAcrossWorkerCounts) {
+  // The determinism contract of src/obs/trace.h, end to end: a fixed
+  // closed-loop command stream yields bit-identical span structures
+  // (names, nesting, counters, labels) for any worker count.
+  const std::vector<std::string> one = RunTracedStream(1);
+  ASSERT_EQ(one.size(), 15u);  // 3 rounds x (4 mutations + 1 resolve)
+  EXPECT_EQ(RunTracedStream(2), one);
+  EXPECT_EQ(RunTracedStream(4), one);
 }
 
 TEST(ServeServerTest, ShutdownFrameStopsTheServer) {
