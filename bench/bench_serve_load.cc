@@ -23,13 +23,21 @@
 //    rep) and the reported pair is the rep with the MEDIAN
 //    traced/untraced ratio, so no single noisy rep can masquerade as
 //    tracing overhead.
+//  * unverified / verified — the same interleaved A/B over the wire
+//    verify flag (kFrameFlagVerify): the verified arm snapshots every
+//    resolve for the off-thread KKT + objective self-check
+//    (src/obs/verify.h) while the unverified arm runs with sampling
+//    off. The bench also asserts the verifier reported zero failures
+//    over the whole stream.
 //
 // The paired "(coalesced)" / "(uncoalesced)" --json metrics feed the
 // machine-speed-independent CI gate (tools/perf_compare.py
 // --cold-reference --suffixes): coalesced wall time must stay well under
 // the same run's uncoalesced wall time. The paired "(traced)" /
 // "(untraced)" metrics gate tracing overhead the same way: always-on
-// tracing must stay within a few percent of the untraced wall.
+// tracing must stay within a few percent of the untraced wall, and the
+// paired "(verified)" / "(unverified)" metrics gate self-verification
+// overhead at 2%.
 //
 // By default the server runs in-process on an ephemeral port; --port=
 // targets an external svgic_serverd instead (the CI e2e demo), and
@@ -153,14 +161,16 @@ Status RunClient(const LoadConfig& config, int client_index, bool pipeline,
   return Status::OK();
 }
 
-/// One client's share of the tracing A/B: a closed loop in which the
-/// wire trace flag alternates request by request, so both arms sample
-/// the same machine conditions. `parity` flips which arm goes first;
-/// the round index shifts the pattern too, so the expensive first
-/// resolve after each mutation burst alternates arms across rounds.
-/// Each request's latency is charged to the arm that issued it.
+/// One client's share of an overhead A/B: a closed loop in which one
+/// wire flag — trace (`verify_mode` false) or verify — alternates
+/// request by request, so both arms sample the same machine conditions.
+/// `parity` flips which arm goes first; the round index shifts the
+/// pattern too, so the expensive first resolve after each mutation burst
+/// alternates arms across rounds. Each request's latency is charged to
+/// the arm that issued it (`off_stats` = flag clear, `on_stats` = set).
 Status RunAbClient(const LoadConfig& config, int client_index, int parity,
-                   ClientStats* untraced_stats, ClientStats* traced_stats) {
+                   bool verify_mode, ClientStats* off_stats,
+                   ClientStats* on_stats) {
   ServeClient client;
   SAVG_RETURN_NOT_OK(client.Connect(config.host, config.port));
   const uint32_t session = static_cast<uint32_t>(client_index);
@@ -168,10 +178,11 @@ Status RunAbClient(const LoadConfig& config, int client_index, int parity,
   std::unordered_map<uint64_t, Timer> sent;
   for (int round = 0; round < config.rounds; ++round) {
     for (int i = 0; i < config.mutations_per_round; ++i) {
-      const bool trace = ((i + round + parity) & 1) != 0;
-      ClientStats* stats = trace ? traced_stats : untraced_stats;
-      auto id =
-          client.SendApply(session, RandomMutation(config, &rng), trace);
+      const bool on = ((i + round + parity) & 1) != 0;
+      ClientStats* stats = on ? on_stats : off_stats;
+      auto id = client.SendApply(session, RandomMutation(config, &rng),
+                                 /*trace=*/on && !verify_mode,
+                                 /*verify=*/on && verify_mode);
       SAVG_RETURN_NOT_OK(id.status());
       sent.emplace(*id, Timer());
       ++stats->requests;
@@ -179,9 +190,11 @@ Status RunAbClient(const LoadConfig& config, int client_index, int parity,
           Receive(&client, &sent, &stats->mutation_latencies, stats));
     }
     for (int i = 0; i < config.resolves_per_round; ++i) {
-      const bool trace = ((i + round + parity) & 1) != 0;
-      ClientStats* stats = trace ? traced_stats : untraced_stats;
-      auto id = client.SendApply(session, MakeResolve(), trace);
+      const bool on = ((i + round + parity) & 1) != 0;
+      ClientStats* stats = on ? on_stats : off_stats;
+      auto id = client.SendApply(session, MakeResolve(),
+                                 /*trace=*/on && !verify_mode,
+                                 /*verify=*/on && verify_mode);
       SAVG_RETURN_NOT_OK(id.status());
       sent.emplace(*id, Timer());
       ++stats->requests;
@@ -267,6 +280,66 @@ double RunPhase(const LoadConfig& config, Fn fn, ClientStats* merged) {
   return wall;
 }
 
+/// The median-ratio rep of one interleaved flag A/B: per-arm trimmed
+/// closed-loop latency sums plus the tallies behind them.
+struct AbResult {
+  double off_wall = 0.0;
+  double on_wall = 0.0;
+  ClientStats off;
+  ClientStats on;
+};
+
+/// Runs one interleaved overhead A/B (`ab_reps` closed-loop reps of
+/// RunAbClient, parity flipping every rep so neither arm systematically
+/// gets the even-numbered requests) and returns the rep with the MEDIAN
+/// on/off ratio, which no single noisy rep can drag over the CI gate.
+/// Per-rep sums go to stderr: when the CI overhead gate flaps, that
+/// spread is the first thing to look at.
+AbResult RunAbPhase(const LoadConfig& config, bool verify_mode,
+                    const char* label) {
+  std::vector<ClientStats> rep_off(config.ab_reps);
+  std::vector<ClientStats> rep_on(config.ab_reps);
+  std::vector<double> off_wall(config.ab_reps);
+  std::vector<double> on_wall(config.ab_reps);
+  for (int rep = 0; rep < config.ab_reps; ++rep) {
+    std::vector<ClientStats> off(config.clients), on(config.clients);
+    std::vector<std::thread> threads;
+    threads.reserve(config.clients);
+    for (int i = 0; i < config.clients; ++i) {
+      threads.emplace_back([&, i] {
+        Status status =
+            RunAbClient(config, i, rep & 1, verify_mode, &off[i], &on[i]);
+        if (!status.ok()) {
+          std::cerr << label << " ab client " << i << ": " << status << "\n";
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (int i = 0; i < config.clients; ++i) {
+      MergeStats(off[i], &rep_off[rep]);
+      MergeStats(on[i], &rep_on[rep]);
+    }
+    off_wall[rep] = TrimmedLatencySum(rep_off[rep]);
+    on_wall[rep] = TrimmedLatencySum(rep_on[rep]);
+    std::cerr << label << " ab rep " << rep << ": off "
+              << FormatDouble(off_wall[rep], 3) << "s, on "
+              << FormatDouble(on_wall[rep], 3) << "s (ratio "
+              << FormatDouble(on_wall[rep] / off_wall[rep], 3) << ")\n";
+  }
+  std::vector<int> by_ratio(config.ab_reps);
+  for (int rep = 0; rep < config.ab_reps; ++rep) by_ratio[rep] = rep;
+  std::sort(by_ratio.begin(), by_ratio.end(), [&](int a, int b) {
+    return on_wall[a] * off_wall[b] < on_wall[b] * off_wall[a];
+  });
+  const int median_rep = by_ratio[by_ratio.size() / 2];
+  AbResult result;
+  result.off_wall = off_wall[median_rep];
+  result.on_wall = on_wall[median_rep];
+  result.off = std::move(rep_off[median_rep]);
+  result.on = std::move(rep_on[median_rep]);
+  return result;
+}
+
 /// Crude numeric-field extraction from the status JSON (the bench only
 /// reports a couple of scalar fields; no JSON parser in the repo).
 double FindJsonNumber(const std::string& json, const std::string& key) {
@@ -274,6 +347,18 @@ double FindJsonNumber(const std::string& json, const std::string& key) {
   const size_t pos = json.find(needle);
   if (pos == std::string::npos) return -1.0;
   return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+/// Value of one named counter in the status JSON's metrics array
+/// (`{"name": "<name>", "value": N}` rows); -1 when absent.
+double FindMetricValue(const std::string& json, const std::string& name) {
+  const std::string anchor = "\"name\": \"" + name + "\"";
+  const size_t pos = json.find(anchor);
+  if (pos == std::string::npos) return -1.0;
+  const std::string key = "\"value\": ";
+  const size_t value_pos = json.find(key, pos);
+  if (value_pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + value_pos + key.size(), nullptr);
 }
 
 void AddPhaseRow(Table* t, const std::string& name, double wall,
@@ -312,6 +397,9 @@ int RunLoad(LoadConfig config) {
     // phase measures the full (every-request) tracing cost.
     options.trace.sample_every = 0;
     options.trace.slow_seconds = 0.0;
+    // Same for self-verification: only the wire verify flag triggers it,
+    // so the unverified A/B arm is a clean baseline.
+    options.verify.sample_every = 0;
     local = std::make_unique<ServeServer>(options);
     for (int i = 0; i < config.clients; ++i) {
       SessionOptions session_options;
@@ -344,7 +432,7 @@ int RunLoad(LoadConfig config) {
     }
   }
 
-  ClientStats uncoalesced, coalesced, untraced, traced, flash;
+  ClientStats uncoalesced, coalesced, flash;
   const double uncoalesced_wall = RunPhase(
       config,
       [&](int i, ClientStats* s) {
@@ -360,53 +448,15 @@ int RunLoad(LoadConfig config) {
   // Tracing-overhead A/B: closed-loop reps in which each client flips
   // the wire trace flag request by request, so the two arms interleave
   // at millisecond granularity and a scheduler stall lands on both.
-  // Each arm's cost is its closed-loop latency sum; the reported pair
-  // is the rep with the MEDIAN traced/untraced ratio, which no single
-  // noisy rep can drag over the CI gate. The parity flips every rep so
-  // neither arm systematically gets the even-numbered requests.
-  std::vector<ClientStats> rep_untraced(config.ab_reps);
-  std::vector<ClientStats> rep_traced(config.ab_reps);
-  std::vector<double> rep_untraced_wall(config.ab_reps);
-  std::vector<double> rep_traced_wall(config.ab_reps);
-  for (int rep = 0; rep < config.ab_reps; ++rep) {
-    std::vector<ClientStats> u(config.clients), tr(config.clients);
-    std::vector<std::thread> threads;
-    threads.reserve(config.clients);
-    for (int i = 0; i < config.clients; ++i) {
-      threads.emplace_back([&, i] {
-        Status status = RunAbClient(config, i, rep & 1, &u[i], &tr[i]);
-        if (!status.ok()) {
-          std::cerr << "ab client " << i << ": " << status << "\n";
-        }
-      });
-    }
-    for (auto& thread : threads) thread.join();
-    for (int i = 0; i < config.clients; ++i) {
-      MergeStats(u[i], &rep_untraced[rep]);
-      MergeStats(tr[i], &rep_traced[rep]);
-    }
-    rep_untraced_wall[rep] = TrimmedLatencySum(rep_untraced[rep]);
-    rep_traced_wall[rep] = TrimmedLatencySum(rep_traced[rep]);
-    // Per-rep sums on stderr: when the CI overhead gate flaps, this is
-    // the first thing to look at (noise shows as rep-to-rep spread).
-    std::cerr << "ab rep " << rep << ": untraced "
-              << FormatDouble(rep_untraced_wall[rep], 3) << "s, traced "
-              << FormatDouble(rep_traced_wall[rep], 3) << "s (ratio "
-              << FormatDouble(rep_traced_wall[rep] / rep_untraced_wall[rep],
-                              3)
-              << ")\n";
-  }
-  std::vector<int> by_ratio(config.ab_reps);
-  for (int rep = 0; rep < config.ab_reps; ++rep) by_ratio[rep] = rep;
-  std::sort(by_ratio.begin(), by_ratio.end(), [&](int a, int b) {
-    return rep_traced_wall[a] * rep_untraced_wall[b] <
-           rep_traced_wall[b] * rep_untraced_wall[a];
-  });
-  const int median_rep = by_ratio[by_ratio.size() / 2];
-  const double untraced_wall = rep_untraced_wall[median_rep];
-  const double traced_wall = rep_traced_wall[median_rep];
-  untraced = std::move(rep_untraced[median_rep]);
-  traced = std::move(rep_traced[median_rep]);
+  const AbResult trace_ab =
+      RunAbPhase(config, /*verify_mode=*/false, "trace");
+  // Self-verification overhead A/B: the same interleaving over the wire
+  // verify flag. With sampling off (verify.sample_every = 0 below) the
+  // unverified arm is a true no-verification baseline; the verified arm
+  // pays the full per-request cost — snapshotting the instance + config
+  // on the hot path plus the off-thread KKT + objective audit.
+  const AbResult verify_ab =
+      RunAbPhase(config, /*verify_mode=*/true, "verify");
   double flash_wall = 0.0;
   if (config.burst > 0) {
     flash_wall = RunPhase(
@@ -415,10 +465,15 @@ int RunLoad(LoadConfig config) {
         &flash);
   }
 
-  // Server-side counters (coalesce ratio, shed count) from the status
-  // command; fetched before the shutdown frame.
+  // Server-side counters (coalesce ratio, shed count, verifier verdicts)
+  // from the status command; fetched before the shutdown frame. The
+  // in-process verifier is flushed first so every enqueued self-check
+  // has reported.
+  if (local != nullptr) local->verifier().Flush();
   double coalesce_ratio = -1.0;
   double server_shed = -1.0;
+  double verify_pass = -1.0;
+  double verify_fail = -1.0;
   {
     ServeClient client;
     if (client.Connect(config.host, config.port).ok()) {
@@ -426,6 +481,8 @@ int RunLoad(LoadConfig config) {
       if (status_json.ok()) {
         coalesce_ratio = FindJsonNumber(*status_json, "coalesce_ratio");
         server_shed = FindJsonNumber(*status_json, "shed");
+        verify_pass = FindMetricValue(*status_json, "verify.pass");
+        verify_fail = FindMetricValue(*status_json, "verify.fail");
       }
       if (config.shutdown_server) {
         if (client.SendShutdown().ok()) client.ReadResponse();
@@ -439,8 +496,12 @@ int RunLoad(LoadConfig config) {
   AddPhaseRow(&t, "coalesced (pipelined)", coalesced_wall, coalesced);
   // For the interleaved A/B rows, "wall" is the arm's closed-loop
   // latency sum (the two arms share one phase wall).
-  AddPhaseRow(&t, "untraced (interleaved)", untraced_wall, untraced);
-  AddPhaseRow(&t, "traced (interleaved)", traced_wall, traced);
+  AddPhaseRow(&t, "untraced (interleaved)", trace_ab.off_wall, trace_ab.off);
+  AddPhaseRow(&t, "traced (interleaved)", trace_ab.on_wall, trace_ab.on);
+  AddPhaseRow(&t, "unverified (interleaved)", verify_ab.off_wall,
+              verify_ab.off);
+  AddPhaseRow(&t, "verified (interleaved)", verify_ab.on_wall,
+              verify_ab.on);
   if (config.burst > 0) AddPhaseRow(&t, "flash crowd", flash_wall, flash);
   t.Print("Serve load: " + std::to_string(config.clients) + " clients x " +
           std::to_string(config.rounds) + " rounds (" +
@@ -452,7 +513,15 @@ int RunLoad(LoadConfig config) {
             << (server_shed >= 0
                     ? std::to_string(static_cast<int64_t>(server_shed))
                     : "n/a")
-            << "\n";
+            << ", self-verifications "
+            << (verify_pass >= 0
+                    ? std::to_string(static_cast<int64_t>(verify_pass))
+                    : "n/a")
+            << " passed / "
+            << (verify_fail >= 0
+                    ? std::to_string(static_cast<int64_t>(verify_fail))
+                    : "n/a")
+            << " failed\n";
 
   benchutil::RecordMetric("serve load | resolve phase (coalesced)",
                           coalesced_wall);
@@ -467,10 +536,19 @@ int RunLoad(LoadConfig config) {
   benchutil::RecordMetric("serve load | p99 resolve - uncoalesced",
                           Percentile(uncoalesced.resolve_latencies, 99));
   benchutil::RecordMetric("serve load | closed loop (untraced)",
-                          untraced_wall);
-  benchutil::RecordMetric("serve load | closed loop (traced)", traced_wall);
+                          trace_ab.off_wall);
+  benchutil::RecordMetric("serve load | closed loop (traced)",
+                          trace_ab.on_wall);
   benchutil::RecordMetric("serve load | p99 resolve - traced",
-                          Percentile(traced.resolve_latencies, 99));
+                          Percentile(trace_ab.on.resolve_latencies, 99));
+  benchutil::RecordMetric("serve load | closed loop (unverified)",
+                          verify_ab.off_wall);
+  benchutil::RecordMetric("serve load | closed loop (verified)",
+                          verify_ab.on_wall);
+  benchutil::RecordMetric("serve load | p99 resolve - verified",
+                          Percentile(verify_ab.on.resolve_latencies, 99));
+  benchutil::RecordMetric("serve load | verify failures",
+                          verify_fail >= 0 ? verify_fail : 0.0);
   benchutil::RecordMetric("serve load | flash crowd shed responses",
                           static_cast<double>(flash.overloaded));
   benchutil::RecordMetric("serve load | coalesce ratio", coalesce_ratio);
@@ -482,6 +560,16 @@ int RunLoad(LoadConfig config) {
   if (config.burst > 0 && flash.overloaded == 0) {
     std::cerr << "flash crowd produced no kOverloaded responses; raise "
                  "--burst or lower --queue-depth\n";
+    return 1;
+  }
+  // The verified arm forced a self-check on half its requests; any
+  // failure means the solver handed out a configuration that does not
+  // re-evaluate to its reported objective (or violates KKT) — a
+  // correctness bug, not a perf problem.
+  if (verify_fail > 0) {
+    std::cerr << "self-verification reported "
+              << static_cast<int64_t>(verify_fail)
+              << " failed check(s) over the bench stream\n";
     return 1;
   }
   return 0;

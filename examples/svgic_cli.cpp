@@ -12,6 +12,9 @@
 //   svgic_cli trace <host> <port> [last] [--json]         fetch recent
 //                                                         request traces
 //                                                         from a serverd
+//   svgic_cli top <host> <port> [--iters=N]               live health +
+//                 [--interval-ms=M]                       windowed-metrics
+//                                                         dashboard
 //   svgic_cli shutdown <host> <port>                      stop a serverd
 //
 // <kind> in {timik, epinions, yelp}; <solver> is any registry name
@@ -30,10 +33,13 @@
 //                   (a sharded session re-solves only dirty shards)
 //   --shard-gap=G   dual-coordination gap tolerance (default 0.01)
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "core/io.h"
 #include "core/local_search.h"
@@ -114,6 +120,7 @@ int Usage() {
                "  svgic_cli convertevents <in_events> <out_commands>\n"
                "  svgic_cli serve <instance> <commands>\n"
                "  svgic_cli trace <host> <port> [last] [--json]\n"
+               "  svgic_cli top <host> <port> [--iters=N] [--interval-ms=M]\n"
                "  svgic_cli shutdown <host> <port>\n"
                "flags: --shards=N (sharded solve/serving), --shard-gap=G\n"
                "solvers: "
@@ -385,6 +392,99 @@ int FetchTrace(int argc, char** argv) {
   return 0;
 }
 
+// Scrapes `"field": <number>` from the row whose `"name"` is `metric` in
+// a windowed-metrics JSON dump (metrics/timeseries.h JsonDump shape).
+// Returns 0 when the metric or field is absent — a quiet window simply
+// omits rows, which reads as zero activity on the dashboard.
+double WindowField(const std::string& json, const std::string& metric,
+                   const std::string& field) {
+  const std::string anchor = "\"name\": \"" + metric + "\"";
+  size_t pos = json.find(anchor);
+  if (pos == std::string::npos) return 0.0;
+  const std::string key = "\"" + field + "\": ";
+  pos = json.find(key, pos);
+  if (pos == std::string::npos) return 0.0;
+  return std::atof(json.c_str() + pos + key.size());
+}
+
+// Scrapes a top-level `"field": "value"` string from a JSON dump.
+std::string JsonStringField(const std::string& json,
+                            const std::string& field) {
+  const std::string key = "\"" + field + "\": \"";
+  const size_t pos = json.find(key);
+  if (pos == std::string::npos) return "";
+  const size_t start = pos + key.size();
+  const size_t end = json.find('"', start);
+  if (end == std::string::npos) return "";
+  return json.substr(start, end - start);
+}
+
+// `top <host> <port> [--iters=N] [--interval-ms=M]`: a live dashboard
+// over the serverd's HTTP front-end. Each tick polls /health and
+// /metrics?window=1 (the most recent capture window) and prints one line:
+// verdict, apply rate, resolve p50/p99, shed rate, queue depth, eta-chain
+// length, and verify pass/fail deltas. Ctrl-C to stop (or --iters=N for
+// scripted captures).
+int Top(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string host = argv[2];
+  const int port = std::atoi(argv[3]);
+  long iters = -1;  // -1 = run until interrupted
+  long interval_ms = 1000;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      iters = std::atol(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--interval-ms=", 14) == 0) {
+      interval_ms = std::atol(argv[i] + 14);
+      if (interval_ms < 1) return Usage();
+    } else {
+      return Usage();
+    }
+  }
+  std::printf("%-9s %9s %9s %9s %8s %6s %6s %8s %6s\n", "health",
+              "apply/s", "p50_ms", "p99_ms", "shed/s", "queue", "eta",
+              "verify", "fail");
+  for (long tick = 0; iters < 0 || tick < iters; ++tick) {
+    auto health = HttpGet(host, port, "/health");
+    auto window = HttpGet(host, port, "/metrics?window=1");
+    // /health answers 503 when unhealthy; HttpGet reports that as a
+    // status error, which is itself the signal worth printing.
+    std::string verdict;
+    if (health.ok()) {
+      verdict = JsonStringField(*health, "status");
+    } else if (health.status().message().find("503") != std::string::npos) {
+      verdict = "unhealthy";
+    }
+    if (verdict.empty()) verdict = "?";
+    if (!window.ok()) {
+      std::cerr << window.status() << "\n";
+      return 1;
+    }
+    const double apply_rate =
+        WindowField(*window, "serve.admitted", "rate");
+    const double p50 =
+        WindowField(*window, "serve.latency.resolve", "p50") * 1e3;
+    const double p99 =
+        WindowField(*window, "serve.latency.resolve", "p99") * 1e3;
+    const double shed_rate = WindowField(*window, "serve.shed", "rate");
+    const double queue =
+        WindowField(*window, "serve.queue_depth", "last");
+    const double eta = WindowField(*window, "lp.eta_chain", "last");
+    const double verify_pass =
+        WindowField(*window, "verify.pass", "delta");
+    const double verify_fail =
+        WindowField(*window, "verify.fail", "delta");
+    std::printf("%-9s %9.1f %9.2f %9.2f %8.1f %6.0f %6.0f %8.0f %6.0f\n",
+                verdict.c_str(), apply_rate, p50, p99, shed_rate, queue,
+                eta, verify_pass, verify_fail);
+    std::fflush(stdout);
+    if (iters < 0 || tick + 1 < iters) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
+}
+
 // `shutdown <host> <port>`: sends a kShutdown frame (what bench_serve_load
 // --shutdown-server does), so scripts can stop a serverd they started.
 int ShutdownServer(int argc, char** argv) {
@@ -423,6 +523,7 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "serve") == 0) return Serve(argc, argv);
   if (std::strcmp(argv[1], "trace") == 0) return FetchTrace(argc, argv);
+  if (std::strcmp(argv[1], "top") == 0) return Top(argc, argv);
   if (std::strcmp(argv[1], "shutdown") == 0) {
     return ShutdownServer(argc, argv);
   }

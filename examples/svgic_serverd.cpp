@@ -21,6 +21,12 @@
 //                    0 disables the slow-query log)
 //   --trace_buffer=B finished traces kept for GET /trace (default 256)
 //   --slow_log=PATH  rotating slow-query JSONL file (default: none)
+//   --metrics_interval=MS  time-series capture cadence in milliseconds
+//                    (default 1000; 0 disables windowed metrics + health
+//                    evaluation)
+//   --metrics_windows=N    capture windows retained (default 256)
+//   --verify_sample=N      self-verify 1 in N resolves (default 16; 0 =
+//                    only requests carrying the wire verify flag)
 //
 // On shutdown the final MetricsRegistry dump goes to stdout, so a scripted
 // run captures per-command latency, queue depth, coalesce ratio, and shed
@@ -53,7 +59,9 @@ int Usage() {
          "                     [--workers=W] [--queue-depth=D]\n"
          "                     [--no-coalesce] [--seed=S]\n"
          "                     [--trace_sample=N] [--slow_ms=T]\n"
-         "                     [--trace_buffer=B] [--slow_log=PATH]\n";
+         "                     [--trace_buffer=B] [--slow_log=PATH]\n"
+         "                     [--metrics_interval=MS]\n"
+         "                     [--metrics_windows=N] [--verify_sample=N]\n";
   return 2;
 }
 
@@ -104,6 +112,16 @@ int main(int argc, char** argv) {
           static_cast<size_t>(ParseLong("--trace_buffer", arg + 15));
     } else if (std::strncmp(arg, "--slow_log=", 11) == 0) {
       options.trace.slow_log_path = arg + 11;
+    } else if (std::strncmp(arg, "--metrics_interval=", 19) == 0) {
+      options.metrics_interval_seconds =
+          static_cast<double>(ParseLong("--metrics_interval", arg + 19)) /
+          1000.0;
+    } else if (std::strncmp(arg, "--metrics_windows=", 18) == 0) {
+      options.metrics_windows =
+          static_cast<int>(ParseLong("--metrics_windows", arg + 18));
+    } else if (std::strncmp(arg, "--verify_sample=", 16) == 0) {
+      options.verify.sample_every =
+          static_cast<int>(ParseLong("--verify_sample", arg + 16));
     } else if (arg[0] == '-') {
       std::cerr << "unknown flag " << arg << "\n";
       return Usage();

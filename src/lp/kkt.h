@@ -1,0 +1,41 @@
+// Standalone KKT audit of an LP primal/dual point against its model.
+//
+// Extracted from the lp_test.cc dual-sign checker so production code (the
+// sampled solution self-verifier in obs/verify.h) can re-check served
+// solves off the hot path with the same logic the tests use. Reports the
+// worst violation per condition instead of asserting, so callers decide
+// tolerance and failure handling.
+//
+// Conditions checked, all in maximize orientation (sense-flipped for
+// minimize models):
+//   - primal feasibility: max constraint/bound violation of x;
+//   - dual sign: y_i >= 0 on <= rows, y_i <= 0 on >= rows (equality rows
+//     are sign-free);
+//   - complementary slackness: slack rows must carry ~zero duals;
+//   - stationarity: reduced cost d_j = c_j - y'A_j must be <= 0 at lower
+//     bound, >= 0 at upper bound, ~0 for interior variables.
+
+#pragma once
+
+#include <vector>
+
+#include "lp/lp_model.h"
+
+namespace savg {
+
+struct KktReport {
+  double max_primal_violation = 0.0;
+  double max_dual_sign_violation = 0.0;
+  double max_complementary_slackness = 0.0;
+  double max_reduced_cost_violation = 0.0;
+
+  double MaxViolation() const;
+  bool Ok(double tol) const { return MaxViolation() <= tol; }
+};
+
+/// Audits (x, duals) against the model. `duals` must have one entry per
+/// row and `x` one per variable.
+KktReport CheckLpKkt(const LpModel& model, const std::vector<double>& x,
+                     const std::vector<double>& duals);
+
+}  // namespace savg

@@ -21,7 +21,7 @@ const double kLogSpan = std::log(Histogram::kMax / Histogram::kMin);
 // samples actually were.
 Histogram::Histogram() : buckets_(kBuckets + 1) {}
 
-int Histogram::BucketIndex(double seconds) const {
+int Histogram::BucketIndex(double seconds) {
   if (!(seconds > kMin)) return 0;
   if (seconds >= kMax) return kBuckets;
   const double t = std::log(seconds / kMin) / kLogSpan;
@@ -29,12 +29,12 @@ int Histogram::BucketIndex(double seconds) const {
   return std::min(std::max(index, 1), kBuckets);
 }
 
-double Histogram::BucketLower(int index) const {
+double Histogram::BucketLower(int index) {
   if (index <= 0) return 0.0;
   return kMin * std::exp(kLogSpan * (index - 1) / kBuckets);
 }
 
-double Histogram::BucketUpper(int index) const {
+double Histogram::BucketUpper(int index) {
   if (index <= 0) return kMin;
   return kMin * std::exp(kLogSpan * index / kBuckets);
 }
@@ -56,16 +56,16 @@ double Histogram::mean() const {
   return n > 0 ? sum() / static_cast<double>(n) : 0.0;
 }
 
-double Histogram::Quantile(double q) const {
-  const int64_t n = count();
+double Histogram::QuantileOf(const std::vector<int64_t>& buckets, double q) {
+  int64_t n = 0;
+  for (int64_t c : buckets) n += c;
   if (n <= 0) return 0.0;
   q = std::min(std::max(q, 0.0), 1.0);
   // Rank of the q-quantile among the n observations (1-based).
   const double rank = q * static_cast<double>(n - 1) + 1.0;
   double below = 0.0;
-  for (int i = 0; i < static_cast<int>(buckets_.size()); ++i) {
-    const double in_bucket = static_cast<double>(
-        buckets_[i].load(std::memory_order_relaxed));
+  for (int i = 0; i < static_cast<int>(buckets.size()); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
     if (in_bucket <= 0.0) continue;
     if (below + in_bucket >= rank) {
       // Interpolate inside the bucket's bounds (the underflow bucket
@@ -76,6 +76,14 @@ double Histogram::Quantile(double q) const {
     below += in_bucket;
   }
   return BucketUpper(kBuckets);
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<int64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return QuantileOf(counts, q);
 }
 
 namespace {
@@ -144,6 +152,28 @@ std::string MetricsRegistry::TextDump() const {
   return out.str();
 }
 
+namespace {
+
+std::string SafeName(const std::string& name) {
+  std::string out = name;
+  for (char& ch : out) {
+    if (ch == '"' || ch == '\\') ch = '\'';
+  }
+  return out;
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "savg_";
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string MetricsRegistry::JsonDump() const {
   std::ostringstream out;
   out.precision(9);
@@ -152,15 +182,95 @@ std::string MetricsRegistry::JsonDump() const {
   for (const MetricSample& sample : Snapshot()) {
     if (!first) out << ", ";
     first = false;
-    std::string name = sample.name;
-    for (char& ch : name) {
-      if (ch == '"' || ch == '\\') ch = '\'';
+    out << "{\"name\": \"" << SafeName(sample.name)
+        << "\", \"value\": " << sample.value << "}";
+  }
+  out << "], \"histograms\": [";
+  first = true;
+  for (const auto& [name, hist] : Histograms()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"name\": \"" << SafeName(name)
+        << "\", \"count\": " << hist->count() << ", \"sum\": " << hist->sum()
+        << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int i = 0; i <= Histogram::kBuckets; ++i) {
+      const int64_t c = hist->BucketCount(i);
+      if (c == 0) continue;
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      out << "{\"le\": " << Histogram::BucketUpper(i)
+          << ", \"count\": " << c << "}";
     }
-    out << "{\"name\": \"" << name << "\", \"value\": " << sample.value
-        << "}";
+    out << "]}";
   }
   out << "]}";
   return out.str();
+}
+
+std::string MetricsRegistry::PrometheusDump() const {
+  std::ostringstream out;
+  out.precision(9);
+  for (const auto& [name, counter] : Counters()) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : Gauges()) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << gauge->value() << "\n";
+  }
+  for (const auto& [name, hist] : Histograms()) {
+    const std::string prom = PromName(name) + "_seconds";
+    out << "# TYPE " << prom << " histogram\n";
+    // Cumulative buckets over the non-empty slots only (300 geometric
+    // buckets would be scrape noise; cumulative counts stay exact).
+    int64_t cumulative = 0;
+    for (int i = 0; i <= Histogram::kBuckets; ++i) {
+      const int64_t c = hist->BucketCount(i);
+      if (c == 0) continue;
+      cumulative += c;
+      out << prom << "_bucket{le=\"" << Histogram::BucketUpper(i)
+          << "\"} " << cumulative << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << hist->count() << "\n";
+    out << prom << "_sum " << hist->sum() << "\n";
+    out << prom << "_count " << hist->count() << "\n";
+  }
+  return out.str();
+}
+
+std::vector<std::pair<std::string, Counter*>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& entry : counters_) {
+    out.emplace_back(entry.first, entry.second.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Gauge*>> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& entry : gauges_) {
+    out.emplace_back(entry.first, entry.second.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram*>> MetricsRegistry::Histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& entry : histograms_) {
+    out.emplace_back(entry.first, entry.second.get());
+  }
+  return out;
 }
 
 }  // namespace savg

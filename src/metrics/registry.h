@@ -82,11 +82,24 @@ class Histogram {
   /// Linear interpolation inside the hit bucket; 0 when empty.
   double Quantile(double q) const;
 
- private:
-  int BucketIndex(double seconds) const;
-  double BucketLower(int index) const;
-  double BucketUpper(int index) const;
+  /// Bucket layout is static so snapshots and scrapers can reconstruct
+  /// bounds without a histogram instance. Slot 0 is the underflow bucket
+  /// [0, kMin]; slots 1..kBuckets are the geometric buckets.
+  static int BucketIndex(double seconds);
+  static double BucketLower(int index);
+  static double BucketUpper(int index);
 
+  /// Current count in one bucket slot (0..kBuckets inclusive).
+  int64_t BucketCount(int index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  /// Interpolated quantile over an arbitrary bucket-count array laid out
+  /// like this histogram's buckets (used for windowed quantiles computed
+  /// from captured bucket deltas).
+  static double QuantileOf(const std::vector<int64_t>& buckets, double q);
+
+ private:
   std::vector<std::atomic<int64_t>> buckets_;
   std::atomic<int64_t> count_{0};
   /// Seconds accumulated as integer nanoseconds so Observe() stays a pure
@@ -118,9 +131,22 @@ class MetricsRegistry {
 
   /// "name value" lines, sorted by name.
   std::string TextDump() const;
-  /// {"metrics": [{"name": ..., "value": ...}, ...]} (the same shape the
-  /// bench --json artifacts use, so tooling can share parsers).
+  /// {"metrics": [{"name": ..., "value": ...}, ...], "histograms": [...]}.
+  /// The "metrics" array is the same shape the bench --json artifacts use,
+  /// so tooling can share parsers; the "histograms" array additionally
+  /// exports sum/count and the non-empty bucket bounds so scrapers can
+  /// derive rates and averages (not just the flattened quantiles).
   std::string JsonDump() const;
+  /// Prometheus text exposition format (version 0.0.4). Metric names are
+  /// sanitized (dots -> underscores) and prefixed "savg_"; histograms emit
+  /// cumulative _bucket{le=...} series plus _sum and _count.
+  std::string PrometheusDump() const;
+
+  /// Name -> handle snapshots for iteration (time-series capture). The
+  /// pointers stay valid for the registry's lifetime.
+  std::vector<std::pair<std::string, Counter*>> Counters() const;
+  std::vector<std::pair<std::string, Gauge*>> Gauges() const;
+  std::vector<std::pair<std::string, Histogram*>> Histograms() const;
 
  private:
   mutable std::mutex mu_;

@@ -5,6 +5,7 @@
 #include "core/csf.h"
 #include "core/objective.h"
 #include "obs/trace.h"
+#include "obs/verify.h"
 #include "online/basis_projection.h"
 #include "util/logging.h"
 
@@ -372,6 +373,23 @@ Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
   report.rounding_seconds = rounding_timer.ElapsedSeconds();
   report.scaled_total = Evaluate(instance_, config_).ScaledTotal();
 
+  if (options_.verifier != nullptr &&
+      options_.verifier->ShouldVerify(ForceVerifyRequested())) {
+    // Snapshot everything the background check needs; the just-built LP
+    // and the solution vectors are dead after this function, so they move
+    // into the job instead of copying.
+    VerifyJob job;
+    job.session_id = options_.verifier_session_id;
+    job.instance = instance_;
+    job.config = config_;
+    job.reported_scaled_total = report.scaled_total;
+    job.has_lp = true;
+    job.lp = std::move(*lp);
+    job.x = std::move(sol->x);
+    job.duals = std::move(sol->dual_values);
+    options_.verifier->Enqueue(std::move(job));
+  }
+
   basis_ = std::move(sol->basis);
   keys_ = std::move(keys);
   valid_basis_ = true;
@@ -461,6 +479,18 @@ Result<ResolveReport> Session::ResolveSharded(bool force_cold) {
   report.rounding_seconds = stats.rounding_seconds;
   report.scaled_total = Evaluate(instance_, config_).ScaledTotal();
   frac_ = coordinator_->frac();
+
+  if (options_.verifier != nullptr &&
+      options_.verifier->ShouldVerify(ForceVerifyRequested())) {
+    // No single LP exists on the sharded path; the audit covers
+    // configuration validity and the recomputed objective only.
+    VerifyJob job;
+    job.session_id = options_.verifier_session_id;
+    job.instance = instance_;
+    job.config = config_;
+    job.reported_scaled_total = report.scaled_total;
+    options_.verifier->Enqueue(std::move(job));
+  }
 
   ClearDirty();
   ++num_resolves_;

@@ -42,6 +42,8 @@
 
 namespace savg {
 
+class SolutionVerifier;
+
 struct SessionOptions {
   SimplexOptions simplex;
   /// Rounding knobs; the per-resolve seed is derived from `seed`.
@@ -78,6 +80,13 @@ struct SessionOptions {
   /// falls back to the monolithic path at the endpoints.
   bool use_sharding = false;
   ShardSolveOptions sharding;
+  /// Sampled post-solve self-verification (obs/verify.h): when set,
+  /// resolves the verifier samples (or that request force-verification via
+  /// ScopedForceVerify) snapshot their instance/config/LP into a
+  /// background check off the hot path. nullptr disables.
+  SolutionVerifier* verifier = nullptr;
+  /// Session id stamped on verify jobs/failure logs (set by the manager).
+  uint32_t verifier_session_id = 0;
 };
 
 enum class ResolvePath {

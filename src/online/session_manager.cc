@@ -2,21 +2,50 @@
 
 #include <utility>
 
+#include "obs/verify.h"
+
 namespace savg {
 
 SessionManager::SessionManager(SessionManagerOptions options)
-    : options_(options), pool_(options.num_workers) {}
+    : options_(options), pool_(options.num_workers) {
+  if (MetricsRegistry* m = options_.metrics) {
+    solver_metrics_.pivots = m->GetCounter("lp.pivots");
+    solver_metrics_.phase1_pivots = m->GetCounter("lp.phase1_pivots");
+    solver_metrics_.phase1_reentries = m->GetCounter("lp.phase1_reentries");
+    solver_metrics_.bland_pivots = m->GetCounter("lp.bland_pivots");
+    solver_metrics_.dual_pivots = m->GetCounter("lp.dual_pivots");
+    solver_metrics_.refactorizations = m->GetCounter("lp.refactorizations");
+    solver_metrics_.presolve_cols_removed =
+        m->GetCounter("lp.presolve_cols_removed");
+    solver_metrics_.resolve_cold = m->GetCounter("resolve.cold");
+    solver_metrics_.resolve_incremental =
+        m->GetCounter("resolve.incremental");
+    solver_metrics_.resolve_cold_fallback =
+        m->GetCounter("resolve.cold_fallback");
+    solver_metrics_.resolve_failures = m->GetCounter("resolve.failures");
+    solver_metrics_.full_rerounds = m->GetCounter("session.full_rerounds");
+    solver_metrics_.drift_rerounds = m->GetCounter("session.drift_rerounds");
+    solver_metrics_.shard_dual_rounds = m->GetCounter("shard.dual_rounds");
+    solver_metrics_.eta_chain = m->GetGauge("lp.eta_chain");
+    solver_metrics_.kept_share_ppm = m->GetGauge("session.kept_share_ppm");
+    solver_metrics_.shard_gap_ppm = m->GetGauge("shard.gap_ppm");
+  }
+}
 
 SessionManager::~SessionManager() { Drain(); }
 
 int SessionManager::CreateSession(SvgicInstance instance,
                                   SessionOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Construction happens under the registry lock so the session id can be
+  // stamped into the options first (verify jobs carry it); CreateSession
+  // is rare enough that serializing it is fine.
+  const int id = static_cast<int>(entries_.size());
+  options.verifier_session_id = static_cast<uint32_t>(id);
   auto entry = std::make_unique<Entry>();
   entry->session = std::make_unique<Session>(std::move(instance), options);
   entry->stats.num_users = entry->session->instance().num_users();
   entry->stats.num_items = entry->session->instance().num_items();
-  std::lock_guard<std::mutex> lock(mu_);
-  const int id = static_cast<int>(entries_.size());
   entry->stats.session_id = id;
   entries_.push_back(std::move(entry));
   return id;
@@ -52,7 +81,8 @@ Result<SessionStats> SessionManager::GetStats(int session_id) const {
 
 Status SessionManager::Submit(int session_id, const SessionCommand& command,
                               ApplyCallback done,
-                              std::shared_ptr<TraceContext> trace) {
+                              std::shared_ptr<TraceContext> trace,
+                              bool force_verify) {
   Entry* entry = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -61,7 +91,8 @@ Status SessionManager::Submit(int session_id, const SessionCommand& command,
     }
     entry = entries_[session_id].get();
   }
-  Pending pending{command, std::move(done), std::move(trace), 0};
+  Pending pending{command, std::move(done), std::move(trace), 0,
+                  force_verify};
   if (pending.trace != nullptr) {
     pending.enqueue_nanos = pending.trace->NowNanos();
   }
@@ -98,6 +129,13 @@ void SessionManager::RunResolve(Entry* entry,
     TraceContext* primary =
         waiters->empty() ? nullptr : waiters->front().trace.get();
     ScopedCurrentTrace current(primary);
+    // One solve answers the whole group, so one verification covers it:
+    // verify when any folded request asked.
+    bool force_verify = false;
+    for (const ResolveWaiter& waiter : *waiters) {
+      force_verify = force_verify || waiter.force_verify;
+    }
+    ScopedForceVerify verify_scope(force_verify);
     TraceScope apply_span("session.apply");
     apply_span.Label("command", "resolve");
     apply_span.Counter("coalesced",
@@ -109,6 +147,7 @@ void SessionManager::RunResolve(Entry* entry,
       result.coalesced = static_cast<int>(waiters->size()) - 1;
     }
   }
+  RecordResolveMetrics(status, result.report);
   {
     std::lock_guard<std::mutex> lock(entry->mu);
     entry->stats.commands_applied +=
@@ -128,6 +167,50 @@ void SessionManager::RunResolve(Entry* entry,
     (*waiters)[i].done(status, result);
   }
   waiters->clear();
+}
+
+void SessionManager::RecordResolveMetrics(const Status& status,
+                                          const ResolveReport& report) {
+  if (options_.metrics == nullptr) return;
+  const SolverMetrics& m = solver_metrics_;
+  if (!status.ok()) {
+    m.resolve_failures->Increment();
+    return;
+  }
+  m.pivots->Increment(report.pivots);
+  m.phase1_pivots->Increment(report.phase1_pivots);
+  // A warm start that still needed phase-1 pivots means the projected
+  // basis was infeasible for the mutated LP (feasibility re-entry).
+  if (report.warm_started && report.phase1_pivots > 0) {
+    m.phase1_reentries->Increment();
+  }
+  m.bland_pivots->Increment(report.lp_stats.bland_pivots);
+  m.dual_pivots->Increment(report.lp_stats.dual_pivots);
+  m.refactorizations->Increment(report.refactorizations);
+  m.presolve_cols_removed->Increment(report.lp_stats.presolve_cols_removed);
+  switch (report.path) {
+    case ResolvePath::kCold:
+      m.resolve_cold->Increment();
+      break;
+    case ResolvePath::kIncremental:
+      m.resolve_incremental->Increment();
+      break;
+    case ResolvePath::kColdFallback:
+      m.resolve_cold_fallback->Increment();
+      break;
+  }
+  if (report.full_reround) m.full_rerounds->Increment();
+  if (report.drift_reround) m.drift_rerounds->Increment();
+  if (report.num_shards > 0) {
+    m.shard_dual_rounds->Increment(report.dual_rounds);
+    m.shard_gap_ppm->Set(static_cast<int64_t>(report.shard_gap * 1e6));
+  } else {
+    // Eta-chain length is only meaningful on the monolithic path (shards
+    // refactorize independently).
+    m.eta_chain->Set(report.eta_chain_length);
+  }
+  m.kept_share_ppm->Set(
+      static_cast<int64_t>(report.kept_utility_share * 1e6));
 }
 
 void SessionManager::DrainEntry(Entry* entry) {
@@ -164,7 +247,7 @@ void SessionManager::DrainEntry(Entry* entry) {
     }
     if (item.command.type == CommandType::kResolve) {
       ResolveWaiter waiter{std::move(item.done), std::move(item.trace), 0,
-                           false};
+                           false, item.force_verify};
       if (waiter.trace != nullptr) {
         waiter.defer_start_nanos = waiter.trace->NowNanos();
       }

@@ -35,6 +35,7 @@
 #include <mutex>
 #include <vector>
 
+#include "metrics/registry.h"
 #include "obs/trace.h"
 #include "online/event_log.h"
 #include "online/session.h"
@@ -50,6 +51,11 @@ struct SessionManagerOptions {
   /// class comment). Off by default: library users expect one Resolve per
   /// submitted kResolve; the serving front-end turns it on.
   bool coalesce_resolves = false;
+  /// Solver-health telemetry sink: when set, every resolve's report feeds
+  /// the lp.* / resolve.* / session.* / shard.* metrics (eta-chain length,
+  /// Bland/stall activations, cold fallbacks, drift re-rounds, dual-gap
+  /// rounds — see the metric catalog in README). nullptr disables.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Point-in-time view of one live session (the server's status command).
@@ -108,9 +114,13 @@ class SessionManager {
   /// Session::Apply — the session/LP/rounding spans underneath
   /// "session.apply". A coalesced-away resolve keeps its own trace (defer
   /// span only); the solve's spans land on the request that ran it.
+  /// `force_verify` requests post-solve self-verification of the resolve
+  /// answering this command (obs/verify.h; no-op unless the session has a
+  /// verifier). A coalesced group verifies when ANY folded request asked.
   Status Submit(int session_id, const SessionCommand& command,
                 ApplyCallback done = nullptr,
-                std::shared_ptr<TraceContext> trace = nullptr);
+                std::shared_ptr<TraceContext> trace = nullptr,
+                bool force_verify = false);
 
   /// Blocks until every submitted command has been applied.
   void Drain();
@@ -129,6 +139,7 @@ class SessionManager {
     std::shared_ptr<TraceContext> trace;
     /// Trace offset at Submit (start of the "admission.wait" span).
     int64_t enqueue_nanos = 0;
+    bool force_verify = false;
   };
 
   /// One resolve request awaiting RunResolve (deferred by coalescing, or
@@ -139,6 +150,29 @@ class SessionManager {
     /// Trace offset when the request was popped (start of the defer span).
     int64_t defer_start_nanos = 0;
     bool deferred = false;
+    bool force_verify = false;
+  };
+
+  /// Cached handles for the solver-health metrics (registry lookups take
+  /// a mutex; resolves happen thousands of times a second).
+  struct SolverMetrics {
+    Counter* pivots = nullptr;
+    Counter* phase1_pivots = nullptr;
+    Counter* phase1_reentries = nullptr;
+    Counter* bland_pivots = nullptr;
+    Counter* dual_pivots = nullptr;
+    Counter* refactorizations = nullptr;
+    Counter* presolve_cols_removed = nullptr;
+    Counter* resolve_cold = nullptr;
+    Counter* resolve_incremental = nullptr;
+    Counter* resolve_cold_fallback = nullptr;
+    Counter* resolve_failures = nullptr;
+    Counter* full_rerounds = nullptr;
+    Counter* drift_rerounds = nullptr;
+    Counter* shard_dual_rounds = nullptr;
+    Gauge* eta_chain = nullptr;
+    Gauge* kept_share_ppm = nullptr;
+    Gauge* shard_gap_ppm = nullptr;
   };
 
   struct Entry {
@@ -154,8 +188,13 @@ class SessionManager {
   /// Runs one Resolve() answering `waiters` deferred resolve requests
   /// plus stats/report bookkeeping. Called with no locks held.
   void RunResolve(Entry* entry, std::vector<ResolveWaiter>* waiters);
+  /// Feeds one resolve outcome into the solver-health metrics (no-op
+  /// without SessionManagerOptions::metrics).
+  void RecordResolveMetrics(const Status& status,
+                            const ResolveReport& report);
 
   SessionManagerOptions options_;
+  SolverMetrics solver_metrics_;
   mutable std::mutex mu_;  ///< guards entries_ growth
   std::vector<std::unique_ptr<Entry>> entries_;
   ThreadPool pool_;

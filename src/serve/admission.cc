@@ -22,7 +22,8 @@ AdmissionQueue::AdmissionQueue(SessionManager* manager,
 
 Status AdmissionQueue::Submit(int session_id, const SessionCommand& command,
                               ApplyCallback done,
-                              std::shared_ptr<TraceContext> trace) {
+                              std::shared_ptr<TraceContext> trace,
+                              bool force_verify) {
   // Reserve the slot first (increment-then-check keeps the bound exact
   // under concurrent submitters: whoever lands past the limit backs out).
   depth_gauge_->Increment();
@@ -56,8 +57,9 @@ Status AdmissionQueue::Submit(int session_id, const SessionCommand& command,
     // the response frame) finishes — in-flight means admit-to-answered.
     depth_gauge_->Decrement();
   };
-  Status submitted = manager_->Submit(session_id, command,
-                                      std::move(wrapped), std::move(trace));
+  Status submitted =
+      manager_->Submit(session_id, command, std::move(wrapped),
+                       std::move(trace), force_verify);
   if (!submitted.ok()) {
     // Rejected before entering any queue: give the slot back.
     depth_gauge_->Decrement();

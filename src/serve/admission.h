@@ -46,10 +46,13 @@ class AdmissionQueue {
   /// a submission error (unknown session). On success `done` (optional)
   /// fires on a worker thread after the command — or the resolve that
   /// coalesced it — completes. `trace`, when given, is handed through to
-  /// the SessionManager, which records the request's spans into it.
+  /// the SessionManager, which records the request's spans into it;
+  /// `force_verify` likewise requests post-solve self-verification of the
+  /// answering resolve (obs/verify.h).
   Status Submit(int session_id, const SessionCommand& command,
                 ApplyCallback done = nullptr,
-                std::shared_ptr<TraceContext> trace = nullptr);
+                std::shared_ptr<TraceContext> trace = nullptr,
+                bool force_verify = false);
 
   /// Commands currently holding a queue slot.
   int64_t depth() const { return depth_gauge_->value(); }

@@ -79,11 +79,13 @@ Result<uint64_t> ServeClient::SendFrame(FrameKind kind, uint32_t session_id,
 
 Result<uint64_t> ServeClient::SendApply(uint32_t session_id,
                                         const SessionCommand& command,
-                                        bool trace) {
+                                        bool trace, bool verify) {
   std::string payload;
   EncodeCommand(command, &payload);
-  return SendFrame(FrameKind::kApply, session_id, payload,
-                   trace ? kFrameFlagTrace : 0);
+  const uint8_t flags =
+      static_cast<uint8_t>((trace ? kFrameFlagTrace : 0) |
+                           (verify ? kFrameFlagVerify : 0));
+  return SendFrame(FrameKind::kApply, session_id, payload, flags);
 }
 
 Result<uint64_t> ServeClient::SendStatus() {
@@ -138,8 +140,9 @@ Result<ServeResponse> ServeClient::ReadResponse() {
 
 Result<ServeResponse> ServeClient::Apply(uint32_t session_id,
                                          const SessionCommand& command,
-                                         bool trace) {
-  SAVG_RETURN_NOT_OK(SendApply(session_id, command, trace).status());
+                                         bool trace, bool verify) {
+  SAVG_RETURN_NOT_OK(
+      SendApply(session_id, command, trace, verify).status());
   return ReadResponse();
 }
 

@@ -47,9 +47,11 @@ class ServeClient {
   /// Each Send* writes one request frame and returns its request id.
   /// `trace` sets kFrameFlagTrace: the server then traces this request
   /// regardless of its sampling rate (GET /trace, slow-query log).
+  /// `verify` sets kFrameFlagVerify: the resolve answering this request is
+  /// self-verified off the hot path (obs/verify.h, verify.* metrics).
   Result<uint64_t> SendApply(uint32_t session_id,
                              const SessionCommand& command,
-                             bool trace = false);
+                             bool trace = false, bool verify = false);
   Result<uint64_t> SendStatus();
   Result<uint64_t> SendPing();
   Result<uint64_t> SendShutdown();
@@ -60,7 +62,7 @@ class ServeClient {
   /// Send + receive one apply (no pipelining).
   Result<ServeResponse> Apply(uint32_t session_id,
                               const SessionCommand& command,
-                              bool trace = false);
+                              bool trace = false, bool verify = false);
 
   /// Fetches the server's status JSON (send + receive).
   Result<std::string> FetchStatus();

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -54,10 +55,25 @@ void AppendJsonEscaped(const std::string& text, std::ostream* out) {
 
 }  // namespace
 
+namespace {
+
+HealthOptions ResolveHealthOptions(const ServerOptions& options) {
+  HealthOptions health = options.health;
+  if (health.queue_capacity == 0) {
+    health.queue_capacity = options.admission.max_queue_depth;
+  }
+  return health;
+}
+
+}  // namespace
+
 ServeServer::ServeServer(ServerOptions options)
     : options_(options),
+      timeseries_(&metrics_, TimeSeriesOptions{options.metrics_windows}),
+      health_(ResolveHealthOptions(options)),
+      verifier_(&metrics_, options.verify),
       manager_(SessionManagerOptions{options.num_workers,
-                                     options.coalesce_resolves}),
+                                     options.coalesce_resolves, &metrics_}),
       admission_(&manager_, &metrics_, options.admission),
       tracer_(&metrics_, options.trace) {}
 
@@ -65,6 +81,7 @@ ServeServer::~ServeServer() { Shutdown(); }
 
 int ServeServer::CreateSession(SvgicInstance instance,
                                SessionOptions options) {
+  options.verifier = &verifier_;
   return manager_.CreateSession(std::move(instance), options);
 }
 
@@ -102,12 +119,35 @@ Status ServeServer::Start() {
   }
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.metrics_interval_seconds > 0.0) {
+    capture_thread_ = std::thread([this] {
+      const auto interval = std::chrono::duration<double>(
+          options_.metrics_interval_seconds);
+      std::unique_lock<std::mutex> lock(capture_mu_);
+      while (!capture_stop_) {
+        if (capture_cv_.wait_for(lock, interval,
+                                 [this] { return capture_stop_; })) {
+          break;
+        }
+        lock.unlock();
+        CaptureMetricsWindow();
+        lock.lock();
+      }
+    });
+  }
   LogEvent(LogLevel::kInfo, "serve.listen",
            LogFields()
                .Add("port", port_)
                .Add("trace_sample", options_.trace.sample_every)
-               .Add("slow_ms", options_.trace.slow_seconds * 1000.0));
+               .Add("slow_ms", options_.trace.slow_seconds * 1000.0)
+               .Add("metrics_interval_s", options_.metrics_interval_seconds)
+               .Add("verify_sample", options_.verify.sample_every));
   return Status::OK();
+}
+
+void ServeServer::CaptureMetricsWindow(double interval_seconds) {
+  timeseries_.CaptureNow(interval_seconds);
+  health_.Evaluate(timeseries_.Aggregate(1));
 }
 
 void ServeServer::AcceptLoop() {
@@ -174,6 +214,7 @@ void ServeServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       std::shared_ptr<TraceContext> trace =
           tracer_.Sample((header.flags & kFrameFlagTrace) != 0, request_id,
                          session_id, command_name);
+      const bool force_verify = (header.flags & kFrameFlagVerify) != 0;
       Timer request_timer;
       Status admitted = admission_.Submit(
           static_cast<int>(session_id), *command,
@@ -209,7 +250,7 @@ void ServeServer::HandleFrame(const std::shared_ptr<Connection>& conn,
                       status.ok() ? FrameKind::kOk : FrameKind::kError,
                       request_id, session_id, body);
           },
-          trace);
+          trace, force_verify);
       if (!admitted.ok()) {
         ApplyResult rejected;
         rejected.code = admitted.code();
@@ -354,7 +395,29 @@ void ServeServer::ServeHttp(const std::shared_ptr<Connection>& conn,
     status_line = "HTTP/1.0 405 Method Not Allowed";
     body = "{\"error\": \"only GET is served here\"}";
   } else if (path == "/metrics") {
-    body = metrics_.JsonDump();
+    // GET /metrics?window=N: rates + windowed p50/p99 aggregated over the
+    // last N capture windows; without the parameter, the lifetime dump.
+    long window = 0;
+    std::istringstream params(query);
+    std::string param;
+    while (std::getline(params, param, '&')) {
+      if (param.rfind("window=", 0) == 0) {
+        window = std::atol(param.c_str() + 7);
+      }
+    }
+    body = window > 0
+               ? timeseries_.Aggregate(static_cast<int>(window)).JsonDump()
+               : metrics_.JsonDump();
+  } else if (path == "/metrics.prom") {
+    content_type = "text/plain; version=0.0.4";
+    body = metrics_.PrometheusDump();
+  } else if (path == "/health") {
+    // Load balancers speak status codes: ok/degraded still serve traffic
+    // (200); unhealthy means stop sending it (503).
+    if (health_.verdict().level == HealthLevel::kUnhealthy) {
+      status_line = "HTTP/1.0 503 Service Unavailable";
+    }
+    body = health_.JsonDump();
   } else if (path == "/trace") {
     // GET /trace?last=N[&format=text]: the N most recent finished traces,
     // as Chrome trace-event JSON (Perfetto-loadable) or an indented tree.
@@ -381,7 +444,9 @@ void ServeServer::ServeHttp(const std::shared_ptr<Connection>& conn,
     body = StatusJson();
   } else {
     status_line = "HTTP/1.0 404 Not Found";
-    body = "{\"error\": \"try /status, /metrics or /trace\"}";
+    body =
+        "{\"error\": \"try /status, /metrics, /metrics.prom, /health or "
+        "/trace\"}";
   }
   std::ostringstream response;
   response << status_line << "\r\n"
@@ -428,7 +493,8 @@ std::string ServeServer::StatusJson() {
       << ", \"admitted\": " << admission_.admitted_count()
       << ", \"shed\": " << admission_.shed_count()
       << ", \"coalesce_ratio\": " << (total > 0 ? coalesced / total : 0.0)
-      << "}, " << metrics_.JsonDump().substr(1);
+      << "}, \"health\": " << health_.JsonDump() << ", "
+      << metrics_.JsonDump().substr(1);
   return out.str();
 }
 
@@ -449,6 +515,12 @@ void ServeServer::WaitForShutdown() {
 
 void ServeServer::Shutdown() {
   RequestShutdown();
+  {
+    std::lock_guard<std::mutex> lock(capture_mu_);
+    capture_stop_ = true;
+  }
+  capture_cv_.notify_all();
+  if (capture_thread_.joinable()) capture_thread_.join();
   if (!running_.exchange(false)) {
     // Never started (or already shut down): nothing to unwind.
     if (listen_fd_ >= 0) {
@@ -456,6 +528,7 @@ void ServeServer::Shutdown() {
       listen_fd_ = -1;
     }
     manager_.Drain();
+    verifier_.Flush();
     return;
   }
   // Break the accept loop, then every reader loop, then wait for all
@@ -483,6 +556,9 @@ void ServeServer::Shutdown() {
     if (t.joinable()) t.join();
   }
   manager_.Drain();
+  // Pending verifications finish before the final metrics dump so
+  // verify.pass/fail are complete at quiesce.
+  verifier_.Flush();
 }
 
 }  // namespace savg

@@ -16,9 +16,12 @@
 // A minimal HTTP/JSON front-end rides on the same dispatch: a connection
 // whose first bytes are not the frame magic is treated as HTTP/1.0 and
 // can GET /status (sessions + admission stats + metrics JSON), /metrics
-// (MetricsRegistry dump), or /trace?last=N (recent request traces as
-// Chrome trace-event JSON; &format=text renders a span tree) — handy for
-// curl / dashboards while the binary protocol carries the traffic.
+// (MetricsRegistry dump; ?window=N returns the windowed time-series
+// aggregate instead), /metrics.prom (Prometheus text exposition),
+// /health (the rule-engine verdict; 503 when unhealthy), or
+// /trace?last=N (recent request traces as Chrome trace-event JSON;
+// &format=text renders a span tree) — handy for curl / dashboards while
+// the binary protocol carries the traffic.
 //
 // Observability: every apply request can carry the kFrameFlagTrace wire
 // flag (or land in the Tracer's 1-in-N sample) and then collects a
@@ -42,7 +45,10 @@
 #include <vector>
 
 #include "metrics/registry.h"
+#include "metrics/timeseries.h"
+#include "obs/health.h"
 #include "obs/tracer.h"
+#include "obs/verify.h"
 #include "online/session_manager.h"
 #include "serve/admission.h"
 #include "serve/wire.h"
@@ -60,6 +66,16 @@ struct ServerOptions {
   AdmissionOptions admission;
   /// Request tracing: sampling, slow-query log, /trace ring buffer.
   TracerOptions trace;
+  /// Time-series metrics capture cadence (seconds); <= 0 disables the
+  /// capture thread (tests drive CaptureMetricsWindow() directly).
+  double metrics_interval_seconds = 1.0;
+  /// Capture ring size (windows retained for GET /metrics?window=N).
+  int metrics_windows = 256;
+  /// Health rule thresholds; queue_capacity is wired from
+  /// admission.max_queue_depth automatically when left 0.
+  HealthOptions health;
+  /// Sampled post-solve self-verification (obs/verify.h).
+  VerifierOptions verify;
 };
 
 class ServeServer {
@@ -88,10 +104,19 @@ class ServeServer {
   MetricsRegistry& metrics() { return metrics_; }
   AdmissionQueue& admission() { return admission_; }
   Tracer& tracer() { return tracer_; }
+  MetricsTimeSeries& timeseries() { return timeseries_; }
+  HealthMonitor& health() { return health_; }
+  SolutionVerifier& verifier() { return verifier_; }
 
   /// The status command's JSON: per-session stats + admission counters +
   /// a full metrics snapshot.
   std::string StatusJson();
+
+  /// Captures one time-series window and evaluates the health rules
+  /// against it. The capture thread calls this every
+  /// metrics_interval_seconds; tests call it directly (with an explicit
+  /// interval to make windowed rates deterministic).
+  void CaptureMetricsWindow(double interval_seconds = -1.0);
 
  private:
   /// One client connection; shared with in-flight completion callbacks,
@@ -117,6 +142,11 @@ class ServeServer {
 
   ServerOptions options_;
   MetricsRegistry metrics_;
+  MetricsTimeSeries timeseries_;
+  HealthMonitor health_;
+  // The verifier must outlive manager_: sessions keep a pointer to it and
+  // the manager's destructor drains their pending resolves.
+  SolutionVerifier verifier_;
   SessionManager manager_;
   AdmissionQueue admission_;
   Tracer tracer_;
@@ -125,6 +155,12 @@ class ServeServer {
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
+
+  /// Periodic metrics capture (only when metrics_interval_seconds > 0).
+  std::thread capture_thread_;
+  std::mutex capture_mu_;
+  std::condition_variable capture_cv_;
+  bool capture_stop_ = false;
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

@@ -17,7 +17,9 @@
 // first deployment; it now carries per-request flags. Old clients send 0
 // (no flags) and old servers reject any nonzero bit, so the repurposing
 // is compatible in both directions. kFrameFlagTrace asks the server to
-// force-collect a request trace (src/obs/) regardless of its sample rate.
+// force-collect a request trace (src/obs/) regardless of its sample rate;
+// kFrameFlagVerify asks for post-solve self-verification of the resolve
+// answering this request (obs/verify.h) regardless of its sample rate.
 //
 // all little-endian. Request payloads: kApply carries exactly one encoded
 // SessionCommand (serve/session_command.h — the same canonical bytes the
@@ -66,8 +68,9 @@ enum class FrameKind : uint8_t {
 const char* FrameKindName(FrameKind kind);
 
 /// Frame flag bits (header byte 6).
-constexpr uint8_t kFrameFlagTrace = 0x01;  ///< force-trace this request
-constexpr uint8_t kKnownFrameFlags = kFrameFlagTrace;
+constexpr uint8_t kFrameFlagTrace = 0x01;   ///< force-trace this request
+constexpr uint8_t kFrameFlagVerify = 0x02;  ///< force-verify the resolve
+constexpr uint8_t kKnownFrameFlags = kFrameFlagTrace | kFrameFlagVerify;
 
 struct FrameHeader {
   uint8_t version = kWireVersion;

@@ -8,6 +8,7 @@
 #include "lp/branch_and_bound.h"
 #include "lp/capped_simplex.h"
 #include "lp/dense_matrix.h"
+#include "lp/kkt.h"
 #include "lp/lp_model.h"
 #include "lp/presolve.h"
 #include "lp/simplex.h"
@@ -878,54 +879,17 @@ TEST(BranchAndBoundTest, NodeLimitReturnsIncumbentUnproven) {
 
 // --- Presolve / postsolve --------------------------------------------------
 
-/// KKT sign check of LpSolution::dual_values against the model: reduced
-/// costs must price every variable consistently with its position, and
-/// inequality duals must carry the right sign with complementary
-/// slackness on their rows.
+/// KKT check of LpSolution::dual_values against the model, delegated to
+/// the shared audit behind the serving self-verifier (lp/kkt.h) so the
+/// tests and the production checker enforce the same conditions.
 void CheckDualKkt(const LpModel& m, const LpSolution& sol, double tol) {
   ASSERT_EQ(static_cast<int>(sol.dual_values.size()), m.num_rows());
-  const double sense = m.maximize() ? 1.0 : -1.0;
-  // Row activities for complementary slackness.
-  std::vector<double> activity(m.num_rows(), 0.0);
-  for (int i = 0; i < m.num_rows(); ++i) {
-    for (const LpTerm& t : m.row(i).terms) {
-      activity[i] += t.coef * sol.x[t.var];
-    }
-    const double y = sense * sol.dual_values[i];  // maximize orientation
-    const double slack = m.row(i).rhs - activity[i];
-    switch (m.row(i).type) {
-      case RowType::kLessEqual:
-        EXPECT_GE(y, -tol) << "row " << i;
-        if (slack > 1e-5) EXPECT_NEAR(y, 0.0, tol) << "row " << i;
-        break;
-      case RowType::kGreaterEqual:
-        EXPECT_LE(y, tol) << "row " << i;
-        if (slack < -1e-5) EXPECT_NEAR(y, 0.0, tol) << "row " << i;
-        break;
-      case RowType::kEqual:
-        break;  // sign-free
-    }
-  }
-  for (int j = 0; j < m.num_vars(); ++j) {
-    double d = m.objective(j);
-    for (int i = 0; i < m.num_rows(); ++i) {
-      for (const LpTerm& t : m.row(i).terms) {
-        if (t.var == j) d -= sol.dual_values[i] * t.coef;
-      }
-    }
-    d *= sense;  // maximize orientation: <= 0 at lower, >= 0 at upper
-    const double x = sol.x[j];
-    const bool at_lower = x <= m.lower(j) + 1e-6;
-    const bool at_upper =
-        std::isfinite(m.upper(j)) && x >= m.upper(j) - 1e-6;
-    if (at_lower && !at_upper) {
-      EXPECT_LE(d, tol) << "var " << j;
-    } else if (at_upper && !at_lower) {
-      EXPECT_GE(d, -tol) << "var " << j;
-    } else if (!at_lower && !at_upper) {
-      EXPECT_NEAR(d, 0.0, tol) << "var " << j;
-    }
-  }
+  const KktReport report = CheckLpKkt(m, sol.x, sol.dual_values);
+  EXPECT_LE(report.max_dual_sign_violation, tol);
+  EXPECT_LE(report.max_complementary_slackness, tol);
+  EXPECT_LE(report.max_reduced_cost_violation, tol);
+  EXPECT_TRUE(report.Ok(std::max(tol, 1e-6)))
+      << "max violation " << report.MaxViolation();
 }
 
 TEST(PresolveTest, PostsolveEquivalenceOnRandomLps) {

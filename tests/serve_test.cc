@@ -106,16 +106,16 @@ TEST(WireTest, HeaderRejectsMalformedFields) {
     bad[5] = 77;
     EXPECT_FALSE(ParseFrameHeader(bad.data(), bad.size()).ok());
   }
-  {  // Byte 6 is the flags byte now: the trace flag parses...
+  {  // Byte 6 is the flags byte now: the known flags parse...
     std::string flagged = frame;
-    flagged[6] = static_cast<char>(kFrameFlagTrace);
+    flagged[6] = static_cast<char>(kFrameFlagTrace | kFrameFlagVerify);
     auto header = ParseFrameHeader(flagged.data(), flagged.size());
     ASSERT_TRUE(header.ok()) << header.status();
-    EXPECT_EQ(header->flags, kFrameFlagTrace);
+    EXPECT_EQ(header->flags, kFrameFlagTrace | kFrameFlagVerify);
   }
   {  // ...but unknown flag bits are still rejected (forward compat).
     std::string bad = frame;
-    bad[6] = 0x02;
+    bad[6] = 0x04;
     EXPECT_FALSE(ParseFrameHeader(bad.data(), bad.size()).ok());
   }
   {  // Nonzero reserved byte.
@@ -835,6 +835,206 @@ TEST(ServeTraceTest, SpanStructureIsIdenticalAcrossWorkerCounts) {
   ASSERT_EQ(one.size(), 15u);  // 3 rounds x (4 mutations + 1 resolve)
   EXPECT_EQ(RunTracedStream(2), one);
   EXPECT_EQ(RunTracedStream(4), one);
+}
+
+// --- Windowed metrics, health, self-verification over the wire -------------
+
+TEST(ServeServerTest, HttpServesHealthAndWindowedMetrics) {
+  ServerOptions options;
+  options.metrics_interval_seconds = 0;  // captures driven by the test
+  ServeServer server(options);
+  const int session =
+      server.CreateSession(RandomInstance(8, 12, 2, 0.5, 51));
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Apply(session, MakePref(0, 1, 0.8)).ok());
+  auto resolve = client.Apply(session, MakeResolve());
+  ASSERT_TRUE(resolve.ok());
+  server.CaptureMetricsWindow(/*interval_seconds=*/1.0);
+
+  {  // /health: 200 + ok verdict on a quiet server.
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /health HTTP/1.0\r\n\r\n"));
+    const std::string response = conn.ReadAll();
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("\"status\": \"ok\""), std::string::npos);
+  }
+  {  // /metrics?window=1: the windowed aggregate, not the lifetime dump.
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /metrics?window=1 HTTP/1.0\r\n\r\n"));
+    const std::string response = conn.ReadAll();
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("\"windows\": 1"), std::string::npos);
+    // The window saw the two applies: delta 2 at 2/s over the 1s window.
+    EXPECT_NE(response.find("{\"name\": \"serve.admitted\", \"delta\": 2, "
+                            "\"rate\": 2}"),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("serve.latency.resolve"), std::string::npos);
+  }
+  {  // /metrics.prom: Prometheus text exposition.
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /metrics.prom HTTP/1.0\r\n\r\n"));
+    const std::string response = conn.ReadAll();
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(response.find("# TYPE savg_serve_admitted counter"),
+              std::string::npos);
+    EXPECT_NE(
+        response.find("savg_serve_latency_resolve_seconds_bucket{le="),
+        std::string::npos);
+  }
+  // /status carries the health verdict alongside the metrics splice.
+  auto status_json = client.FetchStatus();
+  ASSERT_TRUE(status_json.ok());
+  EXPECT_NE(status_json->find("\"health\": {\"status\": \"ok\""),
+            std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServeServerTest, QueueDepthGaugeReturnsToZeroAfterAllPaths) {
+  // Regression for the serve.queue_depth gauge accounting: sheds must
+  // back out their increment, submit errors must return the reserved
+  // slot, and completions must decrement — after a mix of all three
+  // plus shutdown, the gauge must read exactly zero.
+  ServerOptions options;
+  options.num_workers = 1;
+  options.admission.max_queue_depth = 4;
+  options.metrics_interval_seconds = 0;
+  ServeServer server(options);
+  const int session =
+      server.CreateSession(RandomInstance(10, 16, 3, 0.5, 53));
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Shed path: open-loop burst far past the bound.
+  constexpr int kBurst = 48;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.SendApply(session, MakeResolve()).ok());
+  }
+  int overloaded = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto response = client.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status();
+    if (response->kind == FrameKind::kOverloaded) ++overloaded;
+  }
+  EXPECT_GT(overloaded, 0);
+
+  // Submit-error path: unknown session returns the reserved slot.
+  auto bad_session = client.Apply(99, MakeResolve());
+  ASSERT_TRUE(bad_session.ok());
+  EXPECT_EQ(bad_session->kind, FrameKind::kError);
+  // Command-error path: invalid mutation completes with an error status.
+  auto bad_mutation = client.Apply(session, MakePref(500, 0, 0.5));
+  ASSERT_TRUE(bad_mutation.ok());
+  EXPECT_EQ(bad_mutation->kind, FrameKind::kError);
+
+  server.manager().Drain();
+  EXPECT_EQ(server.admission().depth(), 0u);
+  EXPECT_EQ(server.metrics().GetGauge("serve.queue_depth")->value(), 0);
+
+  server.Shutdown();
+  EXPECT_EQ(server.metrics().GetGauge("serve.queue_depth")->value(), 0);
+}
+
+TEST(ServeServerTest, InjectedVerifyFailureFlipsHealthEndToEnd) {
+  // The tentpole e2e: a forced self-verification failure must flip
+  // GET /health to 503/unhealthy within one capture window, and clean
+  // windows must recover it — all through real sockets.
+  ServerOptions options;
+  options.metrics_interval_seconds = 0;  // captures driven by the test
+  options.verify.sample_every = 0;       // only wire-flagged requests
+  ServeServer server(options);
+  const int session =
+      server.CreateSession(RandomInstance(10, 16, 3, 0.5, 55));
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // A verified resolve on a healthy solver passes.
+  auto ok_resolve = client.Apply(session, MakeResolve(), /*trace=*/false,
+                                 /*verify=*/true);
+  ASSERT_TRUE(ok_resolve.ok()) << ok_resolve.status();
+  EXPECT_EQ(ok_resolve->kind, FrameKind::kOk);
+  server.verifier().Flush();
+  EXPECT_EQ(server.metrics().GetCounter("verify.pass")->value(), 1);
+  EXPECT_EQ(server.metrics().GetCounter("verify.fail")->value(), 0);
+  server.CaptureMetricsWindow(1.0);
+  {
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /health HTTP/1.0\r\n\r\n"));
+    EXPECT_NE(conn.ReadAll().find("200 OK"), std::string::npos);
+  }
+
+  // Inject a fault: the next verified resolve fails its self-check and
+  // the following window trips the verdict straight to unhealthy.
+  server.verifier().InjectFailures(true);
+  ASSERT_TRUE(client
+                  .Apply(session, MakeResolve(), /*trace=*/false,
+                         /*verify=*/true)
+                  .ok());
+  server.verifier().Flush();
+  EXPECT_EQ(server.metrics().GetCounter("verify.fail")->value(), 1);
+  server.CaptureMetricsWindow(1.0);
+  {
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /health HTTP/1.0\r\n\r\n"));
+    const std::string response = conn.ReadAll();
+    EXPECT_NE(response.find("503"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"status\": \"unhealthy\""),
+              std::string::npos);
+    EXPECT_NE(response.find("\"verify_failure\""), std::string::npos);
+  }
+
+  // Clear the fault: recover_after clean windows restore the verdict.
+  server.verifier().InjectFailures(false);
+  server.CaptureMetricsWindow(1.0);
+  server.CaptureMetricsWindow(1.0);
+  {
+    RawConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()));
+    ASSERT_TRUE(conn.Send("GET /health HTTP/1.0\r\n\r\n"));
+    const std::string response = conn.ReadAll();
+    EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"status\": \"ok\""), std::string::npos);
+  }
+  server.Shutdown();
+}
+
+TEST(ServeServerTest, SampledVerificationPassesOnACommandStream) {
+  // With 1-in-1 sampling every resolve self-verifies; a healthy solver
+  // must pass all of them (monolithic KKT audits included).
+  ServerOptions options;
+  options.metrics_interval_seconds = 0;
+  options.verify.sample_every = 1;
+  ServeServer server(options);
+  const int session =
+      server.CreateSession(RandomInstance(10, 16, 3, 0.5, 57));
+  ASSERT_TRUE(server.Start().ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          client.Apply(session, MakePref((round + i) % 10, i % 16, 0.6))
+              .ok());
+    }
+    auto resolve = client.Apply(session, MakeResolve());
+    ASSERT_TRUE(resolve.ok());
+    EXPECT_EQ(resolve->kind, FrameKind::kOk);
+  }
+  server.verifier().Flush();
+  EXPECT_EQ(server.metrics().GetCounter("verify.fail")->value(), 0);
+  EXPECT_GE(server.metrics().GetCounter("verify.pass")->value(), 4);
+  server.Shutdown();
 }
 
 TEST(ServeServerTest, ShutdownFrameStopsTheServer) {
