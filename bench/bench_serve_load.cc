@@ -39,6 +39,15 @@
 // paired "(verified)" / "(unverified)" metrics gate self-verification
 // overhead at 2%.
 //
+// A separate in-process durability phase (skipped against an external
+// server; `--durability-only` runs just this phase) measures the closed-loop
+// cost of the changelog under fsync=never / on-resolve / every-command
+// against a no-durability baseline, then times snapshot-based recovery vs a
+// cold full replay of the same data_dir and cross-checks their state
+// digests. The paired "(fsync-resolve)" / "(no-durability)" metrics feed
+// the CI durability gate (fsync-on-resolve must stay within 15% of the
+// volatile closed loop).
+//
 // By default the server runs in-process on an ephemeral port; --port=
 // targets an external svgic_serverd instead (the CI e2e demo), and
 // --shutdown-server ends that server's lifecycle with a kShutdown frame.
@@ -47,8 +56,13 @@
 //                    [--mutations=M] [--resolves=B] [--burst=N]
 //                    [--users=U] [--items=I] [--queue-depth=D]
 //                    [--ab-reps=K] [--json=path] [--shutdown-server]
+//                    [--durability-only]
+
+#include <dirent.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <random>
@@ -58,6 +72,10 @@
 
 #include "bench_util.h"
 #include "datagen/datasets.h"
+#include "durability/recovery.h"
+#include "durability/session_store.h"
+#include "durability/snapshot.h"
+#include "online/session.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "util/stats.h"
@@ -82,6 +100,8 @@ struct LoadConfig {
   int items = 40;
   int64_t queue_depth = 256;  ///< in-process server only
   bool shutdown_server = false;
+  /// Run only the in-process durability phase (its own perf_*.json).
+  bool durability_only = false;
   uint64_t seed = 17;
 };
 
@@ -374,7 +394,235 @@ void AddPhaseRow(Table* t, const std::string& name, double wall,
       .Add(stats.errors);
 }
 
+/// rm -rf for the bench durability scratch directories (stale epoch files
+/// from a previous run would skew the recovery rows).
+void RemoveTreeRecursive(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string child = path + "/" + name;
+    if (::unlink(child.c_str()) != 0) RemoveTreeRecursive(child);
+  }
+  ::closedir(dir);
+  ::rmdir(path.c_str());
+}
+
+/// The command stream every durability arm replays: the same mutation mix
+/// as the serving phases, one resolve per mutation burst. Twice the
+/// serving rounds so the closed loop comfortably clears the perf gate's
+/// noise floor.
+CommandLog BuildDurabilityStream(const LoadConfig& config) {
+  CommandLog log;
+  std::mt19937_64 rng(config.seed + 31);
+  for (int round = 0; round < 2 * config.rounds; ++round) {
+    for (int i = 0; i < config.mutations_per_round; ++i) {
+      log.push_back(RandomMutation(config, &rng));
+    }
+    log.push_back(MakeResolve());
+  }
+  return log;
+}
+
+struct DurabilityArmResult {
+  double wall = 0.0;
+  int64_t appends = 0;
+  int64_t fsyncs = 0;
+  int64_t snapshots = 0;
+};
+
+/// One closed-loop durability arm: a direct in-process Session (no
+/// sockets/threads — the arms differ only in the journal's fsync policy,
+/// so the wire stack would just add shared noise) applying the shared
+/// stream. `durability` == nullptr is the no-journal baseline. The cold
+/// first solve is identical across arms and kept out of the timer, like
+/// the serving phases' warm-up. Snapshots run in-band exactly as the
+/// SessionManager drives them.
+Result<DurabilityArmResult> RunDurabilityArm(const SvgicInstance& inst,
+                                             const CommandLog& log,
+                                             const DurabilityOptions* durability,
+                                             uint64_t seed) {
+  MetricsRegistry registry;
+  SessionOptions session_options;
+  session_options.seed = seed;
+  Session session(inst, session_options);
+  std::unique_ptr<SessionStore> store;
+  SessionJournal* journal = nullptr;
+  if (durability != nullptr) {
+    store = std::make_unique<SessionStore>(*durability, &registry);
+    auto attached = store->Attach(0, session);
+    SAVG_RETURN_NOT_OK(attached.status());
+    journal = *attached;
+    session.set_journal(journal);
+  }
+  SAVG_RETURN_NOT_OK(session.Apply(MakeResolve()).status());
+  Timer timer;
+  for (const SessionCommand& command : log) {
+    SAVG_RETURN_NOT_OK(session.Apply(command).status());
+    if (journal != nullptr && journal->ShouldSnapshot()) {
+      SAVG_RETURN_NOT_OK(journal->TakeSnapshot(session));
+    }
+  }
+  DurabilityArmResult result;
+  result.wall = timer.ElapsedSeconds();
+  result.appends = registry.GetCounter("durability.appends")->value();
+  result.fsyncs = registry.GetCounter("durability.fsyncs")->value();
+  result.snapshots = registry.GetCounter("durability.snapshots")->value();
+  // The arm ends crash-like: no Flush(), no final snapshot — the recovery
+  // rows below then measure a real post-kill replay, not an empty one.
+  return result;
+}
+
+struct RecoveryTiming {
+  double seconds = 0.0;
+  uint64_t replayed = 0;
+  uint64_t applied_seq = 0;
+  uint64_t digest = 0;
+};
+
+Result<RecoveryTiming> TimeRecovery(const std::string& data_dir, bool cold) {
+  RecoveryOptions options;
+  options.cold_replay = cold;
+  RecoveryManager manager(data_dir, SessionOptions{}, options);
+  Timer timer;
+  auto recovered = manager.RecoverSession(0);
+  SAVG_RETURN_NOT_OK(recovered.status());
+  RecoveryTiming timing;
+  timing.seconds = timer.ElapsedSeconds();
+  timing.replayed = recovered->replayed_commands;
+  timing.applied_seq = recovered->applied_seq;
+  timing.digest = SessionStateDigest(recovered->session->CaptureState());
+  return timing;
+}
+
+/// The durability phase: closed-loop walls across fsync policies against a
+/// no-durability baseline, then snapshot recovery vs cold full replay of
+/// the fsync-resolve arm's data_dir (with a digest cross-check). In-process
+/// only — against an external server the journal lives out of reach.
+int RunDurabilityPhase(const LoadConfig& config) {
+  DatasetParams params;
+  params.kind = DatasetKind::kTimik;
+  params.num_users = config.users;
+  params.num_items = config.items;
+  params.num_slots = 3;
+  params.lambda = 0.5;
+  params.seed = config.seed;
+  auto inst = GenerateDataset(params);
+  if (!inst.ok()) {
+    std::cerr << inst.status() << "\n";
+    return 1;
+  }
+  const CommandLog log = BuildDurabilityStream(config);
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string root =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+      "/savg_bench_durability";
+  RemoveTreeRecursive(root);
+
+  struct Arm {
+    const char* label;
+    bool durable;
+    FsyncPolicy::Mode mode;
+  };
+  const Arm arms[] = {
+      {"no-durability", false, FsyncPolicy::Mode::kNever},
+      {"fsync-never", true, FsyncPolicy::Mode::kNever},
+      {"fsync-resolve", true, FsyncPolicy::Mode::kOnResolve},
+      {"fsync-command", true, FsyncPolicy::Mode::kEveryN},
+  };
+  // Every arm applies the identical deterministic stream, so run-to-run
+  // spread is pure machine noise (scheduler, CPU frequency, page cache) on
+  // ~0.3s walls — big enough to flip the 1.15x gate. Round-robin the arms
+  // across a few reps (a slow stretch of machine hits all arms, not one)
+  // and keep each arm's MIN wall, the least-noise estimate of its cost.
+  constexpr int kReps = 3;
+  constexpr int kNumArms = static_cast<int>(sizeof(arms) / sizeof(arms[0]));
+  double best_wall[kNumArms];
+  DurabilityArmResult counters[kNumArms];
+  std::fill(best_wall, best_wall + kNumArms, 1e300);
+  std::string resolve_dir;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int a = 0; a < kNumArms; ++a) {
+      const Arm& arm = arms[a];
+      DurabilityOptions durability;
+      durability.data_dir = root + "/" + arm.label;
+      durability.fsync.mode = arm.mode;
+      durability.fsync.every_n = 1;
+      durability.snapshot_interval_seconds = 0.0;
+      durability.snapshot_every_commands = 64;
+      if (arm.mode == FsyncPolicy::Mode::kOnResolve) {
+        resolve_dir = durability.data_dir;
+      }
+      // Fresh directory per rep; the last rep's files stay on disk for the
+      // recovery rows below.
+      RemoveTreeRecursive(durability.data_dir);
+      auto result = RunDurabilityArm(*inst, log,
+                                     arm.durable ? &durability : nullptr,
+                                     config.seed);
+      if (!result.ok()) {
+        std::cerr << "durability arm " << arm.label << ": "
+                  << result.status() << "\n";
+        return 1;
+      }
+      best_wall[a] = std::min(best_wall[a], result->wall);
+      counters[a] = *result;
+    }
+  }
+  Table t({"durability", "commands", "wall (s)", "cmd/s", "appends",
+           "fsyncs", "snapshots"});
+  for (int a = 0; a < kNumArms; ++a) {
+    t.NewRow()
+        .Add(std::string(arms[a].label))
+        .Add(static_cast<int64_t>(log.size()))
+        .Add(FormatDouble(best_wall[a], 3))
+        .Add(FormatDouble(static_cast<double>(log.size()) / best_wall[a], 0))
+        .Add(counters[a].appends)
+        .Add(counters[a].fsyncs)
+        .Add(counters[a].snapshots);
+    benchutil::RecordMetric(
+        std::string("serve durability | closed loop (") + arms[a].label + ")",
+        best_wall[a]);
+  }
+  t.Print("Durability closed loop: " + std::to_string(log.size()) +
+          " commands, snapshot every 64, min of " + std::to_string(kReps) +
+          " reps");
+
+  // Recovery of the fsync-resolve arm's directory, ended crash-like above:
+  // warm (newest valid snapshot + tail replay) vs cold (oldest retained
+  // snapshot, maximal replay). Both must land on the same state digest —
+  // the snapshot fast-path may not lose anything.
+  auto warm = TimeRecovery(resolve_dir, /*cold=*/false);
+  auto cold = TimeRecovery(resolve_dir, /*cold=*/true);
+  if (!warm.ok() || !cold.ok()) {
+    std::cerr << "recovery failed: "
+              << (!warm.ok() ? warm.status() : cold.status()) << "\n";
+    return 1;
+  }
+  std::cout << "recovery: warm " << FormatDouble(warm->seconds * 1000, 2)
+            << "ms (" << warm->replayed << " replayed), cold replay "
+            << FormatDouble(cold->seconds * 1000, 2) << "ms ("
+            << cold->replayed << " replayed), applied_seq "
+            << warm->applied_seq << "\n";
+  if (warm->digest != cold->digest) {
+    std::cerr << "recovery digest mismatch: warm != cold replay — the "
+                 "snapshot fast-path diverged from full replay\n";
+    return 1;
+  }
+  benchutil::RecordMetric("serve durability | recovery (warm)",
+                          warm->seconds);
+  benchutil::RecordMetric("serve durability | recovery (cold replay)",
+                          cold->seconds);
+  return 0;
+}
+
 int RunLoad(LoadConfig config) {
+  if (config.durability_only) {
+    const int rc = RunDurabilityPhase(config);
+    benchutil::WriteJsonMetrics();
+    return rc;
+  }
+  const bool external_server = config.port != 0;
   // In-process server unless --port= points at an external svgic_serverd.
   std::unique_ptr<ServeServer> local;
   if (config.port == 0) {
@@ -552,9 +800,15 @@ int RunLoad(LoadConfig config) {
   benchutil::RecordMetric("serve load | flash crowd shed responses",
                           static_cast<double>(flash.overloaded));
   benchutil::RecordMetric("serve load | coalesce ratio", coalesce_ratio);
+
+  // Durability arms run in-process only: against an external server the
+  // journal (and its data_dir) lives in the server process, out of reach.
+  int durability_rc = 0;
+  if (!external_server) durability_rc = RunDurabilityPhase(config);
   benchutil::WriteJsonMetrics();
 
   if (local != nullptr) local->Shutdown();
+  if (durability_rc != 0) return durability_rc;
   // A flash crowd that never sheds means the admission bound was not
   // exercised — fail loudly so CI notices a broken demo, not a green run.
   if (config.burst > 0 && flash.overloaded == 0) {
@@ -632,6 +886,8 @@ int main(int argc, char** argv) {
       savg::benchutil::JsonPath() = arg + 7;
     } else if (std::strcmp(arg, "--shutdown-server") == 0) {
       config.shutdown_server = true;
+    } else if (std::strcmp(arg, "--durability-only") == 0) {
+      config.durability_only = true;
     } else {
       std::cerr << "unknown flag " << arg << "\n";
       return 2;

@@ -27,6 +27,18 @@
 //   --metrics_windows=N    capture windows retained (default 256)
 //   --verify_sample=N      self-verify 1 in N resolves (default 16; 0 =
 //                    only requests carrying the wire verify flag)
+//   --data_dir=DIR   session durability root (default: none = volatile).
+//                    When DIR already holds session state, startup RECOVERS
+//                    every persisted session (snapshot + changelog replay)
+//                    instead of creating fresh ones — restart after a crash
+//                    with the same flags and the sessions resume where the
+//                    journal left them.
+//   --fsync_policy=P changelog fsync policy: never | command | every:N |
+//                    interval:MS | resolve (default resolve)
+//   --snapshot_interval=S  snapshot at most every S seconds per session
+//                    (default 30; 0 disables the timer trigger)
+//   --snapshot_every=N     snapshot after N commands per session
+//                    (default 1024; 0 disables the count trigger)
 //
 // On shutdown the final MetricsRegistry dump goes to stdout, so a scripted
 // run captures per-command latency, queue depth, coalesce ratio, and shed
@@ -40,6 +52,7 @@
 #include <string>
 
 #include "core/io.h"
+#include "durability/recovery.h"
 #include "serve/server.h"
 #include "util/logging.h"
 
@@ -61,7 +74,10 @@ int Usage() {
          "                     [--trace_sample=N] [--slow_ms=T]\n"
          "                     [--trace_buffer=B] [--slow_log=PATH]\n"
          "                     [--metrics_interval=MS]\n"
-         "                     [--metrics_windows=N] [--verify_sample=N]\n";
+         "                     [--metrics_windows=N] [--verify_sample=N]\n"
+         "                     [--data_dir=DIR] [--fsync_policy=P]\n"
+         "                     [--snapshot_interval=S] "
+         "[--snapshot_every=N]\n";
   return 2;
 }
 
@@ -122,6 +138,21 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--verify_sample=", 16) == 0) {
       options.verify.sample_every =
           static_cast<int>(ParseLong("--verify_sample", arg + 16));
+    } else if (std::strncmp(arg, "--data_dir=", 11) == 0) {
+      options.durability.data_dir = arg + 11;
+    } else if (std::strncmp(arg, "--fsync_policy=", 15) == 0) {
+      auto policy = ParseFsyncPolicy(arg + 15);
+      if (!policy.ok()) {
+        std::cerr << policy.status() << "\n";
+        return 2;
+      }
+      options.durability.fsync = *policy;
+    } else if (std::strncmp(arg, "--snapshot_interval=", 20) == 0) {
+      options.durability.snapshot_interval_seconds = static_cast<double>(
+          ParseLong("--snapshot_interval", arg + 20));
+    } else if (std::strncmp(arg, "--snapshot_every=", 17) == 0) {
+      options.durability.snapshot_every_commands =
+          static_cast<int>(ParseLong("--snapshot_every", arg + 17));
     } else if (arg[0] == '-') {
       std::cerr << "unknown flag " << arg << "\n";
       return Usage();
@@ -143,10 +174,27 @@ int main(int argc, char** argv) {
   // serve.shed, serve.slow, serve.shutdown) at info level.
   SetLogLevel(LogLevel::kInfo);
   ServeServer server(options);
-  for (int i = 0; i < num_sessions; ++i) {
+  if (!options.durability.data_dir.empty() &&
+      RecoveryManager::HasSessions(options.durability.data_dir)) {
+    // A previous run (crashed or graceful) left session state behind:
+    // recover it instead of creating fresh sessions. SessionOptions must
+    // match the original run's flags; the per-session RNG state comes
+    // from the snapshot, so the seed flag is irrelevant here.
     SessionOptions session_options;
-    session_options.seed = seed + static_cast<uint64_t>(i);
-    server.CreateSession(*inst, session_options);
+    session_options.seed = seed;
+    auto recovered = server.RecoverSessions(session_options);
+    if (!recovered.ok()) {
+      std::cerr << "recovery failed: " << recovered.status() << "\n";
+      return 1;
+    }
+    std::cout << "recovered " << *recovered << " sessions from "
+              << options.durability.data_dir << std::endl;
+  } else {
+    for (int i = 0; i < num_sessions; ++i) {
+      SessionOptions session_options;
+      session_options.seed = seed + static_cast<uint64_t>(i);
+      server.CreateSession(*inst, session_options);
+    }
   }
   Status started = server.Start();
   if (!started.ok()) {

@@ -114,6 +114,21 @@ void SvgicInstance::FinalizePairs() {
   finalized_edge_count_ = graph_.num_edges();
 }
 
+void SvgicInstance::RestoreFinalizedPairs(std::vector<FriendPair> pairs,
+                                          int finalized_edge_count) {
+  pairs_ = std::move(pairs);
+  pairs_of_user_.assign(num_users(), {});
+  for (size_t pi = 0; pi < pairs_.size(); ++pi) {
+    // Index rebuild in pair order matches how FinalizePairs /
+    // RefinalizePairs append, so PairsOfUser iteration order is identical
+    // to the captured session's.
+    pairs_of_user_[pairs_[pi].u].push_back(static_cast<int>(pi));
+    pairs_of_user_[pairs_[pi].v].push_back(static_cast<int>(pi));
+  }
+  finalized_ = true;
+  finalized_edge_count_ = finalized_edge_count;
+}
+
 UserId SvgicInstance::AddUser() {
   const UserId id = graph_.AddVertex();
   preference_.resize(static_cast<size_t>(graph_.num_vertices()) * num_items_,

@@ -165,6 +165,21 @@ class SvgicInstance {
     return pairs_of_user_[u];
   }
 
+  /// Edges already represented in pairs_ (see RefinalizePairs). Exposed so
+  /// the durability layer can serialize the exact finalize state.
+  int finalized_edge_count() const { return finalized_edge_count_; }
+
+  /// Restores an exact prior pair state (durability recovery). The pair
+  /// ORDER of a live session evolves through RefinalizePairs() appends and
+  /// can differ from what FinalizePairs() would build from scratch (an
+  /// asymmetric edge whose reverse arrives later keeps its original pair
+  /// slot), so recovery must restore the evolved order verbatim instead of
+  /// re-finalizing. Rebuilds pairs_of_user_ and marks the instance
+  /// finalized; `finalized_edge_count` must match the pairs' edge
+  /// coverage.
+  void RestoreFinalizedPairs(std::vector<FriendPair> pairs,
+                             int finalized_edge_count);
+
   /// Structural sanity checks (sizes, ranges, non-negative utilities,
   /// lambda in [0,1], k <= m, pairs finalized).
   Status Validate() const;

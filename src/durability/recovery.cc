@@ -1,0 +1,180 @@
+#include "durability/recovery.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+
+#include "durability/snapshot.h"
+#include "util/logging.h"
+
+namespace savg {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(std::string data_dir,
+                                 SessionOptions session_options,
+                                 RecoveryOptions options,
+                                 MetricsRegistry* registry)
+    : data_dir_(std::move(data_dir)),
+      session_options_(std::move(session_options)),
+      options_(options),
+      metrics_(DurabilityMetrics::FromRegistry(registry)) {}
+
+bool RecoveryManager::HasSessions(const std::string& data_dir) {
+  return IsDirectory(data_dir + "/session-0");
+}
+
+Result<RecoveredSession> RecoveryManager::RecoverSession(
+    uint32_t session_id) {
+  Timer timer;
+  const std::string dir =
+      data_dir_ + "/session-" + std::to_string(session_id);
+  if (!IsDirectory(dir)) {
+    return Status::NotFound("no session directory " + dir);
+  }
+
+  // Enumerate retained epochs: every snapshot-E on disk, ascending. The
+  // retention window is small (keep_epochs), so a linear probe from 0 up
+  // to the newest changelog/snapshot is cheap and needs no readdir.
+  std::vector<uint32_t> epochs;
+  uint32_t probe = 0;
+  uint32_t consecutive_missing = 0;
+  // Epoch numbers are dense once a session has run a while, but the prune
+  // window means low epochs are gone; scan until a long missing run past
+  // the last hit.
+  uint32_t last_hit = 0;
+  bool any = false;
+  while (consecutive_missing < 1024) {
+    const bool has_snapshot =
+        FileExists(dir + "/" + SnapshotFileName(probe));
+    const bool has_changelog =
+        FileExists(dir + "/" + ChangelogFileName(probe));
+    if (has_snapshot || has_changelog) {
+      if (has_snapshot) epochs.push_back(probe);
+      last_hit = probe;
+      any = true;
+      consecutive_missing = 0;
+    } else {
+      ++consecutive_missing;
+    }
+    ++probe;
+  }
+  if (!any || epochs.empty()) {
+    return Status::NotFound("no snapshots in " + dir);
+  }
+
+  RecoveredSession recovered;
+  recovered.session_id = session_id;
+  recovered.last_epoch = last_hit;
+
+  // Pick the starting snapshot: newest valid (warm path) or oldest
+  // retained (cold-replay reference path).
+  SnapshotData snapshot;
+  bool have_snapshot = false;
+  if (options_.cold_replay) {
+    for (uint32_t epoch : epochs) {
+      auto loaded = ReadSnapshotFile(dir + "/" + SnapshotFileName(epoch));
+      if (loaded.ok()) {
+        snapshot = std::move(*loaded);
+        have_snapshot = true;
+        break;
+      }
+      ++recovered.snapshot_fallbacks;
+    }
+  } else {
+    for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+      auto loaded = ReadSnapshotFile(dir + "/" + SnapshotFileName(*it));
+      if (loaded.ok()) {
+        snapshot = std::move(*loaded);
+        have_snapshot = true;
+        break;
+      }
+      SAVG_LOG(Warning) << "durability: snapshot epoch " << *it << " of "
+                        << dir << " unusable (" << loaded.status().message()
+                        << "); falling back";
+      ++recovered.snapshot_fallbacks;
+    }
+  }
+  if (!have_snapshot) {
+    return Status::InvalidArgument("no valid snapshot in " + dir);
+  }
+  recovered.snapshot_epoch = snapshot.epoch;
+  recovered.applied_seq = snapshot.applied_seq;
+
+  auto session =
+      Session::FromState(std::move(snapshot.state), session_options_);
+
+  // Replay changelogs epoch >= snapshot epoch, in order, checking sequence
+  // continuity across the rotation boundaries.
+  uint64_t seq = recovered.applied_seq;
+  for (uint32_t epoch = snapshot.epoch; epoch <= last_hit; ++epoch) {
+    const std::string path = dir + "/" + ChangelogFileName(epoch);
+    if (!FileExists(path)) {
+      if (epoch == last_hit) break;  // final snapshot with no tail yet
+      return Status::InvalidArgument("missing changelog epoch " +
+                                     std::to_string(epoch) + " in " + dir);
+    }
+    SAVG_ASSIGN_OR_RETURN(ChangelogContents contents,
+                          ReadChangelogFile(path));
+    if (contents.torn_tail && epoch != last_hit) {
+      // Only the changelog being written at the crash may tear.
+      return Status::InvalidArgument(
+          "changelog epoch " + std::to_string(epoch) + " in " + dir +
+          " has a torn tail before the newest epoch (" +
+          contents.tail_error + ")");
+    }
+    if (!contents.commands.empty() && contents.first_seq != seq) {
+      return Status::InvalidArgument(
+          "changelog epoch " + std::to_string(epoch) + " in " + dir +
+          " starts at seq " + std::to_string(contents.first_seq) +
+          ", expected " + std::to_string(seq));
+    }
+    for (const SessionCommand& command : contents.commands) {
+      auto outcome = session->Apply(command);
+      if (!outcome.ok()) {
+        return Status::InvalidArgument(
+            "replay of seq " + std::to_string(seq) + " in " + dir +
+            " failed: " + outcome.status().message());
+      }
+      ++seq;
+      ++recovered.replayed_commands;
+    }
+    if (contents.torn_tail) recovered.torn_tail = true;
+  }
+
+  recovered.applied_seq = seq;
+  recovered.session = std::move(session);
+  recovered.seconds = timer.ElapsedSeconds();
+  if (metrics_.recoveries != nullptr) metrics_.recoveries->Increment();
+  if (metrics_.recovery_latency != nullptr) {
+    metrics_.recovery_latency->Observe(recovered.seconds);
+  }
+  return recovered;
+}
+
+Result<std::vector<RecoveredSession>> RecoveryManager::RecoverAll() {
+  std::vector<RecoveredSession> sessions;
+  for (uint32_t id = 0;; ++id) {
+    if (!IsDirectory(data_dir_ + "/session-" + std::to_string(id))) break;
+    SAVG_ASSIGN_OR_RETURN(RecoveredSession recovered, RecoverSession(id));
+    sessions.push_back(std::move(recovered));
+  }
+  if (sessions.empty()) {
+    return Status::NotFound("no session directories in " + data_dir_);
+  }
+  return sessions;
+}
+
+}  // namespace savg

@@ -1,0 +1,94 @@
+// Crash recovery: rebuild every session in a data_dir to its exact
+// pre-crash state.
+//
+// Per session directory the recovery manager:
+//   1. picks the newest snapshot whose header + payload CRCs validate —
+//      a corrupt/truncated newest snapshot (crash mid-rotation, disk
+//      damage) falls back to the previous retained epoch, paying a longer
+//      changelog replay instead of failing startup,
+//   2. reconstructs the Session via Session::FromState — the snapshotted
+//      basis warm-starts the first post-recovery resolve, so recovery
+//      never pays a cold solve,
+//   3. replays the changelogs of every epoch >= the snapshot's, in order,
+//      through Session::Apply with no journal attached (replay must not
+//      re-journal). Epoch continuity is checked: changelog E+1's first_seq
+//      must equal the sequence reached at the end of E. A torn tail is
+//      tolerated only on the NEWEST epoch (the one being written when the
+//      crash hit); anywhere else it is corruption.
+//
+// Determinism contract: a Session is a deterministic state machine over
+// its applied-command sequence (the rounding RNG and resolve counter are
+// snapshotted; failed commands are never journaled), so replaying the tail
+// reproduces the pre-crash state bit-for-bit on the monolithic path. A
+// sharded session's coordinator is rebuilt on its first post-recovery
+// resolve, which re-partitions — equivalent serving state, not bit-exact.
+// SessionOptions must match across the restart (options are configuration,
+// not state).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/session_store.h"
+#include "online/session.h"
+
+namespace savg {
+
+/// One recovered session plus the telemetry the CI crash-recovery job
+/// asserts on.
+struct RecoveredSession {
+  uint32_t session_id = 0;
+  std::unique_ptr<Session> session;
+  /// Commands applied in the session's lifetime (snapshot + replay).
+  uint64_t applied_seq = 0;
+  /// Epoch of the snapshot recovery started from.
+  uint32_t snapshot_epoch = 0;
+  /// Newest epoch seen on disk (re-attach continues at last_epoch + 1).
+  uint32_t last_epoch = 0;
+  uint64_t replayed_commands = 0;
+  /// Newest-epoch snapshots skipped for CRC/decode failures.
+  int snapshot_fallbacks = 0;
+  /// True when the newest changelog had a discarded torn tail.
+  bool torn_tail = false;
+  double seconds = 0.0;
+};
+
+struct RecoveryOptions {
+  /// Ignore every snapshot except the OLDEST retained epoch's, maximizing
+  /// the replay. The cold-replay reference path: `svgic_cli recover
+  /// --cold` diffs its state digest against the warm path's to prove the
+  /// snapshot fast-path loses nothing.
+  bool cold_replay = false;
+};
+
+class RecoveryManager {
+ public:
+  /// `registry` feeds durability.recoveries / recovery_latency (optional).
+  explicit RecoveryManager(std::string data_dir,
+                           SessionOptions session_options,
+                           RecoveryOptions options = {},
+                           MetricsRegistry* registry = nullptr);
+
+  /// True when `data_dir` holds at least one session-<id> directory
+  /// (serverd: recover instead of creating fresh sessions).
+  static bool HasSessions(const std::string& data_dir);
+
+  /// Recovers session-0 .. session-(K-1); session ids must be dense (the
+  /// SessionManager allocates them densely). Fails on corruption no
+  /// retained epoch can get past — never on a torn tail.
+  Result<std::vector<RecoveredSession>> RecoverAll();
+
+  /// Recovers one session directory.
+  Result<RecoveredSession> RecoverSession(uint32_t session_id);
+
+ private:
+  std::string data_dir_;
+  SessionOptions session_options_;
+  RecoveryOptions options_;
+  DurabilityMetrics metrics_;
+};
+
+}  // namespace savg

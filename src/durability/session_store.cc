@@ -1,0 +1,186 @@
+#include "durability/session_store.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "durability/snapshot.h"
+#include "util/logging.h"
+
+namespace savg {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint32_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "snapshot-%06u", epoch);
+  return buf;
+}
+
+std::string ChangelogFileName(uint32_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "changelog-%06u", epoch);
+  return buf;
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  // mkdir -p: create each prefix, tolerating the ones that exist.
+  for (size_t pos = 1; pos <= path.size(); ++pos) {
+    if (pos != path.size() && path[pos] != '/') continue;
+    const std::string prefix = path.substr(0, pos);
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Unknown("mkdir(" + prefix +
+                             "): " + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+SessionJournal::SessionJournal(std::string session_dir, uint32_t session_id,
+                               const DurabilityOptions* options,
+                               const DurabilityMetrics* metrics)
+    : session_dir_(std::move(session_dir)),
+      session_id_(session_id),
+      options_(options),
+      metrics_(metrics),
+      last_snapshot_seconds_(MonotonicSeconds()) {}
+
+Status SessionJournal::OpenChangelog() {
+  SAVG_ASSIGN_OR_RETURN(
+      writer_, ChangelogWriter::Create(
+                   session_dir_ + "/" + ChangelogFileName(epoch_),
+                   session_id_, epoch_, seq_, options_->fsync, metrics_));
+  return Status::OK();
+}
+
+Status SessionJournal::Append(const SessionCommand& command, bool resolved) {
+  if (writer_ == nullptr) return Status::InvalidArgument("journal closed");
+  SAVG_RETURN_NOT_OK(writer_->Append(command, resolved));
+  ++seq_;
+  ++commands_since_snapshot_;
+  if (metrics_ != nullptr && metrics_->changelog_lag != nullptr) {
+    // Worst-case replay length across sessions is what the health rule
+    // watches; per-session gauges would need dynamic metric names.
+    metrics_->changelog_lag->Set(
+        static_cast<double>(commands_since_snapshot_));
+  }
+  return Status::OK();
+}
+
+bool SessionJournal::ShouldSnapshot() const {
+  if (commands_since_snapshot_ == 0) return false;
+  if (options_->snapshot_every_commands > 0 &&
+      commands_since_snapshot_ >=
+          static_cast<uint64_t>(options_->snapshot_every_commands)) {
+    return true;
+  }
+  if (options_->snapshot_interval_seconds > 0.0 &&
+      MonotonicSeconds() - last_snapshot_seconds_ >=
+          options_->snapshot_interval_seconds) {
+    return true;
+  }
+  return false;
+}
+
+Status SessionJournal::TakeSnapshot(const Session& session) {
+  const uint32_t next_epoch = epoch_ + 1;
+  // Rotation order matters for crash safety: (1) write + rename the new
+  // snapshot, (2) close the old changelog, (3) open the new one, (4) prune.
+  // A crash between any two steps leaves the previous epoch's pair intact.
+  SAVG_RETURN_NOT_OK(
+      WriteSnapshotFile(session_dir_ + "/" + SnapshotFileName(next_epoch),
+                        session_id_, next_epoch, seq_,
+                        session.CaptureState()));
+  if (writer_ != nullptr) {
+    const Status closed = writer_->Close();
+    if (!closed.ok()) {
+      SAVG_LOG(Warning) << "durability: changelog close failed: "
+                        << closed.message();
+    }
+  }
+  epoch_ = next_epoch;
+  SAVG_RETURN_NOT_OK(OpenChangelog());
+  commands_since_snapshot_ = 0;
+  last_snapshot_seconds_ = MonotonicSeconds();
+  if (metrics_ != nullptr) {
+    if (metrics_->snapshots != nullptr) metrics_->snapshots->Increment();
+    if (metrics_->changelog_lag != nullptr) metrics_->changelog_lag->Set(0.0);
+  }
+  PruneOldEpochs();
+  return Status::OK();
+}
+
+void SessionJournal::PruneOldEpochs() {
+  const int keep = options_->keep_epochs < 1 ? 1 : options_->keep_epochs;
+  // Epochs <= epoch_ - keep are beyond the retention window. Walk down
+  // until a missing pair (already pruned earlier).
+  for (int64_t old = static_cast<int64_t>(epoch_) - keep; old >= 0; --old) {
+    const std::string snapshot =
+        session_dir_ + "/" + SnapshotFileName(static_cast<uint32_t>(old));
+    const std::string changelog =
+        session_dir_ + "/" + ChangelogFileName(static_cast<uint32_t>(old));
+    const bool had_snapshot = ::unlink(snapshot.c_str()) == 0;
+    const bool had_changelog = ::unlink(changelog.c_str()) == 0;
+    if (!had_snapshot && !had_changelog) break;
+  }
+}
+
+Status SessionJournal::Sync() {
+  if (writer_ == nullptr) return Status::OK();
+  return writer_->Sync();
+}
+
+Status SessionJournal::Flush(const Session& session) {
+  if (options_->final_snapshot_on_shutdown && commands_since_snapshot_ > 0) {
+    return TakeSnapshot(session);
+  }
+  return Sync();
+}
+
+SessionStore::SessionStore(DurabilityOptions options,
+                           MetricsRegistry* registry)
+    : options_(std::move(options)),
+      metrics_(DurabilityMetrics::FromRegistry(registry)) {}
+
+std::string SessionStore::SessionDir(uint32_t session_id) const {
+  return options_.data_dir + "/session-" + std::to_string(session_id);
+}
+
+Result<SessionJournal*> SessionStore::Attach(uint32_t session_id,
+                                             const Session& session,
+                                             uint32_t epoch,
+                                             uint64_t applied_seq) {
+  if (options_.data_dir.empty()) {
+    return Status::InvalidArgument("durability data_dir not set");
+  }
+  const std::string dir = SessionDir(session_id);
+  SAVG_RETURN_NOT_OK(EnsureDirectory(dir));
+  auto journal = std::unique_ptr<SessionJournal>(
+      new SessionJournal(dir, session_id, &options_, &metrics_));
+  journal->epoch_ = epoch;
+  journal->seq_ = applied_seq;
+  // The attach snapshot anchors the epoch: recovery always finds a
+  // snapshot matching the changelog it replays, even for epoch 0.
+  SAVG_RETURN_NOT_OK(
+      WriteSnapshotFile(dir + "/" + SnapshotFileName(epoch), session_id,
+                        epoch, applied_seq, session.CaptureState()));
+  SAVG_RETURN_NOT_OK(journal->OpenChangelog());
+  journal->PruneOldEpochs();
+  journals_.push_back(std::move(journal));
+  return journals_.back().get();
+}
+
+}  // namespace savg

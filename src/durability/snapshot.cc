@@ -1,0 +1,544 @@
+#include "durability/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/crc32.h"
+
+namespace savg {
+
+namespace {
+
+constexpr char kSnapshotMagic[4] = {'S', 'V', 'G', 'S'};
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kStateVersion = 1;
+/// magic + version + session_id + epoch + applied_seq + payload_len
+/// + payload_crc + header_crc.
+constexpr size_t kSnapshotHeaderBytes = 4 + 4 + 4 + 4 + 8 + 8 + 4 + 4;
+
+void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t FloatBits(float f) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+float FloatFromBits(uint32_t bits) {
+  float f = 0.0f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double d = 0.0;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// Bounds-checked little-endian cursor over an encoded payload.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU8(uint8_t* out) {
+    if (size_ - pos_ < 1) return Fail();
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadU32(uint32_t* out) {
+    if (size_ - pos_ < 4) return Fail();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* out) {
+    if (size_ - pos_ < 8) return Fail();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+
+  bool ReadBytes(char* out, size_t count) {
+    if (size_ - pos_ < count) return Fail();
+    std::memcpy(out, data_ + pos_, count);
+    pos_ += count;
+    return true;
+  }
+
+  /// A u32 count with a remaining-bytes plausibility bound: each counted
+  /// element occupies at least `min_bytes_each`, so a corrupt huge count
+  /// fails here instead of in a giant allocation.
+  bool ReadCount(uint32_t* out, size_t min_bytes_each) {
+    if (!ReadU32(out)) return false;
+    if (min_bytes_each > 0 &&
+        static_cast<uint64_t>(*out) >
+            static_cast<uint64_t>(size_ - pos_) / min_bytes_each) {
+      return Fail();
+    }
+    return true;
+  }
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+void EncodeItemValues(const std::vector<ItemValue>& entries,
+                      std::string* out) {
+  AppendU32(static_cast<uint32_t>(entries.size()), out);
+  for (const ItemValue& e : entries) {
+    AppendU32(static_cast<uint32_t>(e.item), out);
+    AppendU32(FloatBits(e.value), out);
+  }
+}
+
+bool DecodeItemValues(Reader* in, std::vector<ItemValue>* out) {
+  uint32_t count = 0;
+  if (!in->ReadCount(&count, 8)) return false;
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t item = 0, bits = 0;
+    if (!in->ReadU32(&item) || !in->ReadU32(&bits)) return false;
+    (*out)[i].item = static_cast<ItemId>(item);
+    (*out)[i].value = FloatFromBits(bits);
+  }
+  return true;
+}
+
+void EncodeFloats(const std::vector<float>& values, std::string* out) {
+  AppendU32(static_cast<uint32_t>(values.size()), out);
+  for (float f : values) AppendU32(FloatBits(f), out);
+}
+
+bool DecodeFloats(Reader* in, std::vector<float>* out) {
+  uint32_t count = 0;
+  if (!in->ReadCount(&count, 4)) return false;
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t bits = 0;
+    if (!in->ReadU32(&bits)) return false;
+    (*out)[i] = FloatFromBits(bits);
+  }
+  return true;
+}
+
+void EncodeBasisSide(const std::vector<VarBasisStatus>& side,
+                     std::string* out) {
+  AppendU32(static_cast<uint32_t>(side.size()), out);
+  for (VarBasisStatus s : side) {
+    out->push_back(static_cast<char>(static_cast<uint8_t>(s)));
+  }
+}
+
+bool DecodeBasisSide(Reader* in, std::vector<VarBasisStatus>* out) {
+  uint32_t count = 0;
+  if (!in->ReadCount(&count, 1)) return false;
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t v = 0;
+    if (!in->ReadU8(&v)) return false;
+    if (v > static_cast<uint8_t>(VarBasisStatus::kBasic)) return false;
+    (*out)[i] = static_cast<VarBasisStatus>(v);
+  }
+  return true;
+}
+
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Unknown("open(" + dir + "): " + std::strerror(errno));
+  }
+  Status result = Status::OK();
+  if (::fsync(fd) != 0) {
+    result = Status::Unknown("fsync(" + dir + "): " + std::strerror(errno));
+  }
+  ::close(fd);
+  return result;
+}
+
+}  // namespace
+
+void EncodeSessionState(const SessionState& state, std::string* out) {
+  AppendU32(kStateVersion, out);
+
+  // --- instance -----------------------------------------------------------
+  const SvgicInstance& inst = state.instance;
+  const SocialGraph& graph = inst.graph();
+  const int n = inst.num_users();
+  const int m = inst.num_items();
+  AppendU32(static_cast<uint32_t>(n), out);
+  AppendU32(static_cast<uint32_t>(m), out);
+  AppendU32(static_cast<uint32_t>(inst.num_slots()), out);
+  AppendU64(DoubleBits(inst.lambda()), out);
+  AppendU32(static_cast<uint32_t>(graph.num_edges()), out);
+  for (const Edge& e : graph.edges()) {
+    AppendU32(static_cast<uint32_t>(e.u), out);
+    AppendU32(static_cast<uint32_t>(e.v), out);
+  }
+  for (UserId u = 0; u < n; ++u) {
+    for (ItemId c = 0; c < m; ++c) {
+      // p() widens the stored float; the narrowing cast recovers it exactly.
+      AppendU32(FloatBits(static_cast<float>(inst.p(u, c))), out);
+    }
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EncodeItemValues(inst.TauEntries(e), out);
+  }
+  EncodeFloats(inst.commodity_values(), out);
+  EncodeFloats(inst.slot_weights(), out);
+  AppendU32(static_cast<uint32_t>(inst.finalized_edge_count()), out);
+  AppendU32(static_cast<uint32_t>(inst.pairs().size()), out);
+  for (const FriendPair& pair : inst.pairs()) {
+    AppendU32(static_cast<uint32_t>(pair.u), out);
+    AppendU32(static_cast<uint32_t>(pair.v), out);
+    AppendU32(static_cast<uint32_t>(pair.uv), out);
+    AppendU32(static_cast<uint32_t>(pair.vu), out);
+    EncodeItemValues(pair.weights, out);
+  }
+
+  // --- served configuration ----------------------------------------------
+  const Configuration& config = state.config;
+  AppendU32(static_cast<uint32_t>(config.num_users()), out);
+  AppendU32(static_cast<uint32_t>(config.num_slots()), out);
+  AppendU32(static_cast<uint32_t>(config.num_items()), out);
+  for (UserId u = 0; u < config.num_users(); ++u) {
+    for (SlotId s = 0; s < config.num_slots(); ++s) {
+      AppendU32(static_cast<uint32_t>(config.At(u, s)), out);
+    }
+  }
+
+  // --- cached basis + keys ------------------------------------------------
+  EncodeBasisSide(state.basis.structural, out);
+  EncodeBasisSide(state.basis.logical, out);
+  AppendU32(static_cast<uint32_t>(state.keys.cols.size()), out);
+  for (uint64_t key : state.keys.cols) AppendU64(key, out);
+  AppendU32(static_cast<uint32_t>(state.keys.rows.size()), out);
+  for (uint64_t key : state.keys.rows) AppendU64(key, out);
+  out->push_back(state.valid_basis ? 1 : 0);
+  AppendU32(static_cast<uint32_t>(state.num_resolves), out);
+
+  // --- rounding RNG -------------------------------------------------------
+  for (int i = 0; i < 4; ++i) AppendU64(state.rng.s[i], out);
+  out->push_back(state.rng.has_cached_normal ? 1 : 0);
+  AppendU64(DoubleBits(state.rng.cached_normal), out);
+
+  // --- dirty flags --------------------------------------------------------
+  AppendU32(static_cast<uint32_t>(state.dirty.size()), out);
+  out->append(state.dirty.data(), state.dirty.size());
+  out->push_back(state.all_dirty ? 1 : 0);
+}
+
+Result<SessionState> DecodeSessionState(const char* data, size_t size) {
+  Reader in(data, size);
+  const auto corrupt = [](const char* what) {
+    return Status::InvalidArgument(std::string("corrupt session state: ") +
+                                   what);
+  };
+
+  uint32_t version = 0;
+  if (!in.ReadU32(&version)) return corrupt("missing version");
+  if (version != kStateVersion) {
+    return Status::InvalidArgument("unsupported session state version " +
+                                   std::to_string(version));
+  }
+
+  // --- instance -----------------------------------------------------------
+  uint32_t n = 0, m = 0, k = 0, num_edges = 0;
+  uint64_t lambda_bits = 0;
+  if (!in.ReadU32(&n) || !in.ReadU32(&m) || !in.ReadU32(&k) ||
+      !in.ReadU64(&lambda_bits) || !in.ReadCount(&num_edges, 8)) {
+    return corrupt("instance dims");
+  }
+  SocialGraph graph(static_cast<int>(n));
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    uint32_t u = 0, v = 0;
+    if (!in.ReadU32(&u) || !in.ReadU32(&v)) return corrupt("edge list");
+    auto id = graph.AddEdge(static_cast<UserId>(u), static_cast<UserId>(v));
+    // Dense insertion order is the edge-id contract tau_[] depends on.
+    if (!id.ok() || *id != static_cast<EdgeId>(e)) return corrupt("edge ids");
+  }
+  SvgicInstance instance(std::move(graph), static_cast<int>(m),
+                         static_cast<int>(k), DoubleFromBits(lambda_bits));
+  if (static_cast<uint64_t>(n) * m * 4 > in.remaining()) {
+    return corrupt("preference matrix");
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t c = 0; c < m; ++c) {
+      uint32_t bits = 0;
+      if (!in.ReadU32(&bits)) return corrupt("preference matrix");
+      instance.set_p(static_cast<UserId>(u), static_cast<ItemId>(c),
+                     FloatFromBits(bits));
+    }
+  }
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    std::vector<ItemValue> entries;
+    if (!DecodeItemValues(&in, &entries)) return corrupt("tau entries");
+    for (const ItemValue& entry : entries) {
+      // Entries arrive sorted, so the sorted-insert path appends.
+      instance.SetTauValue(static_cast<EdgeId>(e), entry.item, entry.value);
+    }
+  }
+  std::vector<float> commodity, slots;
+  if (!DecodeFloats(&in, &commodity) || !DecodeFloats(&in, &slots)) {
+    return corrupt("commodity/slot weights");
+  }
+  if (!commodity.empty()) instance.set_commodity_values(std::move(commodity));
+  if (!slots.empty()) instance.set_slot_weights(std::move(slots));
+  uint32_t finalized_edges = 0, num_pairs = 0;
+  if (!in.ReadU32(&finalized_edges) || !in.ReadCount(&num_pairs, 20)) {
+    return corrupt("pair header");
+  }
+  if (finalized_edges > num_edges) return corrupt("finalized edge count");
+  std::vector<FriendPair> pairs(num_pairs);
+  for (uint32_t i = 0; i < num_pairs; ++i) {
+    uint32_t u = 0, v = 0, uv = 0, vu = 0;
+    if (!in.ReadU32(&u) || !in.ReadU32(&v) || !in.ReadU32(&uv) ||
+        !in.ReadU32(&vu) || !DecodeItemValues(&in, &pairs[i].weights)) {
+      return corrupt("pair list");
+    }
+    pairs[i].u = static_cast<UserId>(u);
+    pairs[i].v = static_cast<UserId>(v);
+    pairs[i].uv = static_cast<EdgeId>(uv);
+    pairs[i].vu = static_cast<EdgeId>(vu);
+  }
+  instance.RestoreFinalizedPairs(std::move(pairs),
+                                 static_cast<int>(finalized_edges));
+
+  SessionState state;
+  state.instance = std::move(instance);
+
+  // --- served configuration ----------------------------------------------
+  uint32_t cu = 0, cs = 0, ci = 0;
+  if (!in.ReadU32(&cu) || !in.ReadU32(&cs) || !in.ReadU32(&ci)) {
+    return corrupt("config dims");
+  }
+  if (static_cast<uint64_t>(cu) * cs * 4 > in.remaining()) {
+    return corrupt("config assignments");
+  }
+  if (cu > 0) {
+    Configuration config(static_cast<int>(cu), static_cast<int>(cs),
+                         static_cast<int>(ci));
+    for (uint32_t u = 0; u < cu; ++u) {
+      for (uint32_t s = 0; s < cs; ++s) {
+        uint32_t raw = 0;
+        if (!in.ReadU32(&raw)) return corrupt("config assignments");
+        const ItemId c = static_cast<ItemId>(raw);
+        if (c == kNoItem) continue;
+        SAVG_RETURN_NOT_OK(
+            config.Set(static_cast<UserId>(u), static_cast<SlotId>(s), c));
+      }
+    }
+    state.config = std::move(config);
+  }
+
+  // --- cached basis + keys ------------------------------------------------
+  if (!DecodeBasisSide(&in, &state.basis.structural) ||
+      !DecodeBasisSide(&in, &state.basis.logical)) {
+    return corrupt("basis");
+  }
+  uint32_t num_cols = 0, num_rows = 0;
+  if (!in.ReadCount(&num_cols, 8)) return corrupt("column keys");
+  state.keys.cols.resize(num_cols);
+  for (uint32_t i = 0; i < num_cols; ++i) {
+    if (!in.ReadU64(&state.keys.cols[i])) return corrupt("column keys");
+  }
+  if (!in.ReadCount(&num_rows, 8)) return corrupt("row keys");
+  state.keys.rows.resize(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    if (!in.ReadU64(&state.keys.rows[i])) return corrupt("row keys");
+  }
+  uint8_t valid_basis = 0;
+  uint32_t num_resolves = 0;
+  if (!in.ReadU8(&valid_basis) || !in.ReadU32(&num_resolves)) {
+    return corrupt("resolve counter");
+  }
+  state.valid_basis = valid_basis != 0;
+  state.num_resolves = static_cast<int>(num_resolves);
+
+  // --- rounding RNG -------------------------------------------------------
+  for (int i = 0; i < 4; ++i) {
+    if (!in.ReadU64(&state.rng.s[i])) return corrupt("rng");
+  }
+  uint8_t has_normal = 0;
+  uint64_t normal_bits = 0;
+  if (!in.ReadU8(&has_normal) || !in.ReadU64(&normal_bits)) {
+    return corrupt("rng");
+  }
+  state.rng.has_cached_normal = has_normal != 0;
+  state.rng.cached_normal = DoubleFromBits(normal_bits);
+
+  // --- dirty flags --------------------------------------------------------
+  uint32_t dirty_size = 0;
+  if (!in.ReadCount(&dirty_size, 1)) return corrupt("dirty flags");
+  state.dirty.resize(dirty_size);
+  if (dirty_size > 0 && !in.ReadBytes(state.dirty.data(), dirty_size)) {
+    return corrupt("dirty flags");
+  }
+  uint8_t all_dirty = 0;
+  if (!in.ReadU8(&all_dirty)) return corrupt("dirty flags");
+  state.all_dirty = all_dirty != 0;
+
+  if (in.remaining() != 0) return corrupt("trailing bytes");
+  return state;
+}
+
+uint64_t SessionStateDigest(const SessionState& state) {
+  std::string encoded;
+  EncodeSessionState(state, &encoded);
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  for (char c : encoded) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV-1a 64 prime
+  }
+  return hash;
+}
+
+Status WriteSnapshotFile(const std::string& path, uint32_t session_id,
+                         uint32_t epoch, uint64_t applied_seq,
+                         const SessionState& state) {
+  std::string payload;
+  EncodeSessionState(state, &payload);
+
+  std::string file;
+  file.reserve(kSnapshotHeaderBytes + payload.size());
+  file.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  AppendU32(kSnapshotVersion, &file);
+  AppendU32(session_id, &file);
+  AppendU32(epoch, &file);
+  AppendU64(applied_seq, &file);
+  AppendU64(payload.size(), &file);
+  AppendU32(Crc32(payload.data(), payload.size()), &file);
+  AppendU32(Crc32(file.data(), file.size()), &file);  // header CRC
+  file += payload;
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Unknown("open(" + tmp + "): " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < file.size()) {
+    const ssize_t r = ::write(fd, file.data() + written,
+                              file.size() - written);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status status =
+          Status::Unknown("write(" + tmp + "): " + std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(r);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status =
+        Status::Unknown("fsync(" + tmp + "): " + std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::Unknown("rename(" + tmp + " -> " + path +
+                                          "): " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // The rename itself must be durable, or a crash could resurrect the old
+  // directory entry while the changelog has already rotated past it.
+  return SyncDirectory(DirnameOf(path));
+}
+
+Result<SnapshotData> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open snapshot " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < kSnapshotHeaderBytes) {
+    return Status::InvalidArgument(path + ": truncated snapshot header");
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not an SVGS snapshot");
+  }
+  Reader header(data.data() + 4, kSnapshotHeaderBytes - 4);
+  SnapshotData snapshot;
+  uint64_t payload_len = 0;
+  uint32_t payload_crc = 0, header_crc = 0;
+  header.ReadU32(&snapshot.version);
+  header.ReadU32(&snapshot.session_id);
+  header.ReadU32(&snapshot.epoch);
+  header.ReadU64(&snapshot.applied_seq);
+  header.ReadU64(&payload_len);
+  header.ReadU32(&payload_crc);
+  header.ReadU32(&header_crc);
+  if (Crc32(data.data(), kSnapshotHeaderBytes - 4) != header_crc) {
+    return Status::InvalidArgument(path + ": snapshot header CRC mismatch");
+  }
+  if (snapshot.version != kSnapshotVersion) {
+    return Status::InvalidArgument(path + ": unsupported snapshot version " +
+                                   std::to_string(snapshot.version));
+  }
+  if (data.size() - kSnapshotHeaderBytes != payload_len) {
+    return Status::InvalidArgument(path + ": snapshot payload truncated");
+  }
+  const char* payload = data.data() + kSnapshotHeaderBytes;
+  if (Crc32(payload, payload_len) != payload_crc) {
+    return Status::InvalidArgument(path + ": snapshot payload CRC mismatch");
+  }
+  SAVG_ASSIGN_OR_RETURN(snapshot.state,
+                        DecodeSessionState(payload, payload_len));
+  return snapshot;
+}
+
+}  // namespace savg

@@ -1,0 +1,62 @@
+// Session snapshots: the periodic full-state captures that bound changelog
+// replay length (durability tentpole).
+//
+// A snapshot file holds one SessionState (online/session.h) — instance
+// with its evolved pair order, served configuration, cached LpBasis +
+// column keys, resolve counter, rounding RNG, dirty flags — encoded
+// bit-exactly: floats/doubles travel as IEEE-754 bit patterns, so
+// DecodeSessionState(EncodeSessionState(s)) reproduces s byte-for-byte
+// and recovery warm-starts from the snapshotted basis without a cold
+// solve. File layout:
+//
+//   "SVGS" magic | u32 version | u32 session_id | u32 epoch
+//   | u64 applied_seq | u64 payload_len
+//   | u32 payload_crc32 | u32 header_crc32     (40-byte header)
+//   | payload (EncodeSessionState)
+//
+// Both CRCs gate recovery: a snapshot that fails either is skipped and the
+// previous epoch is used instead (with a longer changelog replay).
+//
+// Writes are atomic: payload goes to "<path>.tmp", is fsync'd, then
+// rename(2)d over the target, and the directory is fsync'd — a crash
+// mid-snapshot leaves the previous epoch's file intact.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "online/session.h"
+#include "util/status.h"
+
+namespace savg {
+
+/// Appends the canonical bit-exact encoding of `state` to `out`.
+void EncodeSessionState(const SessionState& state, std::string* out);
+Result<SessionState> DecodeSessionState(const char* data, size_t size);
+
+/// FNV-1a 64 over EncodeSessionState(state) — the state digest the CI
+/// crash-recovery job compares between snapshot-based recovery and a cold
+/// full replay (`svgic_cli recover`).
+uint64_t SessionStateDigest(const SessionState& state);
+
+struct SnapshotData {
+  uint32_t version = 0;
+  uint32_t session_id = 0;
+  uint32_t epoch = 0;
+  /// Commands applied when the snapshot was taken; the epoch's changelog
+  /// starts at this sequence number.
+  uint64_t applied_seq = 0;
+  SessionState state;
+};
+
+/// Atomic write-rename (see file comment).
+Status WriteSnapshotFile(const std::string& path, uint32_t session_id,
+                         uint32_t epoch, uint64_t applied_seq,
+                         const SessionState& state);
+
+/// Validates both CRCs; any mismatch/truncation is an error (the recovery
+/// manager falls back to the previous epoch).
+Result<SnapshotData> ReadSnapshotFile(const std::string& path);
+
+}  // namespace savg

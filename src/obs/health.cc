@@ -52,6 +52,11 @@ HealthVerdict HealthMonitor::Evaluate(const WindowedSnapshot& window) {
       options_.drift_reround_rate_threshold) {
     active.push_back("drift_budget");
   }
+  if (options_.changelog_lag_limit > 0 &&
+      window.GaugeMax("durability.changelog_lag") >
+          options_.changelog_lag_limit) {
+    active.push_back("changelog_lag");
+  }
   const WindowedSnapshot::HistogramRow* resolve =
       window.FindHistogram("serve.latency.resolve");
   if (resolve != nullptr && resolve->count >= options_.latency_min_count) {

@@ -55,6 +55,11 @@ struct HealthOptions {
   double latency_regression_factor = 3.0;
   double latency_ewma_alpha = 0.2;
   int64_t latency_min_count = 5;
+  /// Un-snapshotted commands (durability.changelog_lag gauge, windowed
+  /// max) above which recovery replay time is considered out of budget —
+  /// the snapshot scheduler is falling behind the command stream. 0
+  /// disables (also the right setting when durability is off).
+  int64_t changelog_lag_limit = 4096;
   /// Hysteresis: consecutive bad windows to leave ok / clean windows to
   /// return to it.
   int degrade_after = 2;

@@ -31,6 +31,45 @@ Session::Session(SvgicInstance instance, SessionOptions options)
   instance_.FinalizePairs();
 }
 
+Session::Session(SvgicInstance instance, SessionOptions options, RestoreTag)
+    : instance_(std::move(instance)),
+      options_(options),
+      rng_(options.seed),
+      dirty_(instance_.num_users(), 0) {
+  // No FinalizePairs(): the restored instance carries the evolved pair
+  // order; re-finalizing could reorder pairs and break bit-exact replay.
+}
+
+std::unique_ptr<Session> Session::FromState(SessionState state,
+                                            SessionOptions options) {
+  auto session = std::unique_ptr<Session>(
+      new Session(std::move(state.instance), options, RestoreTag{}));
+  session->config_ = std::move(state.config);
+  session->basis_ = std::move(state.basis);
+  session->keys_ = std::move(state.keys);
+  session->valid_basis_ = state.valid_basis;
+  session->num_resolves_ = state.num_resolves;
+  session->rng_.RestoreState(state.rng);
+  session->dirty_ = std::move(state.dirty);
+  session->dirty_.resize(session->instance_.num_users(), 0);
+  session->all_dirty_ = state.all_dirty;
+  return session;
+}
+
+SessionState Session::CaptureState() const {
+  SessionState state;
+  state.instance = instance_;
+  state.config = config_;
+  state.basis = basis_;
+  state.keys = keys_;
+  state.valid_basis = valid_basis_;
+  state.num_resolves = num_resolves_;
+  state.rng = rng_.SaveState();
+  state.dirty = dirty_;
+  state.all_dirty = all_dirty_;
+  return state;
+}
+
 void Session::MarkDirty(UserId u) {
   if (u >= 0 && u < static_cast<int>(dirty_.size())) dirty_[u] = 1;
 }
@@ -164,6 +203,18 @@ Status Session::ApplyRetireItem(ItemId c) {
 }
 
 Result<CommandOutcome> Session::Apply(const SessionCommand& command) {
+  auto outcome = ApplyImpl(command);
+  if (!outcome.ok() || journal_ == nullptr) return outcome;
+  // Journal AFTER the mutation: a rejected command changed nothing (every
+  // Apply* validates before mutating; a failed Resolve restores its entry
+  // state), so the changelog holds exactly the applied stream and replays
+  // bit-for-bit. A failed append surfaces as the command's status — the
+  // caller must not treat un-journaled state as durable.
+  SAVG_RETURN_NOT_OK(journal_->Append(command, outcome->resolved));
+  return outcome;
+}
+
+Result<CommandOutcome> Session::ApplyImpl(const SessionCommand& command) {
   CommandOutcome outcome;
   switch (command.type) {
     case CommandType::kPref:
@@ -210,11 +261,25 @@ Status Session::ApplyEvent(const SessionEvent& event, ResolveReport* report) {
 }
 
 Result<ResolveReport> Session::Resolve(bool force_cold) {
-  if (options_.use_sharding && instance_.lambda() > 0.0 &&
-      instance_.lambda() < 1.0) {
-    return ResolveSharded(force_cold);
+  // A failed resolve must be a true no-op on served state: config_, basis_
+  // and frac_ only commit at the success point of the resolve paths, dirty
+  // flags are kept (ClearDirty runs on success only), and the rounding-seed
+  // RNG draw plus the RefinalizePairs() evolution of the instance's pair
+  // order are rolled back here — so a retry, and a replay of the changelog
+  // (which never journals failed resolves), see the identical random stream
+  // AND the identical pair order (the durability state digest covers both).
+  const RngState entry_rng = rng_.SaveState();
+  std::vector<FriendPair> entry_pairs = instance_.pairs();
+  const int entry_finalized = instance_.finalized_edge_count();
+  auto report = options_.use_sharding && instance_.lambda() > 0.0 &&
+                        instance_.lambda() < 1.0
+                    ? ResolveSharded(force_cold)
+                    : ResolveMonolithic(force_cold);
+  if (!report.ok()) {
+    rng_.RestoreState(entry_rng);
+    instance_.RestoreFinalizedPairs(std::move(entry_pairs), entry_finalized);
   }
-  return ResolveMonolithic(force_cold);
+  return report;
 }
 
 double Session::KeptUtilityShare(const FractionalSolution& frac,
@@ -303,24 +368,26 @@ Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
     trace->AddLabel(span, "path", ResolvePathName(report.path));
   }
 
-  // Extract the compact fractional solution.
-  frac_ = FractionalSolution();
-  frac_.num_users = n;
-  frac_.num_items = m;
-  frac_.num_slots = k;
-  frac_.x.assign(static_cast<size_t>(n) * m, 0.0);
+  // Extract the compact fractional solution into a LOCAL: frac_ is served
+  // state and must survive untouched if the rounding below fails (the
+  // resolve-failure no-op guarantee) — it commits with basis_ at the end.
+  FractionalSolution frac;
+  frac.num_users = n;
+  frac.num_items = m;
+  frac.num_slots = k;
+  frac.x.assign(static_cast<size_t>(n) * m, 0.0);
   for (UserId u = 0; u < n; ++u) {
     for (ItemId c = 0; c < m; ++c) {
       const int var = map.XVar(u, c, m);
-      if (var >= 0) frac_.x[static_cast<size_t>(u) * m + c] = sol->x[var];
+      if (var >= 0) frac.x[static_cast<size_t>(u) * m + c] = sol->x[var];
     }
   }
-  frac_.lp_objective = sol->objective;
-  frac_.exact = true;
-  frac_.simplex_iterations = sol->iterations;
-  frac_.warm_started = sol->warm_started;
-  frac_.lp_stats = sol->stats;
-  frac_.BuildSupporters(options_.prune_tolerance);
+  frac.lp_objective = sol->objective;
+  frac.exact = true;
+  frac.simplex_iterations = sol->iterations;
+  frac.warm_started = sol->warm_started;
+  frac.lp_stats = sol->stats;
+  frac.BuildSupporters(options_.prune_tolerance);
 
   // Re-round: keep the previous configuration's units for clean users (on
   // the incremental paths), leaving only dirty users' units eligible for
@@ -341,14 +408,14 @@ Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
     if (keep_clean_units && options_.reround_utility_threshold > 0.0) {
       std::vector<char> keep(n, 1);
       for (UserId u : dirty) keep[u] = 0;
-      report.kept_utility_share = KeptUtilityShare(frac_, keep);
+      report.kept_utility_share = KeptUtilityShare(frac, keep);
       if (report.kept_utility_share < options_.reround_utility_threshold) {
         report.drift_reround = true;
         report.full_reround = true;
         keep_clean_units = false;
       }
     }
-    CsfState state(instance_, frac_, options_.rounding.size_cap);
+    CsfState state(instance_, frac, options_.rounding.size_cap);
     int kept_units = 0;
     if (keep_clean_units) {
       for (UserId u = 0; u < std::min(n, config_.num_users()); ++u) {
@@ -390,6 +457,7 @@ Result<ResolveReport> Session::ResolveMonolithic(bool force_cold) {
     options_.verifier->Enqueue(std::move(job));
   }
 
+  frac_ = std::move(frac);
   basis_ = std::move(sol->basis);
   keys_ = std::move(keys);
   valid_basis_ = true;

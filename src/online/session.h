@@ -146,6 +146,38 @@ struct ResolveReport {
   double shard_gap = 0.0;
 };
 
+/// The complete serving state of a Session at a command boundary — what a
+/// durability snapshot persists (src/durability/snapshot.h) and recovery
+/// restores via Session::FromState(). Everything the next Resolve() reads
+/// is here: the mutated instance with its EVOLVED pair order, the served
+/// configuration, the cached basis + column keys, the resolve counter
+/// (periodic-reround phase), the rounding RNG, and the dirty flags. The
+/// last fractional solution is deliberately absent: every resolve rebuilds
+/// it from the fresh LP before any read. Sharded-mode coordinator state is
+/// also rebuilt (the first post-recovery sharded resolve re-partitions).
+struct SessionState {
+  SvgicInstance instance;
+  Configuration config;
+  LpBasis basis;
+  CompactLpKeys keys;
+  bool valid_basis = false;
+  int num_resolves = 0;
+  RngState rng;
+  std::vector<char> dirty;
+  bool all_dirty = false;
+};
+
+/// Durability sink for applied commands (implemented by
+/// durability/SessionJournal). Session::Apply() appends every command that
+/// actually mutated state — after the mutation, so a validation failure
+/// journals nothing and the log replays exactly the applied stream.
+class CommandJournal {
+ public:
+  virtual ~CommandJournal() = default;
+  /// `resolved` is true for the kResolve entries (fsync-on-resolve policy).
+  virtual Status Append(const SessionCommand& command, bool resolved) = 0;
+};
+
 /// What one Apply(SessionCommand) did. `assigned_id` carries the id a
 /// kJoin/kAddItem command allocated; `report` is valid iff `resolved`.
 struct CommandOutcome {
@@ -174,6 +206,34 @@ class Session {
   Session& operator=(const Session&) = delete;
   Session(Session&&) = delete;
   Session& operator=(Session&&) = delete;
+
+  /// Reconstructs a session from a captured state (durability recovery).
+  /// The instance's evolved pair order is restored verbatim — FinalizePairs
+  /// is NOT re-run — and the cached basis warm-starts the first resolve,
+  /// so recovery never pays a cold solve. `options` must match the
+  /// original session's (options are configuration, not state; the
+  /// operator passes the same flags across a restart).
+  static std::unique_ptr<Session> FromState(SessionState state,
+                                            SessionOptions options);
+
+  /// Copies the complete serving state (see SessionState). Only valid at a
+  /// command boundary — the SessionManager calls it while its drain task
+  /// owns the session.
+  SessionState CaptureState() const;
+
+  /// Attaches the durability journal Apply() appends to (nullptr
+  /// detaches). Replay during recovery runs with no journal attached, then
+  /// re-attaches — replayed commands must not be re-journaled.
+  void set_journal(CommandJournal* journal) { journal_ = journal; }
+
+  /// Fault injection for tests and operational backpressure drills: caps
+  /// the simplex iteration count of every subsequent resolve (the
+  /// per-solve limit, not cumulative). The resolve-failure path must leave
+  /// the served configuration, basis and RNG untouched; the regression
+  /// test drives that with a limit of 1.
+  void set_max_lp_iterations(int max_iterations) {
+    options_.simplex.max_iterations = max_iterations;
+  }
 
   const SvgicInstance& instance() const { return instance_; }
   /// The currently served configuration (empty before the first Resolve).
@@ -235,7 +295,14 @@ class Session {
   Result<ResolveReport> Resolve(bool force_cold = false);
 
  private:
+  /// Restore path: adopts the instance as-is (already finalized with the
+  /// evolved pair order) instead of re-running FinalizePairs.
+  struct RestoreTag {};
+  Session(SvgicInstance instance, SessionOptions options, RestoreTag);
+
   // Per-command mutation implementations behind Apply()'s dispatch.
+  /// Apply() minus the journal append (the dispatch switch itself).
+  Result<CommandOutcome> ApplyImpl(const SessionCommand& command);
   Status ApplyPref(UserId u, ItemId c, double value);
   Status ApplyTau(UserId u, UserId v, ItemId c, double value);
   Status ApplyFriend(UserId u, UserId v);
@@ -281,6 +348,9 @@ class Session {
 
   std::vector<char> dirty_;  ///< per-user dirty flag, indexed by id
   bool all_dirty_ = false;
+
+  /// Durability sink (not owned); see set_journal().
+  CommandJournal* journal_ = nullptr;
 
   /// Sharded-mode state (created on the first sharded resolve).
   std::unique_ptr<ShardCoordinator> coordinator_;

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "durability/session_store.h"
 #include "obs/verify.h"
+#include "util/logging.h"
 
 namespace savg {
 
@@ -47,8 +49,68 @@ int SessionManager::CreateSession(SvgicInstance instance,
   entry->stats.num_users = entry->session->instance().num_users();
   entry->stats.num_items = entry->session->instance().num_items();
   entry->stats.session_id = id;
+  AttachJournal(entry.get(), id, /*epoch=*/0, /*applied_seq=*/0);
   entries_.push_back(std::move(entry));
   return id;
+}
+
+int SessionManager::AdoptSession(std::unique_ptr<Session> session,
+                                 uint32_t epoch, uint64_t applied_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = static_cast<int>(entries_.size());
+  auto entry = std::make_unique<Entry>();
+  entry->session = std::move(session);
+  entry->stats.num_users = entry->session->instance().num_users();
+  entry->stats.num_items = entry->session->instance().num_items();
+  entry->stats.session_id = id;
+  entry->stats.commands_applied = static_cast<int64_t>(applied_seq);
+  entry->stats.resolves = entry->session->num_resolves();
+  AttachJournal(entry.get(), id, epoch, applied_seq);
+  entries_.push_back(std::move(entry));
+  return id;
+}
+
+void SessionManager::AttachJournal(Entry* entry, int id, uint32_t epoch,
+                                   uint64_t applied_seq) {
+  if (options_.store == nullptr) return;
+  auto journal = options_.store->Attach(static_cast<uint32_t>(id),
+                                        *entry->session, epoch, applied_seq);
+  if (!journal.ok()) {
+    // Durability degrades to in-memory-only for this session rather than
+    // refusing to serve; the operator sees the warning and the missing
+    // durability.appends growth.
+    SAVG_LOG(Warning) << "durability: attach failed for session " << id
+                      << ": " << journal.status().message();
+    return;
+  }
+  entry->journal = *journal;
+  entry->session->set_journal(*journal);
+}
+
+void SessionManager::MaybeSnapshot(Entry* entry) {
+  if (entry->journal == nullptr || !entry->journal->ShouldSnapshot()) return;
+  const Status status = entry->journal->TakeSnapshot(*entry->session);
+  if (!status.ok()) {
+    SAVG_LOG(Warning) << "durability: snapshot failed for session "
+                      << entry->stats.session_id << ": " << status.message();
+  }
+}
+
+Status SessionManager::FlushDurability() {
+  if (options_.store == nullptr) return Status::OK();
+  std::vector<Entry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& e : entries_) entries.push_back(e.get());
+  }
+  Status first = Status::OK();
+  for (Entry* entry : entries) {
+    if (entry->journal == nullptr) continue;
+    const Status status = entry->journal->Flush(*entry->session);
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
 }
 
 int SessionManager::num_sessions() const {
@@ -167,6 +229,7 @@ void SessionManager::RunResolve(Entry* entry,
     (*waiters)[i].done(status, result);
   }
   waiters->clear();
+  MaybeSnapshot(entry);
 }
 
 void SessionManager::RecordResolveMetrics(const Status& status,
@@ -286,6 +349,7 @@ void SessionManager::DrainEntry(Entry* entry) {
       }
     }
     if (item.done) item.done(status, result);
+    MaybeSnapshot(entry);
   }
 }
 

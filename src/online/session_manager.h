@@ -44,6 +44,9 @@
 
 namespace savg {
 
+class SessionStore;
+class SessionJournal;
+
 struct SessionManagerOptions {
   /// Pool threads (<= 0 = all cores).
   int num_workers = 0;
@@ -56,6 +59,12 @@ struct SessionManagerOptions {
   /// Bland/stall activations, cold fallbacks, drift re-rounds, dual-gap
   /// rounds — see the metric catalog in README). nullptr disables.
   MetricsRegistry* metrics = nullptr;
+  /// Durability (src/durability/): when set, every created/adopted session
+  /// gets a journal attached (its Apply() stream lands in a changelog) and
+  /// the drain tasks take snapshots in-band when the journal's count/time
+  /// trigger fires — no separate snapshot thread, and a session is only
+  /// ever snapshotted by the task that owns it. nullptr disables.
+  SessionStore* store = nullptr;
 };
 
 /// Point-in-time view of one live session (the server's status command).
@@ -98,6 +107,19 @@ class SessionManager {
   /// Registers a live session; returns its id. The session's pairs are
   /// finalized by the Session constructor.
   int CreateSession(SvgicInstance instance, SessionOptions options = {});
+
+  /// Registers a session rebuilt by the RecoveryManager. The journal (when
+  /// a store is configured) re-attaches at `epoch` with sequence
+  /// `applied_seq`, so the replayed history is never appended twice.
+  /// Sessions must be adopted in recovered-id order before any
+  /// CreateSession (ids are dense).
+  int AdoptSession(std::unique_ptr<Session> session, uint32_t epoch,
+                   uint64_t applied_seq);
+
+  /// Flushes every session's journal — final snapshot per the store's
+  /// policy, else fsync. Call after Drain() (no drain task may own a
+  /// session). No-op without a store.
+  Status FlushDurability();
 
   int num_sessions() const;
   /// Ids of every live session (dense, in creation order).
@@ -182,9 +204,17 @@ class SessionManager {
     bool running = false;  ///< a drain task owns this session right now
     std::vector<ResolveReport> reports;
     SessionStats stats;
+    /// Durability journal (owned by the store; null without one).
+    SessionJournal* journal = nullptr;
   };
 
   void DrainEntry(Entry* entry);
+  /// Attaches a durability journal to a just-created entry (under mu_).
+  void AttachJournal(Entry* entry, int id, uint32_t epoch,
+                     uint64_t applied_seq);
+  /// In-band snapshot check after a command completed; the calling drain
+  /// task still owns the session.
+  void MaybeSnapshot(Entry* entry);
   /// Runs one Resolve() answering `waiters` deferred resolve requests
   /// plus stats/report bookkeeping. Called with no locks held.
   void RunResolve(Entry* entry, std::vector<ResolveWaiter>* waiters);

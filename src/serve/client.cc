@@ -7,7 +7,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace savg {
 namespace {
@@ -27,7 +29,23 @@ Status SendAll(int fd, const char* data, size_t size) {
   return Status::OK();
 }
 
+/// splitmix64 step: a cheap deterministic jitter stream (no <random>
+/// state to carry; identical runs produce identical backoff schedules).
+uint64_t NextJitter(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
+
+ServeClient::ServeClient(ClientRetryOptions retry, MetricsRegistry* registry)
+    : retry_(retry), jitter_state_(retry.jitter_seed) {
+  if (registry != nullptr) {
+    retries_counter_ = registry->GetCounter("serve.client.retries");
+  }
+}
 
 ServeClient::~ServeClient() { Close(); }
 
@@ -56,6 +74,8 @@ Status ServeClient::Connect(const std::string& host, int port) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
   reader_ = FrameReader();
+  host_ = host;
+  port_ = port;
   return Status::OK();
 }
 
@@ -138,12 +158,54 @@ Result<ServeResponse> ServeClient::ReadResponse() {
   return response;
 }
 
+bool ServeClient::PrepareRetry(int attempt, bool reconnect) {
+  if (attempt >= retry_.max_retries) return false;
+  double backoff_ms = retry_.initial_backoff_ms;
+  for (int i = 0; i < attempt; ++i) backoff_ms *= retry_.backoff_multiplier;
+  if (backoff_ms > retry_.max_backoff_ms) backoff_ms = retry_.max_backoff_ms;
+  if (retry_.jitter_fraction > 0.0) {
+    const double unit = static_cast<double>(NextJitter(&jitter_state_) >> 11)
+                        * (1.0 / 9007199254740992.0);  // [0, 1)
+    backoff_ms *= 1.0 + retry_.jitter_fraction * (2.0 * unit - 1.0);
+  }
+  if (backoff_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+  }
+  ++retries_;
+  if (retries_counter_ != nullptr) retries_counter_->Increment();
+  if (reconnect && !host_.empty()) {
+    // A failed reconnect is fine: the next attempt's send reports "not
+    // connected" and lands back here until the budget runs out.
+    (void)Connect(host_, port_);
+  }
+  return true;
+}
+
 Result<ServeResponse> ServeClient::Apply(uint32_t session_id,
                                          const SessionCommand& command,
                                          bool trace, bool verify) {
-  SAVG_RETURN_NOT_OK(
-      SendApply(session_id, command, trace, verify).status());
-  return ReadResponse();
+  int attempt = 0;
+  for (;;) {
+    Status transport = SendApply(session_id, command, trace, verify).status();
+    if (transport.ok()) {
+      auto response = ReadResponse();
+      if (response.ok()) {
+        // kOverloaded is a healthy connection telling us to back off:
+        // retry without reconnecting.
+        if (response->kind == FrameKind::kOverloaded &&
+            PrepareRetry(attempt++, /*reconnect=*/false)) {
+          continue;
+        }
+        return response;
+      }
+      transport = response.status();
+    }
+    // Transport failure (send or read): the connection state is unknown,
+    // so a retry reconnects first. See the at-least-once caveat in the
+    // file comment.
+    if (!PrepareRetry(attempt++, /*reconnect=*/true)) return transport;
+  }
 }
 
 Result<std::string> HttpGet(const std::string& host, int port,

@@ -7,6 +7,19 @@
 // ServeResponse::request_id). The convenience Apply() does one
 // send + receive round trip.
 //
+// Retry (ClientRetryOptions, off by default): Apply() transparently
+// retries on transport failures (connection reset / server restart —
+// reconnects to the remembered host:port first) and on kOverloaded
+// responses (backoff only; the connection is fine, the server shed the
+// request), with capped exponential backoff plus deterministic jitter and
+// a per-call retry budget. At-least-once caveat: a send that succeeded
+// whose response was lost is re-sent on the new connection, so a
+// non-idempotent command (kJoin, kAddItem) can be applied twice around a
+// server restart — acceptable for the load generator and operator
+// tooling this client serves; exactly-once needs request ids persisted
+// server-side. Only Apply() retries; the pipelined Send*/ReadResponse
+// pairs stay raw.
+//
 // Used by bench_serve_load, the serve tests, and svgic_cli.
 
 #pragma once
@@ -14,10 +27,27 @@
 #include <cstdint>
 #include <string>
 
+#include "metrics/registry.h"
 #include "serve/wire.h"
 #include "util/status.h"
 
 namespace savg {
+
+/// Apply() retry policy. max_retries = 0 (default) disables retrying and
+/// makes Apply() behave exactly as before.
+struct ClientRetryOptions {
+  /// Retries per Apply() call beyond the first attempt.
+  int max_retries = 0;
+  double initial_backoff_ms = 5.0;
+  double max_backoff_ms = 200.0;
+  double backoff_multiplier = 2.0;
+  /// Each backoff is scaled by a factor uniform in [1-j, 1+j], from a
+  /// deterministic per-client stream (reproducible benches; still
+  /// decorrelates concurrent clients via the seed).
+  double jitter_fraction = 0.2;
+  /// Seed of the jitter stream (vary per client to spread herds).
+  uint64_t jitter_seed = 1;
+};
 
 /// One response frame, with the apply payload decoded when present.
 struct ServeResponse {
@@ -33,16 +63,22 @@ struct ServeResponse {
 
 class ServeClient {
  public:
-  ServeClient() = default;
+  /// `registry`, when set, feeds the serve.client.retries counter.
+  explicit ServeClient(ClientRetryOptions retry = {},
+                       MetricsRegistry* registry = nullptr);
   ~ServeClient();
 
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;
 
-  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1"). The
+  /// address is remembered for retry reconnects.
   Status Connect(const std::string& host, int port);
   void Close();
   bool connected() const { return fd_ >= 0; }
+
+  /// Retries Apply() performed over this client's lifetime.
+  uint64_t retries() const { return retries_; }
 
   /// Each Send* writes one request frame and returns its request id.
   /// `trace` sets kFrameFlagTrace: the server then traces this request
@@ -59,7 +95,8 @@ class ServeClient {
   /// Blocks until the next response frame arrives.
   Result<ServeResponse> ReadResponse();
 
-  /// Send + receive one apply (no pipelining).
+  /// Send + receive one apply (no pipelining). Retries per the client's
+  /// ClientRetryOptions (see the file comment for the semantics).
   Result<ServeResponse> Apply(uint32_t session_id,
                               const SessionCommand& command,
                               bool trace = false, bool verify = false);
@@ -70,10 +107,21 @@ class ServeClient {
  private:
   Result<uint64_t> SendFrame(FrameKind kind, uint32_t session_id,
                              const std::string& payload, uint8_t flags = 0);
+  /// One uncounted backoff + bookkeeping step of the Apply() retry loop;
+  /// reconnects when `reconnect` (transport failure) vs backoff-only
+  /// (kOverloaded). Returns false when the budget is exhausted.
+  bool PrepareRetry(int attempt, bool reconnect);
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   FrameReader reader_;
+
+  ClientRetryOptions retry_;
+  Counter* retries_counter_ = nullptr;
+  uint64_t retries_ = 0;
+  uint64_t jitter_state_ = 0;
+  std::string host_;
+  int port_ = 0;
 };
 
 /// One-shot HTTP/1.0 GET against the server's HTTP front-end (the same

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <utility>
 
+#include "durability/recovery.h"
 #include "obs/structured_log.h"
 #include "util/logging.h"
 
@@ -72,8 +73,13 @@ ServeServer::ServeServer(ServerOptions options)
       timeseries_(&metrics_, TimeSeriesOptions{options.metrics_windows}),
       health_(ResolveHealthOptions(options)),
       verifier_(&metrics_, options.verify),
+      store_(options.durability.data_dir.empty()
+                 ? nullptr
+                 : std::make_unique<SessionStore>(options.durability,
+                                                  &metrics_)),
       manager_(SessionManagerOptions{options.num_workers,
-                                     options.coalesce_resolves, &metrics_}),
+                                     options.coalesce_resolves, &metrics_,
+                                     store_.get()}),
       admission_(&manager_, &metrics_, options.admission),
       tracer_(&metrics_, options.trace) {}
 
@@ -83,6 +89,47 @@ int ServeServer::CreateSession(SvgicInstance instance,
                                SessionOptions options) {
   options.verifier = &verifier_;
   return manager_.CreateSession(std::move(instance), options);
+}
+
+Result<int> ServeServer::RecoverSessions(SessionOptions base_options) {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument(
+        "recovery needs durability.data_dir to be set");
+  }
+  RecoveryManager recovery(options_.durability.data_dir, base_options,
+                           RecoveryOptions{}, &metrics_);
+  SAVG_ASSIGN_OR_RETURN(std::vector<RecoveredSession> recovered,
+                        recovery.RecoverAll());
+  int count = 0;
+  for (RecoveredSession& item : recovered) {
+    // The recovery manager built the session without a verifier (options
+    // carry pointers into THIS server); stamp them before adoption.
+    SessionOptions options = base_options;
+    options.verifier = &verifier_;
+    options.verifier_session_id = item.session_id;
+    std::unique_ptr<Session> session = Session::FromState(
+        item.session->CaptureState(), options);
+    const int id = manager_.AdoptSession(std::move(session),
+                                         item.last_epoch + 1,
+                                         item.applied_seq);
+    if (static_cast<uint32_t>(id) != item.session_id) {
+      return Status::InvalidArgument(
+          "recovered session " + std::to_string(item.session_id) +
+          " adopted as id " + std::to_string(id) +
+          " (sessions must be adopted before CreateSession)");
+    }
+    LogEvent(LogLevel::kInfo, "serve.recovered",
+             LogFields()
+                 .Add("session", id)
+                 .Add("applied_seq", item.applied_seq)
+                 .Add("replayed", item.replayed_commands)
+                 .Add("snapshot_epoch",
+                      static_cast<int64_t>(item.snapshot_epoch))
+                 .Add("torn_tail", item.torn_tail ? 1 : 0)
+                 .Add("seconds", item.seconds));
+    ++count;
+  }
+  return count;
 }
 
 Status ServeServer::Start() {
@@ -528,6 +575,7 @@ void ServeServer::Shutdown() {
       listen_fd_ = -1;
     }
     manager_.Drain();
+    manager_.FlushDurability();
     verifier_.Flush();
     return;
   }
@@ -556,6 +604,14 @@ void ServeServer::Shutdown() {
     if (t.joinable()) t.join();
   }
   manager_.Drain();
+  // Drained means every session is at a command boundary: flush the
+  // journals (final snapshot per policy) so a graceful shutdown restarts
+  // with an empty replay.
+  const Status flushed = manager_.FlushDurability();
+  if (!flushed.ok()) {
+    SAVG_LOG(Warning) << "durability: shutdown flush failed: "
+                      << flushed.message();
+  }
   // Pending verifications finish before the final metrics dump so
   // verify.pass/fail are complete at quiesce.
   verifier_.Flush();

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "durability/session_store.h"
 #include "metrics/registry.h"
 #include "metrics/timeseries.h"
 #include "obs/health.h"
@@ -76,6 +77,10 @@ struct ServerOptions {
   HealthOptions health;
   /// Sampled post-solve self-verification (obs/verify.h).
   VerifierOptions verify;
+  /// Session durability (src/durability/): an empty data_dir disables it;
+  /// otherwise every session journals its command stream and snapshots
+  /// periodically, and Shutdown() flushes (final snapshot per policy).
+  DurabilityOptions durability;
 };
 
 class ServeServer {
@@ -88,6 +93,13 @@ class ServeServer {
 
   /// Registers a serving session (callable before or after Start()).
   int CreateSession(SvgicInstance instance, SessionOptions options = {});
+
+  /// Recovers every session persisted in durability.data_dir (crash
+  /// restart path; see durability/recovery.h) and adopts them into the
+  /// manager with fresh journals at last_epoch + 1. `base_options` must
+  /// match the sessions' original options. Returns the number of sessions
+  /// recovered. Call before Start().
+  Result<int> RecoverSessions(SessionOptions base_options = {});
 
   /// Binds + listens + starts the accept thread.
   Status Start();
@@ -147,6 +159,9 @@ class ServeServer {
   // The verifier must outlive manager_: sessions keep a pointer to it and
   // the manager's destructor drains their pending resolves.
   SolutionVerifier verifier_;
+  // The store must outlive manager_ too: entries hold journal pointers the
+  // manager's destructor may still flush through.
+  std::unique_ptr<SessionStore> store_;
   SessionManager manager_;
   AdmissionQueue admission_;
   Tracer tracer_;

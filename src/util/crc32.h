@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the durability layer (src/durability/) to checksum changelog
+// records and snapshot headers/payloads so torn or bit-rotted files are
+// detected at recovery instead of silently replaying garbage. Table-driven,
+// one byte per step; fast enough for the record sizes involved (tens of
+// bytes per command, snapshots in the megabytes).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace savg {
+
+/// CRC-32 of [data, data + size), seeded with `seed` (pass the previous
+/// return value to checksum a buffer incrementally; 0 starts fresh).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace savg

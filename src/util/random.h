@@ -14,10 +14,32 @@
 
 namespace savg {
 
+/// The complete internal state of an Rng, for exact save/restore (the
+/// durability layer snapshots a serving session's generator so replayed
+/// resolves draw the identical rounding seeds).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  /// Box-Muller produces normals in pairs; the spare must survive a
+  /// save/restore or the next Normal() would diverge.
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  bool operator==(const RngState& o) const {
+    return s[0] == o.s[0] && s[1] == o.s[1] && s[2] == o.s[2] &&
+           s[3] == o.s[3] && has_cached_normal == o.has_cached_normal &&
+           cached_normal == o.cached_normal;
+  }
+};
+
 /// Fast, reproducible PRNG (xoshiro256**).
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Exact state capture: RestoreState(SaveState()) is a no-op and the
+  /// restored generator produces the identical stream.
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
   /// Next raw 64-bit value.
   uint64_t Next();

@@ -1,0 +1,693 @@
+// Tests of the durability stack (src/durability/): changelog framing with
+// torn-tail tolerance at every byte offset, bit-exact snapshot round trips,
+// crash recovery equal to uninterrupted execution (state digest + next
+// resolve), snapshot-corruption fallback to the previous epoch, the
+// resolve-failure transparency regression, and client reconnect-with-backoff
+// across a server restart.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datagen/datasets.h"
+#include "durability/changelog.h"
+#include "durability/recovery.h"
+#include "durability/session_store.h"
+#include "durability/snapshot.h"
+#include "online/session.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/session_command.h"
+
+namespace savg {
+namespace {
+
+SvgicInstance RandomInstance(int n, int m, int k, double lambda,
+                             uint64_t seed) {
+  DatasetParams params;
+  params.kind = DatasetKind::kTimik;
+  params.num_users = n;
+  params.num_items = m;
+  params.num_slots = k;
+  params.lambda = lambda;
+  params.seed = seed;
+  params.universe_users = 4 * n + 20;
+  auto inst = GenerateDataset(params);
+  EXPECT_TRUE(inst.ok()) << inst.status();
+  return std::move(inst).value();
+}
+
+void RemoveTree(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    ::unlink(path.c_str());
+    return;
+  }
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    RemoveTree(path + "/" + name);
+  }
+  ::closedir(dir);
+  ::rmdir(path.c_str());
+}
+
+/// A clean per-test scratch directory (stale files from a previous run
+/// would read as extra epochs).
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/savg_durability_" + name;
+  RemoveTree(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+uint64_t Digest(const Session& session) {
+  return SessionStateDigest(session.CaptureState());
+}
+
+/// Deterministic mixed mutation/resolve stream (valid against an instance
+/// that starts with n users and m items; joins grow n).
+CommandLog BuildStream(int n, int m, int num_mutations, uint64_t seed) {
+  CommandLog log;
+  uint64_t s = seed;
+  auto next = [&s]() {
+    s += 0x9E3779B97F4A7C15ull;
+    uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  log.push_back(MakeResolve());
+  for (int i = 0; i < num_mutations; ++i) {
+    const uint64_t r = next();
+    const double value =
+        0.05 + 0.9 * static_cast<double>((r >> 32) % 1000) / 1000.0;
+    switch (r % 4) {
+      case 0:
+        log.push_back(MakePref(static_cast<UserId>(r % n),
+                               static_cast<ItemId>((r >> 8) % m), value));
+        break;
+      case 1: {
+        UserId u = static_cast<UserId>(r % n);
+        UserId v = static_cast<UserId>((r >> 8) % n);
+        if (v == u) v = (v + 1) % n;
+        log.push_back(
+            MakeTau(u, v, static_cast<ItemId>((r >> 16) % m), value));
+        break;
+      }
+      case 2:
+        log.push_back(MakeJoin());
+        ++n;
+        break;
+      default:
+        log.push_back(MakePref(static_cast<UserId>((r >> 4) % n),
+                               static_cast<ItemId>((r >> 12) % m), value));
+        break;
+    }
+    if (i % 5 == 4) log.push_back(MakeResolve());
+  }
+  log.push_back(MakeResolve());
+  return log;
+}
+
+/// Applies the whole stream; with a journal, snapshots whenever the policy
+/// says to (what SessionManager::MaybeSnapshot does in-band).
+void ApplyAll(Session* session, const CommandLog& log,
+              SessionJournal* journal = nullptr) {
+  for (const SessionCommand& cmd : log) {
+    auto outcome = session->Apply(cmd);
+    ASSERT_TRUE(outcome.ok())
+        << CommandTypeName(cmd.type) << ": " << outcome.status();
+    if (journal != nullptr && journal->ShouldSnapshot()) {
+      Status snap = journal->TakeSnapshot(*session);
+      ASSERT_TRUE(snap.ok()) << snap;
+    }
+  }
+}
+
+// --- Fsync policy flag parsing ---------------------------------------------
+
+TEST(FsyncPolicyTest, ParseAndEchoRoundTrip) {
+  for (const char* text :
+       {"never", "command", "every:4", "interval:25", "resolve"}) {
+    auto policy = ParseFsyncPolicy(text);
+    ASSERT_TRUE(policy.ok()) << text;
+    EXPECT_EQ(FsyncPolicyToString(*policy), text);
+  }
+  EXPECT_FALSE(ParseFsyncPolicy("").ok());
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes").ok());
+  EXPECT_FALSE(ParseFsyncPolicy("every:").ok());
+  EXPECT_FALSE(ParseFsyncPolicy("every:x").ok());
+}
+
+// --- Changelog -------------------------------------------------------------
+
+CommandLog SampleCommands() {
+  return {MakePref(1, 2, 0.25), MakeJoin(),
+          MakeTau(0, 3, 1, 0.5),  MakeResolve(),
+          MakeFriend(2, 4),       MakeLambda(0.75),
+          MakePref(0, 0, 0.125),  MakeResolve()};
+}
+
+TEST(ChangelogTest, RoundTripPreservesEveryCommandBitExactly) {
+  const std::string dir = FreshDir("changelog_roundtrip");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = dir + "/" + ChangelogFileName(2);
+  const CommandLog commands = SampleCommands();
+
+  FsyncPolicy policy;
+  policy.mode = FsyncPolicy::Mode::kNever;
+  auto writer = ChangelogWriter::Create(path, /*session_id=*/3, /*epoch=*/2,
+                                        /*first_seq=*/17, policy);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  for (const SessionCommand& cmd : commands) {
+    ASSERT_TRUE(
+        (*writer)->Append(cmd, cmd.type == CommandType::kResolve).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto contents = ReadChangelogFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_EQ(contents->session_id, 3u);
+  EXPECT_EQ(contents->epoch, 2u);
+  EXPECT_EQ(contents->first_seq, 17u);
+  EXPECT_FALSE(contents->torn_tail);
+  ASSERT_EQ(contents->commands.size(), commands.size());
+  for (size_t i = 0; i < commands.size(); ++i) {
+    EXPECT_EQ(contents->commands[i], commands[i]) << "command " << i;
+  }
+}
+
+TEST(ChangelogTest, TornTailAtEveryByteOffsetOfTheFinalRecord) {
+  const std::string dir = FreshDir("changelog_torn");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = dir + "/" + ChangelogFileName(0);
+  const CommandLog commands = SampleCommands();
+
+  FsyncPolicy policy;
+  policy.mode = FsyncPolicy::Mode::kNever;
+  auto writer =
+      ChangelogWriter::Create(path, 0, 0, 0, policy);
+  ASSERT_TRUE(writer.ok());
+  for (const SessionCommand& cmd : commands) {
+    ASSERT_TRUE(
+        (*writer)->Append(cmd, cmd.type == CommandType::kResolve).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+  const std::string full = ReadFileBytes(path);
+
+  // Offset where the final record begins (len + crc + payload framing).
+  const size_t last_record_bytes = 8 + EncodedCommandSize(commands.back());
+  ASSERT_GT(full.size(), last_record_bytes);
+  const size_t last_start = full.size() - last_record_bytes;
+
+  // Truncating exactly at the record boundary is indistinguishable from a
+  // log that simply ends there: a clean read of N-1 commands, no torn tail.
+  const std::string cut_path = dir + "/cut";
+  WriteFileBytes(cut_path, full.substr(0, last_start));
+  auto clean = ReadChangelogFile(cut_path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->torn_tail);
+  EXPECT_EQ(clean->commands.size(), commands.size() - 1);
+
+  // Every cut INSIDE the final record: the valid prefix survives intact
+  // and the partial tail is reported, never an error.
+  for (size_t cut = last_start + 1; cut < full.size(); ++cut) {
+    WriteFileBytes(cut_path, full.substr(0, cut));
+    auto torn = ReadChangelogFile(cut_path);
+    ASSERT_TRUE(torn.ok()) << "cut at " << cut << ": " << torn.status();
+    EXPECT_TRUE(torn->torn_tail) << "cut at " << cut;
+    EXPECT_EQ(torn->valid_bytes, last_start) << "cut at " << cut;
+    ASSERT_EQ(torn->commands.size(), commands.size() - 1)
+        << "cut at " << cut;
+    for (size_t i = 0; i + 1 < commands.size(); ++i) {
+      EXPECT_EQ(torn->commands[i], commands[i]);
+    }
+  }
+
+  // A cut inside the 24-byte header (crash between create and header
+  // fsync): empty contents, torn tail, still not an error.
+  WriteFileBytes(cut_path, full.substr(0, 10));
+  auto header_torn = ReadChangelogFile(cut_path);
+  ASSERT_TRUE(header_torn.ok());
+  EXPECT_TRUE(header_torn->torn_tail);
+  EXPECT_TRUE(header_torn->commands.empty());
+}
+
+TEST(ChangelogTest, CorruptMidFileRecordDiscardsFromThere) {
+  const std::string dir = FreshDir("changelog_corrupt");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = dir + "/" + ChangelogFileName(0);
+  const CommandLog commands = SampleCommands();
+
+  FsyncPolicy policy;
+  policy.mode = FsyncPolicy::Mode::kNever;
+  auto writer = ChangelogWriter::Create(path, 0, 0, 0, policy);
+  ASSERT_TRUE(writer.ok());
+  for (const SessionCommand& cmd : commands) {
+    ASSERT_TRUE((*writer)->Append(cmd, false).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Flip a payload byte of the third record: records 0-1 must survive,
+  // everything from the corrupt record on is discarded as a torn tail.
+  std::string bytes = ReadFileBytes(path);
+  size_t offset = 24;
+  for (int i = 0; i < 2; ++i) offset += 8 + EncodedCommandSize(commands[i]);
+  bytes[offset + 8] = static_cast<char>(bytes[offset + 8] ^ 0x40);
+  WriteFileBytes(path, bytes);
+
+  auto contents = ReadChangelogFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_TRUE(contents->torn_tail);
+  EXPECT_EQ(contents->valid_bytes, offset);
+  ASSERT_EQ(contents->commands.size(), 2u);
+  EXPECT_EQ(contents->commands[0], commands[0]);
+  EXPECT_EQ(contents->commands[1], commands[1]);
+}
+
+// --- Snapshots -------------------------------------------------------------
+
+TEST(SnapshotTest, StateRoundTripIsBitExact) {
+  Session session(RandomInstance(10, 14, 2, 0.5, 3));
+  ApplyAll(&session, BuildStream(10, 14, 12, 5));
+
+  const SessionState state = session.CaptureState();
+  const uint64_t digest = SessionStateDigest(state);
+
+  std::string encoded;
+  EncodeSessionState(state, &encoded);
+  auto decoded = DecodeSessionState(encoded.data(), encoded.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(SessionStateDigest(*decoded), digest);
+
+  // FromState reproduces the full serving state, digest-identical.
+  auto restored = Session::FromState(std::move(*decoded), SessionOptions{});
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(Digest(*restored), digest);
+  EXPECT_EQ(restored->num_resolves(), session.num_resolves());
+
+  // File round trip through the atomic write-rename path.
+  const std::string dir = FreshDir("snapshot_roundtrip");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = dir + "/" + SnapshotFileName(4);
+  ASSERT_TRUE(WriteSnapshotFile(path, /*session_id=*/7, /*epoch=*/4,
+                                /*applied_seq=*/13, state)
+                  .ok());
+  auto snapshot = ReadSnapshotFile(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ(snapshot->session_id, 7u);
+  EXPECT_EQ(snapshot->epoch, 4u);
+  EXPECT_EQ(snapshot->applied_seq, 13u);
+  EXPECT_EQ(SessionStateDigest(snapshot->state), digest);
+}
+
+TEST(SnapshotTest, AnySingleByteCorruptionIsDetected) {
+  Session session(RandomInstance(8, 10, 2, 0.5, 9));
+  ASSERT_TRUE(session.Resolve().ok());
+  const std::string dir = FreshDir("snapshot_corrupt");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::string path = dir + "/" + SnapshotFileName(0);
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, 0, 0, 1, session.CaptureState()).ok());
+
+  const std::string good = ReadFileBytes(path);
+  ASSERT_TRUE(ReadSnapshotFile(path).ok());
+  // Flip one byte at a spread of offsets covering the header (both CRCs)
+  // and the payload; every corruption must be caught.
+  for (size_t offset = 0; offset < good.size();
+       offset += 1 + good.size() / 64) {
+    std::string bad = good;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x01);
+    WriteFileBytes(path, bad);
+    EXPECT_FALSE(ReadSnapshotFile(path).ok()) << "offset " << offset;
+  }
+  // Truncations fail too (the recovery manager falls back, never crashes).
+  for (size_t len : {0u, 10u, 39u, 40u}) {
+    if (len >= good.size()) continue;
+    WriteFileBytes(path, good.substr(0, len));
+    EXPECT_FALSE(ReadSnapshotFile(path).ok()) << "len " << len;
+  }
+}
+
+// --- Crash recovery --------------------------------------------------------
+
+TEST(RecoveryTest, KillAndRestoreEqualsUninterruptedExecution) {
+  const std::string dir = FreshDir("recovery_bitexact");
+  const SvgicInstance base = RandomInstance(12, 16, 3, 0.5, 21);
+  const CommandLog log = BuildStream(12, 16, 40, 77);
+
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.fsync.mode = FsyncPolicy::Mode::kEveryN;
+  options.fsync.every_n = 1;
+  options.snapshot_interval_seconds = 0;  // count trigger only
+  options.snapshot_every_commands = 6;    // force many rotations
+  options.keep_epochs = 2;
+  SessionStore store(options);
+
+  // The uninterrupted control and the journaled session apply the same
+  // stream; the journaled one snapshots + rotates as it goes.
+  Session control(base);
+  auto durable = std::make_unique<Session>(base);
+  auto journal = store.Attach(0, *durable);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  durable->set_journal(*journal);
+  ApplyAll(&control, log);
+  ApplyAll(durable.get(), log, *journal);
+  EXPECT_EQ(Digest(*durable), Digest(control));
+  EXPECT_EQ((*journal)->seq(), log.size());
+  EXPECT_GT((*journal)->epoch(), 1u);  // rotations actually happened
+
+  // "kill -9": drop the session without any flush and recover from disk.
+  durable.reset();
+  RecoveryManager manager(dir, SessionOptions{});
+  auto recovered = manager.RecoverSession(0);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->applied_seq, log.size());
+  EXPECT_FALSE(recovered->torn_tail);
+  EXPECT_EQ(recovered->snapshot_fallbacks, 0);
+  // The snapshot fast-path replayed only the post-snapshot tail.
+  EXPECT_LT(recovered->replayed_commands, log.size());
+  ASSERT_NE(recovered->session, nullptr);
+  EXPECT_EQ(Digest(*recovered->session), Digest(control));
+
+  // Bit-for-bit continuation: the same mutation + resolve on the control
+  // and the recovered session must warm-start identically — same path,
+  // same pivot count, same rounded configuration totals, same digest.
+  auto drive = [](Session* session) {
+    EXPECT_TRUE(session->Apply(MakePref(2, 3, 0.9)).ok());
+    auto outcome = session->Apply(MakeResolve());
+    EXPECT_TRUE(outcome.ok()) << outcome.status();
+    return outcome.ok() ? outcome->report : ResolveReport{};
+  };
+  const ResolveReport control_report = drive(&control);
+  const ResolveReport recovered_report = drive(recovered->session.get());
+  EXPECT_EQ(recovered_report.path, control_report.path);
+  EXPECT_NE(recovered_report.path, ResolvePath::kCold)
+      << "recovery must never pay a cold solve";
+  EXPECT_TRUE(recovered_report.warm_started);
+  EXPECT_EQ(recovered_report.pivots, control_report.pivots);
+  EXPECT_EQ(recovered_report.scaled_total, control_report.scaled_total);
+  EXPECT_EQ(recovered_report.lp_objective, control_report.lp_objective);
+  EXPECT_EQ(Digest(*recovered->session), Digest(control));
+
+  // Cold replay (oldest retained snapshot, maximal replay) reaches the
+  // exact same state the warm fast-path did.
+  RecoveryOptions cold_options;
+  cold_options.cold_replay = true;
+  RecoveryManager cold_manager(dir, SessionOptions{}, cold_options);
+  auto cold = cold_manager.RecoverSession(0);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_GT(cold->replayed_commands, recovered->replayed_commands);
+  // Compare pre-continuation states: re-recover the warm path fresh.
+  auto warm_again = manager.RecoverSession(0);
+  ASSERT_TRUE(warm_again.ok());
+  EXPECT_EQ(Digest(*cold->session), Digest(*warm_again->session));
+}
+
+TEST(RecoveryTest, TornTailDropsOnlyTheTruncatedCommand) {
+  const std::string dir = FreshDir("recovery_torn");
+  const SvgicInstance base = RandomInstance(10, 14, 2, 0.5, 23);
+  CommandLog log = BuildStream(10, 14, 15, 31);
+  log.push_back(MakePref(4, 5, 0.5));  // the command the crash will tear
+
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.fsync.mode = FsyncPolicy::Mode::kEveryN;
+  options.fsync.every_n = 1;
+  options.snapshot_interval_seconds = 0;
+  options.snapshot_every_commands = 0;  // single epoch, no rotation
+  SessionStore store(options);
+
+  auto durable = std::make_unique<Session>(base);
+  auto journal = store.Attach(0, *durable);
+  ASSERT_TRUE(journal.ok());
+  durable->set_journal(*journal);
+  ApplyAll(durable.get(), log, *journal);
+  const std::string changelog_path =
+      store.SessionDir(0) + "/" + ChangelogFileName(0);
+  durable.reset();
+
+  // Tear the final record mid-payload, as a crash mid-append would.
+  std::string bytes = ReadFileBytes(changelog_path);
+  WriteFileBytes(changelog_path, bytes.substr(0, bytes.size() - 3));
+
+  RecoveryManager manager(dir, SessionOptions{});
+  auto recovered = manager.RecoverSession(0);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->torn_tail);
+  EXPECT_EQ(recovered->applied_seq, log.size() - 1);
+
+  // The recovered state equals a control that never saw the torn command.
+  Session control(base);
+  CommandLog prefix(log.begin(), log.end() - 1);
+  ApplyAll(&control, prefix);
+  EXPECT_EQ(Digest(*recovered->session), Digest(control));
+}
+
+TEST(RecoveryTest, CorruptNewestSnapshotFallsBackToPreviousEpoch) {
+  const std::string dir = FreshDir("recovery_fallback");
+  const SvgicInstance base = RandomInstance(10, 14, 2, 0.5, 25);
+  const CommandLog log = BuildStream(10, 14, 30, 41);
+
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.fsync.mode = FsyncPolicy::Mode::kNever;
+  options.snapshot_interval_seconds = 0;
+  options.snapshot_every_commands = 5;
+  options.keep_epochs = 2;
+  SessionStore store(options);
+
+  Session control(base);
+  auto durable = std::make_unique<Session>(base);
+  auto journal = store.Attach(0, *durable);
+  ASSERT_TRUE(journal.ok());
+  durable->set_journal(*journal);
+  ApplyAll(&control, log);
+  ApplyAll(durable.get(), log, *journal);
+  const uint32_t newest_epoch = (*journal)->epoch();
+  ASSERT_GT(newest_epoch, 1u);
+  durable.reset();
+
+  RecoveryManager manager(dir, SessionOptions{});
+  auto baseline = manager.RecoverSession(0);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->snapshot_fallbacks, 0);
+
+  // Corrupt the newest snapshot: recovery must fall back one epoch and
+  // pay a longer replay, landing on the identical state.
+  const std::string newest_path =
+      store.SessionDir(0) + "/" + SnapshotFileName(newest_epoch);
+  std::string bytes = ReadFileBytes(newest_path);
+  bytes[bytes.size() / 2] =
+      static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+  WriteFileBytes(newest_path, bytes);
+
+  auto recovered = manager.RecoverSession(0);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->snapshot_fallbacks, 1);
+  EXPECT_LT(recovered->snapshot_epoch, newest_epoch);
+  EXPECT_GT(recovered->replayed_commands, baseline->replayed_commands);
+  EXPECT_EQ(recovered->applied_seq, log.size());
+  EXPECT_EQ(Digest(*recovered->session), Digest(control));
+
+  // With every retained snapshot corrupt, recovery must fail cleanly.
+  const std::string previous_path =
+      store.SessionDir(0) + "/" + SnapshotFileName(recovered->snapshot_epoch);
+  std::string previous = ReadFileBytes(previous_path);
+  previous[previous.size() / 2] =
+      static_cast<char>(previous[previous.size() / 2] ^ 0x20);
+  WriteFileBytes(previous_path, previous);
+  EXPECT_FALSE(manager.RecoverSession(0).ok());
+}
+
+// --- Resolve-failure transparency (regression) -----------------------------
+
+TEST(RecoveryTest, FailedResolveLeavesServedStateAndJournalUntouched) {
+  const std::string dir = FreshDir("resolve_failure");
+  const SvgicInstance base = RandomInstance(10, 14, 2, 0.5, 27);
+
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.fsync.mode = FsyncPolicy::Mode::kNever;
+  options.snapshot_interval_seconds = 0;
+  options.snapshot_every_commands = 0;
+  SessionStore store(options);
+
+  Session control(base);
+  Session session(base);
+  auto journal = store.Attach(0, session);
+  ASSERT_TRUE(journal.ok());
+  session.set_journal(*journal);
+
+  for (Session* s : {&control, &session}) {
+    ASSERT_TRUE(s->Apply(MakeResolve()).ok());
+    ASSERT_TRUE(s->Apply(MakePref(1, 2, 0.8)).ok());
+    ASSERT_TRUE(s->Apply(MakeTau(0, 3, 1, 0.6)).ok());
+  }
+  const uint64_t digest_before = Digest(session);
+  const uint64_t seq_before = (*journal)->seq();
+
+  // Injected LP failure: with one simplex iteration the re-solve cannot
+  // finish. The served configuration, basis, RNG, dirty flags and the
+  // journal must all come through untouched.
+  session.set_max_lp_iterations(1);
+  auto failed = session.Apply(MakeResolve());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Digest(session), digest_before);
+  EXPECT_EQ((*journal)->seq(), seq_before);  // failures are never journaled
+
+  // Lifting the limit, the session resumes exactly where the control is:
+  // same resolve outcome, same state.
+  session.set_max_lp_iterations(SimplexOptions{}.max_iterations);
+  auto after = session.Apply(MakeResolve());
+  auto control_after = control.Apply(MakeResolve());
+  ASSERT_TRUE(after.ok()) << after.status();
+  ASSERT_TRUE(control_after.ok());
+  EXPECT_EQ(after->report.pivots, control_after->report.pivots);
+  EXPECT_EQ(after->report.scaled_total, control_after->report.scaled_total);
+  EXPECT_EQ(Digest(session), Digest(control));
+}
+
+// --- Client retry ----------------------------------------------------------
+
+TEST(ClientRetryTest, ReconnectsAcrossServerRestart) {
+  const SvgicInstance base = RandomInstance(8, 12, 2, 0.5, 61);
+  ServerOptions options;
+  options.num_workers = 1;
+  std::optional<ServeServer> server;
+  server.emplace(options);
+  const int session = server->CreateSession(base);
+  ASSERT_TRUE(server->Start().ok());
+  const int port = server->port();
+
+  ClientRetryOptions retry;
+  retry.max_retries = 8;
+  retry.initial_backoff_ms = 1.0;
+  retry.max_backoff_ms = 20.0;
+  MetricsRegistry metrics;
+  ServeClient client(retry, &metrics);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  auto first = client.Apply(session, MakePref(0, 1, 0.7));
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->kind, FrameKind::kOk);
+  EXPECT_EQ(client.retries(), 0u);
+
+  // Restart the server on the same port; the old connection is dead, so
+  // the next Apply must reconnect under the hood and still succeed.
+  server->Shutdown();
+  server.reset();
+  ServerOptions restart_options = options;
+  restart_options.port = port;
+  server.emplace(restart_options);
+  const int session2 = server->CreateSession(base);
+  ASSERT_TRUE(server->Start().ok());
+  ASSERT_EQ(server->port(), port);
+
+  auto second = client.Apply(session2, MakePref(1, 2, 0.6));
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->kind, FrameKind::kOk);
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_GE(metrics.GetCounter("serve.client.retries")->value(), 1);
+  server->Shutdown();
+}
+
+TEST(ClientRetryTest, ExhaustsItsBudgetWhenTheServerStaysDown) {
+  ServerOptions options;
+  options.num_workers = 1;
+  auto server = std::make_unique<ServeServer>(options);
+  const int session = server->CreateSession(RandomInstance(8, 12, 2, 0.5, 63));
+  ASSERT_TRUE(server->Start().ok());
+
+  ClientRetryOptions retry;
+  retry.max_retries = 2;
+  retry.initial_backoff_ms = 1.0;
+  ServeClient client(retry);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  ASSERT_TRUE(client.Apply(session, MakePref(0, 0, 0.5)).ok());
+
+  server->Shutdown();
+  server.reset();  // nothing listens on the port anymore
+
+  auto failed = client.Apply(session, MakePref(0, 1, 0.5));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(client.retries(), 2u);  // exactly the configured budget
+}
+
+// --- End-to-end server restart ---------------------------------------------
+
+TEST(ServeDurabilityTest, GracefulRestartRecoversEverySession) {
+  const std::string dir = FreshDir("serve_restart");
+  const SvgicInstance base = RandomInstance(10, 16, 3, 0.5, 65);
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.durability.data_dir = dir;
+  options.durability.snapshot_every_commands = 4;
+  options.durability.snapshot_interval_seconds = 0;
+
+  uint64_t digest_before = 0;
+  int port = 0;
+  {
+    ServeServer server(options);
+    const int a = server.CreateSession(base);
+    server.CreateSession(RandomInstance(8, 12, 2, 0.5, 66));
+    ASSERT_TRUE(server.Start().ok());
+    port = server.port();
+    ServeClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(
+            client.Apply(a, MakePref((round + i) % 10, i % 16, 0.6)).ok());
+      }
+      ASSERT_TRUE(client.Apply(a, MakeResolve()).ok());
+    }
+    server.manager().Drain();
+    digest_before = Digest(server.manager().session(a));
+    server.Shutdown();  // graceful: flushes + final snapshot per session
+  }
+
+  ServeServer restarted(options);
+  ASSERT_TRUE(RecoveryManager::HasSessions(dir));
+  auto recovered = restarted.RecoverSessions();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(*recovered, 2);
+  EXPECT_EQ(Digest(restarted.manager().session(0)), digest_before);
+  EXPECT_GT(restarted.metrics().GetCounter("durability.recoveries")->value(),
+            0);
+
+  // The recovered server keeps serving: the next resolve over the wire
+  // warm-starts from the snapshotted basis.
+  ASSERT_TRUE(restarted.Start().ok());
+  ServeClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", restarted.port()).ok());
+  auto resolve = client.Apply(0, MakeResolve());
+  ASSERT_TRUE(resolve.ok()) << resolve.status();
+  EXPECT_EQ(resolve->kind, FrameKind::kOk);
+  restarted.Shutdown();
+}
+
+}  // namespace
+}  // namespace savg
