@@ -45,34 +45,19 @@ Result<RecoveredSession> RecoveryManager::RecoverSession(
     return Status::NotFound("no session directory " + dir);
   }
 
-  // Enumerate retained epochs: every snapshot-E on disk, ascending. The
-  // retention window is small (keep_epochs), so a linear probe from 0 up
-  // to the newest changelog/snapshot is cheap and needs no readdir.
-  std::vector<uint32_t> epochs;
-  uint32_t probe = 0;
-  uint32_t consecutive_missing = 0;
-  // Epoch numbers are dense once a session has run a while, but the prune
-  // window means low epochs are gone; scan until a long missing run past
-  // the last hit.
-  uint32_t last_hit = 0;
-  bool any = false;
-  while (consecutive_missing < 1024) {
-    const bool has_snapshot =
-        FileExists(dir + "/" + SnapshotFileName(probe));
-    const bool has_changelog =
-        FileExists(dir + "/" + ChangelogFileName(probe));
-    if (has_snapshot || has_changelog) {
-      if (has_snapshot) epochs.push_back(probe);
-      last_hit = probe;
-      any = true;
-      consecutive_missing = 0;
-    } else {
-      ++consecutive_missing;
-    }
-    ++probe;
-  }
-  if (!any || epochs.empty()) {
+  // Enumerate retained epochs via readdir: pruning deletes low epochs, so
+  // after enough rotations the oldest retained epoch is arbitrarily high —
+  // probing epoch numbers from 0 would never be safe.
+  SAVG_ASSIGN_OR_RETURN(EpochInventory inventory, ScanSessionDir(dir));
+  const std::vector<uint32_t>& epochs = inventory.snapshot_epochs;
+  if (epochs.empty()) {
     return Status::NotFound("no snapshots in " + dir);
+  }
+  // Newest epoch on disk: the changelog being written at the crash may
+  // belong to a snapshot epoch, or trail a final snapshot with no tail.
+  uint32_t last_hit = epochs.back();
+  if (!inventory.changelog_epochs.empty()) {
+    last_hit = std::max(last_hit, inventory.changelog_epochs.back());
   }
 
   RecoveredSession recovered;

@@ -1,8 +1,10 @@
 #include "durability/session_store.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -21,6 +23,25 @@ double MonotonicSeconds() {
       .count();
 }
 
+/// Matches "<prefix><decimal digits>" exactly (the SnapshotFileName /
+/// ChangelogFileName shapes; %06u zero-pads but longer epochs print wider,
+/// so the digit run is not fixed-length).
+bool ParseEpochFileName(const char* name, const char* prefix,
+                        uint32_t* epoch) {
+  const size_t prefix_len = std::strlen(prefix);
+  if (std::strncmp(name, prefix, prefix_len) != 0) return false;
+  const char* digits = name + prefix_len;
+  if (*digits == '\0') return false;
+  uint64_t value = 0;
+  for (const char* p = digits; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(*p - '0');
+    if (value > UINT32_MAX) return false;
+  }
+  *epoch = static_cast<uint32_t>(value);
+  return true;
+}
+
 }  // namespace
 
 std::string SnapshotFileName(uint32_t epoch) {
@@ -33,6 +54,28 @@ std::string ChangelogFileName(uint32_t epoch) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "changelog-%06u", epoch);
   return buf;
+}
+
+Result<EpochInventory> ScanSessionDir(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return Status::Unknown("opendir(" + dir + "): " + std::strerror(errno));
+  }
+  EpochInventory inventory;
+  while (struct dirent* entry = ::readdir(handle)) {
+    uint32_t epoch = 0;
+    if (ParseEpochFileName(entry->d_name, "snapshot-", &epoch)) {
+      inventory.snapshot_epochs.push_back(epoch);
+    } else if (ParseEpochFileName(entry->d_name, "changelog-", &epoch)) {
+      inventory.changelog_epochs.push_back(epoch);
+    }
+  }
+  ::closedir(handle);
+  std::sort(inventory.snapshot_epochs.begin(),
+            inventory.snapshot_epochs.end());
+  std::sort(inventory.changelog_epochs.begin(),
+            inventory.changelog_epochs.end());
+  return inventory;
 }
 
 Status EnsureDirectory(const std::string& path) {
@@ -67,8 +110,21 @@ Status SessionJournal::OpenChangelog() {
 }
 
 Status SessionJournal::Append(const SessionCommand& command, bool resolved) {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "session journal failed; awaiting snapshot re-anchor");
+  }
   if (writer_ == nullptr) return Status::InvalidArgument("journal closed");
-  SAVG_RETURN_NOT_OK(writer_->Append(command, resolved));
+  const Status appended = writer_->Append(command, resolved);
+  if (!appended.ok()) {
+    // Fail-stop: the caller already applied the mutation this record
+    // describes, so the changelog no longer replays to the live state.
+    // Poison the journal — Session::Apply refuses further commands and
+    // ShouldSnapshot() demands the re-anchoring snapshot — instead of
+    // appending past a silent gap.
+    failed_ = true;
+    return appended;
+  }
   ++seq_;
   ++commands_since_snapshot_;
   if (metrics_ != nullptr && metrics_->changelog_lag != nullptr) {
@@ -81,6 +137,9 @@ Status SessionJournal::Append(const SessionCommand& command, bool resolved) {
 }
 
 bool SessionJournal::ShouldSnapshot() const {
+  // A poisoned journal needs a snapshot to re-anchor: its state advanced
+  // past what the changelog holds, regardless of the usual triggers.
+  if (failed_) return true;
   if (commands_since_snapshot_ == 0) return false;
   if (options_->snapshot_every_commands > 0 &&
       commands_since_snapshot_ >=
@@ -110,9 +169,21 @@ Status SessionJournal::TakeSnapshot(const Session& session) {
       SAVG_LOG(Warning) << "durability: changelog close failed: "
                         << closed.message();
     }
+    writer_.reset();
   }
   epoch_ = next_epoch;
-  SAVG_RETURN_NOT_OK(OpenChangelog());
+  const Status opened = OpenChangelog();
+  if (!opened.ok()) {
+    // Snapshot next_epoch is durable but has no changelog to extend it.
+    // Poison the journal so Append refuses instead of hitting a closed
+    // writer forever, and ShouldSnapshot() keeps retrying the rotation.
+    failed_ = true;
+    SAVG_LOG(Error) << "durability: changelog rotation to epoch "
+                    << next_epoch << " failed (" << opened.message()
+                    << "); journal fail-stopped until a retry succeeds";
+    return opened;
+  }
+  failed_ = false;
   commands_since_snapshot_ = 0;
   last_snapshot_seconds_ = MonotonicSeconds();
   if (metrics_ != nullptr) {
@@ -144,7 +215,10 @@ Status SessionJournal::Sync() {
 }
 
 Status SessionJournal::Flush(const Session& session) {
-  if (options_->final_snapshot_on_shutdown && commands_since_snapshot_ > 0) {
+  // A poisoned journal flushes via snapshot unconditionally: its state
+  // advanced past the changelog, so Sync() alone cannot make it durable.
+  if (failed_ ||
+      (options_->final_snapshot_on_shutdown && commands_since_snapshot_ > 0)) {
     return TakeSnapshot(session);
   }
   return Sync();
@@ -168,6 +242,20 @@ Result<SessionJournal*> SessionStore::Attach(uint32_t session_id,
   }
   const std::string dir = SessionDir(session_id);
   SAVG_RETURN_NOT_OK(EnsureDirectory(dir));
+  if (epoch == 0 && applied_seq == 0 &&
+      !options_.overwrite_existing_on_attach) {
+    // A fresh attach writes snapshot-000000 and truncates changelog-000000;
+    // doing that over a populated directory would destroy a previous run's
+    // durable state. Recovery re-attaches at last_epoch + 1, so only the
+    // fresh-session path can collide.
+    SAVG_ASSIGN_OR_RETURN(EpochInventory inventory, ScanSessionDir(dir));
+    if (!inventory.empty()) {
+      return Status::FailedPrecondition(
+          dir + " already holds durable state; recover it (RecoveryManager) "
+          "or set DurabilityOptions::overwrite_existing_on_attach to "
+          "discard it");
+    }
+  }
   auto journal = std::unique_ptr<SessionJournal>(
       new SessionJournal(dir, session_id, &options_, &metrics_));
   journal->epoch_ = epoch;

@@ -46,6 +46,11 @@ struct DurabilityOptions {
   /// Graceful shutdown takes a final snapshot per session, making the next
   /// startup's replay empty. Benchmarks disable it to measure replay cost.
   bool final_snapshot_on_shutdown = true;
+  /// Attach() of a FRESH session (epoch 0, applied_seq 0) refuses when the
+  /// session directory already holds snapshot/changelog files — that state
+  /// belongs to a previous run and must be recovered (or deliberately
+  /// discarded by setting this flag) rather than silently truncated.
+  bool overwrite_existing_on_attach = false;
 };
 
 /// The durability sink of one live Session. Owned by the SessionStore;
@@ -53,10 +58,19 @@ struct DurabilityOptions {
 /// the same serialization that protects the Session protects its journal.
 class SessionJournal : public CommandJournal {
  public:
-  /// CommandJournal: append to the current epoch's changelog.
+  /// CommandJournal: append to the current epoch's changelog. The first
+  /// failure poisons the journal (healthy() turns false): the command that
+  /// failed mutated in-memory state the changelog now lacks, so continuing
+  /// to append would leave a silent replay gap. Session::Apply refuses
+  /// further commands until TakeSnapshot() re-anchors a clean epoch.
   Status Append(const SessionCommand& command, bool resolved) override;
 
-  /// True when the count or time trigger says the next snapshot is due.
+  /// CommandJournal: false after an append or rotation failure, until a
+  /// successful TakeSnapshot() re-anchors durability.
+  bool healthy() const override { return !failed_; }
+
+  /// True when the count or time trigger says the next snapshot is due —
+  /// or when the journal is poisoned and needs a re-anchoring snapshot.
   bool ShouldSnapshot() const;
 
   /// Writes snapshot epoch+1 from `session`'s current state, rotates a
@@ -96,6 +110,8 @@ class SessionJournal : public CommandJournal {
   uint64_t seq_ = 0;
   uint64_t commands_since_snapshot_ = 0;
   double last_snapshot_seconds_ = 0.0;
+  /// Set on append/rotation failure; cleared by a successful TakeSnapshot.
+  bool failed_ = false;
 };
 
 /// Owns the journals of every durable session in one data_dir.
@@ -107,8 +123,10 @@ class SessionStore {
   /// Creates <data_dir>/session-<id>/, writes snapshot `epoch` from the
   /// session's current state and opens changelog `epoch`. For a fresh
   /// session epoch/applied_seq are 0; recovery re-attaches at
-  /// last_epoch + 1 so replayed history is never appended twice. Returns
-  /// a journal owned by the store (stable pointer; attach it with
+  /// last_epoch + 1 so replayed history is never appended twice. A fresh
+  /// attach over a directory that already holds snapshot/changelog files
+  /// is refused unless overwrite_existing_on_attach is set. Returns a
+  /// journal owned by the store (stable pointer; attach it with
   /// Session::set_journal).
   Result<SessionJournal*> Attach(uint32_t session_id, const Session& session,
                                  uint32_t epoch = 0, uint64_t applied_seq = 0);
@@ -128,6 +146,18 @@ class SessionStore {
 /// snapshot-%06u / changelog-%06u names (shared with RecoveryManager).
 std::string SnapshotFileName(uint32_t epoch);
 std::string ChangelogFileName(uint32_t epoch);
+
+/// The epoch files one session directory holds, enumerated via readdir so
+/// arbitrarily high epoch numbers (long-lived sessions whose low epochs
+/// were pruned) are found without probing. Both lists are ascending.
+struct EpochInventory {
+  std::vector<uint32_t> snapshot_epochs;
+  std::vector<uint32_t> changelog_epochs;
+  bool empty() const {
+    return snapshot_epochs.empty() && changelog_epochs.empty();
+  }
+};
+Result<EpochInventory> ScanSessionDir(const std::string& dir);
 
 /// mkdir -p. OK when the directory already exists.
 Status EnsureDirectory(const std::string& path);

@@ -203,6 +203,16 @@ Status Session::ApplyRetireItem(ItemId c) {
 }
 
 Result<CommandOutcome> Session::Apply(const SessionCommand& command) {
+  // A poisoned journal fail-stops the session BEFORE the mutation: one
+  // command (the one whose append failed) is applied but un-journaled, and
+  // letting more commands through would silently widen that replay gap.
+  // The journal recovers by snapshotting the live state (re-anchoring a
+  // clean epoch), after which healthy() turns true again.
+  if (journal_ != nullptr && !journal_->healthy()) {
+    return Status::FailedPrecondition(
+        "session journal failed; refusing commands until a snapshot "
+        "re-anchors durability");
+  }
   auto outcome = ApplyImpl(command);
   if (!outcome.ok() || journal_ == nullptr) return outcome;
   // Journal AFTER the mutation: a rejected command changed nothing (every

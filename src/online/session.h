@@ -176,6 +176,11 @@ class CommandJournal {
   virtual ~CommandJournal() = default;
   /// `resolved` is true for the kResolve entries (fsync-on-resolve policy).
   virtual Status Append(const SessionCommand& command, bool resolved) = 0;
+  /// False once a failed append/rotation made the journal unreliable: the
+  /// in-memory state advanced past what the changelog holds. Apply()
+  /// checks this BEFORE mutating and refuses new commands while unhealthy,
+  /// so the divergence never silently grows past the one lost record.
+  virtual bool healthy() const { return true; }
 };
 
 /// What one Apply(SessionCommand) did. `assigned_id` carries the id a

@@ -27,6 +27,7 @@ enum class StatusCode {
   kNumericalError,     ///< solver lost numerical stability
   kNotImplemented,
   kUnknown,
+  kFailedPrecondition,  ///< system state forbids the operation (retry later)
 };
 
 /// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
@@ -70,6 +71,9 @@ class Status {
   }
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

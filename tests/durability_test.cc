@@ -521,6 +521,174 @@ TEST(RecoveryTest, CorruptNewestSnapshotFallsBackToPreviousEpoch) {
   EXPECT_FALSE(manager.RecoverSession(0).ok());
 }
 
+TEST(RecoveryTest, RecoversWhenOldestRetainedEpochIsHigh) {
+  const std::string dir = FreshDir("recovery_high_epoch");
+  const SvgicInstance base = RandomInstance(10, 14, 2, 0.5, 29);
+  const CommandLog log = BuildStream(10, 14, 25, 83);
+
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.fsync.mode = FsyncPolicy::Mode::kNever;
+  options.snapshot_interval_seconds = 0;
+  options.snapshot_every_commands = 6;
+  options.keep_epochs = 2;
+  SessionStore store(options);
+
+  // A long-lived session: pruning deleted every epoch below 4096, so the
+  // oldest file on disk has a high epoch number (regression: the old
+  // recovery scan probed epoch numbers from 0 and gave up after 1024
+  // consecutive misses, reporting "no snapshots" for exactly this layout).
+  Session control(base);
+  auto durable = std::make_unique<Session>(base);
+  auto journal =
+      store.Attach(0, *durable, /*epoch=*/4096, /*applied_seq=*/0);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  durable->set_journal(*journal);
+  ApplyAll(&control, log);
+  ApplyAll(durable.get(), log, *journal);
+  EXPECT_GT((*journal)->epoch(), 4096u);
+  durable.reset();
+
+  RecoveryManager manager(dir, SessionOptions{});
+  auto recovered = manager.RecoverSession(0);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_GE(recovered->snapshot_epoch, 4096u);
+  EXPECT_EQ(recovered->last_epoch, (*journal)->epoch());
+  EXPECT_EQ(recovered->applied_seq, log.size());
+  EXPECT_EQ(Digest(*recovered->session), Digest(control));
+}
+
+// --- Journal fail-stop -----------------------------------------------------
+
+TEST(SessionStoreTest, FreshAttachRefusesExistingDurableState) {
+  const std::string dir = FreshDir("attach_guard");
+  const SvgicInstance base = RandomInstance(8, 12, 2, 0.5, 71);
+
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.fsync.mode = FsyncPolicy::Mode::kNever;
+  {
+    SessionStore store(options);
+    Session session(base);
+    auto journal = store.Attach(0, session);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    session.set_journal(*journal);
+    ASSERT_TRUE(session.Apply(MakePref(0, 1, 0.5)).ok());
+  }
+
+  // A second run that skips recovery must not truncate the previous run's
+  // snapshot/changelog pair.
+  SessionStore store(options);
+  Session fresh(base);
+  auto refused = store.Attach(0, fresh);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  // Recovery-style re-attach (epoch > 0) and the explicit overwrite flag
+  // both stay allowed.
+  auto readopt = store.Attach(0, fresh, /*epoch=*/1, /*applied_seq=*/1);
+  EXPECT_TRUE(readopt.ok()) << readopt.status();
+  DurabilityOptions overwrite = options;
+  overwrite.overwrite_existing_on_attach = true;
+  SessionStore overwriting_store(overwrite);
+  auto allowed = overwriting_store.Attach(0, fresh);
+  EXPECT_TRUE(allowed.ok()) << allowed.status();
+}
+
+TEST(SessionStoreTest, FailedRotationFailStopsSessionUntilRetrySucceeds) {
+  const std::string dir = FreshDir("rotation_failstop");
+  const SvgicInstance base = RandomInstance(10, 14, 2, 0.5, 31);
+
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.fsync.mode = FsyncPolicy::Mode::kNever;
+  options.snapshot_interval_seconds = 0;
+  options.snapshot_every_commands = 0;  // snapshots only when forced
+  SessionStore store(options);
+
+  Session session(base);
+  auto journal = store.Attach(0, session);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  session.set_journal(*journal);
+  ASSERT_TRUE(session.Apply(MakePref(0, 1, 0.5)).ok());
+  ASSERT_TRUE(session.Apply(MakeResolve()).ok());
+
+  // Injected rotation failure: a directory squats on the next epoch's
+  // changelog path, so ChangelogWriter::Create cannot open it.
+  const std::string blocker =
+      store.SessionDir(0) + "/" + ChangelogFileName(1);
+  ASSERT_TRUE(EnsureDirectory(blocker).ok());
+  const Status failed = (*journal)->TakeSnapshot(session);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_FALSE((*journal)->healthy());
+  EXPECT_TRUE((*journal)->ShouldSnapshot());  // demands the re-anchor retry
+
+  // The fail-stopped session refuses commands before mutating anything.
+  const uint64_t digest = Digest(session);
+  auto refused = session.Apply(MakePref(1, 2, 0.7));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Digest(session), digest);
+
+  // Clearing the fault, the retry (MaybeSnapshot's next run in the server)
+  // re-anchors a clean epoch: health returns and commands flow again.
+  ::rmdir(blocker.c_str());
+  ASSERT_TRUE((*journal)->TakeSnapshot(session).ok());
+  EXPECT_TRUE((*journal)->healthy());
+  ASSERT_TRUE(session.Apply(MakePref(1, 2, 0.7)).ok());
+
+  // Recovery sees a consistent store.
+  RecoveryManager manager(dir, SessionOptions{});
+  auto recovered = manager.RecoverSession(0);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(Digest(*recovered->session), Digest(session));
+}
+
+/// CommandJournal with an injectable append failure (what a full disk does
+/// to SessionJournal::Append).
+class InjectedFailureJournal : public CommandJournal {
+ public:
+  Status Append(const SessionCommand&, bool) override {
+    if (fail_next) {
+      is_healthy = false;
+      return Status::Unknown("injected append failure");
+    }
+    return Status::OK();
+  }
+  bool healthy() const override { return is_healthy; }
+
+  bool fail_next = false;
+  bool is_healthy = true;
+};
+
+TEST(SessionFailStopTest, UnhealthyJournalRefusesCommandsBeforeMutation) {
+  const SvgicInstance base = RandomInstance(8, 12, 2, 0.5, 37);
+  Session session(base);
+  InjectedFailureJournal journal;
+  session.set_journal(&journal);
+  ASSERT_TRUE(session.Apply(MakePref(0, 1, 0.5)).ok());
+
+  // The append failure surfaces as the command's status; the mutation it
+  // described is applied but un-journaled.
+  journal.fail_next = true;
+  auto failed = session.Apply(MakePref(1, 2, 0.6));
+  ASSERT_FALSE(failed.ok());
+
+  // Every later command is refused BEFORE mutating — even though the
+  // writer would now accept appends — so the replay gap stays one record
+  // wide until a snapshot re-anchors.
+  const uint64_t digest = Digest(session);
+  journal.fail_next = false;
+  auto refused = session.Apply(MakePref(2, 3, 0.7));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Digest(session), digest);
+
+  // A snapshot re-anchor (simulated) restores service.
+  journal.is_healthy = true;
+  EXPECT_TRUE(session.Apply(MakePref(2, 3, 0.7)).ok());
+}
+
 // --- Resolve-failure transparency (regression) -----------------------------
 
 TEST(RecoveryTest, FailedResolveLeavesServedStateAndJournalUntouched) {
